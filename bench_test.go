@@ -1,0 +1,318 @@
+// Benchmarks regenerating the paper's tables and figures (one benchmark per
+// table/figure; see DESIGN.md §4 for the index) plus the ablations of
+// DESIGN.md §6. Run:
+//
+//	go test -bench=. -benchmem
+//
+// Each figure benchmark reports figure-shape metrics via b.ReportMetric so
+// the bench output doubles as a compact reproduction record.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/data"
+	"repro/internal/experiments"
+	"repro/internal/fedavg"
+	"repro/internal/nn"
+	"repro/internal/pacing"
+	"repro/internal/secagg"
+	"repro/internal/storage"
+	"repro/internal/tensor"
+)
+
+const (
+	benchDays   = 1
+	benchPop    = 8000
+	benchTarget = 100
+)
+
+// --- Figure/table benchmarks ---
+
+func BenchmarkFig6Diurnal(b *testing.B) {
+	var swing, corr float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig6(uint64(i+1), benchDays, benchPop, benchTarget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		swing, corr = r.SwingRatio, r.Correlation
+	}
+	b.ReportMetric(swing, "peak/trough")
+	b.ReportMetric(corr, "avail-corr")
+}
+
+func BenchmarkFig7Outcomes(b *testing.B) {
+	var day, night float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7(uint64(i+1), benchDays, benchPop, benchTarget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		day, night = r.DayDropRate, r.NightDropRate
+	}
+	b.ReportMetric(100*day, "day-drop-%")
+	b.ReportMetric(100*night, "night-drop-%")
+}
+
+func BenchmarkFig8Timing(b *testing.B) {
+	var runP50, partP50 float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig8(uint64(i+1), benchDays, benchPop, benchTarget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		runP50, partP50 = r.RunTimeP50, r.ParticipationP50
+	}
+	b.ReportMetric(runP50, "round-P50-s")
+	b.ReportMetric(partP50, "part-P50-s")
+}
+
+func BenchmarkFig9Traffic(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9(uint64(i+1), benchDays, benchPop, benchTarget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = r.Ratio
+	}
+	b.ReportMetric(ratio, "down/up")
+}
+
+func BenchmarkTable1Sessions(b *testing.B) {
+	var success float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Table1(uint64(i+1), benchDays, benchPop, benchTarget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Rows) > 0 {
+			success = r.Rows[0].Percent
+		}
+	}
+	b.ReportMetric(success, "success-%")
+}
+
+func BenchmarkNextWordConvergence(b *testing.B) {
+	var fed, central, bigram float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.NextWord(experiments.NextWordConfig{
+			Users: 60, SentencesPer: 20, SentenceLen: 6, Vocab: 16,
+			Rounds: 30, DevicesPer: 15, Seed: uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fed, central, bigram = r.FederatedRNN, r.CentralizedRNN, r.Bigram
+	}
+	b.ReportMetric(fed, "fed-recall")
+	b.ReportMetric(central, "central-recall")
+	b.ReportMetric(bigram, "bigram-recall")
+}
+
+func BenchmarkKSweep(b *testing.B) {
+	var accLow, accMid, accHigh float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.KSweep([]int{1, 20, 200}, 5, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		accLow, accMid, accHigh = r.Accuracies[0], r.Accuracies[1], r.Accuracies[2]
+	}
+	b.ReportMetric(accLow, "acc-K1")
+	b.ReportMetric(accMid, "acc-K20")
+	b.ReportMetric(accHigh, "acc-K200")
+}
+
+func BenchmarkOverSelection(b *testing.B) {
+	var at100, at130 float64
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.OverSelect([]float64{1.0, 1.3}, []float64{0.10}, 100, 1000, uint64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		at100, at130 = r.Completion[0][0], r.Completion[0][1]
+	}
+	b.ReportMetric(at100, "complete@100%")
+	b.ReportMetric(at130, "complete@130%")
+}
+
+func BenchmarkSecAggQuadratic(b *testing.B) {
+	for _, n := range []int{4, 8, 16, 32} {
+		n := n
+		b.Run(fmt.Sprintf("group-%d", n), func(b *testing.B) {
+			cfg := secagg.Config{N: n, T: n/2 + 1, VectorLen: 128}
+			inputs := make(map[int][]float64, n)
+			for id := 1; id <= n; id++ {
+				v := make([]float64, 128)
+				for j := range v {
+					v[j] = float64(id + j)
+				}
+				inputs[id] = v
+			}
+			var drop []int
+			if n >= 3 {
+				drop = []int{1}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := secagg.Run(cfg, inputs, drop, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPaceSteering(b *testing.B) {
+	steer := pacing.New(2 * time.Minute)
+	rng := tensor.NewRNG(1)
+	now := time.Date(2019, 3, 1, 12, 0, 0, 0, time.UTC)
+	b.Run("small-population", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			steer.Suggest(100, 50, now, rng)
+		}
+	})
+	b.Run("large-population", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			steer.Suggest(2_000_000, 300, now, rng)
+		}
+	})
+}
+
+// --- Ablation benchmarks (DESIGN.md §6) ---
+
+// BenchmarkInMemoryVsPersisted contrasts the paper's ephemeral in-memory
+// aggregation against a design that writes each device update to
+// persistent storage before aggregating.
+func BenchmarkInMemoryVsPersisted(b *testing.B) {
+	const dim = 10000
+	update := &fedavg.Update{Delta: make(tensor.Vector, dim), Weight: 10}
+	b.Run("in-memory", func(b *testing.B) {
+		acc := fedavg.NewAccumulator(dim)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := acc.Add(update); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("persist-each-update", func(b *testing.B) {
+		store, err := storage.NewFile(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		acc := fedavg.NewAccumulator(dim)
+		ck := &checkpoint.Checkpoint{TaskName: "t", Params: update.Delta, Weight: update.Weight}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ck.Round = int64(i)
+			if err := store.PutCheckpoint(ck); err != nil {
+				b.Fatal(err)
+			}
+			if err := acc.Add(update); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkOnlineAggregation contrasts folding updates in as they arrive
+// (O(model) memory) against buffering all updates then reducing
+// (O(devices × model) memory — the allocation column tells the story).
+func BenchmarkOnlineAggregation(b *testing.B) {
+	const dim, devices = 4000, 200
+	mk := func(i int) *fedavg.Update {
+		d := make(tensor.Vector, dim)
+		d[i%dim] = 1
+		return &fedavg.Update{Delta: d, Weight: 1}
+	}
+	b.Run("online", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			acc := fedavg.NewAccumulator(dim)
+			for d := 0; d < devices; d++ {
+				if err := acc.Add(mk(d)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := acc.Average(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("buffer-then-reduce", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf := make([]*fedavg.Update, 0, devices)
+			for d := 0; d < devices; d++ {
+				u := mk(d)
+				// Buffering retains a private copy of every update, as a
+				// log-based design would.
+				cp := &fedavg.Update{Delta: u.Delta.Clone(), Weight: u.Weight}
+				buf = append(buf, cp)
+			}
+			acc := fedavg.NewAccumulator(dim)
+			for _, u := range buf {
+				if err := acc.Add(u); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := acc.Average(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkUpdateCompression contrasts the wire encodings of Sec. 11
+// (Bandwidth): full float64 vs 8-bit quantized updates.
+func BenchmarkUpdateCompression(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	params := make(tensor.Vector, 100000)
+	rng.FillNormal(params, 0.01)
+	ck := &checkpoint.Checkpoint{TaskName: "t", Params: params}
+	for _, enc := range []struct {
+		name string
+		e    checkpoint.Encoding
+	}{{"float64", checkpoint.EncodingFloat64}, {"quant8", checkpoint.EncodingQuant8}} {
+		enc := enc
+		b.Run(enc.name, func(b *testing.B) {
+			var size int
+			for i := 0; i < b.N; i++ {
+				buf, err := ck.Marshal(enc.e)
+				if err != nil {
+					b.Fatal(err)
+				}
+				size = len(buf)
+			}
+			b.ReportMetric(float64(size), "wire-bytes")
+		})
+	}
+}
+
+// BenchmarkClientUpdate measures one device's local training step.
+func BenchmarkClientUpdate(b *testing.B) {
+	fed, err := data.Blobs(data.BlobsConfig{Users: 1, ExamplesPer: 100, Features: 16, Classes: 4, TestSize: 1, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := nn.Spec{Kind: nn.KindMLP, Features: 16, Hidden: 32, Classes: 4, Seed: 1}
+	m, err := spec.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	global := make(tensor.Vector, m.NumParams())
+	m.ReadParams(global)
+	cfg := fedavg.ClientConfig{BatchSize: 20, Epochs: 1, LR: 0.05}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fedavg.ClientUpdate(m, global, fed.Users[0], cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Command flbench regenerates every table and figure from the paper's
+// evaluation (see DESIGN.md §4 for the experiment index):
+//
+//	flbench -exp fig6       # diurnal participation & completion rate
+//	flbench -exp fig7       # completed / aborted / dropped per round
+//	flbench -exp fig8       # round & participation time distributions
+//	flbench -exp fig9       # server traffic asymmetry
+//	flbench -exp table1     # session shape distribution
+//	flbench -exp nextword   # Sec. 8 next-word prediction comparison
+//	flbench -exp ksweep     # Sec. 9 devices-per-round sweep
+//	flbench -exp overselect # Sec. 9 over-selection vs drop-out
+//	flbench -exp secagg     # Sec. 6 Secure Aggregation cost
+//	flbench -exp pacing     # Sec. 2.3 pace steering regimes
+//	flbench -exp all        # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run (fig6, fig7, fig8, fig9, table1, nextword, ksweep, overselect, secagg, pacing, all)")
+	days := flag.Int("days", 3, "simulated days for the operational figures")
+	pop := flag.Int("pop", 20000, "fleet size for the operational figures")
+	target := flag.Int("target", 100, "devices per round (K)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	if err := run(*exp, *seed, *days, *pop, *target); err != nil {
+		fmt.Fprintln(os.Stderr, "flbench:", err)
+		os.Exit(1)
+	}
+}
+
+type formatter interface{ Format() string }
+
+func run(exp string, seed uint64, days, pop, target int) error {
+	runOne := func(name string, f func() (formatter, error)) error {
+		res, err := f()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Println(res.Format())
+		return nil
+	}
+
+	all := map[string]func() (formatter, error){
+		"fig6":   func() (formatter, error) { return experiments.Fig6(seed, days, pop, target) },
+		"fig7":   func() (formatter, error) { return experiments.Fig7(seed, days, pop, target) },
+		"fig8":   func() (formatter, error) { return experiments.Fig8(seed, days, pop, target) },
+		"fig9":   func() (formatter, error) { return experiments.Fig9(seed, days, pop, target) },
+		"table1": func() (formatter, error) { return experiments.Table1(seed, days, pop, target) },
+		"nextword": func() (formatter, error) {
+			return experiments.NextWord(experiments.NextWordConfig{Seed: seed})
+		},
+		"ksweep": func() (formatter, error) {
+			return experiments.KSweep([]int{1, 2, 5, 10, 20, 50, 100, 200}, 5, seed)
+		},
+		"overselect": func() (formatter, error) {
+			return experiments.OverSelect(
+				[]float64{1.0, 1.05, 1.1, 1.2, 1.3, 1.4, 1.5},
+				[]float64{0.06, 0.08, 0.10}, target, 2000, seed)
+		},
+		"secagg": func() (formatter, error) {
+			return experiments.SecAggCost([]int{4, 8, 16, 32, 64}, 256, 256)
+		},
+		"pacing":    func() (formatter, error) { return experiments.Pacing(10000, seed) },
+		"adaptive":  func() (formatter, error) { return experiments.Adaptive(seed) },
+		"wallclock": func() (formatter, error) { return experiments.WallClock(seed) },
+	}
+
+	if exp == "all" {
+		// Deterministic order matching the paper's presentation.
+		for _, name := range []string{"pacing", "secagg", "nextword", "wallclock", "fig6", "fig7", "fig8", "fig9", "table1", "ksweep", "overselect", "adaptive"} {
+			if err := runOne(name, all[name]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	f, ok := all[exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return runOne(exp, f)
+}

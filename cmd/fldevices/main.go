@@ -1,0 +1,118 @@
+// Command fldevices runs a simulated device fleet against a TCP FL server
+// started with cmd/flserver:
+//
+//	fldevices -addr localhost:8750 -population gboard -devices 40
+//
+// Each device holds a non-IID slice of a synthetic classification dataset
+// in its example store and loops: check in → (train + report | back off).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	repro "repro"
+
+	"repro/internal/flserver"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8750", "FL server address")
+	populationName := flag.String("population", "gboard", "FL population name")
+	devices := flag.Int("devices", 40, "number of simulated devices")
+	duration := flag.Duration("duration", 10*time.Minute, "how long to run")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	fed, err := repro.Blobs(repro.BlobsConfig{
+		Users: *devices, ExamplesPer: 40, Features: 8, Classes: 4,
+		TestSize: 1, Skew: 0.5, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var completed, rejected, failed int64
+	stop := time.After(*duration)
+	done := make(chan struct{})
+	go func() {
+		<-stop
+		close(done)
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < *devices; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			store, err := repro.NewExampleStore("examples", 1000, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			now := time.Now()
+			for _, ex := range fed.Users[i] {
+				store.Add(ex, now)
+			}
+			rt := repro.NewDeviceRuntime(fmt.Sprintf("dev-%d", i), 3, *seed+uint64(i))
+			if err := rt.RegisterStore(store); err != nil {
+				log.Fatal(err)
+			}
+			client := &flserver.DeviceClient{
+				ID: fmt.Sprintf("dev-%d", i), Population: *populationName, Runtime: rt,
+			}
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				conn, err := repro.DialTCP(*addr)
+				if err != nil {
+					// Server gone or not yet up.
+					select {
+					case <-done:
+						return
+					case <-time.After(time.Second):
+						continue
+					}
+				}
+				out, err := client.RunOnce(conn)
+				switch {
+				case err != nil:
+					atomic.AddInt64(&failed, 1)
+					time.Sleep(500 * time.Millisecond)
+				case out.ReportAccepted:
+					atomic.AddInt64(&completed, 1)
+				case !out.Accepted:
+					atomic.AddInt64(&rejected, 1)
+					wait := out.RetryAfter
+					if wait <= 0 || wait > 5*time.Second {
+						wait = time.Second // compress pace steering for the demo
+					}
+					select {
+					case <-done:
+						return
+					case <-time.After(wait):
+					}
+				}
+			}
+		}()
+	}
+
+	ticker := time.NewTicker(2 * time.Second)
+	defer ticker.Stop()
+	go func() {
+		for range ticker.C {
+			log.Printf("fleet: %d updates accepted, %d rejections, %d errors",
+				atomic.LoadInt64(&completed), atomic.LoadInt64(&rejected), atomic.LoadInt64(&failed))
+		}
+	}()
+	wg.Wait()
+	fmt.Printf("fleet done: %d updates accepted, %d rejections, %d errors\n",
+		atomic.LoadInt64(&completed), atomic.LoadInt64(&rejected), atomic.LoadInt64(&failed))
+}

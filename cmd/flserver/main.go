@@ -1,0 +1,101 @@
+// Command flserver runs the FL server over TCP for one FL population.
+// Simulated devices connect with cmd/fldevices.
+//
+//	flserver -addr :8750 -population gboard -rounds 10 -target 20
+//
+// The server commits each round's global checkpoint to -storage (a
+// directory; in-memory when empty) and prints round progress.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	repro "repro"
+
+	"repro/internal/flserver"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+func main() {
+	addr := flag.String("addr", ":8750", "TCP listen address")
+	populationName := flag.String("population", "gboard", "FL population name")
+	target := flag.Int("target", 20, "devices per round (K)")
+	rounds := flag.Int("rounds", 10, "rounds to run before exiting (0 = forever)")
+	storageDir := flag.String("storage", "", "checkpoint directory (empty = in-memory)")
+	selTimeout := flag.Duration("selection-timeout", 30*time.Second, "selection window")
+	repTimeout := flag.Duration("report-timeout", time.Minute, "reporting window")
+	flag.Parse()
+
+	p, err := repro.GeneratePlan(plan.Config{
+		TaskID:           *populationName + "/train",
+		Population:       *populationName,
+		Model:            repro.ModelSpec{Kind: repro.KindMLP, Features: 8, Hidden: 16, Classes: 4, Seed: 1},
+		StoreName:        "examples",
+		BatchSize:        10,
+		Epochs:           1,
+		LearningRate:     0.05,
+		TargetDevices:    *target,
+		SelectionTimeout: *selTimeout,
+		ReportTimeout:    *repTimeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var store storage.Store
+	if *storageDir == "" {
+		store = storage.NewMem()
+	} else {
+		store, err = storage.NewFile(*storageDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	srv, err := repro.NewServer(flserver.Config{
+		Population: *populationName,
+		Plans:      []*plan.Plan{p},
+		Store:      store,
+		Steering:   repro.NewPaceSteering(*selTimeout + *repTimeout),
+		MaxRounds:  *rounds,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	l, err := repro.ListenTCP(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer l.Close()
+	log.Printf("FL server for population %q listening on %s (K=%d, rounds=%d)",
+		*populationName, l.Addr(), *target, *rounds)
+
+	go srv.Serve(l)
+
+	ticker := time.NewTicker(2 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-srv.Done():
+			st := srv.Stats()
+			ckpt, err := store.LatestCheckpoint(p.ID)
+			if err != nil {
+				log.Fatalf("finished but no checkpoint: %v", err)
+			}
+			fmt.Printf("done: %d rounds committed (%d failed), final round %d, |params|=%d\n",
+				st.RoundsCompleted, st.RoundsFailed, ckpt.Round, len(ckpt.Params))
+			return
+		case <-ticker.C:
+			st := srv.Stats()
+			sel := srv.SelectorStats()
+			log.Printf("round %d: %d completed, %d failed; selector accepted=%d rejected=%d held=%d",
+				st.CurrentRound, st.RoundsCompleted, st.RoundsFailed, sel.Accepted, sel.Rejected, sel.Held)
+		}
+	}
+}

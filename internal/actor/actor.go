@@ -1,0 +1,217 @@
+// Package actor implements the Actor Programming Model the FL server is
+// built on (Sec. 4.1): actors process their mailbox strictly sequentially,
+// communicate only by message passing, can spawn ephemeral children, and
+// keep all state in memory. Supervision is watch-based: watchers receive a
+// Terminated message when an actor stops or panics, which is how the
+// Coordinator restarts failed Master Aggregators and the Selector layer
+// respawns a dead Coordinator (Sec. 4.4).
+package actor
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Message is anything sent to an actor.
+type Message interface{}
+
+// Terminated is delivered to watchers when an actor stops. Failure is true
+// when the actor died from a panic rather than a clean stop.
+type Terminated struct {
+	Ref     *Ref
+	Failure bool
+	// Reason carries the panic value for failures.
+	Reason interface{}
+}
+
+// Behavior is an actor's message handler. Receive is never called
+// concurrently for one actor instance.
+type Behavior interface {
+	Receive(ctx *Context, msg Message)
+}
+
+// BehaviorFunc adapts a function to the Behavior interface.
+type BehaviorFunc func(ctx *Context, msg Message)
+
+// Receive implements Behavior.
+func (f BehaviorFunc) Receive(ctx *Context, msg Message) { f(ctx, msg) }
+
+// Context is passed to Receive, giving the behavior access to its own ref
+// and the system for spawning and watching.
+type Context struct {
+	Self   *Ref
+	System *System
+}
+
+// Spawn creates a child actor.
+func (c *Context) Spawn(name string, b Behavior) *Ref { return c.System.Spawn(name, b) }
+
+// Watch registers Self to receive Terminated when target stops.
+func (c *Context) Watch(target *Ref) { c.System.watch(target, c.Self) }
+
+// Stop stops this actor after the current message.
+func (c *Context) Stop() { c.Self.Stop() }
+
+const mailboxSize = 1024
+
+// Ref is a handle to a running actor.
+type Ref struct {
+	name    string
+	mailbox chan Message
+	done    chan struct{}
+	once    sync.Once
+	sys     *System
+}
+
+// Name returns the actor's name.
+func (r *Ref) Name() string { return r.name }
+
+// Send enqueues a message. It returns an error when the actor has stopped;
+// it blocks when the mailbox is full (backpressure).
+func (r *Ref) Send(msg Message) error {
+	select {
+	case <-r.done:
+		return fmt.Errorf("actor: %s is stopped", r.name)
+	default:
+	}
+	select {
+	case r.mailbox <- msg:
+		return nil
+	case <-r.done:
+		return fmt.Errorf("actor: %s is stopped", r.name)
+	}
+}
+
+// Stop terminates the actor. Safe to call more than once and from any
+// goroutine. Messages already enqueued may be dropped.
+func (r *Ref) Stop() { r.stop(false, nil) }
+
+func (r *Ref) stop(failure bool, reason interface{}) {
+	r.once.Do(func() {
+		close(r.done)
+		r.sys.notifyTermination(r, failure, reason)
+	})
+}
+
+// Stopped reports whether the actor has terminated.
+func (r *Ref) Stopped() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// System owns the actor registry and supervision graph. Actors in one
+// system share an address space, mirroring the paper's note that instances
+// may be co-located or distributed; distribution happens at the transport
+// layer, not here.
+type System struct {
+	mu       sync.Mutex
+	watchers map[*Ref][]*Ref
+	actors   []*Ref
+	wg       sync.WaitGroup
+}
+
+// NewSystem returns an empty actor system.
+func NewSystem() *System {
+	return &System{watchers: make(map[*Ref][]*Ref)}
+}
+
+// Spawn starts an actor with the given behavior. The actor's goroutine
+// processes the mailbox until Stop; a panic in Receive terminates the actor
+// and notifies watchers with Failure=true ("ephemeral actors", Sec. 4.2 —
+// failure means losing the actor, not the process).
+func (s *System) Spawn(name string, b Behavior) *Ref {
+	r := &Ref{
+		name:    name,
+		mailbox: make(chan Message, mailboxSize),
+		done:    make(chan struct{}),
+		sys:     s,
+	}
+	ctx := &Context{Self: r, System: s}
+	s.mu.Lock()
+	s.actors = append(s.actors, r)
+	// Ephemeral actors (one Master Aggregator and a handful of Aggregators
+	// per round) would grow the registry forever on a long-running server;
+	// compact stopped refs periodically.
+	if len(s.actors)%256 == 0 {
+		live := s.actors[:0]
+		for _, a := range s.actors {
+			if !a.Stopped() {
+				live = append(live, a)
+			}
+		}
+		s.actors = live
+	}
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			select {
+			case <-r.done:
+				return
+			case msg := <-r.mailbox:
+				s.dispatch(ctx, b, msg)
+				if r.Stopped() {
+					return
+				}
+			}
+		}
+	}()
+	return r
+}
+
+// dispatch runs one Receive with panic isolation.
+func (s *System) dispatch(ctx *Context, b Behavior, msg Message) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			ctx.Self.stop(true, rec)
+		}
+	}()
+	b.Receive(ctx, msg)
+}
+
+// Watch registers watcher to receive Terminated{target} when target stops.
+// If target is already stopped, the notification is delivered immediately.
+func (s *System) watch(target, watcher *Ref) {
+	s.mu.Lock()
+	if target.Stopped() {
+		s.mu.Unlock()
+		_ = watcher.Send(Terminated{Ref: target})
+		return
+	}
+	s.watchers[target] = append(s.watchers[target], watcher)
+	s.mu.Unlock()
+}
+
+// Watch is the non-actor entry point for watching (e.g. tests, transports).
+func (s *System) Watch(target, watcher *Ref) { s.watch(target, watcher) }
+
+func (s *System) notifyTermination(r *Ref, failure bool, reason interface{}) {
+	s.mu.Lock()
+	ws := s.watchers[r]
+	delete(s.watchers, r)
+	s.mu.Unlock()
+	for _, w := range ws {
+		_ = w.Send(Terminated{Ref: r, Failure: failure, Reason: reason})
+	}
+}
+
+// Shutdown stops the given actors, then every remaining actor ever spawned
+// in the system (ephemeral children included), and waits for all their
+// goroutines. Used at process teardown.
+func (s *System) Shutdown(refs ...*Ref) {
+	for _, r := range refs {
+		r.Stop()
+	}
+	s.mu.Lock()
+	all := append([]*Ref(nil), s.actors...)
+	s.mu.Unlock()
+	for _, r := range all {
+		r.Stop()
+	}
+	s.wg.Wait()
+}

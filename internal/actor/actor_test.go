@@ -1,0 +1,264 @@
+package actor
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// collect spawns an actor that appends every message to a slice guarded by
+// a mutex and signals on each receipt.
+func collect(s *System, name string) (*Ref, func() []Message, chan struct{}) {
+	var mu sync.Mutex
+	var got []Message
+	signal := make(chan struct{}, 1024)
+	r := s.Spawn(name, BehaviorFunc(func(ctx *Context, msg Message) {
+		mu.Lock()
+		got = append(got, msg)
+		mu.Unlock()
+		signal <- struct{}{}
+	}))
+	return r, func() []Message {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]Message(nil), got...)
+	}, signal
+}
+
+func waitN(t *testing.T, ch chan struct{}, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		select {
+		case <-ch:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("timed out waiting for message %d/%d", i+1, n)
+		}
+	}
+}
+
+func TestSendReceiveOrder(t *testing.T) {
+	s := NewSystem()
+	r, got, sig := collect(s, "a")
+	defer s.Shutdown(r)
+	for i := 0; i < 100; i++ {
+		if err := r.Send(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitN(t, sig, 100)
+	msgs := got()
+	for i, m := range msgs {
+		if m.(int) != i {
+			t.Fatalf("message order violated at %d: %v", i, m)
+		}
+	}
+}
+
+func TestSequentialProcessing(t *testing.T) {
+	// Two concurrent senders; the actor must never run Receive twice at
+	// once. Track with an atomic in/out counter.
+	s := NewSystem()
+	var inFlight, maxInFlight int64
+	done := make(chan struct{}, 200)
+	r := s.Spawn("seq", BehaviorFunc(func(ctx *Context, msg Message) {
+		n := atomic.AddInt64(&inFlight, 1)
+		if n > atomic.LoadInt64(&maxInFlight) {
+			atomic.StoreInt64(&maxInFlight, n)
+		}
+		time.Sleep(100 * time.Microsecond)
+		atomic.AddInt64(&inFlight, -1)
+		done <- struct{}{}
+	}))
+	defer s.Shutdown(r)
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = r.Send(i)
+			}
+		}()
+	}
+	wg.Wait()
+	waitN(t, done, 200)
+	if atomic.LoadInt64(&maxInFlight) != 1 {
+		t.Fatalf("max in-flight = %d, want 1", maxInFlight)
+	}
+}
+
+func TestSendToStoppedActorFails(t *testing.T) {
+	s := NewSystem()
+	r, _, _ := collect(s, "x")
+	r.Stop()
+	s.Shutdown()
+	if err := r.Send("late"); err == nil {
+		t.Fatal("send to stopped actor must fail")
+	}
+	if !r.Stopped() {
+		t.Fatal("Stopped() should be true")
+	}
+}
+
+func TestWatchCleanStop(t *testing.T) {
+	s := NewSystem()
+	watcher, got, sig := collect(s, "watcher")
+	target := s.Spawn("target", BehaviorFunc(func(ctx *Context, msg Message) {}))
+	s.Watch(target, watcher)
+	target.Stop()
+	waitN(t, sig, 1)
+	term, ok := got()[0].(Terminated)
+	if !ok || term.Ref != target || term.Failure {
+		t.Fatalf("got %+v, want clean Terminated{target}", got()[0])
+	}
+	s.Shutdown(watcher)
+}
+
+func TestWatchPanicIsFailure(t *testing.T) {
+	s := NewSystem()
+	watcher, got, sig := collect(s, "watcher")
+	target := s.Spawn("bomb", BehaviorFunc(func(ctx *Context, msg Message) {
+		panic("boom")
+	}))
+	s.Watch(target, watcher)
+	if err := target.Send("go"); err != nil {
+		t.Fatal(err)
+	}
+	waitN(t, sig, 1)
+	term := got()[0].(Terminated)
+	if !term.Failure || term.Reason != "boom" {
+		t.Fatalf("got %+v, want failure with reason boom", term)
+	}
+	if !target.Stopped() {
+		t.Fatal("panicked actor must be stopped")
+	}
+	s.Shutdown(watcher)
+}
+
+func TestWatchAlreadyStopped(t *testing.T) {
+	s := NewSystem()
+	watcher, _, sig := collect(s, "watcher")
+	target := s.Spawn("gone", BehaviorFunc(func(ctx *Context, msg Message) {}))
+	target.Stop()
+	s.Watch(target, watcher)
+	waitN(t, sig, 1) // immediate notification
+	s.Shutdown(watcher)
+}
+
+func TestPanicIsolation(t *testing.T) {
+	// One actor panicking must not take down others.
+	s := NewSystem()
+	bomb := s.Spawn("bomb", BehaviorFunc(func(ctx *Context, msg Message) { panic("x") }))
+	healthy, got, sig := collect(s, "healthy")
+	_ = bomb.Send(1)
+	if err := healthy.Send("alive"); err != nil {
+		t.Fatal(err)
+	}
+	waitN(t, sig, 1)
+	if got()[0] != "alive" {
+		t.Fatal("healthy actor should keep processing")
+	}
+	s.Shutdown(healthy)
+}
+
+func TestContextSpawnAndStop(t *testing.T) {
+	s := NewSystem()
+	childMsgs := make(chan Message, 1)
+	parent := s.Spawn("parent", BehaviorFunc(func(ctx *Context, msg Message) {
+		child := ctx.Spawn("child", BehaviorFunc(func(cctx *Context, m Message) {
+			childMsgs <- m
+			cctx.Stop()
+		}))
+		_ = child.Send(msg)
+	}))
+	_ = parent.Send("hello")
+	select {
+	case m := <-childMsgs:
+		if m != "hello" {
+			t.Fatalf("child got %v", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("child never received")
+	}
+	s.Shutdown(parent)
+}
+
+func TestLockServiceSingleOwner(t *testing.T) {
+	s := NewSystem()
+	l := NewLockService()
+	a := s.Spawn("a", BehaviorFunc(func(ctx *Context, msg Message) {}))
+	b := s.Spawn("b", BehaviorFunc(func(ctx *Context, msg Message) {}))
+	defer s.Shutdown(a, b)
+
+	if !l.Acquire("pop", a) {
+		t.Fatal("first acquire must succeed")
+	}
+	if l.Acquire("pop", b) {
+		t.Fatal("second acquire by other actor must fail")
+	}
+	if !l.Acquire("pop", a) {
+		t.Fatal("re-acquire by owner must succeed")
+	}
+	if l.Owner("pop") != a {
+		t.Fatal("owner should be a")
+	}
+	l.Release("pop", b) // non-owner release is a no-op
+	if l.Owner("pop") != a {
+		t.Fatal("non-owner release must not free the lock")
+	}
+	l.Release("pop", a)
+	if l.Owner("pop") != nil {
+		t.Fatal("lock should be free")
+	}
+}
+
+func TestLockServiceStealFromDead(t *testing.T) {
+	s := NewSystem()
+	l := NewLockService()
+	a := s.Spawn("a", BehaviorFunc(func(ctx *Context, msg Message) {}))
+	b := s.Spawn("b", BehaviorFunc(func(ctx *Context, msg Message) {}))
+	defer s.Shutdown(b)
+
+	l.Acquire("pop", a)
+	a.Stop()
+	if l.Owner("pop") != nil {
+		t.Fatal("dead owner must not be reported")
+	}
+	if !l.Acquire("pop", b) {
+		t.Fatal("acquire from dead owner must succeed")
+	}
+	if l.Owner("pop") != b {
+		t.Fatal("owner should now be b")
+	}
+}
+
+func TestLockServiceExactlyOnceRespawn(t *testing.T) {
+	// Many contenders race to steal a dead owner's lock; exactly one wins.
+	s := NewSystem()
+	l := NewLockService()
+	dead := s.Spawn("dead", BehaviorFunc(func(ctx *Context, msg Message) {}))
+	l.Acquire("pop", dead)
+	dead.Stop()
+
+	var winners int64
+	var wg sync.WaitGroup
+	refs := make([]*Ref, 16)
+	for i := range refs {
+		refs[i] = s.Spawn("contender", BehaviorFunc(func(ctx *Context, msg Message) {}))
+	}
+	for _, r := range refs {
+		wg.Add(1)
+		go func(r *Ref) {
+			defer wg.Done()
+			if l.Acquire("pop", r) {
+				atomic.AddInt64(&winners, 1)
+			}
+		}(r)
+	}
+	wg.Wait()
+	if winners != 1 {
+		t.Fatalf("winners = %d, want exactly 1", winners)
+	}
+	s.Shutdown(refs...)
+}

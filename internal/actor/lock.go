@@ -1,0 +1,52 @@
+package actor
+
+import "sync"
+
+// LockService is the shared locking service of Sec. 4.2: a Coordinator
+// registers its address under its FL population name "so there is always a
+// single owner for every FL population". Ownership is leased to a live
+// actor; when the owner dies, the next Acquire steals the lock — and only
+// one contender wins, which is what makes Coordinator respawn happen
+// "exactly once" (Sec. 4.4).
+type LockService struct {
+	mu     sync.Mutex
+	owners map[string]*Ref
+}
+
+// NewLockService returns an empty lock service.
+func NewLockService() *LockService {
+	return &LockService{owners: make(map[string]*Ref)}
+}
+
+// Acquire attempts to take the lock for key on behalf of owner. It succeeds
+// when the key is free, already held by owner, or held by a stopped actor.
+func (l *LockService) Acquire(key string, owner *Ref) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cur, ok := l.owners[key]
+	if !ok || cur == owner || cur.Stopped() {
+		l.owners[key] = owner
+		return true
+	}
+	return false
+}
+
+// Release frees the lock if owner holds it.
+func (l *LockService) Release(key string, owner *Ref) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.owners[key] == owner {
+		delete(l.owners, key)
+	}
+}
+
+// Owner returns the current live owner of key, or nil.
+func (l *LockService) Owner(key string) *Ref {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	cur, ok := l.owners[key]
+	if !ok || cur.Stopped() {
+		return nil
+	}
+	return cur
+}

@@ -1,0 +1,238 @@
+package analytics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSessionShapes(t *testing.T) {
+	// The two examples from Sec. 5.
+	s1 := &Session{}
+	for _, st := range []SessionState{StateCheckin, StateDownloadedPlan, StateTrainStarted, StateTrainCompleted, StateUploadStarted, StateError} {
+		s1.Log(st)
+	}
+	if s1.Shape() != "-v[]+*" {
+		t.Fatalf("shape = %q, want -v[]+*", s1.Shape())
+	}
+	s2 := &Session{}
+	for _, st := range []SessionState{StateCheckin, StateDownloadedPlan, StateTrainStarted, StateError} {
+		s2.Log(st)
+	}
+	if s2.Shape() != "-v[*" {
+		t.Fatalf("shape = %q, want -v[*", s2.Shape())
+	}
+}
+
+func TestTable1Shapes(t *testing.T) {
+	// The three session shapes of Table 1.
+	success := &Session{}
+	for _, st := range []SessionState{StateCheckin, StateDownloadedPlan, StateTrainStarted, StateTrainCompleted, StateUploadStarted, StateUploadDone} {
+		success.Log(st)
+	}
+	if success.Shape() != "-v[]+^" {
+		t.Fatalf("success shape = %q", success.Shape())
+	}
+	rejected := &Session{}
+	for _, st := range []SessionState{StateCheckin, StateDownloadedPlan, StateTrainStarted, StateTrainCompleted, StateUploadStarted, StateUploadRejected} {
+		rejected.Log(st)
+	}
+	if rejected.Shape() != "-v[]+#" {
+		t.Fatalf("rejected shape = %q", rejected.Shape())
+	}
+	interrupted := &Session{}
+	for _, st := range []SessionState{StateCheckin, StateDownloadedPlan, StateTrainStarted, StateInterrupted} {
+		interrupted.Log(st)
+	}
+	if interrupted.Shape() != "-v[!" {
+		t.Fatalf("interrupted shape = %q", interrupted.Shape())
+	}
+}
+
+func TestUnknownStateRune(t *testing.T) {
+	if SessionState(99).Rune() != '?' {
+		t.Fatal("unknown state should render '?'")
+	}
+}
+
+func TestShapeCounterDistribution(t *testing.T) {
+	c := NewShapeCounter()
+	for i := 0; i < 75; i++ {
+		c.Observe("-v[]+^")
+	}
+	for i := 0; i < 22; i++ {
+		c.Observe("-v[]+#")
+	}
+	for i := 0; i < 3; i++ {
+		c.Observe("-v[!")
+	}
+	dist := c.Distribution()
+	if len(dist) != 3 {
+		t.Fatalf("distribution rows = %d", len(dist))
+	}
+	if dist[0].Shape != "-v[]+^" || dist[0].Count != 75 || dist[0].Percent != 75 {
+		t.Fatalf("top row: %+v", dist[0])
+	}
+	if dist[2].Shape != "-v[!" || dist[2].Percent != 3 {
+		t.Fatalf("last row: %+v", dist[2])
+	}
+	if c.Total() != 100 {
+		t.Fatalf("total = %d", c.Total())
+	}
+}
+
+func TestShapeCounterConcurrent(t *testing.T) {
+	c := NewShapeCounter()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Observe("-v[]+^")
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Total() != 4000 {
+		t.Fatalf("total = %d", c.Total())
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := NewCounters()
+	c.Add("devices_accepted", 5)
+	c.Add("devices_accepted", 3)
+	c.Add("devices_rejected", 1)
+	if c.Get("devices_accepted") != 8 || c.Get("devices_rejected") != 1 {
+		t.Fatalf("counters: %+v", c.Snapshot())
+	}
+	if c.Get("missing") != 0 {
+		t.Fatal("missing counter should read 0")
+	}
+	snap := c.Snapshot()
+	c.Add("devices_accepted", 100)
+	if snap["devices_accepted"] != 8 {
+		t.Fatal("snapshot must be a copy")
+	}
+}
+
+func TestTraffic(t *testing.T) {
+	tr := NewTraffic()
+	tr.AddDownload(1000)
+	tr.AddDownload(500)
+	tr.AddUpload(300)
+	down, up := tr.Totals()
+	if down != 1500 || up != 300 {
+		t.Fatalf("traffic: %d / %d", down, up)
+	}
+}
+
+func TestTimeSeriesMonitorFires(t *testing.T) {
+	ts, err := NewTimeSeries("dropout_rate", 5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Date(2019, 3, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 10; i++ {
+		if a := ts.Append(t0.Add(time.Duration(i)*time.Minute), 0.08); a != nil {
+			t.Fatalf("stable series alerted: %+v", a)
+		}
+	}
+	// 0.30 deviates from the 0.08 baseline by far more than 50%.
+	alert := ts.Append(t0.Add(time.Hour), 0.30)
+	if alert == nil {
+		t.Fatal("deviation did not alert")
+	}
+	if alert.Series != "dropout_rate" || alert.Value != 0.30 {
+		t.Fatalf("alert: %+v", alert)
+	}
+	if len(ts.Alerts()) != 1 {
+		t.Fatalf("alerts = %d", len(ts.Alerts()))
+	}
+}
+
+func TestTimeSeriesNoAlertBeforeWindow(t *testing.T) {
+	ts, _ := NewTimeSeries("x", 10, 0.1)
+	t0 := time.Now()
+	for i := 0; i < 9; i++ {
+		if a := ts.Append(t0, float64(i*100)); a != nil {
+			t.Fatal("must not alert before window fills")
+		}
+	}
+}
+
+func TestTimeSeriesBadConfig(t *testing.T) {
+	if _, err := NewTimeSeries("x", 0, 0.5); err == nil {
+		t.Fatal("window 0 must fail")
+	}
+	if _, err := NewTimeSeries("x", 5, 0); err == nil {
+		t.Fatal("threshold 0 must fail")
+	}
+}
+
+func TestTimeSeriesPointsCopied(t *testing.T) {
+	ts, _ := NewTimeSeries("x", 2, 1)
+	ts.Append(time.Now(), 1)
+	pts := ts.Points()
+	if len(pts) != 1 || pts[0].V != 1 {
+		t.Fatalf("points: %+v", pts)
+	}
+}
+
+func TestDashboardRender(t *testing.T) {
+	counters := NewCounters()
+	counters.Add("devices_accepted", 130)
+	counters.Add("devices_rejected", 900)
+
+	shapes := NewShapeCounter()
+	for i := 0; i < 75; i++ {
+		shapes.Observe("-v[]+^")
+	}
+	for i := 0; i < 25; i++ {
+		shapes.Observe("-v[!")
+	}
+
+	traffic := NewTraffic()
+	traffic.AddDownload(5_000_000)
+	traffic.AddUpload(1_000_000)
+
+	ts, _ := NewTimeSeries("dropout_rate", 3, 0.5)
+	base := time.Date(2019, 3, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 5; i++ {
+		ts.Append(base.Add(time.Duration(i)*time.Minute), 0.08)
+	}
+	ts.Append(base.Add(time.Hour), 0.4) // fires an alert
+
+	d := &Dashboard{
+		Title:    "gboard/next-word",
+		Counters: counters,
+		Shapes:   shapes,
+		Traffic:  traffic,
+		Series:   []*TimeSeries{ts},
+	}
+	out := d.Render()
+	for _, want := range []string{
+		"gboard/next-word",
+		"devices_accepted",
+		"130",
+		"-v[]+^",
+		"75.0%",
+		"5.0 MB down / 1.0 MB up",
+		"dropout_rate",
+		"ALERTS",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dashboard missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDashboardEmptySections(t *testing.T) {
+	d := &Dashboard{Title: "empty"}
+	out := d.Render()
+	if !strings.Contains(out, "empty") {
+		t.Fatal("title missing")
+	}
+}

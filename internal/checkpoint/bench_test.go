@@ -1,0 +1,52 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func benchCheckpoint(n int) *Checkpoint {
+	rng := tensor.NewRNG(1)
+	params := make(tensor.Vector, n)
+	rng.FillNormal(params, 0.05)
+	return &Checkpoint{TaskName: "bench/task", Round: 10, Weight: 100, Params: params}
+}
+
+func BenchmarkMarshalFloat64(b *testing.B) {
+	c := benchCheckpoint(100_000)
+	b.SetBytes(int64(c.WireSize(EncodingFloat64)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Marshal(EncodingFloat64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarshalQuant8(b *testing.B) {
+	c := benchCheckpoint(100_000)
+	b.SetBytes(int64(c.WireSize(EncodingQuant8)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Marshal(EncodingQuant8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUnmarshalFloat64(b *testing.B) {
+	c := benchCheckpoint(100_000)
+	buf, err := c.Marshal(EncodingFloat64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

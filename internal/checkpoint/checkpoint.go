@@ -1,0 +1,185 @@
+// Package checkpoint implements the FL checkpoint: the serialized model
+// state shipped between server and devices ("essentially the serialized
+// state of a TensorFlow session", Sec. 2.1). The global model goes down as
+// a checkpoint; the device's weighted update comes back as one.
+//
+// Two wire encodings are provided: full float64 and 8-bit quantized. The
+// paper notes (Sec. 11, Bandwidth; Fig. 9) that updates are more
+// compressible than the global model — the quantized codec is what makes
+// the Fig. 9 traffic asymmetry reproducible.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Checkpoint carries model parameters plus protocol metadata.
+type Checkpoint struct {
+	TaskName string
+	Round    int64
+	// Weight is the aggregation weight n (the local example count for a
+	// device update; the summed weight n̄ for an aggregate).
+	Weight float64
+	Params tensor.Vector
+}
+
+// Encoding selects the wire format for parameters.
+type Encoding uint8
+
+// Available encodings.
+const (
+	EncodingFloat64 Encoding = iota + 1 // 8 bytes/param, lossless
+	EncodingQuant8                      // 1 byte/param, min/max linear quantization
+)
+
+const (
+	magic         = 0x464C4350 // "FLCP"
+	formatVersion = 1
+)
+
+// Clone returns a deep copy.
+func (c *Checkpoint) Clone() *Checkpoint {
+	return &Checkpoint{TaskName: c.TaskName, Round: c.Round, Weight: c.Weight, Params: c.Params.Clone()}
+}
+
+// Marshal serializes the checkpoint with the given encoding.
+//
+// Layout (big-endian):
+//
+//	u32 magic | u8 version | u8 encoding | u16 nameLen | name bytes
+//	i64 round | f64 weight | u32 paramLen | params…
+//
+// Quant8 params are prefixed by f64 min, f64 max.
+func (c *Checkpoint) Marshal(enc Encoding) ([]byte, error) {
+	if len(c.TaskName) > math.MaxUint16 {
+		return nil, fmt.Errorf("checkpoint: task name too long (%d bytes)", len(c.TaskName))
+	}
+	if len(c.Params) > math.MaxUint32 {
+		return nil, fmt.Errorf("checkpoint: too many params (%d)", len(c.Params))
+	}
+	header := 4 + 1 + 1 + 2 + len(c.TaskName) + 8 + 8 + 4
+	var body int
+	switch enc {
+	case EncodingFloat64:
+		body = 8 * len(c.Params)
+	case EncodingQuant8:
+		body = 16 + len(c.Params)
+	default:
+		return nil, fmt.Errorf("checkpoint: unknown encoding %d", enc)
+	}
+	buf := make([]byte, 0, header+body)
+
+	buf = binary.BigEndian.AppendUint32(buf, magic)
+	buf = append(buf, formatVersion, byte(enc))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(c.TaskName)))
+	buf = append(buf, c.TaskName...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(c.Round))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(c.Weight))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(c.Params)))
+
+	switch enc {
+	case EncodingFloat64:
+		for _, p := range c.Params {
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(p))
+		}
+	case EncodingQuant8:
+		lo, hi := paramRange(c.Params)
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(lo))
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(hi))
+		scale := 0.0
+		if hi > lo {
+			scale = 255 / (hi - lo)
+		}
+		for _, p := range c.Params {
+			buf = append(buf, byte(math.Round((p-lo)*scale)))
+		}
+	}
+	return buf, nil
+}
+
+// Unmarshal parses a checkpoint produced by Marshal.
+func Unmarshal(b []byte) (*Checkpoint, error) {
+	if len(b) < 12 {
+		return nil, fmt.Errorf("checkpoint: truncated header (%d bytes)", len(b))
+	}
+	if binary.BigEndian.Uint32(b) != magic {
+		return nil, fmt.Errorf("checkpoint: bad magic %#x", binary.BigEndian.Uint32(b))
+	}
+	if b[4] != formatVersion {
+		return nil, fmt.Errorf("checkpoint: unsupported format version %d", b[4])
+	}
+	enc := Encoding(b[5])
+	nameLen := int(binary.BigEndian.Uint16(b[6:]))
+	off := 8
+	if len(b) < off+nameLen+20 {
+		return nil, fmt.Errorf("checkpoint: truncated body")
+	}
+	c := &Checkpoint{TaskName: string(b[off : off+nameLen])}
+	off += nameLen
+	c.Round = int64(binary.BigEndian.Uint64(b[off:]))
+	off += 8
+	c.Weight = math.Float64frombits(binary.BigEndian.Uint64(b[off:]))
+	off += 8
+	n := int(binary.BigEndian.Uint32(b[off:]))
+	off += 4
+	c.Params = make(tensor.Vector, n)
+
+	switch enc {
+	case EncodingFloat64:
+		if len(b) < off+8*n {
+			return nil, fmt.Errorf("checkpoint: truncated params (have %d, need %d)", len(b)-off, 8*n)
+		}
+		for i := 0; i < n; i++ {
+			c.Params[i] = math.Float64frombits(binary.BigEndian.Uint64(b[off+8*i:]))
+		}
+	case EncodingQuant8:
+		if len(b) < off+16+n {
+			return nil, fmt.Errorf("checkpoint: truncated quantized params")
+		}
+		lo := math.Float64frombits(binary.BigEndian.Uint64(b[off:]))
+		hi := math.Float64frombits(binary.BigEndian.Uint64(b[off+8:]))
+		off += 16
+		step := 0.0
+		if hi > lo {
+			step = (hi - lo) / 255
+		}
+		for i := 0; i < n; i++ {
+			c.Params[i] = lo + float64(b[off+i])*step
+		}
+	default:
+		return nil, fmt.Errorf("checkpoint: unknown encoding %d", enc)
+	}
+	return c, nil
+}
+
+// WireSize returns the encoded size in bytes without allocating the buffer.
+// The analytics layer uses it for the Fig. 9 traffic accounting.
+func (c *Checkpoint) WireSize(enc Encoding) int {
+	header := 4 + 1 + 1 + 2 + len(c.TaskName) + 8 + 8 + 4
+	switch enc {
+	case EncodingQuant8:
+		return header + 16 + len(c.Params)
+	default:
+		return header + 8*len(c.Params)
+	}
+}
+
+func paramRange(v tensor.Vector) (lo, hi float64) {
+	if len(v) == 0 {
+		return 0, 0
+	}
+	lo, hi = v[0], v[0]
+	for _, p := range v[1:] {
+		if p < lo {
+			lo = p
+		}
+		if p > hi {
+			hi = p
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,208 @@
+package checkpoint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func sample() *Checkpoint {
+	return &Checkpoint{
+		TaskName: "population/task-1",
+		Round:    42,
+		Weight:   128,
+		Params:   tensor.Vector{-1.5, 0, 0.25, 3.125, -2.75},
+	}
+}
+
+func TestFloat64RoundTrip(t *testing.T) {
+	c := sample()
+	b, err := c.Marshal(EncodingFloat64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TaskName != c.TaskName || got.Round != c.Round || got.Weight != c.Weight {
+		t.Fatalf("metadata mismatch: %+v vs %+v", got, c)
+	}
+	for i := range c.Params {
+		if got.Params[i] != c.Params[i] {
+			t.Fatalf("param %d: %v != %v", i, got.Params[i], c.Params[i])
+		}
+	}
+}
+
+func TestQuant8RoundTripApproximate(t *testing.T) {
+	c := sample()
+	b, err := c.Marshal(EncodingQuant8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := paramRange(c.Params)
+	tol := (hi - lo) / 255 // one quantization step
+	for i := range c.Params {
+		if math.Abs(got.Params[i]-c.Params[i]) > tol {
+			t.Fatalf("param %d: %v vs %v exceeds quantization tolerance %v", i, got.Params[i], c.Params[i], tol)
+		}
+	}
+}
+
+func TestQuant8ConstantVector(t *testing.T) {
+	c := &Checkpoint{TaskName: "t", Params: tensor.Vector{2, 2, 2}}
+	b, err := c.Marshal(EncodingQuant8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range got.Params {
+		if p != 2 {
+			t.Fatalf("constant vector decoded to %v", got.Params)
+		}
+	}
+}
+
+func TestQuant8IsSmaller(t *testing.T) {
+	c := &Checkpoint{TaskName: "t", Params: make(tensor.Vector, 10000)}
+	full, _ := c.Marshal(EncodingFloat64)
+	q, _ := c.Marshal(EncodingQuant8)
+	if len(q) >= len(full)/6 {
+		t.Fatalf("quant8 size %d not ≪ float64 size %d", len(q), len(full))
+	}
+	if c.WireSize(EncodingFloat64) != len(full) || c.WireSize(EncodingQuant8) != len(q) {
+		t.Fatalf("WireSize mismatch: %d/%d vs %d/%d",
+			c.WireSize(EncodingFloat64), c.WireSize(EncodingQuant8), len(full), len(q))
+	}
+}
+
+func TestEmptyParams(t *testing.T) {
+	c := &Checkpoint{TaskName: "empty", Round: 1}
+	for _, enc := range []Encoding{EncodingFloat64, EncodingQuant8} {
+		b, err := c.Marshal(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Unmarshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Params) != 0 || got.TaskName != "empty" {
+			t.Fatalf("empty round-trip: %+v", got)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	c := sample()
+	good, _ := c.Marshal(EncodingFloat64)
+
+	cases := map[string][]byte{
+		"empty":          {},
+		"short":          good[:8],
+		"bad magic":      append([]byte{0, 0, 0, 0}, good[4:]...),
+		"bad version":    func() []byte { b := append([]byte(nil), good...); b[4] = 99; return b }(),
+		"bad encoding":   func() []byte { b := append([]byte(nil), good...); b[5] = 99; return b }(),
+		"truncated body": good[:len(good)-3],
+	}
+	for name, b := range cases {
+		if _, err := Unmarshal(b); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestMarshalBadEncoding(t *testing.T) {
+	if _, err := sample().Marshal(Encoding(0)); err == nil {
+		t.Fatal("expected error for unknown encoding")
+	}
+}
+
+func TestClone(t *testing.T) {
+	c := sample()
+	d := c.Clone()
+	d.Params[0] = 999
+	if c.Params[0] == 999 {
+		t.Fatal("Clone must deep-copy params")
+	}
+}
+
+// Property: float64 encoding round-trips arbitrary finite parameter vectors.
+func TestFloat64RoundTripProperty(t *testing.T) {
+	f := func(name string, round int64, weight float64, params []float64) bool {
+		if len(name) > 1000 {
+			name = name[:1000]
+		}
+		if math.IsNaN(weight) {
+			return true
+		}
+		for _, p := range params {
+			if math.IsNaN(p) {
+				return true
+			}
+		}
+		c := &Checkpoint{TaskName: name, Round: round, Weight: weight, Params: params}
+		b, err := c.Marshal(EncodingFloat64)
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(b)
+		if err != nil {
+			return false
+		}
+		if got.TaskName != name || got.Round != round || got.Weight != weight || len(got.Params) != len(params) {
+			return false
+		}
+		for i := range params {
+			if got.Params[i] != params[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quant8 error is bounded by one quantization step everywhere.
+func TestQuant8ErrorBoundProperty(t *testing.T) {
+	f := func(params []float64) bool {
+		clean := make(tensor.Vector, 0, len(params))
+		for _, p := range params {
+			if !math.IsNaN(p) && !math.IsInf(p, 0) && math.Abs(p) < 1e9 {
+				clean = append(clean, p)
+			}
+		}
+		c := &Checkpoint{TaskName: "q", Params: clean}
+		b, err := c.Marshal(EncodingQuant8)
+		if err != nil {
+			return false
+		}
+		got, err := Unmarshal(b)
+		if err != nil {
+			return false
+		}
+		lo, hi := paramRange(clean)
+		tol := (hi-lo)/255 + 1e-12
+		for i := range clean {
+			if math.Abs(got.Params[i]-clean[i]) > tol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,15 @@
+// Package core documents where the paper's primary contribution lives in
+// this repository. The "core" of Bonawitz et al. 2019 is not one algorithm
+// but a system: the synchronous FL protocol and the server/device
+// architecture around it. It is implemented across:
+//
+//   - repro/internal/protocol  — the wire protocol of Sec. 2
+//   - repro/internal/flserver  — the actor architecture of Sec. 4
+//     (Coordinator, Selector, Master Aggregator, Aggregator)
+//   - repro/internal/device    — the on-device runtime of Sec. 3
+//   - repro/internal/fedavg    — Federated Averaging (Appendix B)
+//   - repro/internal/secagg    — Secure Aggregation (Sec. 6)
+//   - repro/internal/pacing    — pace steering (Sec. 2.3)
+//
+// The root package (repro) is the public facade over all of these.
+package core

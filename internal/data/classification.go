@@ -1,0 +1,149 @@
+package data
+
+import (
+	"fmt"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// BlobsConfig configures the Gaussian-mixture classification dataset used
+// for quick convergence experiments (e.g. the clients-per-round sweep).
+type BlobsConfig struct {
+	Users       int
+	ExamplesPer int
+	Features    int
+	Classes     int
+	TestSize    int
+	// Skew in [0,1] controls label distribution skew per user: 0 = uniform
+	// labels everywhere (IID); 1 = each user holds examples of mostly one
+	// class (pathologically non-IID, as in McMahan et al. 2017).
+	Skew float64
+	Seed uint64
+}
+
+// Blobs builds a non-IID classification dataset. Class c has a Gaussian
+// cluster center; users draw labels from a skewed distribution favouring a
+// "home class", then sample features from the class cluster.
+func Blobs(cfg BlobsConfig) (*Federated, error) {
+	if cfg.Users <= 0 || cfg.ExamplesPer <= 0 || cfg.Features <= 0 || cfg.Classes <= 1 {
+		return nil, fmt.Errorf("data: invalid BlobsConfig %+v", cfg)
+	}
+	if cfg.Skew < 0 || cfg.Skew > 1 {
+		return nil, fmt.Errorf("data: Skew must be in [0,1], got %v", cfg.Skew)
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+
+	// Class centers: random placement plus a deterministic axis-aligned
+	// offset so no two centers collide and the task stays learnable.
+	centers := make([][]float64, cfg.Classes)
+	crng := rng.Derive(1)
+	for c := range centers {
+		center := make([]float64, cfg.Features)
+		for j := range center {
+			center[j] = 2 * crng.NormFloat64()
+		}
+		center[c%cfg.Features] += 5 * float64(1+c/cfg.Features)
+		centers[c] = center
+	}
+
+	sample := func(class int, rng *tensor.RNG) nn.Example {
+		x := make([]float64, cfg.Features)
+		for j := range x {
+			x[j] = centers[class][j] + rng.NormFloat64()
+		}
+		return nn.Example{X: x, Y: class}
+	}
+
+	f := &Federated{Users: make([][]nn.Example, cfg.Users)}
+	for u := 0; u < cfg.Users; u++ {
+		urng := rng.Derive(uint64(u) + 5000)
+		home := urng.Intn(cfg.Classes)
+		exs := make([]nn.Example, cfg.ExamplesPer)
+		for i := range exs {
+			class := home
+			if urng.Float64() >= cfg.Skew {
+				class = urng.Intn(cfg.Classes)
+			}
+			exs[i] = sample(class, urng)
+		}
+		f.Users[u] = exs
+	}
+
+	trng := rng.Derive(2)
+	f.Test = make([]nn.Example, cfg.TestSize)
+	for i := range f.Test {
+		f.Test[i] = sample(trng.Intn(cfg.Classes), trng)
+	}
+	return f, nil
+}
+
+// RankingConfig configures the on-device item-ranking dataset (Sec. 8:
+// "each user interaction with the ranking feature can become a labeled data
+// point"). Each example is a query context; the label is which of the
+// Classes candidate items the user picked.
+type RankingConfig struct {
+	Users       int
+	ExamplesPer int
+	Features    int // context feature dimension
+	Items       int // candidate items to rank
+	TestSize    int
+	Seed        uint64
+}
+
+// Ranking builds a federated click dataset. A global preference matrix maps
+// contexts to item affinities; each user adds a personal bias toward a few
+// favourite items, making the data non-IID the way real ranking feedback is.
+func Ranking(cfg RankingConfig) (*Federated, error) {
+	if cfg.Users <= 0 || cfg.ExamplesPer <= 0 || cfg.Features <= 0 || cfg.Items <= 1 {
+		return nil, fmt.Errorf("data: invalid RankingConfig %+v", cfg)
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+
+	// Global affinity: items × features.
+	aff := tensor.NewMatrix(cfg.Items, cfg.Features)
+	rng.Derive(1).GlorotInit(aff)
+	// Scale up so clicks are mostly determined by context (learnable).
+	for i := range aff.Data {
+		aff.Data[i] *= 4
+	}
+
+	gen := func(userBias tensor.Vector, rng *tensor.RNG) nn.Example {
+		x := make([]float64, cfg.Features)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		scores := tensor.NewVector(cfg.Items)
+		aff.MulVec(scores, x)
+		if userBias != nil {
+			scores.Axpy(1, userBias)
+		}
+		// The user clicks a softmax-ish sample over scores; use argmax with
+		// small noise to keep labels mostly consistent.
+		for i := range scores {
+			scores[i] += 0.3 * rng.NormFloat64()
+		}
+		return nn.Example{X: x, Y: tensor.Argmax(scores)}
+	}
+
+	f := &Federated{Users: make([][]nn.Example, cfg.Users)}
+	for u := 0; u < cfg.Users; u++ {
+		urng := rng.Derive(uint64(u) + 9000)
+		bias := tensor.NewVector(cfg.Items)
+		for k := 0; k < 2; k++ { // two favourite items per user
+			bias[urng.Intn(cfg.Items)] += 1.5
+		}
+		exs := make([]nn.Example, cfg.ExamplesPer)
+		for i := range exs {
+			exs[i] = gen(bias, urng)
+		}
+		f.Users[u] = exs
+	}
+
+	trng := rng.Derive(2)
+	f.Test = make([]nn.Example, cfg.TestSize)
+	for i := range f.Test {
+		f.Test[i] = gen(nil, trng)
+	}
+	return f, nil
+}

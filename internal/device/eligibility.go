@@ -1,0 +1,45 @@
+package device
+
+import "sync"
+
+// Conditions are the device states that gate FL participation: "the phone
+// is idle, charging, and connected to an unmetered network such as WiFi".
+type Conditions struct {
+	Idle      bool
+	Charging  bool
+	Unmetered bool
+}
+
+// Eligible reports whether all conditions hold.
+func (c Conditions) Eligible() bool { return c.Idle && c.Charging && c.Unmetered }
+
+// Eligibility tracks the device's live conditions; the FL runtime polls it
+// between plan operations and aborts when conditions lapse ("Once started,
+// the FL runtime will abort, freeing the allocated resources, if these
+// conditions are no longer met").
+type Eligibility struct {
+	mu   sync.Mutex
+	cond Conditions
+}
+
+// NewEligibility starts with the given conditions.
+func NewEligibility(c Conditions) *Eligibility {
+	return &Eligibility{cond: c}
+}
+
+// Set replaces the current conditions.
+func (e *Eligibility) Set(c Conditions) {
+	e.mu.Lock()
+	e.cond = c
+	e.mu.Unlock()
+}
+
+// Get returns the current conditions.
+func (e *Eligibility) Get() Conditions {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cond
+}
+
+// OK reports whether the device is currently eligible.
+func (e *Eligibility) OK() bool { return e.Get().Eligible() }

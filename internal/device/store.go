@@ -1,0 +1,114 @@
+// Package device implements the on-device software architecture of Sec. 3:
+// the example store applications fill with training data, the eligibility
+// conditions (idle, charging, unmetered network), the multi-tenant
+// scheduler that runs one training session at a time, and the FL runtime
+// that executes FL plans and reports updates.
+package device
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/plan"
+)
+
+// ExampleStore is the API applications implement to expose local data to
+// the FL runtime ("Applications are responsible for making their data
+// available to the FL runtime as an example store by implementing an API we
+// provide").
+type ExampleStore interface {
+	// Name identifies the store; plans reference it by name.
+	Name() string
+	// Select returns the examples matching the plan's selection criteria.
+	Select(criteria plan.SelectionCriteria, now time.Time) []nn.Example
+	// Count returns the number of stored examples.
+	Count() int
+}
+
+// MemStore is the provided utility example store: bounded footprint and
+// automatic expiration of old data ("We recommend that applications limit
+// the total storage footprint... and automatically remove old data after a
+// pre-designated expiration time. We provide utilities to make these tasks
+// easy.").
+type MemStore struct {
+	mu         sync.Mutex
+	name       string
+	maxEntries int
+	expiration time.Duration // 0 = never expire
+	entries    []entry
+}
+
+type entry struct {
+	ex nn.Example
+	at time.Time
+}
+
+// NewMemStore creates a store holding at most maxEntries examples, dropping
+// examples older than expiration (0 disables expiry).
+func NewMemStore(name string, maxEntries int, expiration time.Duration) (*MemStore, error) {
+	if name == "" {
+		return nil, fmt.Errorf("device: store needs a name")
+	}
+	if maxEntries <= 0 {
+		return nil, fmt.Errorf("device: maxEntries must be positive, got %d", maxEntries)
+	}
+	return &MemStore{name: name, maxEntries: maxEntries, expiration: expiration}, nil
+}
+
+// Name implements ExampleStore.
+func (s *MemStore) Name() string { return s.name }
+
+// Add appends an example collected at time now, evicting the oldest entry
+// when the footprint cap is hit.
+func (s *MemStore) Add(ex nn.Example, now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pruneLocked(now)
+	if len(s.entries) >= s.maxEntries {
+		s.entries = s.entries[1:]
+	}
+	s.entries = append(s.entries, entry{ex: ex, at: now})
+}
+
+// Count implements ExampleStore.
+func (s *MemStore) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Select implements ExampleStore: newest-first up to MaxExamples, honoring
+// both the plan's MaxAge and the store's own expiration.
+func (s *MemStore) Select(criteria plan.SelectionCriteria, now time.Time) []nn.Example {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pruneLocked(now)
+	var out []nn.Example
+	for i := len(s.entries) - 1; i >= 0; i-- {
+		e := s.entries[i]
+		if criteria.MaxAge > 0 && now.Sub(e.at) > criteria.MaxAge {
+			break // entries are time-ordered; older ones only get older
+		}
+		out = append(out, e.ex)
+		if criteria.MaxExamples > 0 && len(out) >= criteria.MaxExamples {
+			break
+		}
+	}
+	return out
+}
+
+// pruneLocked removes expired entries. Callers hold s.mu.
+func (s *MemStore) pruneLocked(now time.Time) {
+	if s.expiration <= 0 {
+		return
+	}
+	cut := 0
+	for cut < len(s.entries) && now.Sub(s.entries[cut].at) > s.expiration {
+		cut++
+	}
+	if cut > 0 {
+		s.entries = append([]entry(nil), s.entries[cut:]...)
+	}
+}

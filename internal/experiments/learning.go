@@ -1,0 +1,322 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/fedavg"
+	"repro/internal/nn"
+	"repro/internal/secagg"
+	"repro/internal/tensor"
+)
+
+// NextWordConfig sizes the Sec. 8 next-word-prediction reproduction. Zero
+// fields take laptop-scale defaults (the paper's run: 1.4M-parameter RNN,
+// 3000 rounds, 1.5e6 users — ours is a scaled-down shape reproduction).
+type NextWordConfig struct {
+	Users        int
+	SentencesPer int
+	SentenceLen  int
+	Vocab        int
+	Rounds       int
+	DevicesPer   int // devices per round (paper: a few hundred)
+	Seed         uint64
+}
+
+func (c *NextWordConfig) defaults() {
+	if c.Users == 0 {
+		c.Users = 120
+	}
+	if c.SentencesPer == 0 {
+		c.SentencesPer = 30
+	}
+	if c.SentenceLen == 0 {
+		c.SentenceLen = 8
+	}
+	if c.Vocab == 0 {
+		c.Vocab = 24
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 60
+	}
+	if c.DevicesPer == 0 {
+		c.DevicesPer = 20
+	}
+}
+
+// NextWordResult reproduces the Sec. 8 comparison: federated RNN vs. the
+// n-gram baseline vs. a centrally trained RNN of the same architecture.
+type NextWordResult struct {
+	Rounds         int
+	FederatedRNN   float64 // top-1 recall
+	CentralizedRNN float64
+	Bigram         float64
+	// RecallCurve is federated top-1 recall sampled every few rounds.
+	RecallCurve []float64
+}
+
+// NextWord runs the next-word-prediction experiment.
+func NextWord(cfg NextWordConfig) (*NextWordResult, error) {
+	cfg.defaults()
+	corpus, err := data.MarkovLM(data.LMConfig{
+		Users: cfg.Users, SentencesPer: cfg.SentencesPer, SentenceLen: cfg.SentenceLen,
+		Vocab: cfg.Vocab, TestSize: 300, Skew: 0.3, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	spec := nn.Spec{Kind: nn.KindRNNLM, Vocab: cfg.Vocab, Embed: 16, Hidden: 32, Seed: cfg.Seed + 1}
+
+	// Baseline 1: bigram counts over the pooled corpus (what a server-side
+	// count model could do with centrally collected data).
+	bigram := nn.NewBigram(cfg.Vocab)
+	var pooled []nn.Example
+	for _, u := range corpus.Users {
+		for _, ex := range u {
+			bigram.Observe(ex.Seq)
+		}
+		pooled = append(pooled, u...)
+	}
+
+	// Baseline 2: the same RNN trained centrally on the pooled corpus.
+	epochs := cfg.Rounds / 10
+	if epochs < 3 {
+		epochs = 3
+	}
+	central, err := fedavg.TrainCentralized(spec, pooled, epochs, 16, 0.5, cfg.Seed+2)
+	if err != nil {
+		return nil, err
+	}
+
+	// Federated training: DevicesPer users per round.
+	tr, err := fedavg.NewTrainer(spec, fedavg.ClientConfig{BatchSize: 8, Epochs: 1, LR: 0.5, Shuffle: true}, cfg.Seed+3)
+	if err != nil {
+		return nil, err
+	}
+	rng := tensor.NewRNG(cfg.Seed + 4)
+	res := &NextWordResult{Rounds: cfg.Rounds}
+	for round := 0; round < cfg.Rounds; round++ {
+		perm := rng.Perm(len(corpus.Users))
+		k := cfg.DevicesPer
+		if k > len(perm) {
+			k = len(perm)
+		}
+		sel := make([][]nn.Example, k)
+		for i := 0; i < k; i++ {
+			sel[i] = corpus.Users[perm[i]]
+		}
+		if _, err := tr.Round(sel); err != nil {
+			return nil, err
+		}
+		if (round+1)%(cfg.Rounds/10+1) == 0 || round == cfg.Rounds-1 {
+			res.RecallCurve = append(res.RecallCurve, tr.Evaluate(corpus.Test).Accuracy)
+		}
+	}
+	res.FederatedRNN = tr.Evaluate(corpus.Test).Accuracy
+	res.CentralizedRNN = central.Evaluate(corpus.Test).Accuracy
+	res.Bigram = bigram.Evaluate(corpus.Test).Accuracy
+	return res, nil
+}
+
+// Format renders the Sec. 8 comparison.
+func (r *NextWordResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sec. 8 — Next-word prediction, top-1 recall after %d FL rounds\n", r.Rounds)
+	fmt.Fprintf(&b, "%-24s %8.3f\n", "federated RNN", r.FederatedRNN)
+	fmt.Fprintf(&b, "%-24s %8.3f   (paper: FL matches server-trained RNN)\n", "centralized RNN", r.CentralizedRNN)
+	fmt.Fprintf(&b, "%-24s %8.3f   (paper: FL beats the n-gram baseline)\n", "bigram baseline", r.Bigram)
+	fmt.Fprintf(&b, "recall curve:")
+	for _, v := range r.RecallCurve {
+		fmt.Fprintf(&b, " %.3f", v)
+	}
+	fmt.Fprintf(&b, "\n")
+	return b.String()
+}
+
+// KSweepResult reproduces the Sec. 9 observation: diminishing convergence
+// improvements beyond a few hundred devices per round.
+type KSweepResult struct {
+	Ks         []int
+	Accuracies []float64
+	Rounds     int
+}
+
+// KSweep trains the same task with varying devices-per-round.
+func KSweep(ks []int, rounds int, seed uint64) (*KSweepResult, error) {
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("experiments: empty K list")
+	}
+	maxK := 0
+	for _, k := range ks {
+		if k > maxK {
+			maxK = k
+		}
+	}
+	// Pathologically non-IID (each user holds a single class, as in McMahan
+	// et al. 2017): with one device per round the average update seesaws
+	// between classes; more devices per round smooth it, with diminishing
+	// returns.
+	fed, err := data.Blobs(data.BlobsConfig{
+		Users: maxK * 2, ExamplesPer: 20, Features: 16, Classes: 8,
+		TestSize: 800, Skew: 1.0, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	spec := nn.Spec{Kind: nn.KindLogistic, Features: 16, Classes: 8, Seed: seed + 1}
+	out := &KSweepResult{Ks: ks, Rounds: rounds}
+	for _, k := range ks {
+		tr, err := fedavg.NewTrainer(spec, fedavg.ClientConfig{BatchSize: 10, Epochs: 5, LR: 0.2, Shuffle: true}, seed+2)
+		if err != nil {
+			return nil, err
+		}
+		rng := tensor.NewRNG(seed + 3)
+		for round := 0; round < rounds; round++ {
+			perm := rng.Perm(len(fed.Users))
+			sel := make([][]nn.Example, k)
+			for i := 0; i < k; i++ {
+				sel[i] = fed.Users[perm[i]]
+			}
+			if _, err := tr.Round(sel); err != nil {
+				return nil, err
+			}
+		}
+		out.Accuracies = append(out.Accuracies, tr.Evaluate(fed.Test).Accuracy)
+	}
+	return out, nil
+}
+
+// Format renders the sweep with per-step gains.
+func (r *KSweepResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sec. 9 — Devices per round vs. accuracy after %d rounds\n", r.Rounds)
+	fmt.Fprintf(&b, "%8s %10s %8s\n", "K", "accuracy", "gain")
+	for i, k := range r.Ks {
+		gain := 0.0
+		if i > 0 {
+			gain = r.Accuracies[i] - r.Accuracies[i-1]
+		}
+		fmt.Fprintf(&b, "%8d %10.3f %+8.3f\n", k, r.Accuracies[i], gain)
+	}
+	fmt.Fprintf(&b, "(paper: diminishing improvements beyond a few hundred devices)\n")
+	return b.String()
+}
+
+// OverSelectResult reproduces the Sec. 9 over-selection analysis: round
+// completion probability as a function of the over-selection factor at
+// various drop-out rates.
+type OverSelectResult struct {
+	Factors      []float64
+	DropRates    []float64
+	Completion   [][]float64 // [drop][factor] fraction of rounds reaching K
+	TargetK      int
+	RoundsPerTry int
+}
+
+// OverSelect Monte-Carlo simulates round completion.
+func OverSelect(factors, dropRates []float64, targetK, trials int, seed uint64) (*OverSelectResult, error) {
+	if targetK <= 0 || trials <= 0 {
+		return nil, fmt.Errorf("experiments: bad over-select params")
+	}
+	rng := tensor.NewRNG(seed)
+	out := &OverSelectResult{Factors: factors, DropRates: dropRates, TargetK: targetK, RoundsPerTry: trials}
+	for _, d := range dropRates {
+		row := make([]float64, len(factors))
+		for fi, f := range factors {
+			selected := int(float64(targetK)*f + 0.5)
+			succ := 0
+			for t := 0; t < trials; t++ {
+				completed := 0
+				for i := 0; i < selected; i++ {
+					if rng.Float64() >= d {
+						completed++
+					}
+				}
+				if completed >= targetK {
+					succ++
+				}
+			}
+			row[fi] = float64(succ) / float64(trials)
+		}
+		out.Completion = append(out.Completion, row)
+	}
+	return out, nil
+}
+
+// Format renders the completion matrix.
+func (r *OverSelectResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sec. 9 — Round completion probability (target K=%d, %d trials)\n", r.TargetK, r.RoundsPerTry)
+	fmt.Fprintf(&b, "%10s", "dropout\\f")
+	for _, f := range r.Factors {
+		fmt.Fprintf(&b, " %7.0f%%", 100*(f-1))
+	}
+	fmt.Fprintf(&b, "\n")
+	for di, d := range r.DropRates {
+		fmt.Fprintf(&b, "%9.0f%%", 100*d)
+		for fi := range r.Factors {
+			fmt.Fprintf(&b, " %8.3f", r.Completion[di][fi])
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	fmt.Fprintf(&b, "(paper: 130%% over-selection compensates for 6–10%% drop-out)\n")
+	return b.String()
+}
+
+// SecAggCostResult reproduces the Sec. 6 cost analysis: the server-side
+// cost of Secure Aggregation grows quadratically with group size, which is
+// why updates are aggregated in groups of size ≥ k per Aggregator.
+type SecAggCostResult struct {
+	GroupSizes []int
+	ServerTime []time.Duration // full-protocol server time per group size
+	// GroupedTime is the time to aggregate TotalDevices devices as
+	// ceil(N/k) groups of size k — near-linear in N.
+	TotalDevices int
+	GroupedTime  []time.Duration
+}
+
+// SecAggCost measures protocol cost vs. group size.
+func SecAggCost(groupSizes []int, vectorLen, totalDevices int) (*SecAggCostResult, error) {
+	out := &SecAggCostResult{GroupSizes: groupSizes, TotalDevices: totalDevices}
+	for _, n := range groupSizes {
+		cfg := secagg.Config{N: n, T: n/2 + 1, VectorLen: vectorLen}
+		inputs := make(map[int][]float64, n)
+		for id := 1; id <= n; id++ {
+			v := make([]float64, vectorLen)
+			for j := range v {
+				v[j] = float64(id + j)
+			}
+			inputs[id] = v
+		}
+		// One device drops after sharing: the expensive recovery path.
+		drop := []int{1}
+		if n < 3 {
+			drop = nil
+		}
+		start := time.Now()
+		if _, _, err := secagg.Run(cfg, inputs, drop, nil); err != nil {
+			return nil, err
+		}
+		out.ServerTime = append(out.ServerTime, time.Since(start))
+
+		// Aggregating totalDevices devices in groups of size n.
+		groups := (totalDevices + n - 1) / n
+		out.GroupedTime = append(out.GroupedTime, time.Duration(groups)*out.ServerTime[len(out.ServerTime)-1])
+	}
+	return out, nil
+}
+
+// Format renders the cost table.
+func (r *SecAggCostResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sec. 6 — Secure Aggregation cost vs. group size\n")
+	fmt.Fprintf(&b, "%8s %14s %12s %22s\n", "group n", "protocol time", "time/device", fmt.Sprintf("%d dev in n-groups", r.TotalDevices))
+	for i, n := range r.GroupSizes {
+		per := time.Duration(int64(r.ServerTime[i]) / int64(n))
+		fmt.Fprintf(&b, "%8d %14v %12v %22v\n", n, r.ServerTime[i].Round(time.Millisecond), per.Round(time.Microsecond), r.GroupedTime[i].Round(time.Millisecond))
+	}
+	fmt.Fprintf(&b, "(paper: quadratic cost limits groups to hundreds of users; per-Aggregator groups bound it)\n")
+	return b.String()
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/pacing"
+	"repro/internal/tensor"
+)
+
+// PacingResult reproduces the Sec. 2.3 behaviour: for small populations
+// pace steering concentrates reconnects so rounds can form; for large
+// populations it spreads them to avoid the thundering herd.
+type PacingResult struct {
+	SmallPopulation, LargePopulation int
+	// SmallConcentration is the fraction of small-population reconnects
+	// landing within the first 10% of a round period (want: high).
+	SmallConcentration float64
+	// LargeSpreadCV is the coefficient of variation of per-minute arrival
+	// counts for the large population (want: low — no herd spikes).
+	LargeSpreadCV float64
+	// LargePeakToMean is max/mean arrivals per minute (a herd shows as a
+	// large peak).
+	LargePeakToMean float64
+}
+
+// Pacing runs the steering experiment with devicesPerCase simulated
+// rejected devices per regime.
+func Pacing(devicesPerCase int, seed uint64) (*PacingResult, error) {
+	if devicesPerCase <= 0 {
+		return nil, fmt.Errorf("experiments: need positive device count")
+	}
+	rng := tensor.NewRNG(seed)
+	period := 2 * time.Minute
+	steer := pacing.New(period)
+	steer.MinWait = time.Second
+	epoch := steer.Epoch
+
+	out := &PacingResult{SmallPopulation: 100, LargePopulation: 2_000_000}
+
+	// Small population: devices rejected at uniformly random times; where
+	// do their reconnects land relative to the shared round grid?
+	aligned := 0
+	for i := 0; i < devicesPerCase; i++ {
+		now := epoch.Add(time.Duration(rng.Float64() * float64(24*time.Hour)))
+		delay := steer.Suggest(out.SmallPopulation, 50, now, rng)
+		offset := now.Add(delay).Sub(epoch) % period
+		if offset < period/10+period/50 { // 10% window + jitter slack
+			aligned++
+		}
+	}
+	out.SmallConcentration = float64(aligned) / float64(devicesPerCase)
+
+	// Large population: all devices rejected at the same instant (the herd
+	// trigger); count arrivals per minute over the suggestion horizon.
+	now := epoch
+	steer.MaxWait = 1000 * time.Hour
+	arrivals := make([]time.Duration, devicesPerCase)
+	for i := range arrivals {
+		arrivals[i] = steer.Suggest(out.LargePopulation, 300, now, rng)
+	}
+	sort.Slice(arrivals, func(i, j int) bool { return arrivals[i] < arrivals[j] })
+	horizon := arrivals[len(arrivals)-1] + 1
+	// 60 equal bins over the horizon: a herd concentrates in one bin
+	// (peak/mean ≈ 60); the uniform spread gives peak/mean ≈ 1.5 (the
+	// window is [0.5W, 1.5W], i.e. the top two thirds of the horizon).
+	const buckets = 60
+	counts := make([]float64, buckets)
+	for _, a := range arrivals {
+		counts[int(int64(a)*buckets/int64(horizon))]++
+	}
+	var sum, sumSq, max float64
+	for _, c := range counts {
+		sum += c
+		sumSq += c * c
+		if c > max {
+			max = c
+		}
+	}
+	mean := sum / float64(buckets)
+	variance := sumSq/float64(buckets) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	if mean > 0 {
+		out.LargeSpreadCV = math.Sqrt(variance) / mean
+		out.LargePeakToMean = max / mean
+	}
+	return out, nil
+}
+
+// Format renders the two regimes.
+func (r *PacingResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sec. 2.3 — Pace steering\n")
+	fmt.Fprintf(&b, "small population (%d devices): %.0f%% of reconnects land in the round-start window\n",
+		r.SmallPopulation, 100*r.SmallConcentration)
+	fmt.Fprintf(&b, "large population (%d devices): arrivals/minute peak-to-mean %.2f, CV %.2f\n",
+		r.LargePopulation, r.LargePeakToMean, r.LargeSpreadCV)
+	fmt.Fprintf(&b, "(paper: small populations synchronize check-ins; large ones spread to avoid the thundering herd)\n")
+	return b.String()
+}

@@ -1,0 +1,144 @@
+package fedanalytics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+)
+
+func TestQueryValidate(t *testing.T) {
+	if err := (Query{}).Validate(); err == nil {
+		t.Fatal("empty query must fail")
+	}
+	if err := (Query{Bins: 4}).Validate(); err == nil {
+		t.Fatal("missing BinOf must fail")
+	}
+	if err := (Query{Bins: 4, PerToken: true}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := LabelHistogram(3).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabelHistogram(t *testing.T) {
+	q := LabelHistogram(3)
+	v, err := DeviceVector(q, []nn.Example{{Y: 0}, {Y: 2}, {Y: 2}, {Y: 7}, {Y: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 1 || v[1] != 0 || v[2] != 2 {
+		t.Fatalf("histogram = %v", v)
+	}
+}
+
+func TestTokenHistogram(t *testing.T) {
+	q := TokenHistogram(4)
+	v, err := DeviceVector(q, []nn.Example{
+		{Seq: []int{0, 1, 1}},
+		{Seq: []int{3, 3, 3, 9}}, // 9 out of range, skipped
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 0, 3}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("token histogram = %v, want %v", v, want)
+		}
+	}
+}
+
+func TestAggregatePlain(t *testing.T) {
+	vectors := map[int][]float64{
+		1: {1, 0, 2},
+		2: {0, 5, 1},
+		3: {2, 2, 2},
+	}
+	total, err := Aggregate(vectors, 3, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 7, 5}
+	for i := range want {
+		if total[i] != want[i] {
+			t.Fatalf("total = %v", total)
+		}
+	}
+}
+
+func TestAggregateSecureMatchesPlain(t *testing.T) {
+	vectors := make(map[int][]float64)
+	for id := 1; id <= 10; id++ {
+		vectors[id] = []float64{float64(id), float64(id % 3), 1}
+	}
+	plain, err := Aggregate(vectors, 3, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	secure, err := Aggregate(vectors, 3, true, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if math.Abs(plain[i]-secure[i]) > 1e-3 {
+			t.Fatalf("secure %v != plain %v", secure, plain)
+		}
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	if _, err := Aggregate(nil, 0, false, 0); err == nil {
+		t.Fatal("zero bins must fail")
+	}
+	if _, err := Aggregate(map[int][]float64{1: {1}}, 2, false, 0); err == nil {
+		t.Fatal("bin mismatch must fail")
+	}
+	if _, err := Aggregate(map[int][]float64{1: {1}, 2: {2}}, 1, true, 1); err == nil {
+		t.Fatal("groupSize 1 must fail")
+	}
+	if _, err := Aggregate(map[int][]float64{1: {1}}, 1, true, 4); err == nil {
+		t.Fatal("too few devices for secure group must fail")
+	}
+}
+
+func TestEndToEndWordFrequency(t *testing.T) {
+	// The motivating scenario: which tokens does the fleet type most,
+	// without any device revealing its text. Compare the securely
+	// aggregated histogram against ground truth over the same corpus.
+	corpus, err := data.MarkovLM(data.LMConfig{
+		Users: 12, SentencesPer: 10, SentenceLen: 8, Vocab: 10, TestSize: 1, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := TokenHistogram(10)
+	vectors := make(map[int][]float64)
+	truth := make([]float64, 10)
+	for u, exs := range corpus.Users {
+		v, err := DeviceVector(q, exs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vectors[u+1] = v
+		for i, x := range v {
+			truth[i] += x
+		}
+	}
+	got, err := Aggregate(vectors, 10, true, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for i := range truth {
+		if math.Abs(got[i]-truth[i]) > 1e-3 {
+			t.Fatalf("aggregate %v != truth %v", got, truth)
+		}
+		total += truth[i]
+	}
+	if total != float64(12*10*8) {
+		t.Fatalf("token count = %v, want %d", total, 12*10*8)
+	}
+}

@@ -1,0 +1,70 @@
+package fedavg
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// DPConfig enables differentially private aggregation in the style of
+// McMahan et al. 2018 ("Learning Differentially Private Recurrent Language
+// Models"), which the paper's Sec. 6 footnote reports as implemented on the
+// platform: each device's *average* update is clipped to an L2 bound, and
+// Gaussian noise calibrated to that bound is added to the round average.
+//
+// This package implements the mechanism; a full (ε, δ) accounting (moments
+// accountant) is out of scope — see DESIGN.md §7.
+type DPConfig struct {
+	// ClipNorm S bounds each device's per-example-average update:
+	// Δ/n is scaled to at most S in L2.
+	ClipNorm float64
+	// NoiseMultiplier z: Gaussian noise with σ = z·S/K is added to each
+	// coordinate of the round average, K being the number of updates.
+	NoiseMultiplier float64
+}
+
+// Validate reports whether the config is usable.
+func (c DPConfig) Validate() error {
+	if c.ClipNorm <= 0 {
+		return fmt.Errorf("fedavg: DP ClipNorm must be positive, got %v", c.ClipNorm)
+	}
+	if c.NoiseMultiplier < 0 {
+		return fmt.Errorf("fedavg: DP NoiseMultiplier must be non-negative, got %v", c.NoiseMultiplier)
+	}
+	return nil
+}
+
+// ClipUpdate scales the update in place so its per-example average has L2
+// norm at most S. It returns true when clipping was applied.
+func ClipUpdate(u *Update, clipNorm float64) bool {
+	if u.Weight <= 0 {
+		return false
+	}
+	// The weighted delta is n·(w − w_init); the clipped quantity is the
+	// unweighted average (w − w_init).
+	norm := u.Delta.Norm2() / u.Weight
+	if norm <= clipNorm {
+		return false
+	}
+	u.Delta.Scale(clipNorm / norm)
+	return true
+}
+
+// AddNoise perturbs the averaged update in place with spherical Gaussian
+// noise σ = z·S/k per coordinate.
+func AddNoise(avg tensor.Vector, cfg DPConfig, k int, rng *tensor.RNG) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if k <= 0 {
+		return fmt.Errorf("fedavg: DP noise needs positive update count, got %d", k)
+	}
+	if cfg.NoiseMultiplier == 0 {
+		return nil
+	}
+	sigma := cfg.NoiseMultiplier * cfg.ClipNorm / float64(k)
+	for i := range avg {
+		avg[i] += sigma * rng.NormFloat64()
+	}
+	return nil
+}

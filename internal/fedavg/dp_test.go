@@ -1,0 +1,186 @@
+package fedavg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestDPConfigValidate(t *testing.T) {
+	if err := (DPConfig{ClipNorm: 0, NoiseMultiplier: 1}).Validate(); err == nil {
+		t.Fatal("zero clip must fail")
+	}
+	if err := (DPConfig{ClipNorm: 1, NoiseMultiplier: -1}).Validate(); err == nil {
+		t.Fatal("negative noise must fail")
+	}
+	if err := (DPConfig{ClipNorm: 1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClipUpdateBoundsNorm(t *testing.T) {
+	// Per-example average has norm 5 (weight 2, delta norm 10); clip to 1.
+	u := &Update{Delta: tensor.Vector{6, 8}, Weight: 2}
+	if !ClipUpdate(u, 1) {
+		t.Fatal("should have clipped")
+	}
+	if got := u.Delta.Norm2() / u.Weight; math.Abs(got-1) > 1e-12 {
+		t.Fatalf("clipped average norm = %v, want 1", got)
+	}
+	// Direction preserved.
+	if u.Delta[0] <= 0 || u.Delta[1] <= 0 || math.Abs(u.Delta[1]/u.Delta[0]-8.0/6.0) > 1e-9 {
+		t.Fatalf("clipping changed direction: %v", u.Delta)
+	}
+}
+
+func TestClipUpdateNoopWhenSmall(t *testing.T) {
+	u := &Update{Delta: tensor.Vector{0.1, 0}, Weight: 1}
+	if ClipUpdate(u, 1) {
+		t.Fatal("small update must not be clipped")
+	}
+	if u.Delta[0] != 0.1 {
+		t.Fatal("no-op clip changed the update")
+	}
+	bad := &Update{Delta: tensor.Vector{1}, Weight: 0}
+	if ClipUpdate(bad, 1) {
+		t.Fatal("zero-weight update cannot be clipped")
+	}
+}
+
+func TestAddNoiseStatistics(t *testing.T) {
+	cfg := DPConfig{ClipNorm: 2, NoiseMultiplier: 3}
+	k := 4
+	rng := tensor.NewRNG(7)
+	n := 20000
+	avg := make(tensor.Vector, n) // zeros: the output IS the noise
+	if err := AddNoise(avg, cfg, k, rng); err != nil {
+		t.Fatal(err)
+	}
+	var sum, sumSq float64
+	for _, v := range avg {
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	sd := math.Sqrt(sumSq/float64(n) - mean*mean)
+	wantSigma := cfg.NoiseMultiplier * cfg.ClipNorm / float64(k) // 1.5
+	if math.Abs(mean) > 0.05 {
+		t.Fatalf("noise mean = %v, want ≈ 0", mean)
+	}
+	if math.Abs(sd-wantSigma) > 0.05 {
+		t.Fatalf("noise sd = %v, want ≈ %v", sd, wantSigma)
+	}
+}
+
+func TestAddNoiseErrors(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	if err := AddNoise(tensor.Vector{0}, DPConfig{ClipNorm: 1}, 0, rng); err == nil {
+		t.Fatal("k=0 must fail")
+	}
+	if err := AddNoise(tensor.Vector{0}, DPConfig{}, 1, rng); err == nil {
+		t.Fatal("invalid config must fail")
+	}
+	// Zero multiplier: exact no-op.
+	v := tensor.Vector{1, 2}
+	if err := AddNoise(v, DPConfig{ClipNorm: 1, NoiseMultiplier: 0}, 1, rng); err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 1 || v[1] != 2 {
+		t.Fatal("zero noise changed the vector")
+	}
+}
+
+func TestDPTrainingStillConverges(t *testing.T) {
+	// Moderate clipping + noise should still learn the easy task — privacy
+	// degrades, it must not destroy, utility.
+	fed := fedBlobs(t, 20, 0.3)
+	tr, err := NewTrainer(logisticSpec(), ClientConfig{BatchSize: 10, Epochs: 1, LR: 0.05, Shuffle: true}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.DP = &DPConfig{ClipNorm: 0.5, NoiseMultiplier: 0.1}
+	for round := 0; round < 30; round++ {
+		if _, err := tr.Round(fed.Users); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if acc := tr.Evaluate(fed.Test).Accuracy; acc < 0.85 {
+		t.Fatalf("DP accuracy = %v", acc)
+	}
+}
+
+func TestDPNoiseHurtsAtHighMultiplier(t *testing.T) {
+	// Sanity check that the knob does something: extreme noise should be
+	// visibly worse than no noise.
+	fed := fedBlobs(t, 20, 0.3)
+	clean, _ := NewTrainer(logisticSpec(), ClientConfig{BatchSize: 10, Epochs: 1, LR: 0.05}, 4)
+	noisy, _ := NewTrainer(logisticSpec(), ClientConfig{BatchSize: 10, Epochs: 1, LR: 0.05}, 4)
+	noisy.DP = &DPConfig{ClipNorm: 0.5, NoiseMultiplier: 50}
+	for round := 0; round < 15; round++ {
+		_, _ = clean.Round(fed.Users)
+		_, _ = noisy.Round(fed.Users)
+	}
+	ca := clean.Evaluate(fed.Test).Accuracy
+	na := noisy.Evaluate(fed.Test).Accuracy
+	if na >= ca {
+		t.Fatalf("extreme noise should hurt: noisy %v vs clean %v", na, ca)
+	}
+}
+
+func TestQuantizedUpdatesConvergeLikeFull(t *testing.T) {
+	// Sec. 11 Bandwidth: 8-bit quantized updates (as used on the wire)
+	// should barely affect convergence. Simulate the wire round-trip by
+	// quantizing each device delta through the checkpoint codec range
+	// logic: scale to 8-bit resolution of its own range.
+	fed := fedBlobs(t, 15, 0.3)
+	quantize := func(u *Update) {
+		lo, hi := u.Delta[0], u.Delta[0]
+		for _, v := range u.Delta {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi == lo {
+			return
+		}
+		step := (hi - lo) / 255
+		for i, v := range u.Delta {
+			q := math.Round((v - lo) / step)
+			u.Delta[i] = lo + q*step
+		}
+	}
+
+	run := func(doQuant bool) float64 {
+		spec := logisticSpec()
+		m, _ := spec.Build()
+		global := make(tensor.Vector, m.NumParams())
+		m.ReadParams(global)
+		rng := tensor.NewRNG(9)
+		for round := 0; round < 20; round++ {
+			acc := NewAccumulator(len(global))
+			for i, exs := range fed.Users {
+				u, err := ClientUpdate(m, global, exs, ClientConfig{BatchSize: 10, Epochs: 1, LR: 0.05, Shuffle: true}, rng.Derive(uint64(round*100+i)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if doQuant {
+					quantize(u)
+				}
+				_ = acc.Add(u)
+			}
+			avg, _ := acc.Average()
+			_ = Apply(global, avg)
+		}
+		m.WriteParams(global)
+		return m.Evaluate(fed.Test).Accuracy
+	}
+	full := run(false)
+	quant := run(true)
+	if quant < full-0.03 {
+		t.Fatalf("quantized convergence %v much worse than full %v", quant, full)
+	}
+}

@@ -1,0 +1,61 @@
+package field
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func BenchmarkMul(b *testing.B) {
+	rng := tensor.NewRNG(1)
+	x, y := Reduce(rng.Uint64()), Reduce(rng.Uint64())
+	for i := 0; i < b.N; i++ {
+		x = Mul(x, y)
+	}
+	_ = x
+}
+
+func BenchmarkInv(b *testing.B) {
+	rng := tensor.NewRNG(2)
+	x := Reduce(rng.Uint64()) | 1
+	for i := 0; i < b.N; i++ {
+		_ = Inv(x)
+	}
+}
+
+func BenchmarkAddVec(b *testing.B) {
+	rng := tensor.NewRNG(3)
+	n := 4096
+	x := make([]uint64, n)
+	y := make([]uint64, n)
+	for i := range x {
+		x[i] = Reduce(rng.Uint64())
+		y[i] = Reduce(rng.Uint64())
+	}
+	b.SetBytes(int64(8 * n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AddVec(x, x, y)
+	}
+}
+
+func BenchmarkShamirSplit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Split(123456, 10, 6, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkShamirReconstruct(b *testing.B) {
+	shares, err := Split(123456, 10, 6, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Reconstruct(shares[:6], 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

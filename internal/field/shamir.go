@@ -1,0 +1,91 @@
+package field
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Share is one Shamir share: the polynomial evaluated at X.
+type Share struct {
+	X uint64 // evaluation point, 1-based participant index
+	Y uint64
+}
+
+// randFieldElem draws a uniform element of GF(P) via rejection sampling.
+func randFieldElem(rng io.Reader) (uint64, error) {
+	var buf [8]byte
+	for {
+		if _, err := io.ReadFull(rng, buf[:]); err != nil {
+			return 0, fmt.Errorf("field: rand: %w", err)
+		}
+		v := binary.BigEndian.Uint64(buf[:]) >> 3 // 61 bits
+		if v < P {
+			return v, nil
+		}
+	}
+}
+
+// Split shares secret into n shares such that any t of them reconstruct it
+// and fewer than t reveal nothing. rng may be nil to use crypto/rand.
+func Split(secret uint64, n, t int, rng io.Reader) ([]Share, error) {
+	if t < 1 || n < t {
+		return nil, fmt.Errorf("field: invalid sharing parameters n=%d t=%d", n, t)
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	secret = Reduce(secret)
+	// Random degree-(t−1) polynomial with constant term = secret.
+	coeffs := make([]uint64, t)
+	coeffs[0] = secret
+	for i := 1; i < t; i++ {
+		c, err := randFieldElem(rng)
+		if err != nil {
+			return nil, err
+		}
+		coeffs[i] = c
+	}
+	shares := make([]Share, n)
+	for i := 1; i <= n; i++ {
+		x := uint64(i)
+		// Horner evaluation.
+		y := uint64(0)
+		for j := t - 1; j >= 0; j-- {
+			y = Add(Mul(y, x), coeffs[j])
+		}
+		shares[i-1] = Share{X: x, Y: y}
+	}
+	return shares, nil
+}
+
+// Reconstruct recovers the secret from at least t distinct shares via
+// Lagrange interpolation at zero.
+func Reconstruct(shares []Share, t int) (uint64, error) {
+	if len(shares) < t {
+		return 0, fmt.Errorf("field: need %d shares, have %d", t, len(shares))
+	}
+	use := shares[:t]
+	seen := make(map[uint64]bool, t)
+	for _, s := range use {
+		if s.X == 0 || seen[s.X] {
+			return 0, fmt.Errorf("field: invalid or duplicate share x=%d", s.X)
+		}
+		seen[s.X] = true
+	}
+	var secret uint64
+	for i, si := range use {
+		num, den := uint64(1), uint64(1)
+		for j, sj := range use {
+			if i == j {
+				continue
+			}
+			num = Mul(num, Neg(sj.X))       // (0 − x_j)
+			den = Mul(den, Sub(si.X, sj.X)) // (x_i − x_j)
+		}
+		li := Mul(num, Inv(den))
+		secret = Add(secret, Mul(si.Y, li))
+	}
+	return secret, nil
+}

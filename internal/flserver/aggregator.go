@@ -1,0 +1,561 @@
+package flserver
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/actor"
+	"repro/internal/checkpoint"
+	"repro/internal/fedavg"
+	"repro/internal/metrics"
+	"repro/internal/plan"
+	"repro/internal/protocol"
+	"repro/internal/secagg"
+	"repro/internal/storage"
+	"repro/internal/tensor"
+)
+
+// Aggregator is the ephemeral per-group aggregation actor (Sec. 4.2). With
+// simple aggregation it folds updates into a running sum as they arrive
+// (online, in-memory — no per-device log ever exists). With Secure
+// Aggregation it buffers the group's inputs and runs the secagg protocol at
+// finalization, so the group sum is produced without the aggregate code
+// path ever handling an unmasked individual update.
+type Aggregator struct {
+	dim    int
+	secure bool
+	// threshold for the secagg instance, derived from group size.
+	master *actor.Ref
+
+	acc     *fedavg.Accumulator
+	metrics map[string][]float64
+	// evalCount counts metrics-only reports (evaluation tasks).
+	evalCount int
+
+	// secure-mode buffer: device inputs awaiting the secagg run.
+	secInputs map[int][]float64
+	secNext   int
+}
+
+// NewAggregator returns the behavior for a group aggregator.
+func NewAggregator(dim int, secure bool, master *actor.Ref) *Aggregator {
+	return &Aggregator{
+		dim:       dim,
+		secure:    secure,
+		master:    master,
+		acc:       fedavg.NewAccumulator(dim),
+		metrics:   make(map[string][]float64),
+		secInputs: make(map[int][]float64),
+		secNext:   1,
+	}
+}
+
+// msgAddUpdate is routed from the Master Aggregator: one device's update.
+type msgAddUpdate struct {
+	DeviceID string
+	Update   *checkpoint.Checkpoint
+	Metrics  map[string]float64
+}
+
+// msgAddResult tells the Master Aggregator whether the add was accepted.
+type msgAddResult struct {
+	DeviceID string
+	OK       bool
+	Err      string
+}
+
+// Receive implements actor.Behavior.
+func (a *Aggregator) Receive(ctx *actor.Context, msg actor.Message) {
+	switch m := msg.(type) {
+	case msgAddUpdate:
+		a.onAdd(m)
+	case msgFinalizeGroup:
+		a.onFinalize(ctx)
+	}
+}
+
+func (a *Aggregator) onAdd(m msgAddUpdate) {
+	if m.Update == nil {
+		// Metrics-only report (evaluation task).
+		a.evalCount++
+		for name, v := range m.Metrics {
+			a.metrics[name] = append(a.metrics[name], v)
+		}
+		_ = a.master.Send(msgAddResult{DeviceID: m.DeviceID, OK: true})
+		return
+	}
+	if len(m.Update.Params) != a.dim {
+		_ = a.master.Send(msgAddResult{DeviceID: m.DeviceID, OK: false,
+			Err: fmt.Sprintf("update dim %d, want %d", len(m.Update.Params), a.dim)})
+		return
+	}
+	if m.Update.Weight <= 0 {
+		_ = a.master.Send(msgAddResult{DeviceID: m.DeviceID, OK: false, Err: "non-positive weight"})
+		return
+	}
+	if a.secure {
+		// Buffer delta‖weight; the appended weight element rides through
+		// the secure sum so the server learns Σn without individual n's.
+		input := make([]float64, a.dim+1)
+		copy(input, m.Update.Params)
+		input[a.dim] = m.Update.Weight
+		a.secInputs[a.secNext] = input
+		a.secNext++
+	} else {
+		if err := a.acc.Add(&fedavg.Update{Delta: m.Update.Params, Weight: m.Update.Weight}); err != nil {
+			_ = a.master.Send(msgAddResult{DeviceID: m.DeviceID, OK: false, Err: err.Error()})
+			return
+		}
+	}
+	for name, v := range m.Metrics {
+		a.metrics[name] = append(a.metrics[name], v)
+	}
+	_ = a.master.Send(msgAddResult{DeviceID: m.DeviceID, OK: true})
+}
+
+func (a *Aggregator) onFinalize(ctx *actor.Context) {
+	defer ctx.Stop()
+	if a.secure && len(a.secInputs) > 0 {
+		n := len(a.secInputs)
+		t := n/2 + 1
+		cfg := secagg.Config{N: n, T: t, VectorLen: a.dim + 1}
+		if n < 2 {
+			// A singleton group cannot run the protocol; fall back to the
+			// direct sum (the value is its own sum).
+			for _, in := range a.secInputs {
+				_ = a.acc.AddRaw(tensor.Vector(in[:a.dim]), in[a.dim], 1)
+			}
+		} else {
+			sum, survivors, err := secagg.Run(cfg, a.secInputs, nil, nil)
+			if err != nil {
+				_ = a.master.Send(msgGroupResult{From: ctx.Self})
+				return
+			}
+			_ = a.acc.AddRaw(tensor.Vector(sum[:a.dim]), sum[a.dim], len(survivors))
+		}
+	}
+	res := msgGroupResult{From: ctx.Self, Count: a.acc.Count() + a.evalCount, Metrics: a.metrics}
+	if a.acc.Count() > 0 {
+		res.Weight = a.acc.Weight()
+		sum := make(tensor.Vector, a.dim)
+		avg, err := a.acc.Average()
+		if err == nil {
+			// Reconstruct the raw sum: avg × weight.
+			copy(sum, avg)
+			sum.Scale(a.acc.Weight())
+			res.Sum = sum
+		}
+	}
+	_ = a.master.Send(res)
+}
+
+// deviceState tracks one selected device through a round.
+type deviceState struct {
+	held     heldDevice
+	group    *actor.Ref
+	reported bool
+	lost     bool
+	aborted  bool
+}
+
+// MasterAggregator manages one round of one FL task (Sec. 4.2): selection
+// window, configuration, reporting window with goal count / timeout /
+// minimum fraction (Sec. 2.2), per-group Aggregator delegation, and the
+// single commit to persistent storage at the end.
+type MasterAggregator struct {
+	plan      *plan.Plan
+	global    *checkpoint.Checkpoint
+	store     storage.Store
+	coord     *actor.Ref
+	selectors []*actor.Ref
+	groupSize int
+	now       func() time.Time
+
+	state      string // "selecting", "reporting", "done"
+	devices    map[string]*deviceState
+	order      []string // device ids in arrival order
+	aggs       []*actor.Ref
+	completed  int
+	lost       int
+	partials   []msgGroupResult
+	startedAt  time.Time
+	reportOpen time.Time
+}
+
+// msgStartRound kicks the Master Aggregator off.
+type msgStartRound struct{}
+
+// msgCrash exists for failure-injection tests.
+type msgCrash struct{}
+
+// NewMasterAggregator returns the behavior for one round.
+func NewMasterAggregator(p *plan.Plan, global *checkpoint.Checkpoint, store storage.Store, coord *actor.Ref, selectors []*actor.Ref, now func() time.Time) *MasterAggregator {
+	if now == nil {
+		now = time.Now
+	}
+	groupSize := 64
+	if p.Server.Aggregation == plan.AggregationSecure && p.Server.SecAggGroupSize > 0 {
+		groupSize = p.Server.SecAggGroupSize
+	}
+	return &MasterAggregator{
+		plan:      p,
+		global:    global,
+		store:     store,
+		coord:     coord,
+		selectors: selectors,
+		groupSize: groupSize,
+		now:       now,
+		state:     "selecting",
+		devices:   make(map[string]*deviceState),
+	}
+}
+
+// Receive implements actor.Behavior.
+func (ma *MasterAggregator) Receive(ctx *actor.Context, msg actor.Message) {
+	switch m := msg.(type) {
+	case msgStartRound:
+		ma.onStart(ctx)
+	case msgDevices:
+		ma.onDevices(ctx, m)
+	case msgSelectionTimeout:
+		ma.onSelectionTimeout(ctx)
+	case msgReport:
+		ma.onReport(ctx, m)
+	case msgDeviceLost:
+		ma.onDeviceLost(m)
+	case msgAddResult:
+		ma.onAddResult(ctx, m)
+	case msgReportTimeout:
+		ma.onReportTimeout(ctx)
+	case msgGroupResult:
+		ma.onGroupResult(ctx, m)
+	case msgCrash:
+		panic("master aggregator crash injected")
+	}
+}
+
+func (ma *MasterAggregator) onStart(ctx *actor.Context) {
+	ma.startedAt = ma.now()
+	target := ma.plan.Server.SelectTarget()
+	per := target / len(ma.selectors)
+	extra := target % len(ma.selectors)
+	for i, sel := range ma.selectors {
+		n := per
+		if i < extra {
+			n++
+		}
+		_ = sel.Send(msgForwardDevices{N: n, To: ctx.Self})
+	}
+	self := ctx.Self
+	time.AfterFunc(ma.plan.Server.SelectionTimeout, func() { _ = self.Send(msgSelectionTimeout{}) })
+}
+
+func (ma *MasterAggregator) onDevices(ctx *actor.Context, m msgDevices) {
+	if ma.state != "selecting" {
+		for _, d := range m.Devices {
+			ma.abortDevice(d, "round already configured")
+		}
+		return
+	}
+	for _, d := range m.Devices {
+		if _, dup := ma.devices[d.ID]; dup {
+			ma.abortDevice(d, "duplicate device")
+			continue
+		}
+		ma.devices[d.ID] = &deviceState{held: d}
+		ma.order = append(ma.order, d.ID)
+	}
+	if len(ma.devices) >= ma.plan.Server.SelectTarget() {
+		ma.beginReporting(ctx)
+	}
+}
+
+func (ma *MasterAggregator) onSelectionTimeout(ctx *actor.Context) {
+	if ma.state != "selecting" {
+		return
+	}
+	if len(ma.devices) >= ma.plan.Server.MinReports() {
+		ma.beginReporting(ctx)
+		return
+	}
+	ma.fail(ctx, fmt.Sprintf("selection timeout with %d devices (< min %d)",
+		len(ma.devices), ma.plan.Server.MinReports()))
+}
+
+// beginReporting is the Configuration phase: spawn group Aggregators, send
+// each device its (version-matched) plan and the global checkpoint, and
+// start the report window.
+func (ma *MasterAggregator) beginReporting(ctx *actor.Context) {
+	ma.state = "reporting"
+	ma.reportOpen = ma.now()
+
+	ckptBytes, err := ma.global.Marshal(checkpoint.EncodingFloat64)
+	if err != nil {
+		ma.fail(ctx, "marshal global checkpoint: "+err.Error())
+		return
+	}
+	dim := len(ma.global.Params)
+	secure := ma.plan.Server.Aggregation == plan.AggregationSecure
+
+	// Spawn one Aggregator per group of groupSize devices.
+	numGroups := (len(ma.order) + ma.groupSize - 1) / ma.groupSize
+	ma.aggs = make([]*actor.Ref, numGroups)
+	for g := range ma.aggs {
+		ma.aggs[g] = ctx.Spawn(fmt.Sprintf("%s/agg-%d", ctx.Self.Name(), g), NewAggregator(dim, secure, ctx.Self))
+	}
+
+	deadline := ma.plan.Server.ParticipationCap
+	for i, id := range ma.order {
+		ds := ma.devices[id]
+		ds.group = ma.aggs[i/ma.groupSize]
+
+		vp, err := ma.plan.ForVersion(ds.held.RuntimeVersion)
+		if err != nil {
+			// Device cannot execute any version of this plan; reject it.
+			_ = ds.held.Conn.Send(protocol.CheckinResponse{Accepted: false, Reason: err.Error()})
+			_ = ds.held.Conn.Close()
+			ds.lost = true
+			ma.lost++
+			continue
+		}
+		planBytes, err := vp.Marshal()
+		if err != nil {
+			ma.fail(ctx, "marshal plan: "+err.Error())
+			return
+		}
+		resp := protocol.CheckinResponse{
+			Accepted:       true,
+			TaskID:         ma.plan.ID,
+			Round:          ma.global.Round,
+			Plan:           planBytes,
+			Checkpoint:     ckptBytes,
+			ReportDeadline: deadline,
+		}
+		if err := ds.held.Conn.Send(resp); err != nil {
+			ds.lost = true
+			ma.lost++
+			continue
+		}
+		// One reader goroutine per device: its report (or disconnect)
+		// becomes an actor message.
+		self := ctx.Self
+		conn := ds.held.Conn
+		deviceID := id
+		go func() {
+			msg, err := conn.Recv()
+			if err != nil {
+				_ = self.Send(msgDeviceLost{DeviceID: deviceID})
+				return
+			}
+			req, ok := msg.(protocol.ReportRequest)
+			if !ok {
+				_ = self.Send(msgDeviceLost{DeviceID: deviceID})
+				return
+			}
+			_ = self.Send(msgReport{DeviceID: deviceID, Req: req, Conn: conn})
+		}()
+	}
+	self := ctx.Self
+	time.AfterFunc(ma.plan.Server.ReportTimeout, func() { _ = self.Send(msgReportTimeout{}) })
+}
+
+func (ma *MasterAggregator) onReport(ctx *actor.Context, m msgReport) {
+	ds, ok := ma.devices[m.DeviceID]
+	if !ok || ma.state != "reporting" || ds.reported || ds.lost {
+		// Late or unknown report: the reporting window already closed for
+		// this device (the '#' outcome of Table 1).
+		_ = m.Conn.Send(protocol.ReportResponse{Accepted: false, Reason: "reporting window closed"})
+		_ = m.Conn.Close()
+		return
+	}
+	if m.Req.Aborted {
+		ds.lost = true
+		ma.lost++
+		_ = m.Conn.Send(protocol.ReportResponse{Accepted: false, Reason: "device aborted"})
+		_ = m.Conn.Close()
+		return
+	}
+	var upd *checkpoint.Checkpoint
+	if len(m.Req.Update) > 0 {
+		var err error
+		upd, err = checkpoint.Unmarshal(m.Req.Update)
+		if err != nil {
+			ds.lost = true
+			ma.lost++
+			_ = m.Conn.Send(protocol.ReportResponse{Accepted: false, Reason: "bad update: " + err.Error()})
+			_ = m.Conn.Close()
+			return
+		}
+	} else if ma.plan.Type != plan.TaskEval {
+		// A training task must carry an update.
+		ds.lost = true
+		ma.lost++
+		_ = m.Conn.Send(protocol.ReportResponse{Accepted: false, Reason: "missing update"})
+		_ = m.Conn.Close()
+		return
+	}
+	ds.reported = true
+	_ = ds.group.Send(msgAddUpdate{DeviceID: m.DeviceID, Update: upd, Metrics: m.Req.Metrics})
+	_ = m.Conn.Send(protocol.ReportResponse{Accepted: true})
+	_ = m.Conn.Close()
+}
+
+func (ma *MasterAggregator) onAddResult(ctx *actor.Context, m msgAddResult) {
+	ds, ok := ma.devices[m.DeviceID]
+	if !ok {
+		return
+	}
+	if !m.OK {
+		ds.reported = false
+		ds.lost = true
+		ma.lost++
+		return
+	}
+	ma.completed++
+	if ma.state == "reporting" && ma.completed >= ma.plan.Server.TargetDevices {
+		ma.finalize(ctx)
+	}
+}
+
+func (ma *MasterAggregator) onDeviceLost(m msgDeviceLost) {
+	ds, ok := ma.devices[m.DeviceID]
+	if !ok || ds.reported || ds.lost || ds.aborted {
+		return
+	}
+	ds.lost = true
+	ma.lost++
+}
+
+func (ma *MasterAggregator) onReportTimeout(ctx *actor.Context) {
+	if ma.state != "reporting" {
+		return
+	}
+	if ma.completed >= ma.plan.Server.MinReports() {
+		ma.finalize(ctx)
+		return
+	}
+	ma.fail(ctx, fmt.Sprintf("report timeout with %d reports (< min %d)",
+		ma.completed, ma.plan.Server.MinReports()))
+}
+
+// finalize closes the reporting window, collects group partials, and aborts
+// devices that are no longer needed.
+func (ma *MasterAggregator) finalize(ctx *actor.Context) {
+	ma.state = "collecting"
+	for _, agg := range ma.aggs {
+		_ = agg.Send(msgFinalizeGroup{})
+	}
+	// Abort devices that have not reported: the round no longer needs them
+	// (Fig. 7 "aborted").
+	for _, id := range ma.order {
+		ds := ma.devices[id]
+		if !ds.reported && !ds.lost {
+			ds.aborted = true
+			_ = ds.held.Conn.Send(protocol.Abort{TaskID: ma.plan.ID, Round: ma.global.Round, Reason: "enough devices completed"})
+			_ = ds.held.Conn.Close()
+		}
+	}
+}
+
+func (ma *MasterAggregator) onGroupResult(ctx *actor.Context, m msgGroupResult) {
+	if ma.state != "collecting" {
+		return
+	}
+	ma.partials = append(ma.partials, m)
+	if len(ma.partials) < len(ma.aggs) {
+		return
+	}
+
+	// All partials in: merge (the Master Aggregator's final, non-secure
+	// combination of intermediate sums, Sec. 6).
+	dim := len(ma.global.Params)
+	acc := fedavg.NewAccumulator(dim)
+	metricVals := make(map[string][]float64)
+	evalOnly := ma.plan.Type == plan.TaskEval
+	reports := 0
+	for _, p := range ma.partials {
+		if p.Count == 0 {
+			continue
+		}
+		reports += p.Count
+		if !evalOnly {
+			if err := acc.AddRaw(p.Sum, p.Weight, p.Count); err != nil {
+				ma.fail(ctx, "merge: "+err.Error())
+				return
+			}
+		}
+		for name, vs := range p.Metrics {
+			metricVals[name] = append(metricVals[name], vs...)
+		}
+	}
+	if reports < ma.plan.Server.MinReports() {
+		ma.fail(ctx, fmt.Sprintf("only %d reports survived aggregation (< min %d)",
+			reports, ma.plan.Server.MinReports()))
+		return
+	}
+	newGlobal := ma.global
+	if !evalOnly {
+		avg, err := acc.Average()
+		if err != nil {
+			ma.fail(ctx, "average: "+err.Error())
+			return
+		}
+		newGlobal = ma.global.Clone()
+		newGlobal.Round++
+		newGlobal.Weight = acc.Weight()
+		if err := fedavg.Apply(newGlobal.Params, avg); err != nil {
+			ma.fail(ctx, "apply: "+err.Error())
+			return
+		}
+		// The single write to persistent storage for this round.
+		if err := ma.store.PutCheckpoint(newGlobal); err != nil {
+			ma.fail(ctx, "commit: "+err.Error())
+			return
+		}
+	}
+	mat := &metrics.Materialized{TaskName: ma.plan.ID, Round: newGlobal.Round, Stats: map[string]metrics.Snapshot{}}
+	for name, vs := range metricVals {
+		s := metrics.NewSummary()
+		for _, v := range vs {
+			s.Add(v)
+		}
+		mat.Stats[name] = s.Snapshot()
+	}
+	_ = ma.store.PutMetrics(mat)
+
+	aborted := 0
+	for _, ds := range ma.devices {
+		if !ds.reported && !ds.lost {
+			aborted++
+		}
+	}
+	ma.state = "done"
+	_ = ma.coord.Send(msgRoundComplete{
+		TaskID:    ma.plan.ID,
+		Round:     newGlobal.Round,
+		Committed: newGlobal,
+		Completed: reports,
+		Aborted:   aborted,
+		Lost:      ma.lost,
+	})
+	ctx.Stop()
+}
+
+func (ma *MasterAggregator) fail(ctx *actor.Context, reason string) {
+	ma.state = "done"
+	for _, ds := range ma.devices {
+		if !ds.reported && !ds.lost {
+			_ = ds.held.Conn.Close()
+		}
+	}
+	for _, agg := range ma.aggs {
+		agg.Stop()
+	}
+	_ = ma.coord.Send(msgRoundFailed{TaskID: ma.plan.ID, Round: ma.global.Round, Reason: reason})
+	ctx.Stop()
+}
+
+func (ma *MasterAggregator) abortDevice(d heldDevice, reason string) {
+	_ = d.Conn.Send(protocol.CheckinResponse{Accepted: false, Reason: reason})
+	_ = d.Conn.Close()
+}

@@ -1,0 +1,214 @@
+package flserver
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/actor"
+	"repro/internal/checkpoint"
+	"repro/internal/data"
+	"repro/internal/pacing"
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/tensor"
+)
+
+// collectMaster spawns an actor standing in for the Master Aggregator,
+// recording everything the Aggregator sends.
+func collectMaster(s *actor.System) (*actor.Ref, func() []actor.Message, chan struct{}) {
+	var mu sync.Mutex
+	var got []actor.Message
+	sig := make(chan struct{}, 256)
+	ref := s.Spawn("fake-master", actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {
+		mu.Lock()
+		got = append(got, msg)
+		mu.Unlock()
+		sig <- struct{}{}
+	}))
+	return ref, func() []actor.Message {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]actor.Message(nil), got...)
+	}, sig
+}
+
+func waitSignals(t *testing.T, sig chan struct{}, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		select {
+		case <-sig:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("timed out waiting for %d/%d messages", i+1, n)
+		}
+	}
+}
+
+func TestAggregatorSimpleSum(t *testing.T) {
+	sys := actor.NewSystem()
+	master, got, sig := collectMaster(sys)
+	agg := sys.Spawn("agg", NewAggregator(2, false, master))
+	defer sys.Shutdown(master, agg)
+
+	_ = agg.Send(msgAddUpdate{DeviceID: "a", Update: &checkpoint.Checkpoint{Params: tensor.Vector{2, 4}, Weight: 2}, Metrics: map[string]float64{"loss": 1}})
+	_ = agg.Send(msgAddUpdate{DeviceID: "b", Update: &checkpoint.Checkpoint{Params: tensor.Vector{1, 1}, Weight: 1}, Metrics: map[string]float64{"loss": 3}})
+	waitSignals(t, sig, 2)
+	_ = agg.Send(msgFinalizeGroup{})
+	waitSignals(t, sig, 1)
+
+	msgs := got()
+	res, ok := msgs[len(msgs)-1].(msgGroupResult)
+	if !ok {
+		t.Fatalf("last message %T", msgs[len(msgs)-1])
+	}
+	if res.Count != 2 || res.Weight != 3 {
+		t.Fatalf("result: %+v", res)
+	}
+	if res.Sum[0] != 3 || res.Sum[1] != 5 {
+		t.Fatalf("sum = %v", res.Sum)
+	}
+	if len(res.Metrics["loss"]) != 2 {
+		t.Fatalf("metrics: %+v", res.Metrics)
+	}
+}
+
+func TestAggregatorRejectsBadUpdates(t *testing.T) {
+	sys := actor.NewSystem()
+	master, got, sig := collectMaster(sys)
+	agg := sys.Spawn("agg", NewAggregator(2, false, master))
+	defer sys.Shutdown(master, agg)
+
+	_ = agg.Send(msgAddUpdate{DeviceID: "a", Update: &checkpoint.Checkpoint{Params: tensor.Vector{1}, Weight: 1}})
+	_ = agg.Send(msgAddUpdate{DeviceID: "b", Update: &checkpoint.Checkpoint{Params: tensor.Vector{1, 2}, Weight: 0}})
+	waitSignals(t, sig, 2)
+	for _, m := range got() {
+		if r, ok := m.(msgAddResult); ok && r.OK {
+			t.Fatalf("bad update accepted: %+v", r)
+		}
+	}
+}
+
+func TestAggregatorSecureMatchesSimple(t *testing.T) {
+	sys := actor.NewSystem()
+	updates := []*checkpoint.Checkpoint{
+		{Params: tensor.Vector{1, -2, 0.5}, Weight: 3},
+		{Params: tensor.Vector{0.25, 1, 1}, Weight: 1},
+		{Params: tensor.Vector{-1, -1, -1}, Weight: 2},
+	}
+	run := func(secure bool) msgGroupResult {
+		master, got, sig := collectMaster(sys)
+		agg := sys.Spawn("agg", NewAggregator(3, secure, master))
+		defer func() { master.Stop(); agg.Stop() }()
+		for i, u := range updates {
+			_ = agg.Send(msgAddUpdate{DeviceID: string(rune('a' + i)), Update: u})
+		}
+		waitSignals(t, sig, len(updates))
+		_ = agg.Send(msgFinalizeGroup{})
+		waitSignals(t, sig, 1)
+		msgs := got()
+		return msgs[len(msgs)-1].(msgGroupResult)
+	}
+	plainRes := run(false)
+	secureRes := run(true)
+	if plainRes.Count != secureRes.Count {
+		t.Fatalf("counts differ: %d vs %d", plainRes.Count, secureRes.Count)
+	}
+	if math.Abs(plainRes.Weight-secureRes.Weight) > 1e-3 {
+		t.Fatalf("weights differ: %v vs %v", plainRes.Weight, secureRes.Weight)
+	}
+	for i := range plainRes.Sum {
+		if math.Abs(plainRes.Sum[i]-secureRes.Sum[i]) > 1e-3 {
+			t.Fatalf("secure sum %v != plain %v", secureRes.Sum, plainRes.Sum)
+		}
+	}
+}
+
+func TestAggregatorEvalMetricsOnly(t *testing.T) {
+	sys := actor.NewSystem()
+	master, got, sig := collectMaster(sys)
+	agg := sys.Spawn("agg", NewAggregator(2, false, master))
+	defer sys.Shutdown(master, agg)
+
+	_ = agg.Send(msgAddUpdate{DeviceID: "a", Metrics: map[string]float64{"eval_accuracy": 0.8}})
+	_ = agg.Send(msgAddUpdate{DeviceID: "b", Metrics: map[string]float64{"eval_accuracy": 0.9}})
+	waitSignals(t, sig, 2)
+	_ = agg.Send(msgFinalizeGroup{})
+	waitSignals(t, sig, 1)
+	msgs := got()
+	res := msgs[len(msgs)-1].(msgGroupResult)
+	if res.Count != 2 || res.Weight != 0 {
+		t.Fatalf("eval result: %+v", res)
+	}
+	if len(res.Metrics["eval_accuracy"]) != 2 {
+		t.Fatalf("metrics: %+v", res.Metrics)
+	}
+}
+
+func TestEvalTaskThroughServer(t *testing.T) {
+	fed, _ := data.Blobs(data.BlobsConfig{Users: 8, ExamplesPer: 20, Features: 4, Classes: 3, TestSize: 10, Seed: 13})
+	store := storage.NewMem()
+	evalPlan, err := plan.Generate(plan.Config{
+		TaskID: "pop/eval", Population: "pop", Type: plan.TaskEval,
+		Model:     testPlan(t, 4, false).Device.Model,
+		StoreName: "clicks", TargetDevices: 4, MinReportFraction: 0.6,
+		SelectionTimeout: 2 * time.Second, ReportTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, net, addr := runServer(t, Config{
+		Population: "pop", Plans: []*plan.Plan{evalPlan}, Store: store,
+		Steering: pacing.New(time.Second), MaxRounds: 2, Seed: 14,
+	})
+	fl := newFleet(t, 8, fed, 3)
+	fl.run(net, addr)
+	waitDone(t, srv, 60*time.Second)
+	fl.halt()
+
+	// Eval rounds commit metrics, never checkpoints.
+	if _, err := store.LatestCheckpoint(evalPlan.ID); err == nil {
+		t.Fatal("eval task must not commit model checkpoints")
+	}
+	ms, err := store.Metrics(evalPlan.ID)
+	if err != nil || len(ms) < 2 {
+		t.Fatalf("eval metrics: %d, %v", len(ms), err)
+	}
+	if _, ok := ms[0].Stats["eval_accuracy"]; !ok {
+		t.Fatalf("missing eval_accuracy: %+v", ms[0].Stats)
+	}
+}
+
+func TestMultiTaskRoundRobin(t *testing.T) {
+	// Sec. 7.1: "the FL service chooses among them using a dynamic strategy
+	// that allows alternating between training and evaluation of a single
+	// model". Deploy a train task and an eval task; both make progress.
+	fed, _ := data.Blobs(data.BlobsConfig{Users: 10, ExamplesPer: 20, Features: 4, Classes: 3, TestSize: 10, Seed: 15})
+	store := storage.NewMem()
+	train := testPlan(t, 4, false)
+	eval, err := plan.Generate(plan.Config{
+		TaskID: "pop/eval", Population: "pop", Type: plan.TaskEval,
+		Model: train.Device.Model, StoreName: "clicks",
+		TargetDevices: 4, MinReportFraction: 0.6,
+		SelectionTimeout: 2 * time.Second, ReportTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, net, addr := runServer(t, Config{
+		Population: "pop", Plans: []*plan.Plan{train, eval}, Store: store,
+		Steering: pacing.New(time.Second), MaxRounds: 4, Seed: 16,
+	})
+	fl := newFleet(t, 10, fed, 3)
+	fl.run(net, addr)
+	waitDone(t, srv, 90*time.Second)
+	fl.halt()
+
+	if _, err := store.LatestCheckpoint(train.ID); err != nil {
+		t.Fatalf("train task never committed: %v", err)
+	}
+	evalMetrics, _ := store.Metrics(eval.ID)
+	if len(evalMetrics) == 0 {
+		t.Fatal("eval task never ran")
+	}
+}

@@ -1,0 +1,172 @@
+package flserver
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/actor"
+	"repro/internal/checkpoint"
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/tensor"
+)
+
+// Coordinator is the top-level actor for one FL population (Sec. 4.2): it
+// holds the population's lock, schedules FL tasks, instructs Selectors how
+// many devices to accept, spawns a Master Aggregator per round, and
+// restarts rounds whose Master Aggregator fails (Sec. 4.4).
+type Coordinator struct {
+	population string
+	lock       *actor.LockService
+	store      storage.Store
+	plans      []*plan.Plan
+	selectors  []*actor.Ref
+	// MaxRounds stops the coordinator after that many successful rounds
+	// (0 = run forever). Tests and benchmarks set it.
+	maxRounds int
+	now       func() time.Time
+
+	acquired  bool
+	planIdx   int
+	global    map[string]*checkpoint.Checkpoint // per task
+	currentMA *actor.Ref
+	completed int
+	failed    int
+	// onDone, if non-nil, is signalled when maxRounds is reached.
+	onDone chan struct{}
+}
+
+// NewCoordinator returns the behavior for a population coordinator.
+func NewCoordinator(population string, lock *actor.LockService, store storage.Store, plans []*plan.Plan, selectors []*actor.Ref, maxRounds int, onDone chan struct{}, now func() time.Time) *Coordinator {
+	if now == nil {
+		now = time.Now
+	}
+	return &Coordinator{
+		population: population,
+		lock:       lock,
+		store:      store,
+		plans:      plans,
+		selectors:  selectors,
+		maxRounds:  maxRounds,
+		now:        now,
+		global:     make(map[string]*checkpoint.Checkpoint),
+		onDone:     onDone,
+	}
+}
+
+// Receive implements actor.Behavior.
+func (c *Coordinator) Receive(ctx *actor.Context, msg actor.Message) {
+	switch m := msg.(type) {
+	case msgTick:
+		c.onTick(ctx)
+	case msgRoundComplete:
+		c.onRoundComplete(ctx, m)
+	case msgRoundFailed:
+		c.failed++
+		c.currentMA = nil
+		// Restart: the next tick spawns a fresh Master Aggregator for the
+		// same task ("the current round... will fail, but will then be
+		// restarted by the Coordinator").
+		_ = ctx.Self.Send(msgTick{})
+	case actor.Terminated:
+		if m.Ref == c.currentMA && m.Failure {
+			c.failed++
+			c.currentMA = nil
+			_ = ctx.Self.Send(msgTick{})
+		}
+	case msgCoordinatorStats:
+		round := int64(0)
+		if len(c.plans) > 0 {
+			if g, ok := c.global[c.plans[0].ID]; ok {
+				round = g.Round
+			}
+		}
+		m.Reply <- CoordinatorStats{RoundsCompleted: c.completed, RoundsFailed: c.failed, CurrentRound: round}
+	case msgCrash:
+		panic("coordinator crash injected")
+	}
+}
+
+func (c *Coordinator) onTick(ctx *actor.Context) {
+	// Registration in the shared locking service: only the single owner of
+	// the population proceeds.
+	if !c.acquired {
+		if !c.lock.Acquire(c.population, ctx.Self) {
+			ctx.Stop() // someone else owns this population
+			return
+		}
+		c.acquired = true
+	}
+	if c.currentMA != nil {
+		return // round in flight
+	}
+	if c.maxRounds > 0 && c.completed >= c.maxRounds {
+		if c.onDone != nil {
+			select {
+			case <-c.onDone:
+			default:
+				close(c.onDone)
+			}
+		}
+		return
+	}
+	if len(c.plans) == 0 {
+		return
+	}
+
+	// Dynamic task choice (Sec. 7.1: the service "chooses among them using
+	// a dynamic strategy"): round-robin over the deployed tasks.
+	p := c.plans[c.planIdx%len(c.plans)]
+	c.planIdx++
+
+	global, err := c.loadGlobal(p)
+	if err != nil {
+		c.failed++
+		return
+	}
+
+	// Tell selectors how many devices to admit for this round.
+	target := p.Server.SelectTarget()
+	per := target / len(c.selectors)
+	extra := target % len(c.selectors)
+	for i, sel := range c.selectors {
+		n := per
+		if i < extra {
+			n++
+		}
+		_ = sel.Send(msgSetQuota{Population: c.population, Accept: n})
+	}
+
+	ma := ctx.Spawn(fmt.Sprintf("ma/%s/r%d", p.ID, global.Round), NewMasterAggregator(p, global, c.store, ctx.Self, c.selectors, c.now))
+	ctx.Watch(ma)
+	c.currentMA = ma
+	_ = ma.Send(msgStartRound{})
+}
+
+// loadGlobal fetches the latest committed checkpoint for the task, or
+// initializes round 0 from the model spec.
+func (c *Coordinator) loadGlobal(p *plan.Plan) (*checkpoint.Checkpoint, error) {
+	if g, ok := c.global[p.ID]; ok {
+		return g, nil
+	}
+	if g, err := c.store.LatestCheckpoint(p.ID); err == nil {
+		c.global[p.ID] = g
+		return g, nil
+	}
+	m, err := p.Device.Model.Build()
+	if err != nil {
+		return nil, err
+	}
+	params := make(tensor.Vector, m.NumParams())
+	m.ReadParams(params)
+	g := &checkpoint.Checkpoint{TaskName: p.ID, Round: 0, Params: params}
+	c.global[p.ID] = g
+	return g, nil
+}
+
+func (c *Coordinator) onRoundComplete(ctx *actor.Context, m msgRoundComplete) {
+	c.global[m.TaskID] = m.Committed
+	c.completed++
+	c.currentMA = nil
+	_ = ctx.Self.Send(msgTick{})
+}

@@ -1,0 +1,136 @@
+// Package flserver implements the FL server of Sec. 4: an actor-based
+// architecture with Coordinators (one per FL population, registered in a
+// shared locking service), Selectors (accept and forward device
+// connections), and per-round Master Aggregators that delegate to
+// ephemeral Aggregator actors. All round state lives in actor memory; only
+// the fully aggregated result is committed to storage.
+//
+// The actors exchange the message types in this file. Device connections
+// are transport.Conn streams; a goroutine per connection turns wire
+// messages into actor messages.
+package flserver
+
+import (
+	"time"
+
+	"repro/internal/actor"
+	"repro/internal/checkpoint"
+	"repro/internal/protocol"
+	"repro/internal/transport"
+)
+
+// heldDevice is an accepted device connection parked in a Selector, ready
+// to be forwarded to an Aggregator.
+type heldDevice struct {
+	ID             string
+	RuntimeVersion int
+	Conn           transport.Conn
+	// AcceptedAt is when the device checked in (for participation timing).
+	AcceptedAt time.Time
+}
+
+// --- Selector messages ---
+
+// msgCheckin is posted by a connection handler when a device checks in.
+type msgCheckin struct {
+	Req  protocol.CheckinRequest
+	Conn transport.Conn
+}
+
+// msgSetQuota is the Coordinator's periodic instruction telling a Selector
+// how many devices to accept for a population (Sec. 4.2).
+type msgSetQuota struct {
+	Population string
+	// Accept is the number of additional devices the Selector may hold.
+	Accept int
+}
+
+// msgForwardDevices instructs a Selector to send up to N held devices to
+// the given Master Aggregator.
+type msgForwardDevices struct {
+	N  int
+	To *actor.Ref
+}
+
+// msgSelectorStats asks a Selector for its current counts.
+type msgSelectorStats struct {
+	Reply chan SelectorStats
+}
+
+// SelectorStats reports a Selector's connection counts.
+type SelectorStats struct {
+	Held     int
+	Accepted int64
+	Rejected int64
+}
+
+// --- Master Aggregator messages ---
+
+// msgDevices delivers forwarded devices to a Master Aggregator.
+type msgDevices struct {
+	Devices []heldDevice
+}
+
+// msgSelectionTimeout fires when the selection window closes.
+type msgSelectionTimeout struct{}
+
+// msgReportTimeout fires when the reporting window closes.
+type msgReportTimeout struct{}
+
+// msgReport is a device's update, posted by its connection reader.
+type msgReport struct {
+	DeviceID string
+	Req      protocol.ReportRequest
+	Conn     transport.Conn
+}
+
+// msgDeviceLost is posted when a device connection dies before reporting.
+type msgDeviceLost struct {
+	DeviceID string
+}
+
+// msgFinalizeGroup tells an Aggregator to deliver its partial aggregate.
+type msgFinalizeGroup struct{}
+
+// msgGroupResult is an Aggregator's partial aggregate for the round.
+type msgGroupResult struct {
+	From    *actor.Ref
+	Sum     []float64
+	Weight  float64
+	Count   int
+	Metrics map[string][]float64 // metric name -> per-device values
+}
+
+// --- Coordinator messages ---
+
+// msgRoundComplete reports a committed round to the Coordinator.
+type msgRoundComplete struct {
+	TaskID    string
+	Round     int64
+	Committed *checkpoint.Checkpoint
+	Completed int
+	Aborted   int
+	Lost      int
+}
+
+// msgRoundFailed reports an abandoned round.
+type msgRoundFailed struct {
+	TaskID string
+	Round  int64
+	Reason string
+}
+
+// msgTick drives the Coordinator's periodic scheduling.
+type msgTick struct{}
+
+// msgCoordinatorStats asks for coordinator progress.
+type msgCoordinatorStats struct {
+	Reply chan CoordinatorStats
+}
+
+// CoordinatorStats reports rounds progress for a population.
+type CoordinatorStats struct {
+	RoundsCompleted int
+	RoundsFailed    int
+	CurrentRound    int64
+}

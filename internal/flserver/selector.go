@@ -1,0 +1,183 @@
+package flserver
+
+import (
+	"time"
+
+	"repro/internal/actor"
+	"repro/internal/attest"
+	"repro/internal/pacing"
+	"repro/internal/protocol"
+	"repro/internal/tensor"
+)
+
+// Selector accepts and forwards device connections (Sec. 4.2). It
+// periodically receives quota from the Coordinator and makes local
+// accept/reject decisions; rejected devices get a pace-steering reconnect
+// hint. Accepted devices are parked until the Coordinator instructs the
+// Selector to forward them to an Aggregator, which keeps selection running
+// continuously and gives the pipelining of Sec. 4.3 for free.
+type Selector struct {
+	population string
+	verifier   *attest.Verifier
+	steering   *pacing.Steering
+	// PopulationEstimate and Demand feed pace steering.
+	populationEstimate int
+	demand             int
+
+	quota    int
+	held     []heldDevice
+	accepted int64
+	rejected int64
+	// seen counts eligible check-ins since the last quota grant; it drives
+	// reservoir sampling (footnote 1 of the paper: "selection is done by
+	// simple reservoir sampling"), so a device checking in late in the
+	// window has the same selection probability as an early one.
+	seen int64
+	rng  *tensor.RNG
+	now  func() time.Time
+
+	// pendingTo/pendingN track an outstanding forward request from a
+	// Master Aggregator, so devices checking in after the request still
+	// flow to the round as they arrive.
+	pendingTo *actor.Ref
+	pendingN  int
+}
+
+// NewSelector returns the behavior for a Selector actor.
+func NewSelector(population string, verifier *attest.Verifier, steering *pacing.Steering, populationEstimate int, seed uint64, now func() time.Time) *Selector {
+	if now == nil {
+		now = time.Now
+	}
+	return &Selector{
+		population:         population,
+		verifier:           verifier,
+		steering:           steering,
+		populationEstimate: populationEstimate,
+		demand:             1,
+		rng:                tensor.NewRNG(seed),
+		now:                now,
+	}
+}
+
+// Receive implements actor.Behavior.
+func (s *Selector) Receive(ctx *actor.Context, msg actor.Message) {
+	switch m := msg.(type) {
+	case msgCheckin:
+		s.onCheckin(m)
+	case msgSetQuota:
+		if m.Population == s.population {
+			s.quota = m.Accept
+			s.seen = 0
+			if m.Accept > 0 {
+				s.demand = m.Accept
+			}
+		}
+	case msgForwardDevices:
+		s.onForward(m)
+	case msgSelectorStats:
+		m.Reply <- SelectorStats{Held: len(s.held), Accepted: s.accepted, Rejected: s.rejected}
+	case actor.Terminated:
+		// A watched Coordinator died; respawn is handled by the frontend
+		// (see Frontend.superviseCoordinator).
+	}
+}
+
+func (s *Selector) onCheckin(m msgCheckin) {
+	now := s.now()
+	reject := func(reason string) {
+		s.rejected++
+		_ = m.Conn.Send(protocol.CheckinResponse{
+			Accepted:   false,
+			Reason:     reason,
+			RetryAfter: s.steering.Suggest(s.populationEstimate, s.demand, now, s.rng),
+		})
+		_ = m.Conn.Close()
+	}
+
+	if m.Req.Population != s.population {
+		reject("wrong population")
+		return
+	}
+	if s.verifier != nil {
+		if err := s.verifier.Verify(m.Req.DeviceID, m.Req.Population, m.Req.AttestationToken, now); err != nil {
+			reject("attestation failed")
+			return
+		}
+	}
+	s.seen++
+	if s.quota <= 0 {
+		// Reservoir sampling over the parked pool: a late check-in replaces
+		// a random held device with probability held/seen, so selection
+		// within the window is uniform rather than first-come-first-served.
+		// Devices already forwarded to an Aggregator are committed and not
+		// recalled.
+		if n := len(s.held); n > 0 && s.rng.Float64() < float64(n)/float64(s.seen) {
+			i := s.rng.Intn(n)
+			victim := s.held[i]
+			s.held[i] = heldDevice{
+				ID:             m.Req.DeviceID,
+				RuntimeVersion: m.Req.RuntimeVersion,
+				Conn:           m.Conn,
+				AcceptedAt:     now,
+			}
+			s.rejected++
+			_ = victim.Conn.Send(protocol.CheckinResponse{
+				Accepted:   false,
+				Reason:     "displaced by reservoir sampling",
+				RetryAfter: s.steering.Suggest(s.populationEstimate, s.demand, now, s.rng),
+			})
+			_ = victim.Conn.Close()
+			return
+		}
+		reject("come back later")
+		return
+	}
+	s.quota--
+	s.accepted++
+	d := heldDevice{
+		ID:             m.Req.DeviceID,
+		RuntimeVersion: m.Req.RuntimeVersion,
+		Conn:           m.Conn,
+		AcceptedAt:     now,
+	}
+	if s.pendingN > 0 && s.pendingTo != nil {
+		if err := s.pendingTo.Send(msgDevices{Devices: []heldDevice{d}}); err != nil {
+			s.pendingTo, s.pendingN = nil, 0
+			_ = d.Conn.Close()
+			return
+		}
+		s.pendingN--
+		if s.pendingN == 0 {
+			s.pendingTo = nil
+		}
+		return
+	}
+	s.held = append(s.held, d)
+}
+
+func (s *Selector) onForward(m msgForwardDevices) {
+	n := m.N
+	if n > len(s.held) {
+		n = len(s.held)
+	}
+	if n > 0 {
+		batch := make([]heldDevice, n)
+		copy(batch, s.held[:n])
+		s.held = append(s.held[:0], s.held[n:]...)
+		if err := m.To.Send(msgDevices{Devices: batch}); err != nil {
+			// Master Aggregator already gone; the devices are lost, mirroring
+			// "if an Aggregator or Selector crashes, only the devices
+			// connected to that actor will be lost".
+			for _, d := range batch {
+				_ = d.Conn.Close()
+			}
+			return
+		}
+	}
+	// Remember the remainder so later check-ins stream to the round.
+	s.pendingTo = m.To
+	s.pendingN = m.N - n
+	if s.pendingN <= 0 {
+		s.pendingTo, s.pendingN = nil, 0
+	}
+}

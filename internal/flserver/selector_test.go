@@ -1,0 +1,130 @@
+package flserver
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/actor"
+	"repro/internal/pacing"
+	"repro/internal/protocol"
+	"repro/internal/transport"
+)
+
+// driveSelector sends n device check-ins into a Selector with quota 1 and
+// returns the ID of the device that survives the reservoir.
+func driveSelector(t *testing.T, sys *actor.System, seed uint64, n int) string {
+	t.Helper()
+	sel := sys.Spawn(fmt.Sprintf("sel-%d", seed),
+		NewSelector("pop", nil, pacing.New(time.Second), 100, seed, nil))
+	defer sel.Stop()
+
+	_ = sel.Send(msgSetQuota{Population: "pop", Accept: 1})
+	for i := 0; i < n; i++ {
+		client, server := transport.Pipe()
+		// Drain the device side so rejected responses don't block.
+		go func(c transport.Conn) {
+			for {
+				if _, err := c.Recv(); err != nil {
+					return
+				}
+			}
+		}(client)
+		_ = sel.Send(msgCheckin{
+			Req:  protocol.CheckinRequest{DeviceID: fmt.Sprintf("dev-%d", i), Population: "pop"},
+			Conn: server,
+		})
+	}
+
+	// Collect the survivor.
+	var mu sync.Mutex
+	var survivor string
+	got := make(chan struct{}, 1)
+	collector := sys.Spawn(fmt.Sprintf("collector-%d", seed), actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {
+		if m, ok := msg.(msgDevices); ok && len(m.Devices) > 0 {
+			mu.Lock()
+			survivor = m.Devices[0].ID
+			mu.Unlock()
+			got <- struct{}{}
+		}
+	}))
+	defer collector.Stop()
+	_ = sel.Send(msgForwardDevices{N: 1, To: collector})
+	select {
+	case <-got:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no device forwarded")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return survivor
+}
+
+func TestReservoirSamplingIsNotFCFS(t *testing.T) {
+	// With quota 1 and 5 sequential check-ins, first-come-first-served
+	// would always keep dev-0. Reservoir sampling keeps each with
+	// probability 1/5; across 40 trials several distinct devices must win,
+	// and dev-0 must not win them all.
+	sys := actor.NewSystem()
+	winners := map[string]int{}
+	for trial := 0; trial < 40; trial++ {
+		w := driveSelector(t, sys, uint64(trial)+1, 5)
+		winners[w]++
+	}
+	if len(winners) < 3 {
+		t.Fatalf("reservoir should spread selection, got winners %v", winners)
+	}
+	if winners["dev-0"] == 40 {
+		t.Fatal("selection is first-come-first-served")
+	}
+	// dev-0 should win roughly 1/5 of the time, certainly not never and
+	// not a majority.
+	if winners["dev-0"] > 25 {
+		t.Fatalf("dev-0 won %d/40, reservoir not uniform-ish: %v", winners["dev-0"], winners)
+	}
+}
+
+func TestSelectorRejectsWrongPopulation(t *testing.T) {
+	sys := actor.NewSystem()
+	sel := sys.Spawn("sel", NewSelector("pop", nil, pacing.New(time.Second), 100, 1, nil))
+	defer sel.Stop()
+	_ = sel.Send(msgSetQuota{Population: "pop", Accept: 5})
+
+	client, server := transport.Pipe()
+	_ = sel.Send(msgCheckin{
+		Req:  protocol.CheckinRequest{DeviceID: "d", Population: "other"},
+		Conn: server,
+	})
+	msg, err := client.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := msg.(protocol.CheckinResponse)
+	if resp.Accepted {
+		t.Fatal("wrong population must be rejected")
+	}
+	if resp.RetryAfter <= 0 {
+		t.Fatal("rejection must carry a pace-steering hint")
+	}
+}
+
+func TestSelectorQuotaForOtherPopulationIgnored(t *testing.T) {
+	sys := actor.NewSystem()
+	sel := sys.Spawn("sel", NewSelector("pop", nil, pacing.New(time.Second), 100, 1, nil))
+	defer sel.Stop()
+	_ = sel.Send(msgSetQuota{Population: "other", Accept: 5})
+
+	client, server := transport.Pipe()
+	_ = sel.Send(msgCheckin{
+		Req:  protocol.CheckinRequest{DeviceID: "d", Population: "pop"},
+		Conn: server,
+	})
+	msg, err := client.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.(protocol.CheckinResponse).Accepted {
+		t.Fatal("quota for another population must not admit devices")
+	}
+}

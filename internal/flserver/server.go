@@ -1,0 +1,205 @@
+package flserver
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/actor"
+	"repro/internal/attest"
+	"repro/internal/pacing"
+	"repro/internal/plan"
+	"repro/internal/protocol"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// Config configures a Server for one FL population.
+type Config struct {
+	Population string
+	Plans      []*plan.Plan
+	Store      storage.Store
+	// Verifier enables attestation checks when non-nil.
+	Verifier *attest.Verifier
+	Steering *pacing.Steering
+	// PopulationEstimate feeds pace steering.
+	PopulationEstimate int
+	NumSelectors       int
+	// MaxRounds stops after that many committed rounds (0 = forever).
+	MaxRounds int
+	Seed      uint64
+	// Now overrides the wall clock (tests).
+	Now func() time.Time
+}
+
+// Server wires the actor architecture to a transport listener: it spawns
+// the Selector layer and the Coordinator, dispatches device check-ins to
+// Selectors, and supervises the Coordinator via the lock service (a dead
+// Coordinator is detected and respawned exactly once, Sec. 4.4).
+type Server struct {
+	cfg  Config
+	sys  *actor.System
+	lock *actor.LockService
+
+	selectors []*actor.Ref
+	mu        sync.Mutex
+	coord     *actor.Ref
+	done      chan struct{}
+
+	nextSel  uint64
+	closed   atomic.Bool
+	handlers sync.WaitGroup
+}
+
+// New builds the server and spawns its actors.
+func New(cfg Config) (*Server, error) {
+	if cfg.Population == "" || len(cfg.Plans) == 0 || cfg.Store == nil {
+		return nil, fmt.Errorf("flserver: Population, Plans and Store are required")
+	}
+	for _, p := range cfg.Plans {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		if p.Population != cfg.Population {
+			return nil, fmt.Errorf("flserver: plan %q is for population %q, server is %q", p.ID, p.Population, cfg.Population)
+		}
+	}
+	if cfg.NumSelectors <= 0 {
+		cfg.NumSelectors = 2
+	}
+	if cfg.Steering == nil {
+		cfg.Steering = pacing.New(time.Minute)
+	}
+	if cfg.PopulationEstimate <= 0 {
+		cfg.PopulationEstimate = 1000
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+
+	s := &Server{
+		cfg:  cfg,
+		sys:  actor.NewSystem(),
+		lock: actor.NewLockService(),
+		done: make(chan struct{}),
+	}
+	for i := 0; i < cfg.NumSelectors; i++ {
+		sel := s.sys.Spawn(fmt.Sprintf("selector-%d", i),
+			NewSelector(cfg.Population, cfg.Verifier, cfg.Steering, cfg.PopulationEstimate, cfg.Seed+uint64(i), cfg.Now))
+		s.selectors = append(s.selectors, sel)
+	}
+	s.spawnCoordinator()
+	return s, nil
+}
+
+// spawnCoordinator starts a Coordinator and a watcher that respawns it on
+// failure. The lock service guarantees a single live owner even if several
+// watchers race.
+func (s *Server) spawnCoordinator() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	coord := s.sys.Spawn("coordinator/"+s.cfg.Population,
+		NewCoordinator(s.cfg.Population, s.lock, s.cfg.Store, s.cfg.Plans, s.selectors, s.cfg.MaxRounds, s.done, s.cfg.Now))
+	s.coord = coord
+	_ = coord.Send(msgTick{})
+
+	// The Selector layer's supervision duty (Sec. 4.4: "if the Coordinator
+	// dies, the Selector layer will detect this and respawn it").
+	watcher := s.sys.Spawn("coordinator-watcher", actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {
+		if t, ok := msg.(actor.Terminated); ok && t.Ref == coord {
+			if !s.closed.Load() && t.Failure {
+				s.spawnCoordinator()
+			}
+			ctx.Stop()
+		}
+	}))
+	s.sys.Watch(coord, watcher)
+}
+
+// Coordinator returns the current coordinator ref (tests).
+func (s *Server) Coordinator() *actor.Ref {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.coord
+}
+
+// Done is closed when MaxRounds rounds have committed.
+func (s *Server) Done() <-chan struct{} { return s.done }
+
+// Stats queries coordinator progress.
+func (s *Server) Stats() CoordinatorStats {
+	reply := make(chan CoordinatorStats, 1)
+	if err := s.Coordinator().Send(msgCoordinatorStats{Reply: reply}); err != nil {
+		return CoordinatorStats{}
+	}
+	select {
+	case st := <-reply:
+		return st
+	case <-time.After(5 * time.Second):
+		return CoordinatorStats{}
+	}
+}
+
+// SelectorStats sums stats across the selector layer.
+func (s *Server) SelectorStats() SelectorStats {
+	var total SelectorStats
+	for _, sel := range s.selectors {
+		reply := make(chan SelectorStats, 1)
+		if sel.Send(msgSelectorStats{Reply: reply}) != nil {
+			continue
+		}
+		select {
+		case st := <-reply:
+			total.Held += st.Held
+			total.Accepted += st.Accepted
+			total.Rejected += st.Rejected
+		case <-time.After(5 * time.Second):
+		}
+	}
+	return total
+}
+
+// Serve accepts device connections from l until l closes. Each connection's
+// first message must be a CheckinRequest, which is dispatched to a Selector
+// round-robin (Selectors are "globally distributed, close to devices" in
+// the paper; round-robin stands in for geographic affinity).
+func (s *Server) Serve(l transport.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		s.handlers.Add(1)
+		go func() {
+			defer s.handlers.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+func (s *Server) handleConn(conn transport.Conn) {
+	msg, err := conn.Recv()
+	if err != nil {
+		_ = conn.Close()
+		return
+	}
+	req, ok := msg.(protocol.CheckinRequest)
+	if !ok {
+		_ = conn.Close()
+		return
+	}
+	idx := atomic.AddUint64(&s.nextSel, 1) % uint64(len(s.selectors))
+	if err := s.selectors[idx].Send(msgCheckin{Req: req, Conn: conn}); err != nil {
+		_ = conn.Close()
+	}
+}
+
+// Close stops the actor system.
+func (s *Server) Close() {
+	s.closed.Store(true)
+	refs := append([]*actor.Ref{}, s.selectors...)
+	refs = append(refs, s.Coordinator())
+	s.sys.Shutdown(refs...)
+	s.handlers.Wait()
+}

@@ -1,0 +1,102 @@
+package flserver
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/device"
+	"repro/internal/pacing"
+	"repro/internal/plan"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+// TestEndToEndOverTCP runs the full protocol over real TCP sockets: the
+// same server and device code the cmd/flserver and cmd/fldevices binaries
+// use.
+func TestEndToEndOverTCP(t *testing.T) {
+	fed, err := data.Blobs(data.BlobsConfig{
+		Users: 12, ExamplesPer: 25, Features: 4, Classes: 3, TestSize: 200, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := storage.NewMem()
+	p := testPlan(t, 6, false)
+	srv, err := New(Config{
+		Population: "pop", Plans: []*plan.Plan{p}, Store: store,
+		Steering: pacing.New(time.Second), MaxRounds: 3, Seed: 22,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	l, err := transport.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go srv.Serve(l)
+	addr := l.Addr()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := device.NewMemStore("clicks", 1000, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			now := time.Now()
+			for _, ex := range fed.Users[i] {
+				s.Add(ex, now)
+			}
+			rt := device.NewRuntime(fmt.Sprintf("tcp-dev-%d", i), 3, nil, uint64(i))
+			if err := rt.RegisterStore(s); err != nil {
+				t.Error(err)
+				return
+			}
+			client := &DeviceClient{ID: fmt.Sprintf("tcp-dev-%d", i), Population: "pop", Runtime: rt}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				conn, err := transport.DialTCP(addr)
+				if err != nil {
+					return // listener closed
+				}
+				if _, err := client.RunOnce(conn); err != nil {
+					time.Sleep(20 * time.Millisecond)
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}()
+	}
+
+	waitDone(t, srv, 90*time.Second)
+	close(stop)
+	wg.Wait()
+
+	ckpt, err := store.LatestCheckpoint(p.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckpt.Round < 3 {
+		t.Fatalf("TCP rounds committed = %d", ckpt.Round)
+	}
+	m, _ := p.Device.Model.Build()
+	m.WriteParams(ckpt.Params)
+	if acc := m.Evaluate(fed.Test).Accuracy; acc < 0.6 {
+		t.Fatalf("TCP-trained accuracy = %v", acc)
+	}
+}

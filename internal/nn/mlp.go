@@ -1,0 +1,105 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// MLP is a one-hidden-layer perceptron with tanh activation:
+// h = tanh(W1·x + b1); logits = W2·h + b2.
+type MLP struct {
+	features, hidden, classes int
+	w1                        *tensor.Matrix // hidden × features
+	b1                        tensor.Vector
+	w2                        *tensor.Matrix // classes × hidden
+	b2                        tensor.Vector
+
+	// scratch
+	h, logits, probs, dh tensor.Vector
+}
+
+// NewMLP returns a Glorot-initialized MLP.
+func NewMLP(features, hidden, classes int, seed uint64) *MLP {
+	m := &MLP{
+		features: features, hidden: hidden, classes: classes,
+		w1: tensor.NewMatrix(hidden, features),
+		b1: tensor.NewVector(hidden),
+		w2: tensor.NewMatrix(classes, hidden),
+		b2: tensor.NewVector(classes),
+		h:  tensor.NewVector(hidden), logits: tensor.NewVector(classes),
+		probs: tensor.NewVector(classes), dh: tensor.NewVector(hidden),
+	}
+	rng := tensor.NewRNG(seed)
+	rng.GlorotInit(m.w1)
+	rng.GlorotInit(m.w2)
+	return m
+}
+
+// NumParams implements Model.
+func (m *MLP) NumParams() int {
+	return m.hidden*m.features + m.hidden + m.classes*m.hidden + m.classes
+}
+
+// ReadParams implements Model.
+func (m *MLP) ReadParams(dst tensor.Vector) {
+	flatten(dst, m.w1.Data, m.b1, m.w2.Data, m.b2)
+}
+
+// WriteParams implements Model.
+func (m *MLP) WriteParams(src tensor.Vector) {
+	unflatten(src, m.w1.Data, m.b1, m.w2.Data, m.b2)
+}
+
+func (m *MLP) forward(x []float64) {
+	m.w1.MulVec(m.h, x)
+	m.h.Axpy(1, m.b1)
+	tensor.Tanh(m.h, m.h)
+	m.w2.MulVec(m.logits, m.h)
+	m.logits.Axpy(1, m.b2)
+	tensor.Softmax(m.probs, m.logits)
+}
+
+// TrainBatch implements Model.
+func (m *MLP) TrainBatch(batch []Example, lr float64) float64 {
+	if len(batch) == 0 {
+		return 0
+	}
+	var loss float64
+	for _, ex := range batch {
+		m.forward(ex.X)
+		loss += -math.Log(math.Max(m.probs[ex.Y], 1e-12))
+		// Backprop. dlogits = probs - onehot.
+		m.probs[ex.Y] -= 1
+		dlogits := m.probs
+		// dh = W2ᵀ · dlogits, through tanh.
+		m.w2.MulVecT(m.dh, dlogits)
+		for i, hv := range m.h {
+			m.dh[i] *= tensor.TanhPrimeFromOutput(hv)
+		}
+		// Parameter updates (per-example SGD).
+		m.w2.AddOuter(-lr, dlogits, m.h)
+		m.b2.Axpy(-lr, dlogits)
+		m.w1.AddOuter(-lr, m.dh, ex.X)
+		m.b1.Axpy(-lr, m.dh)
+	}
+	return loss / float64(len(batch))
+}
+
+// Evaluate implements Model.
+func (m *MLP) Evaluate(examples []Example) Metrics {
+	var met Metrics
+	for _, ex := range examples {
+		m.forward(ex.X)
+		met.Loss += -math.Log(math.Max(m.probs[ex.Y], 1e-12))
+		if tensor.Argmax(m.probs) == ex.Y {
+			met.Accuracy++
+		}
+		met.Count++
+	}
+	if met.Count > 0 {
+		met.Loss /= float64(met.Count)
+		met.Accuracy /= float64(met.Count)
+	}
+	return met
+}

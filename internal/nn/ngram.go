@@ -1,0 +1,71 @@
+package nn
+
+// Bigram is the count-based n-gram baseline the paper compares the federated
+// RNN against (Sec. 8: "improves top-1 recall over a baseline n-gram model").
+// It is trained centrally from raw counts — it is the "what you could do
+// without FL" comparator, so it does not implement the Model interface.
+type Bigram struct {
+	vocab  int
+	counts []int // vocab × vocab, counts[prev*vocab+next]
+	totals []int // per-prev totals
+	uni    []int // unigram counts, fallback for unseen contexts
+	uniTot int
+}
+
+// NewBigram returns an empty bigram model over the given vocabulary.
+func NewBigram(vocab int) *Bigram {
+	return &Bigram{
+		vocab:  vocab,
+		counts: make([]int, vocab*vocab),
+		totals: make([]int, vocab),
+		uni:    make([]int, vocab),
+	}
+}
+
+// Observe adds a sentence's transitions to the counts.
+func (b *Bigram) Observe(seq []int) {
+	for i := 0; i+1 < len(seq); i++ {
+		b.counts[seq[i]*b.vocab+seq[i+1]]++
+		b.totals[seq[i]]++
+		b.uni[seq[i+1]]++
+		b.uniTot++
+	}
+}
+
+// Predict returns the most likely next token after prev, falling back to the
+// global unigram mode when prev was never observed.
+func (b *Bigram) Predict(prev int) int {
+	best, bi := -1, 0
+	if b.totals[prev] > 0 {
+		row := b.counts[prev*b.vocab : (prev+1)*b.vocab]
+		for i, c := range row {
+			if c > best {
+				best, bi = c, i
+			}
+		}
+		return bi
+	}
+	for i, c := range b.uni {
+		if c > best {
+			best, bi = c, i
+		}
+	}
+	return bi
+}
+
+// Evaluate returns top-1 next-token recall over the sequences.
+func (b *Bigram) Evaluate(examples []Example) Metrics {
+	var met Metrics
+	for _, ex := range examples {
+		for i := 0; i+1 < len(ex.Seq); i++ {
+			if b.Predict(ex.Seq[i]) == ex.Seq[i+1] {
+				met.Accuracy++
+			}
+			met.Count++
+		}
+	}
+	if met.Count > 0 {
+		met.Accuracy /= float64(met.Count)
+	}
+	return met
+}

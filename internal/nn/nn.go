@@ -1,0 +1,149 @@
+// Package nn is the neural-network substrate standing in for TensorFlow in
+// the original system. It provides small models (softmax regression, MLP,
+// and a recurrent language model) with a uniform parameter-vector interface,
+// which is exactly the contract the FL protocol needs: checkpoints and
+// updates are flat vectors, and an FL plan carries a Spec from which the
+// device reconstructs the model.
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Example is one training or evaluation example. Dense models use X and Y;
+// sequence models use Seq, where the training target at position i is
+// Seq[i+1] (next-token prediction).
+type Example struct {
+	X   []float64 // dense features
+	Seq []int     // token sequence for language models
+	Y   int       // class label for dense models
+}
+
+// Metrics summarizes evaluation over a set of examples.
+type Metrics struct {
+	Loss     float64 // mean cross-entropy
+	Accuracy float64 // top-1 accuracy (recall@1 for LMs)
+	Count    int     // number of predictions scored
+}
+
+// Model is a trainable parametric model with a flat parameter vector.
+//
+// ReadParams/WriteParams copy the full parameter vector out of / into the
+// model; the FL runtime uses them to load a global checkpoint before local
+// training and to extract the locally trained weights afterwards.
+type Model interface {
+	// NumParams returns the length of the flat parameter vector.
+	NumParams() int
+	// ReadParams copies the parameters into dst, which must have length
+	// NumParams.
+	ReadParams(dst tensor.Vector)
+	// WriteParams copies src, which must have length NumParams, into the
+	// model parameters.
+	WriteParams(src tensor.Vector)
+	// TrainBatch performs one SGD step on the batch with learning rate lr
+	// and returns the mean loss over the batch before the update.
+	TrainBatch(batch []Example, lr float64) float64
+	// Evaluate scores the examples without updating parameters.
+	Evaluate(examples []Example) Metrics
+}
+
+// Kind identifies a model architecture in a Spec.
+type Kind uint8
+
+// Model architectures available to FL plans.
+const (
+	KindLogistic Kind = iota + 1 // multiclass softmax regression
+	KindMLP                      // one-hidden-layer tanh MLP
+	KindRNNLM                    // Elman RNN language model
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindLogistic:
+		return "logistic"
+	case KindMLP:
+		return "mlp"
+	case KindRNNLM:
+		return "rnnlm"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Spec describes a model architecture so it can be embedded in an FL plan
+// and reconstructed identically on every device. Seed makes initialization
+// deterministic; the server initializes the global model from the same spec.
+type Spec struct {
+	Kind     Kind
+	Features int // input dimension (logistic, MLP)
+	Hidden   int // hidden units (MLP, RNN)
+	Classes  int // output classes (logistic, MLP)
+	Vocab    int // vocabulary size (RNN LM)
+	Embed    int // embedding dimension (RNN LM)
+	Seed     uint64
+}
+
+// Validate reports whether the spec describes a constructible model.
+func (s Spec) Validate() error {
+	switch s.Kind {
+	case KindLogistic:
+		if s.Features <= 0 || s.Classes <= 1 {
+			return fmt.Errorf("nn: logistic spec needs Features>0 and Classes>1, got %d/%d", s.Features, s.Classes)
+		}
+	case KindMLP:
+		if s.Features <= 0 || s.Hidden <= 0 || s.Classes <= 1 {
+			return fmt.Errorf("nn: mlp spec needs Features>0, Hidden>0, Classes>1, got %d/%d/%d", s.Features, s.Hidden, s.Classes)
+		}
+	case KindRNNLM:
+		if s.Vocab <= 1 || s.Embed <= 0 || s.Hidden <= 0 {
+			return fmt.Errorf("nn: rnnlm spec needs Vocab>1, Embed>0, Hidden>0, got %d/%d/%d", s.Vocab, s.Embed, s.Hidden)
+		}
+	default:
+		return fmt.Errorf("nn: unknown model kind %v", s.Kind)
+	}
+	return nil
+}
+
+// Build constructs a freshly initialized model from the spec.
+func (s Spec) Build() (Model, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	switch s.Kind {
+	case KindLogistic:
+		return NewLogistic(s.Features, s.Classes, s.Seed), nil
+	case KindMLP:
+		return NewMLP(s.Features, s.Hidden, s.Classes, s.Seed), nil
+	case KindRNNLM:
+		return NewRNNLM(s.Vocab, s.Embed, s.Hidden, s.Seed), nil
+	default:
+		return nil, fmt.Errorf("nn: unknown model kind %v", s.Kind)
+	}
+}
+
+// flatten copies a list of parameter blocks into dst sequentially.
+func flatten(dst tensor.Vector, blocks ...[]float64) {
+	i := 0
+	for _, b := range blocks {
+		copy(dst[i:i+len(b)], b)
+		i += len(b)
+	}
+	if i != len(dst) {
+		panic(fmt.Sprintf("nn: flatten wrote %d of %d values", i, len(dst)))
+	}
+}
+
+// unflatten copies src sequentially into a list of parameter blocks.
+func unflatten(src tensor.Vector, blocks ...[]float64) {
+	i := 0
+	for _, b := range blocks {
+		copy(b, src[i:i+len(b)])
+		i += len(b)
+	}
+	if i != len(src) {
+		panic(fmt.Sprintf("nn: unflatten read %d of %d values", i, len(src)))
+	}
+}

@@ -1,0 +1,290 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// xorExamples is a tiny nonlinearly-separable dataset for the MLP.
+func xorExamples() []Example {
+	return []Example{
+		{X: []float64{0, 0}, Y: 0},
+		{X: []float64{0, 1}, Y: 1},
+		{X: []float64{1, 0}, Y: 1},
+		{X: []float64{1, 1}, Y: 0},
+	}
+}
+
+// blobs returns two linearly separable Gaussian blobs.
+func blobs(n int, seed uint64) []Example {
+	rng := tensor.NewRNG(seed)
+	exs := make([]Example, 0, 2*n)
+	for i := 0; i < n; i++ {
+		exs = append(exs,
+			Example{X: []float64{2 + 0.5*rng.NormFloat64(), 2 + 0.5*rng.NormFloat64()}, Y: 0},
+			Example{X: []float64{-2 + 0.5*rng.NormFloat64(), -2 + 0.5*rng.NormFloat64()}, Y: 1},
+		)
+	}
+	return exs
+}
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		ok   bool
+	}{
+		{Spec{Kind: KindLogistic, Features: 2, Classes: 2}, true},
+		{Spec{Kind: KindLogistic, Features: 0, Classes: 2}, false},
+		{Spec{Kind: KindLogistic, Features: 2, Classes: 1}, false},
+		{Spec{Kind: KindMLP, Features: 2, Hidden: 4, Classes: 2}, true},
+		{Spec{Kind: KindMLP, Features: 2, Hidden: 0, Classes: 2}, false},
+		{Spec{Kind: KindRNNLM, Vocab: 10, Embed: 4, Hidden: 8}, true},
+		{Spec{Kind: KindRNNLM, Vocab: 1, Embed: 4, Hidden: 8}, false},
+		{Spec{Kind: 99}, false},
+		{Spec{}, false},
+	}
+	for _, c := range cases {
+		err := c.spec.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) err=%v, want ok=%v", c.spec, err, c.ok)
+		}
+	}
+}
+
+func TestSpecBuildAllKinds(t *testing.T) {
+	for _, spec := range []Spec{
+		{Kind: KindLogistic, Features: 3, Classes: 2, Seed: 1},
+		{Kind: KindMLP, Features: 3, Hidden: 5, Classes: 2, Seed: 1},
+		{Kind: KindRNNLM, Vocab: 7, Embed: 3, Hidden: 4, Seed: 1},
+	} {
+		m, err := spec.Build()
+		if err != nil {
+			t.Fatalf("Build(%v): %v", spec.Kind, err)
+		}
+		if m.NumParams() <= 0 {
+			t.Fatalf("%v NumParams = %d", spec.Kind, m.NumParams())
+		}
+	}
+	if _, err := (Spec{Kind: 42}).Build(); err == nil {
+		t.Fatal("Build with bad kind should error")
+	}
+}
+
+func TestSpecBuildDeterministic(t *testing.T) {
+	spec := Spec{Kind: KindMLP, Features: 4, Hidden: 6, Classes: 3, Seed: 99}
+	a, _ := spec.Build()
+	b, _ := spec.Build()
+	pa := make(tensor.Vector, a.NumParams())
+	pb := make(tensor.Vector, b.NumParams())
+	a.ReadParams(pa)
+	b.ReadParams(pb)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("same spec+seed must build identical models")
+		}
+	}
+}
+
+func TestReadWriteParamsRoundTrip(t *testing.T) {
+	for _, spec := range []Spec{
+		{Kind: KindLogistic, Features: 3, Classes: 4, Seed: 2},
+		{Kind: KindMLP, Features: 3, Hidden: 5, Classes: 4, Seed: 2},
+		{Kind: KindRNNLM, Vocab: 6, Embed: 3, Hidden: 4, Seed: 2},
+	} {
+		m, _ := spec.Build()
+		p := make(tensor.Vector, m.NumParams())
+		m.ReadParams(p)
+		// Write shifted params, read back, verify.
+		q := p.Clone()
+		for i := range q {
+			q[i] += 1.5
+		}
+		m.WriteParams(q)
+		r := make(tensor.Vector, m.NumParams())
+		m.ReadParams(r)
+		for i := range r {
+			if r[i] != q[i] {
+				t.Fatalf("%v: param round-trip mismatch at %d", spec.Kind, i)
+			}
+		}
+	}
+}
+
+func TestLogisticLearnsBlobs(t *testing.T) {
+	m := NewLogistic(2, 2, 1)
+	train := blobs(100, 3)
+	for epoch := 0; epoch < 20; epoch++ {
+		for i := 0; i < len(train); i += 10 {
+			end := min(i+10, len(train))
+			m.TrainBatch(train[i:end], 0.1)
+		}
+	}
+	met := m.Evaluate(blobs(50, 4))
+	if met.Accuracy < 0.95 {
+		t.Fatalf("logistic accuracy = %v, want ≥0.95", met.Accuracy)
+	}
+}
+
+func TestMLPLearnsXOR(t *testing.T) {
+	m := NewMLP(2, 8, 2, 5)
+	exs := xorExamples()
+	for i := 0; i < 3000; i++ {
+		m.TrainBatch(exs, 0.3)
+	}
+	met := m.Evaluate(exs)
+	if met.Accuracy != 1 {
+		t.Fatalf("MLP XOR accuracy = %v, want 1.0 (loss %v)", met.Accuracy, met.Loss)
+	}
+}
+
+func TestTrainReducesLoss(t *testing.T) {
+	for _, spec := range []Spec{
+		{Kind: KindLogistic, Features: 2, Classes: 2, Seed: 7},
+		{Kind: KindMLP, Features: 2, Hidden: 6, Classes: 2, Seed: 7},
+	} {
+		m, _ := spec.Build()
+		exs := blobs(50, 8)
+		before := m.Evaluate(exs).Loss
+		for i := 0; i < 10; i++ {
+			m.TrainBatch(exs, 0.05)
+		}
+		after := m.Evaluate(exs).Loss
+		if after >= before {
+			t.Errorf("%v: loss %v -> %v, expected decrease", spec.Kind, before, after)
+		}
+	}
+}
+
+// deterministicCorpus builds sentences from a cyclic pattern so the RNN has
+// a learnable structure: token i is followed by (i+1) mod vocab.
+func deterministicCorpus(vocab, sentences, length int) []Example {
+	exs := make([]Example, sentences)
+	for s := range exs {
+		seq := make([]int, length)
+		start := s % vocab
+		for i := range seq {
+			seq[i] = (start + i) % vocab
+		}
+		exs[s] = Example{Seq: seq}
+	}
+	return exs
+}
+
+func TestRNNLMLearnsCycle(t *testing.T) {
+	vocab := 8
+	m := NewRNNLM(vocab, 8, 16, 3)
+	corpus := deterministicCorpus(vocab, 16, 6)
+	for epoch := 0; epoch < 150; epoch++ {
+		m.TrainBatch(corpus, 0.5)
+	}
+	met := m.Evaluate(corpus)
+	if met.Accuracy < 0.95 {
+		t.Fatalf("RNN accuracy on deterministic cycle = %v, want ≥0.95 (loss %v)", met.Accuracy, met.Loss)
+	}
+}
+
+func TestRNNLMEmptySequences(t *testing.T) {
+	m := NewRNNLM(4, 2, 3, 1)
+	loss := m.TrainBatch([]Example{{Seq: nil}, {Seq: []int{1}}}, 0.1)
+	if loss != 0 {
+		t.Fatalf("loss on empty sequences = %v, want 0", loss)
+	}
+	met := m.Evaluate([]Example{{Seq: []int{2}}})
+	if met.Count != 0 {
+		t.Fatalf("Count = %d, want 0", met.Count)
+	}
+}
+
+func TestTrainBatchEmpty(t *testing.T) {
+	m := NewLogistic(2, 2, 1)
+	if loss := m.TrainBatch(nil, 0.1); loss != 0 {
+		t.Fatalf("empty batch loss = %v", loss)
+	}
+}
+
+func TestBigramLearnsTransitions(t *testing.T) {
+	b := NewBigram(5)
+	// 0->1 twice, 0->2 once: Predict(0) must be 1.
+	b.Observe([]int{0, 1})
+	b.Observe([]int{0, 1})
+	b.Observe([]int{0, 2})
+	if got := b.Predict(0); got != 1 {
+		t.Fatalf("Predict(0) = %d, want 1", got)
+	}
+	// Unseen context falls back to the unigram mode (token 1 appeared most).
+	if got := b.Predict(4); got != 1 {
+		t.Fatalf("Predict(unseen) = %d, want unigram mode 1", got)
+	}
+}
+
+func TestBigramEvaluate(t *testing.T) {
+	b := NewBigram(4)
+	b.Observe([]int{0, 1, 2, 3})
+	met := b.Evaluate([]Example{{Seq: []int{0, 1, 2, 3}}})
+	if met.Count != 3 {
+		t.Fatalf("Count = %d, want 3", met.Count)
+	}
+	if met.Accuracy != 1 {
+		t.Fatalf("Accuracy = %v, want 1", met.Accuracy)
+	}
+}
+
+func TestRNNBeatsRandomQuickly(t *testing.T) {
+	vocab := 6
+	m := NewRNNLM(vocab, 6, 12, 9)
+	corpus := deterministicCorpus(vocab, 12, 5)
+	for i := 0; i < 30; i++ {
+		m.TrainBatch(corpus, 0.5)
+	}
+	met := m.Evaluate(corpus)
+	if met.Accuracy <= 1.0/float64(vocab) {
+		t.Fatalf("RNN after 30 epochs no better than chance: %v", met.Accuracy)
+	}
+}
+
+func TestGradientCheckLogistic(t *testing.T) {
+	// Finite-difference check of the logistic gradient through one
+	// TrainBatch step: loss must decrease along the step direction.
+	m := NewLogistic(3, 3, 13)
+	ex := []Example{{X: []float64{1, -1, 0.5}, Y: 2}}
+	p0 := make(tensor.Vector, m.NumParams())
+	m.ReadParams(p0)
+	l0 := m.Evaluate(ex).Loss
+	m.TrainBatch(ex, 0.01)
+	l1 := m.Evaluate(ex).Loss
+	if l1 >= l0 {
+		t.Fatalf("single-example step did not reduce loss: %v -> %v", l0, l1)
+	}
+	// And the parameters actually moved.
+	p1 := make(tensor.Vector, m.NumParams())
+	m.ReadParams(p1)
+	if d := tensor.Sub(nil, p1, p0); d.Norm2() == 0 {
+		t.Fatal("parameters did not change")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindLogistic.String() != "logistic" || KindMLP.String() != "mlp" || KindRNNLM.String() != "rnnlm" {
+		t.Fatal("Kind.String mismatch")
+	}
+	if Kind(250).String() == "" {
+		t.Fatal("unknown kind should still stringify")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestMetricsZeroOnEmptyEval(t *testing.T) {
+	m := NewMLP(2, 3, 2, 1)
+	met := m.Evaluate(nil)
+	if met.Count != 0 || met.Loss != 0 || met.Accuracy != 0 || math.IsNaN(met.Loss) {
+		t.Fatalf("empty eval = %+v", met)
+	}
+}

@@ -1,0 +1,215 @@
+package nn
+
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// RNNLM is an Elman recurrent language model for next-word prediction,
+// the Gboard workload of Sec. 8:
+//
+//	e_t     = Embed[x_t]
+//	h_t     = tanh(Wxh·e_t + Whh·h_{t-1} + bh)
+//	logits  = Why·h_t + by
+//	target  = x_{t+1}
+//
+// Training uses full backpropagation through time over each sentence with
+// gradient clipping. Sentences are short (keyboard-style), so BPTT over the
+// whole sequence is fine.
+type RNNLM struct {
+	vocab, embed, hidden int
+
+	emb *tensor.Matrix // vocab × embed
+	wxh *tensor.Matrix // hidden × embed
+	whh *tensor.Matrix // hidden × hidden
+	bh  tensor.Vector
+	why *tensor.Matrix // vocab × hidden
+	by  tensor.Vector
+
+	// gradient accumulators (BPTT needs them; per-example updates would
+	// double-count the recurrent weights)
+	gEmb, gWxh, gWhh, gWhy *tensor.Matrix
+	gBh, gBy               tensor.Vector
+
+	clip float64
+}
+
+// NewRNNLM returns a Glorot-initialized RNN language model with gradient
+// clipping at 5.0.
+func NewRNNLM(vocab, embed, hidden int, seed uint64) *RNNLM {
+	m := &RNNLM{
+		vocab: vocab, embed: embed, hidden: hidden,
+		emb:  tensor.NewMatrix(vocab, embed),
+		wxh:  tensor.NewMatrix(hidden, embed),
+		whh:  tensor.NewMatrix(hidden, hidden),
+		bh:   tensor.NewVector(hidden),
+		why:  tensor.NewMatrix(vocab, hidden),
+		by:   tensor.NewVector(vocab),
+		gEmb: tensor.NewMatrix(vocab, embed),
+		gWxh: tensor.NewMatrix(hidden, embed),
+		gWhh: tensor.NewMatrix(hidden, hidden),
+		gWhy: tensor.NewMatrix(vocab, hidden),
+		gBh:  tensor.NewVector(hidden),
+		gBy:  tensor.NewVector(vocab),
+		clip: 5.0,
+	}
+	rng := tensor.NewRNG(seed)
+	rng.GlorotInit(m.emb)
+	rng.GlorotInit(m.wxh)
+	rng.GlorotInit(m.whh)
+	rng.GlorotInit(m.why)
+	return m
+}
+
+// NumParams implements Model.
+func (m *RNNLM) NumParams() int {
+	return m.vocab*m.embed + m.hidden*m.embed + m.hidden*m.hidden + m.hidden +
+		m.vocab*m.hidden + m.vocab
+}
+
+// ReadParams implements Model.
+func (m *RNNLM) ReadParams(dst tensor.Vector) {
+	flatten(dst, m.emb.Data, m.wxh.Data, m.whh.Data, m.bh, m.why.Data, m.by)
+}
+
+// WriteParams implements Model.
+func (m *RNNLM) WriteParams(src tensor.Vector) {
+	unflatten(src, m.emb.Data, m.wxh.Data, m.whh.Data, m.bh, m.why.Data, m.by)
+}
+
+// seqLoss runs the forward pass over seq and, when train is true,
+// accumulates gradients via BPTT. It returns the summed loss and the number
+// of predictions, plus top-1 hits.
+func (m *RNNLM) seqLoss(seq []int, train bool) (loss float64, preds, hits int) {
+	steps := len(seq) - 1
+	if steps <= 0 {
+		return 0, 0, 0
+	}
+	// Forward pass, keeping states for BPTT.
+	hs := make([]tensor.Vector, steps+1)
+	hs[0] = tensor.NewVector(m.hidden)
+	probs := make([]tensor.Vector, steps)
+	pre := tensor.NewVector(m.hidden)
+	tmp := tensor.NewVector(m.hidden)
+	logits := tensor.NewVector(m.vocab)
+	for t := 0; t < steps; t++ {
+		x := seq[t]
+		m.wxh.MulVec(pre, m.emb.Row(x))
+		m.whh.MulVec(tmp, hs[t])
+		pre.Axpy(1, tmp)
+		pre.Axpy(1, m.bh)
+		h := tensor.NewVector(m.hidden)
+		tensor.Tanh(h, pre)
+		hs[t+1] = h
+
+		m.why.MulVec(logits, h)
+		logits.Axpy(1, m.by)
+		p := tensor.NewVector(m.vocab)
+		tensor.Softmax(p, logits)
+		probs[t] = p
+
+		y := seq[t+1]
+		loss += -math.Log(math.Max(p[y], 1e-12))
+		preds++
+		if tensor.Argmax(p) == y {
+			hits++
+		}
+	}
+	if !train {
+		return loss, preds, hits
+	}
+
+	// Backward pass (BPTT).
+	dhNext := tensor.NewVector(m.hidden)
+	dh := tensor.NewVector(m.hidden)
+	dpre := tensor.NewVector(m.hidden)
+	dEmbRow := tensor.NewVector(m.embed)
+	for t := steps - 1; t >= 0; t-- {
+		dlogits := probs[t] // reuse as gradient buffer
+		dlogits[seq[t+1]] -= 1
+
+		m.gWhy.AddOuter(1, dlogits, hs[t+1])
+		m.gBy.Axpy(1, dlogits)
+
+		// dh = Whyᵀ·dlogits + carry from t+1
+		m.why.MulVecT(dh, dlogits)
+		dh.Axpy(1, dhNext)
+		for i, hv := range hs[t+1] {
+			dpre[i] = dh[i] * tensor.TanhPrimeFromOutput(hv)
+		}
+
+		m.gWxh.AddOuter(1, dpre, m.emb.Row(seq[t]))
+		m.gWhh.AddOuter(1, dpre, hs[t])
+		m.gBh.Axpy(1, dpre)
+
+		// Gradient into the embedding row: Wxhᵀ·dpre.
+		m.wxh.MulVecT(dEmbRow, dpre)
+		m.gEmb.Row(seq[t]).Axpy(1, dEmbRow)
+
+		// Carry to previous step: Whhᵀ·dpre.
+		m.whh.MulVecT(dhNext, dpre)
+	}
+	return loss, preds, hits
+}
+
+func (m *RNNLM) zeroGrads() {
+	m.gEmb.Zero()
+	m.gWxh.Zero()
+	m.gWhh.Zero()
+	m.gWhy.Zero()
+	m.gBh.Zero()
+	m.gBy.Zero()
+}
+
+func (m *RNNLM) applyGrads(lr float64, scale float64) {
+	step := -lr * scale
+	for _, pair := range []struct {
+		p, g tensor.Vector
+	}{
+		{tensor.Vector(m.emb.Data), tensor.Vector(m.gEmb.Data)},
+		{tensor.Vector(m.wxh.Data), tensor.Vector(m.gWxh.Data)},
+		{tensor.Vector(m.whh.Data), tensor.Vector(m.gWhh.Data)},
+		{m.bh, m.gBh},
+		{tensor.Vector(m.why.Data), tensor.Vector(m.gWhy.Data)},
+		{m.by, m.gBy},
+	} {
+		tensor.Clip(pair.g, m.clip/math.Max(scale, 1e-12))
+		pair.p.Axpy(step, pair.g)
+	}
+}
+
+// TrainBatch implements Model. The batch gradient is the mean over all
+// next-token predictions in the batch.
+func (m *RNNLM) TrainBatch(batch []Example, lr float64) float64 {
+	m.zeroGrads()
+	var loss float64
+	var preds int
+	for _, ex := range batch {
+		l, p, _ := m.seqLoss(ex.Seq, true)
+		loss += l
+		preds += p
+	}
+	if preds == 0 {
+		return 0
+	}
+	m.applyGrads(lr, 1/float64(preds))
+	return loss / float64(preds)
+}
+
+// Evaluate implements Model. Accuracy is top-1 recall over next-token
+// predictions, the metric reported for the Gboard model.
+func (m *RNNLM) Evaluate(examples []Example) Metrics {
+	var met Metrics
+	for _, ex := range examples {
+		l, p, h := m.seqLoss(ex.Seq, false)
+		met.Loss += l
+		met.Count += p
+		met.Accuracy += float64(h)
+	}
+	if met.Count > 0 {
+		met.Loss /= float64(met.Count)
+		met.Accuracy /= float64(met.Count)
+	}
+	return met
+}

@@ -1,0 +1,156 @@
+package pacing
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+var epoch = time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func steering() *Steering {
+	s := New(2 * time.Minute)
+	s.Epoch = epoch
+	s.MinWait = time.Second
+	return s
+}
+
+func TestSmallPopulationSynchronizes(t *testing.T) {
+	// Devices rejected at random moments within a round must all be told to
+	// come back inside the first 10% of the *same* upcoming round.
+	s := steering()
+	rng := tensor.NewRNG(1)
+	period := s.RoundPeriod
+
+	var arrivals []time.Duration // arrival offset within the round grid
+	for i := 0; i < 200; i++ {
+		now := epoch.Add(time.Duration(rng.Float64() * float64(period)))
+		d := s.Suggest(50, 10, now, rng)
+		arrival := now.Add(d).Sub(epoch) % period
+		arrivals = append(arrivals, arrival)
+	}
+	for _, a := range arrivals {
+		if a > period/5 {
+			t.Fatalf("arrival offset %v not contemporaneous (period %v)", a, period)
+		}
+	}
+}
+
+func TestSmallPopulationArrivesInFuture(t *testing.T) {
+	s := steering()
+	rng := tensor.NewRNG(2)
+	now := epoch.Add(90 * time.Second)
+	for i := 0; i < 100; i++ {
+		d := s.Suggest(10, 5, now, rng)
+		if d <= 0 {
+			t.Fatalf("suggestion %v not in the future", d)
+		}
+	}
+}
+
+func TestLargePopulationSpreads(t *testing.T) {
+	// 1M devices, demand 100/round: suggestions must be spread over a wide
+	// window, not clustered (thundering-herd avoidance).
+	s := steering()
+	s.MaxWait = 1000 * time.Hour
+	rng := tensor.NewRNG(3)
+	now := epoch
+
+	var ds []float64
+	for i := 0; i < 2000; i++ {
+		ds = append(ds, float64(s.Suggest(1_000_000, 100, now, rng)))
+	}
+	mean := 0.0
+	for _, d := range ds {
+		mean += d
+	}
+	mean /= float64(len(ds))
+	// Expected window W = pop·period/(over·demand) = 1e6·120s/(2·100).
+	wantW := 1e6 * float64(2*time.Minute) / (2 * 100)
+	if math.Abs(mean-wantW)/wantW > 0.1 {
+		t.Fatalf("mean suggestion %v, want ≈ %v", time.Duration(mean), time.Duration(wantW))
+	}
+	// Spread: standard deviation of U[0.5W,1.5W] is W/√12.
+	var sd float64
+	for _, d := range ds {
+		sd += (d - mean) * (d - mean)
+	}
+	sd = math.Sqrt(sd / float64(len(ds)))
+	if sd < wantW/6 {
+		t.Fatalf("suggestions not spread: sd=%v, window=%v", time.Duration(sd), time.Duration(wantW))
+	}
+}
+
+func TestLargePopulationRateMatchesDemand(t *testing.T) {
+	// Arrival rate implied by the mean window ≈ Overprovision × demand per
+	// round period.
+	s := steering()
+	s.MaxWait = 1000 * time.Hour
+	rng := tensor.NewRNG(4)
+	pop, demand := 500_000, 200
+	var sum float64
+	n := 2000
+	for i := 0; i < n; i++ {
+		sum += float64(s.Suggest(pop, demand, epoch, rng))
+	}
+	meanWindow := sum / float64(n)
+	arrivalsPerPeriod := float64(pop) * float64(s.RoundPeriod) / meanWindow
+	want := s.Overprovision * float64(demand)
+	if math.Abs(arrivalsPerPeriod-want)/want > 0.15 {
+		t.Fatalf("arrivals/period = %v, want ≈ %v", arrivalsPerPeriod, want)
+	}
+}
+
+func TestClampBounds(t *testing.T) {
+	s := steering()
+	s.MinWait = time.Minute
+	s.MaxWait = 2 * time.Minute
+	rng := tensor.NewRNG(5)
+	for i := 0; i < 100; i++ {
+		d := s.Suggest(10_000_000, 1, epoch, rng) // enormous window pre-clamp
+		if d < s.MinWait || d > s.MaxWait {
+			t.Fatalf("suggestion %v outside [%v, %v]", d, s.MinWait, s.MaxWait)
+		}
+	}
+}
+
+func TestLoadFactorLengthensWindows(t *testing.T) {
+	s := steering()
+	s.MaxWait = 1000 * time.Hour
+	rng1, rng2 := tensor.NewRNG(6), tensor.NewRNG(6)
+	base := s.Suggest(1_000_000, 100, epoch, rng1)
+	s.LoadFactor = func(time.Time) float64 { return 3 }
+	shaped := s.Suggest(1_000_000, 100, epoch, rng2)
+	if shaped < base*2 {
+		t.Fatalf("load factor 3 should lengthen window: %v vs %v", shaped, base)
+	}
+	// Non-positive factors are ignored rather than producing zero waits.
+	s.LoadFactor = func(time.Time) float64 { return -1 }
+	d := s.Suggest(1_000_000, 100, epoch, tensor.NewRNG(6))
+	if d <= 0 {
+		t.Fatalf("negative load factor mishandled: %v", d)
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	s := steering()
+	rng := tensor.NewRNG(7)
+	// Zero population / demand must not panic or divide by zero.
+	d := s.Suggest(0, 0, epoch, rng)
+	if d < s.MinWait {
+		t.Fatalf("degenerate suggestion %v below MinWait", d)
+	}
+}
+
+func TestStatelessness(t *testing.T) {
+	// Same inputs and RNG state → same suggestion; the server keeps no
+	// per-device state.
+	s := steering()
+	d1 := s.Suggest(100, 10, epoch.Add(13*time.Second), tensor.NewRNG(9))
+	d2 := s.Suggest(100, 10, epoch.Add(13*time.Second), tensor.NewRNG(9))
+	if d1 != d2 {
+		t.Fatalf("steering is not stateless: %v vs %v", d1, d2)
+	}
+}

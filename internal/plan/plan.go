@@ -1,0 +1,361 @@
+// Package plan implements FL plans (Sec. 2.1, 7.2): the data structure that
+// tells a device what computation to run and the server how to aggregate.
+// A plan has a device portion (model spec, example selection criteria,
+// batching/epochs, an op sequence standing in for the TensorFlow graph) and
+// a server portion (aggregation logic and round parameters).
+//
+// Plans are generated from a model + configuration (Generate), and can be
+// transformed into versioned plans compatible with older device runtimes
+// (Sec. 7.3), mirroring the paper's graph-transformation approach.
+package plan
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/nn"
+)
+
+// Op is one step of the device-side computation. The sequence of ops is the
+// stand-in for the TensorFlow graph: the device runtime interprets them in
+// order, and plan versioning rewrites them (see versions.go).
+type Op uint8
+
+// Device-plan operations.
+const (
+	OpLoadCheckpoint Op = iota + 1 // restore global model into the runtime
+	OpSelectExamples               // query the example store per criteria
+	OpTrain                        // run E epochs of minibatch SGD
+	OpEval                         // compute metrics on held-out local data
+	OpComputeMetrics               // summarize training metrics
+	OpSaveUpdate                   // emit the weighted model delta
+	// OpFusedTrainMetrics is a newer fused op (train + metrics in one pass)
+	// that old runtimes do not support; versioned plan transformation
+	// rewrites it to OpTrain + OpComputeMetrics.
+	OpFusedTrainMetrics
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpLoadCheckpoint:
+		return "load_checkpoint"
+	case OpSelectExamples:
+		return "select_examples"
+	case OpTrain:
+		return "train"
+	case OpEval:
+		return "eval"
+	case OpComputeMetrics:
+		return "compute_metrics"
+	case OpSaveUpdate:
+		return "save_update"
+	case OpFusedTrainMetrics:
+		return "fused_train_metrics"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// TaskType distinguishes training tasks from evaluation tasks (Sec. 3:
+// "FL plans are not specialized to training, but can also encode evaluation
+// tasks").
+type TaskType uint8
+
+// Task types.
+const (
+	TaskTrain TaskType = iota + 1
+	TaskEval
+)
+
+// String implements fmt.Stringer.
+func (t TaskType) String() string {
+	if t == TaskEval {
+		return "eval"
+	}
+	return "train"
+}
+
+// SelectionCriteria tells the device which examples to query from its
+// example store (Sec. 7.2: "selection criteria for training data in the
+// example store").
+type SelectionCriteria struct {
+	StoreName   string
+	MaxExamples int           // cap on examples used per round
+	MaxAge      time.Duration // ignore examples older than this (0 = no limit)
+}
+
+// DevicePlan is the device portion of an FL plan.
+type DevicePlan struct {
+	Model        nn.Spec
+	Ops          []Op
+	Selection    SelectionCriteria
+	BatchSize    int
+	Epochs       int
+	LearningRate float64
+	// ReportEncoding is how the device encodes its update (updates are more
+	// compressible than the global model, Fig. 9).
+	ReportEncoding checkpoint.Encoding
+	// MinRuntimeVersion is the oldest device runtime that can execute this
+	// op sequence.
+	MinRuntimeVersion int
+}
+
+// AggregationKind selects the server-side aggregation mechanism
+// (Sec. 2.2 Configuration: "simple or Secure Aggregation").
+type AggregationKind uint8
+
+// Aggregation mechanisms.
+const (
+	AggregationSimple AggregationKind = iota + 1
+	AggregationSecure
+)
+
+// String implements fmt.Stringer.
+func (a AggregationKind) String() string {
+	if a == AggregationSecure {
+		return "secagg"
+	}
+	return "simple"
+}
+
+// ServerPlan is the server portion of an FL plan: the aggregation logic and
+// the round-window parameters of Sec. 2.2.
+type ServerPlan struct {
+	Aggregation AggregationKind
+	// SecAggGroupSize is the parameter k of Sec. 6: updates are securely
+	// aggregated over groups of at least this size.
+	SecAggGroupSize int
+	// TargetDevices is K, the number of reports needed to commit a round.
+	TargetDevices int
+	// OverSelectFactor is how many devices to admit relative to K
+	// (typically 1.3, Sec. 9).
+	OverSelectFactor float64
+	// MinReportFraction is the minimal fraction of K required to commit the
+	// round when the report window times out.
+	MinReportFraction float64
+	SelectionTimeout  time.Duration
+	ReportTimeout     time.Duration
+	// ParticipationCap bounds a single device's participation time
+	// (the straggler cap visible in Fig. 8).
+	ParticipationCap time.Duration
+}
+
+// SelectTarget returns the number of devices to admit into a round.
+func (s ServerPlan) SelectTarget() int {
+	n := int(float64(s.TargetDevices)*s.OverSelectFactor + 0.5)
+	if n < s.TargetDevices {
+		n = s.TargetDevices
+	}
+	return n
+}
+
+// MinReports returns the minimum number of reports to commit a round.
+func (s ServerPlan) MinReports() int {
+	m := int(float64(s.TargetDevices)*s.MinReportFraction + 0.5)
+	if m < 1 {
+		m = 1
+	}
+	if m > s.TargetDevices {
+		m = s.TargetDevices
+	}
+	return m
+}
+
+// Plan is a complete FL plan for one FL task.
+type Plan struct {
+	// ID uniquely names the FL task this plan implements.
+	ID string
+	// Population is the globally unique FL population name (Sec. 2.1).
+	Population string
+	Type       TaskType
+	Device     DevicePlan
+	Server     ServerPlan
+}
+
+// Validate reports whether the plan is internally consistent and deployable.
+func (p *Plan) Validate() error {
+	if p.ID == "" || p.Population == "" {
+		return fmt.Errorf("plan: ID and Population are required")
+	}
+	if err := p.Device.Model.Validate(); err != nil {
+		return fmt.Errorf("plan %q: %w", p.ID, err)
+	}
+	if len(p.Device.Ops) == 0 {
+		return fmt.Errorf("plan %q: empty op sequence", p.ID)
+	}
+	if p.Device.Ops[0] != OpLoadCheckpoint {
+		return fmt.Errorf("plan %q: op sequence must start with load_checkpoint", p.ID)
+	}
+	if p.Type == TaskTrain {
+		if p.Device.BatchSize <= 0 || p.Device.Epochs <= 0 || p.Device.LearningRate <= 0 {
+			return fmt.Errorf("plan %q: training plan needs positive batch size, epochs, learning rate", p.ID)
+		}
+		last := p.Device.Ops[len(p.Device.Ops)-1]
+		if last != OpSaveUpdate {
+			return fmt.Errorf("plan %q: training plan must end with save_update", p.ID)
+		}
+	}
+	if p.Server.TargetDevices <= 0 {
+		return fmt.Errorf("plan %q: TargetDevices must be positive", p.ID)
+	}
+	if p.Server.OverSelectFactor < 1 {
+		return fmt.Errorf("plan %q: OverSelectFactor must be ≥ 1", p.ID)
+	}
+	if p.Server.MinReportFraction <= 0 || p.Server.MinReportFraction > 1 {
+		return fmt.Errorf("plan %q: MinReportFraction must be in (0,1]", p.ID)
+	}
+	if p.Server.Aggregation == AggregationSecure && p.Server.SecAggGroupSize < 2 {
+		return fmt.Errorf("plan %q: secure aggregation needs SecAggGroupSize ≥ 2", p.ID)
+	}
+	return nil
+}
+
+// Marshal encodes the plan for the wire.
+func (p *Plan) Marshal() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(p); err != nil {
+		return nil, fmt.Errorf("plan: marshal: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal decodes a plan produced by Marshal.
+func Unmarshal(b []byte) (*Plan, error) {
+	var p Plan
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&p); err != nil {
+		return nil, fmt.Errorf("plan: unmarshal: %w", err)
+	}
+	return &p, nil
+}
+
+// WireSize returns the encoded plan size in bytes; the analytics layer uses
+// it for traffic accounting. Plans are "comparable with the global model"
+// in size (Fig. 9 discussion) because they embed the graph; our op list is
+// tiny, so we also account a synthetic graph payload proportional to the
+// model to preserve that property.
+func (p *Plan) WireSize() int {
+	b, err := p.Marshal()
+	if err != nil {
+		return 0
+	}
+	spec := p.Device.Model
+	m, err := spec.Build()
+	if err != nil {
+		return len(b)
+	}
+	// The TensorFlow graph the real plan embeds is on the order of the
+	// model itself; emulate with 8 bytes per parameter of graph payload.
+	return len(b) + 8*m.NumParams()
+}
+
+// Config is what a model engineer supplies to Generate (Sec. 7.1: "the
+// configuration of tasks is also written in Python and includes runtime
+// parameters such as the optimal number of devices in a round as well as
+// model hyperparameters like learning rate").
+type Config struct {
+	TaskID            string
+	Population        string
+	Type              TaskType
+	Model             nn.Spec
+	StoreName         string
+	BatchSize         int
+	Epochs            int
+	LearningRate      float64
+	MaxExamples       int
+	TargetDevices     int
+	OverSelectFactor  float64 // default 1.3
+	MinReportFraction float64 // default 0.8
+	SelectionTimeout  time.Duration
+	ReportTimeout     time.Duration
+	ParticipationCap  time.Duration
+	SecureAggregation bool
+	SecAggGroupSize   int // default 16 when secure aggregation is on
+	ReportEncoding    checkpoint.Encoding
+	// UseFusedOps emits the newer fused train+metrics op, exercising the
+	// versioned-plan transformation for older runtimes.
+	UseFusedOps bool
+}
+
+// Generate builds a validated plan from the engineer-supplied configuration,
+// applying the paper's defaults where the config leaves zeros.
+func Generate(cfg Config) (*Plan, error) {
+	if cfg.OverSelectFactor == 0 {
+		cfg.OverSelectFactor = 1.3
+	}
+	if cfg.MinReportFraction == 0 {
+		cfg.MinReportFraction = 0.8
+	}
+	if cfg.SelectionTimeout == 0 {
+		cfg.SelectionTimeout = 2 * time.Minute
+	}
+	if cfg.ReportTimeout == 0 {
+		cfg.ReportTimeout = 3 * time.Minute
+	}
+	if cfg.ParticipationCap == 0 {
+		cfg.ParticipationCap = cfg.ReportTimeout
+	}
+	if cfg.ReportEncoding == 0 {
+		cfg.ReportEncoding = checkpoint.EncodingQuant8
+	}
+	if cfg.Type == 0 {
+		cfg.Type = TaskTrain
+	}
+	if cfg.SecureAggregation && cfg.SecAggGroupSize == 0 {
+		cfg.SecAggGroupSize = 16
+	}
+
+	var ops []Op
+	switch cfg.Type {
+	case TaskTrain:
+		if cfg.UseFusedOps {
+			ops = []Op{OpLoadCheckpoint, OpSelectExamples, OpFusedTrainMetrics, OpSaveUpdate}
+		} else {
+			ops = []Op{OpLoadCheckpoint, OpSelectExamples, OpTrain, OpComputeMetrics, OpSaveUpdate}
+		}
+	case TaskEval:
+		ops = []Op{OpLoadCheckpoint, OpSelectExamples, OpEval, OpComputeMetrics}
+	default:
+		return nil, fmt.Errorf("plan: unknown task type %d", cfg.Type)
+	}
+
+	agg := AggregationSimple
+	if cfg.SecureAggregation {
+		agg = AggregationSecure
+	}
+	p := &Plan{
+		ID:         cfg.TaskID,
+		Population: cfg.Population,
+		Type:       cfg.Type,
+		Device: DevicePlan{
+			Model: cfg.Model,
+			Ops:   ops,
+			Selection: SelectionCriteria{
+				StoreName:   cfg.StoreName,
+				MaxExamples: cfg.MaxExamples,
+			},
+			BatchSize:         cfg.BatchSize,
+			Epochs:            cfg.Epochs,
+			LearningRate:      cfg.LearningRate,
+			ReportEncoding:    cfg.ReportEncoding,
+			MinRuntimeVersion: requiredVersion(ops),
+		},
+		Server: ServerPlan{
+			Aggregation:       agg,
+			SecAggGroupSize:   cfg.SecAggGroupSize,
+			TargetDevices:     cfg.TargetDevices,
+			OverSelectFactor:  cfg.OverSelectFactor,
+			MinReportFraction: cfg.MinReportFraction,
+			SelectionTimeout:  cfg.SelectionTimeout,
+			ReportTimeout:     cfg.ReportTimeout,
+			ParticipationCap:  cfg.ParticipationCap,
+		},
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

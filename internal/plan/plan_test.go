@@ -1,0 +1,287 @@
+package plan
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/nn"
+)
+
+func testConfig() Config {
+	return Config{
+		TaskID:        "pop/train-1",
+		Population:    "pop",
+		Model:         nn.Spec{Kind: nn.KindLogistic, Features: 4, Classes: 2, Seed: 1},
+		StoreName:     "clicks",
+		BatchSize:     10,
+		Epochs:        1,
+		LearningRate:  0.1,
+		TargetDevices: 100,
+	}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	p, err := Generate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Server.OverSelectFactor != 1.3 {
+		t.Errorf("OverSelectFactor = %v, want 1.3", p.Server.OverSelectFactor)
+	}
+	if p.Server.MinReportFraction != 0.8 {
+		t.Errorf("MinReportFraction = %v, want 0.8", p.Server.MinReportFraction)
+	}
+	if p.Device.ReportEncoding != checkpoint.EncodingQuant8 {
+		t.Errorf("ReportEncoding = %v, want Quant8", p.Device.ReportEncoding)
+	}
+	if p.Type != TaskTrain {
+		t.Errorf("Type = %v, want train", p.Type)
+	}
+	if p.Server.ParticipationCap != p.Server.ReportTimeout {
+		t.Errorf("ParticipationCap should default to ReportTimeout")
+	}
+	if p.Device.MinRuntimeVersion != 1 {
+		t.Errorf("MinRuntimeVersion = %d, want 1", p.Device.MinRuntimeVersion)
+	}
+}
+
+func TestSelectTargetIs130Percent(t *testing.T) {
+	p, _ := Generate(testConfig())
+	if got := p.Server.SelectTarget(); got != 130 {
+		t.Fatalf("SelectTarget = %d, want 130", got)
+	}
+	if got := p.Server.MinReports(); got != 80 {
+		t.Fatalf("MinReports = %d, want 80", got)
+	}
+}
+
+func TestSelectTargetNeverBelowK(t *testing.T) {
+	s := ServerPlan{TargetDevices: 10, OverSelectFactor: 1.0, MinReportFraction: 0.01}
+	if s.SelectTarget() < 10 {
+		t.Fatal("SelectTarget below K")
+	}
+	if s.MinReports() < 1 {
+		t.Fatal("MinReports below 1")
+	}
+	s2 := ServerPlan{TargetDevices: 5, OverSelectFactor: 1.3, MinReportFraction: 1}
+	if s2.MinReports() != 5 {
+		t.Fatalf("MinReports = %d, want 5", s2.MinReports())
+	}
+}
+
+func TestGenerateEvalPlan(t *testing.T) {
+	cfg := testConfig()
+	cfg.Type = TaskEval
+	cfg.BatchSize, cfg.Epochs, cfg.LearningRate = 0, 0, 0
+	p, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range p.Device.Ops {
+		if op == OpTrain || op == OpSaveUpdate || op == OpFusedTrainMetrics {
+			t.Fatalf("eval plan contains training op %v", op)
+		}
+	}
+}
+
+func TestGenerateSecureAggregation(t *testing.T) {
+	cfg := testConfig()
+	cfg.SecureAggregation = true
+	p, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Server.Aggregation != AggregationSecure {
+		t.Fatal("aggregation should be secure")
+	}
+	if p.Server.SecAggGroupSize != 16 {
+		t.Fatalf("SecAggGroupSize default = %d, want 16", p.Server.SecAggGroupSize)
+	}
+}
+
+func TestValidateRejectsBadPlans(t *testing.T) {
+	good, _ := Generate(testConfig())
+
+	mutations := map[string]func(p *Plan){
+		"empty id":          func(p *Plan) { p.ID = "" },
+		"empty population":  func(p *Plan) { p.Population = "" },
+		"bad model":         func(p *Plan) { p.Device.Model.Classes = 0 },
+		"no ops":            func(p *Plan) { p.Device.Ops = nil },
+		"no load first":     func(p *Plan) { p.Device.Ops = []Op{OpTrain, OpSaveUpdate} },
+		"no save last":      func(p *Plan) { p.Device.Ops = []Op{OpLoadCheckpoint, OpTrain} },
+		"zero batch":        func(p *Plan) { p.Device.BatchSize = 0 },
+		"zero target":       func(p *Plan) { p.Server.TargetDevices = 0 },
+		"underselect":       func(p *Plan) { p.Server.OverSelectFactor = 0.5 },
+		"bad min fraction":  func(p *Plan) { p.Server.MinReportFraction = 0 },
+		"secagg tiny group": func(p *Plan) { p.Server.Aggregation = AggregationSecure; p.Server.SecAggGroupSize = 1 },
+	}
+	for name, mutate := range mutations {
+		p := *good
+		p.Device = good.Device
+		p.Device.Ops = append([]Op(nil), good.Device.Ops...)
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate should fail", name)
+		}
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	p, _ := Generate(testConfig())
+	b, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != p.ID || got.Population != p.Population || len(got.Device.Ops) != len(p.Device.Ops) {
+		t.Fatalf("round-trip mismatch: %+v vs %+v", got, p)
+	}
+	if got.Server.TargetDevices != p.Server.TargetDevices {
+		t.Fatal("server plan lost in round-trip")
+	}
+}
+
+func TestUnmarshalGarbage(t *testing.T) {
+	if _, err := Unmarshal([]byte("not a plan")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestWireSizeScalesWithModel(t *testing.T) {
+	small, _ := Generate(testConfig())
+	bigCfg := testConfig()
+	bigCfg.Model = nn.Spec{Kind: nn.KindMLP, Features: 100, Hidden: 200, Classes: 10, Seed: 1}
+	big, _ := Generate(bigCfg)
+	if big.WireSize() <= small.WireSize() {
+		t.Fatalf("plan wire size should scale with model: %d vs %d", big.WireSize(), small.WireSize())
+	}
+}
+
+func TestFusedOpsRequireNewRuntime(t *testing.T) {
+	cfg := testConfig()
+	cfg.UseFusedOps = true
+	p, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Device.MinRuntimeVersion != 3 {
+		t.Fatalf("fused plan MinRuntimeVersion = %d, want 3", p.Device.MinRuntimeVersion)
+	}
+}
+
+func TestForVersionIdentityWhenCompatible(t *testing.T) {
+	p, _ := Generate(testConfig())
+	q, err := p.ForVersion(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != p {
+		t.Fatal("compatible plan should be returned unchanged")
+	}
+}
+
+func TestForVersionRewritesFusedOp(t *testing.T) {
+	cfg := testConfig()
+	cfg.UseFusedOps = true
+	p, _ := Generate(cfg)
+	q, err := p.ForVersion(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Op{OpLoadCheckpoint, OpSelectExamples, OpTrain, OpComputeMetrics, OpSaveUpdate}
+	if len(q.Device.Ops) != len(want) {
+		t.Fatalf("rewritten ops = %v, want %v", q.Device.Ops, want)
+	}
+	for i := range want {
+		if q.Device.Ops[i] != want[i] {
+			t.Fatalf("rewritten ops = %v, want %v", q.Device.Ops, want)
+		}
+	}
+	if q.Device.MinRuntimeVersion != 1 {
+		t.Fatalf("rewritten MinRuntimeVersion = %d, want 1", q.Device.MinRuntimeVersion)
+	}
+	// Original untouched.
+	if p.Device.Ops[2] != OpFusedTrainMetrics {
+		t.Fatal("ForVersion must not mutate the source plan")
+	}
+}
+
+func TestForVersionSemanticEquivalence(t *testing.T) {
+	// "Versioned and unversioned plans must pass the same release tests" —
+	// the op multiset after rewriting must cover the same computation.
+	cfg := testConfig()
+	cfg.UseFusedOps = true
+	p, _ := Generate(cfg)
+	q, _ := p.ForVersion(1)
+	if err := q.Validate(); err != nil {
+		t.Fatalf("versioned plan invalid: %v", err)
+	}
+	if q.Type != p.Type || q.Device.Epochs != p.Device.Epochs || q.Device.LearningRate != p.Device.LearningRate {
+		t.Fatal("versioning must not change hyperparameters")
+	}
+}
+
+func TestForVersionImpossible(t *testing.T) {
+	cfg := testConfig()
+	cfg.UseFusedOps = true
+	p, _ := Generate(cfg)
+	if _, err := p.ForVersion(0); err == nil {
+		t.Fatal("version 0 supports nothing; expected error")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for op := OpLoadCheckpoint; op <= OpFusedTrainMetrics; op++ {
+		if op.String() == "" {
+			t.Fatalf("empty string for op %d", op)
+		}
+	}
+	if Op(200).String() == "" || TaskTrain.String() != "train" || TaskEval.String() != "eval" {
+		t.Fatal("stringer mismatch")
+	}
+	if AggregationSimple.String() != "simple" || AggregationSecure.String() != "secagg" {
+		t.Fatal("aggregation stringer mismatch")
+	}
+}
+
+func TestGenerateTimeoutsDefaulted(t *testing.T) {
+	p, _ := Generate(testConfig())
+	if p.Server.SelectionTimeout != 2*time.Minute || p.Server.ReportTimeout != 3*time.Minute {
+		t.Fatalf("default timeouts: %v / %v", p.Server.SelectionTimeout, p.Server.ReportTimeout)
+	}
+}
+
+// Property: any generated training plan lowered to any supported runtime
+// version still validates and preserves its hyperparameters.
+func TestForVersionProperty(t *testing.T) {
+	for _, fused := range []bool{false, true} {
+		for lr := 1; lr <= 3; lr++ {
+			cfg := testConfig()
+			cfg.UseFusedOps = fused
+			cfg.LearningRate = float64(lr) / 10
+			p, err := Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := 1; v <= 4; v++ {
+				q, err := p.ForVersion(v)
+				if err != nil {
+					t.Fatalf("fused=%v v=%d: %v", fused, v, err)
+				}
+				if err := q.Validate(); err != nil {
+					t.Fatalf("lowered plan invalid: %v", err)
+				}
+				if q.Device.MinRuntimeVersion > v {
+					t.Fatalf("lowered plan still requires %d > %d", q.Device.MinRuntimeVersion, v)
+				}
+				if q.Device.LearningRate != p.Device.LearningRate || q.Device.Epochs != p.Device.Epochs {
+					t.Fatal("hyperparameters changed by versioning")
+				}
+			}
+		}
+	}
+}

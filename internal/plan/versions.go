@@ -1,0 +1,75 @@
+package plan
+
+import "fmt"
+
+// Device runtimes in the field may be many months older than the newest
+// plan generator (Sec. 7.3). Each op records the runtime version that
+// introduced it; a versioned plan for an older runtime is derived from the
+// default plan by rewriting newer ops into equivalent older sequences.
+// Versioned and unversioned plans must be semantically equivalent — the
+// device package's interpreter treats the rewritten sequence identically.
+
+// opIntroducedIn maps each op to the first runtime version supporting it.
+var opIntroducedIn = map[Op]int{
+	OpLoadCheckpoint:    1,
+	OpSelectExamples:    1,
+	OpTrain:             1,
+	OpEval:              1,
+	OpComputeMetrics:    1,
+	OpSaveUpdate:        1,
+	OpFusedTrainMetrics: 3,
+}
+
+// rewrites maps a newer op to its equivalent sequence of older ops. An op
+// absent from this table cannot be lowered ("a slightly smaller number that
+// cannot be fixed without complex workarounds").
+var rewrites = map[Op][]Op{
+	OpFusedTrainMetrics: {OpTrain, OpComputeMetrics},
+}
+
+// requiredVersion returns the minimum runtime version able to execute ops.
+func requiredVersion(ops []Op) int {
+	v := 1
+	for _, op := range ops {
+		if iv, ok := opIntroducedIn[op]; ok && iv > v {
+			v = iv
+		}
+	}
+	return v
+}
+
+// ForVersion returns a plan executable by a device runtime of the given
+// version. If the plan already satisfies the version it is returned
+// unchanged; otherwise newer ops are rewritten. It returns an error when an
+// op cannot be expressed for the target version.
+func (p *Plan) ForVersion(runtimeVersion int) (*Plan, error) {
+	if runtimeVersion >= p.Device.MinRuntimeVersion {
+		return p, nil
+	}
+	out := *p
+	out.Device.Ops = nil
+	for _, op := range p.Device.Ops {
+		iv := opIntroducedIn[op]
+		if iv <= runtimeVersion {
+			out.Device.Ops = append(out.Device.Ops, op)
+			continue
+		}
+		rw, ok := rewrites[op]
+		if !ok {
+			return nil, fmt.Errorf("plan %q: op %v requires runtime ≥ %d and has no rewrite for version %d",
+				p.ID, op, iv, runtimeVersion)
+		}
+		for _, sub := range rw {
+			if opIntroducedIn[sub] > runtimeVersion {
+				return nil, fmt.Errorf("plan %q: rewrite of %v produced op %v unsupported at version %d",
+					p.ID, op, sub, runtimeVersion)
+			}
+		}
+		out.Device.Ops = append(out.Device.Ops, rw...)
+	}
+	out.Device.MinRuntimeVersion = requiredVersion(out.Device.Ops)
+	if out.Device.MinRuntimeVersion > runtimeVersion {
+		return nil, fmt.Errorf("plan %q: could not lower to version %d", p.ID, runtimeVersion)
+	}
+	return &out, nil
+}

@@ -1,0 +1,30 @@
+package population
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+func BenchmarkSample(b *testing.B) {
+	m, err := New(Config{Size: 100_000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := tensor.NewRNG(2)
+	at := time.Date(2019, 3, 1, 2, 0, 0, 0, time.UTC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Sample(130, at, rng)
+	}
+}
+
+func BenchmarkAvailableProb(b *testing.B) {
+	m, _ := New(Config{Size: 10, Seed: 1})
+	d := &m.Devices[0]
+	at := time.Date(2019, 3, 1, 14, 0, 0, 0, time.UTC)
+	for i := 0; i < b.N; i++ {
+		m.AvailableProb(d, at)
+	}
+}

@@ -1,0 +1,188 @@
+// Package population models the simulated device fleet: diurnal
+// availability (devices are "more likely idle and charging at night", with
+// a 4× swing between low and high participation, Sec. 9), eligibility
+// churn, drop-out rates that are higher by day than by night (Fig. 7), and
+// lognormal device speed heterogeneity (the stragglers of Fig. 8).
+//
+// Every paper figure we reproduce is driven by this model, so its
+// parameters default to the paper's reported values.
+package population
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/tensor"
+)
+
+// Device is one simulated phone.
+type Device struct {
+	ID int
+	// Speed is a relative compute-speed multiplier (1 = median); training
+	// time divides by it. Lognormal across the fleet.
+	Speed float64
+	// TZOffset shifts the device's local diurnal phase, modelling
+	// populations that are not perfectly single-time-zone.
+	TZOffset time.Duration
+	// Genuine is false for the small fraction of devices that fail
+	// attestation (Sec. 3, Attestation).
+	Genuine bool
+	// RuntimeVersion is the device's FL runtime version; old versions need
+	// versioned plans (Sec. 7.3).
+	RuntimeVersion int
+}
+
+// Config parametrizes the fleet. Zero values take paper-calibrated
+// defaults via New.
+type Config struct {
+	Size int
+	// PeakAvailability is the fraction of the fleet available at the
+	// nightly peak.
+	PeakAvailability float64
+	// DiurnalRatio is the peak/trough availability ratio (paper: 4×).
+	DiurnalRatio float64
+	// PeakHour is the local hour of maximum availability (devices idle and
+	// charging — night).
+	PeakHour float64
+	// NightDropout and DayDropout are per-round drop-out probabilities at
+	// the trough and peak of user activity (paper: 6%–10%).
+	NightDropout, DayDropout float64
+	// SpeedSigma is the sigma of the lognormal speed distribution.
+	SpeedSigma float64
+	// TZSpread is the standard deviation of device timezone offsets
+	// ("primarily comes from the same time zone", Appendix A).
+	TZSpread time.Duration
+	// NonGenuineFraction of devices fail attestation.
+	NonGenuineFraction float64
+	// OldRuntimeFraction of devices run runtime version 1 (needing
+	// versioned plans); the rest run version 3.
+	OldRuntimeFraction float64
+	Seed               uint64
+}
+
+// Model is an instantiated fleet.
+type Model struct {
+	cfg     Config
+	Devices []Device
+	// amplitude is derived from DiurnalRatio: ratio = (1+a)/(1−a).
+	amplitude float64
+}
+
+// New builds a fleet, applying paper defaults for zero config fields.
+func New(cfg Config) (*Model, error) {
+	if cfg.Size <= 0 {
+		return nil, fmt.Errorf("population: Size must be positive, got %d", cfg.Size)
+	}
+	if cfg.PeakAvailability == 0 {
+		cfg.PeakAvailability = 0.12
+	}
+	if cfg.DiurnalRatio == 0 {
+		cfg.DiurnalRatio = 4
+	}
+	if cfg.DiurnalRatio < 1 {
+		return nil, fmt.Errorf("population: DiurnalRatio must be ≥ 1, got %v", cfg.DiurnalRatio)
+	}
+	if cfg.PeakHour == 0 {
+		cfg.PeakHour = 2 // 2am local
+	}
+	if cfg.NightDropout == 0 {
+		cfg.NightDropout = 0.06
+	}
+	if cfg.DayDropout == 0 {
+		cfg.DayDropout = 0.10
+	}
+	if cfg.SpeedSigma == 0 {
+		cfg.SpeedSigma = 0.35
+	}
+	if cfg.PeakAvailability < 0 || cfg.PeakAvailability > 1 {
+		return nil, fmt.Errorf("population: PeakAvailability %v outside [0,1]", cfg.PeakAvailability)
+	}
+
+	m := &Model{cfg: cfg}
+	m.amplitude = (cfg.DiurnalRatio - 1) / (cfg.DiurnalRatio + 1)
+
+	rng := tensor.NewRNG(cfg.Seed)
+	m.Devices = make([]Device, cfg.Size)
+	for i := range m.Devices {
+		drng := rng.Derive(uint64(i) + 17)
+		version := 3
+		if drng.Float64() < cfg.OldRuntimeFraction {
+			version = 1
+		}
+		m.Devices[i] = Device{
+			ID:             i,
+			Speed:          drng.LogNormal(0, cfg.SpeedSigma),
+			TZOffset:       time.Duration(drng.NormFloat64() * float64(cfg.TZSpread)),
+			Genuine:        drng.Float64() >= cfg.NonGenuineFraction,
+			RuntimeVersion: version,
+		}
+	}
+	return m, nil
+}
+
+// Config returns the (defaulted) configuration.
+func (m *Model) Config() Config { return m.cfg }
+
+// hourOfDay returns the fractional local hour for a device at time t.
+func (m *Model) hourOfDay(d *Device, t time.Time) float64 {
+	local := t.Add(d.TZOffset)
+	return float64(local.Hour()) + float64(local.Minute())/60 + float64(local.Second())/3600
+}
+
+// phase returns cos distance from the availability peak in [−1, 1]:
+// 1 at the peak hour, −1 twelve hours away.
+func (m *Model) phase(hour float64) float64 {
+	return math.Cos(2 * math.Pi * (hour - m.cfg.PeakHour) / 24)
+}
+
+// AvailableProb returns the probability that the device meets the
+// eligibility criteria (idle + charging + unmetered network) at time t.
+func (m *Model) AvailableProb(d *Device, t time.Time) float64 {
+	mean := m.cfg.PeakAvailability / (1 + m.amplitude)
+	return mean * (1 + m.amplitude*m.phase(m.hourOfDay(d, t)))
+}
+
+// Availability returns the expected fraction of the fleet available at t
+// (evaluated at zero timezone offset; per-device offsets average out).
+func (m *Model) Availability(t time.Time) float64 {
+	d := Device{}
+	return m.AvailableProb(&d, t)
+}
+
+// DropoutProb returns the probability a participating device drops out of a
+// round starting at t: computation errors, network failures, or eligibility
+// changes. Daytime user interaction raises it (Fig. 7).
+func (m *Model) DropoutProb(d *Device, t time.Time) float64 {
+	// daytimeness: 0 at the availability peak (night), 1 at the trough.
+	daytimeness := (1 - m.phase(m.hourOfDay(d, t))) / 2
+	return m.cfg.NightDropout + (m.cfg.DayDropout-m.cfg.NightDropout)*daytimeness
+}
+
+// TrainDuration returns how long the device takes to run a training plan
+// over n examples with the given per-example cost at median speed.
+func (m *Model) TrainDuration(d *Device, n int, perExample time.Duration) time.Duration {
+	if d.Speed <= 0 {
+		return time.Duration(math.MaxInt64 / 2)
+	}
+	return time.Duration(float64(n) * float64(perExample) / d.Speed)
+}
+
+// Sample draws k distinct available devices at time t using per-device
+// availability probabilities; it returns fewer than k when not enough
+// devices are available. The rng drives both availability draws and
+// selection order.
+func (m *Model) Sample(k int, t time.Time, rng *tensor.RNG) []*Device {
+	out := make([]*Device, 0, k)
+	perm := rng.Perm(len(m.Devices))
+	for _, i := range perm {
+		if len(out) == k {
+			break
+		}
+		d := &m.Devices[i]
+		if rng.Float64() < m.AvailableProb(d, t) {
+			out = append(out, d)
+		}
+	}
+	return out
+}

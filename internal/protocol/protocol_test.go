@@ -1,0 +1,77 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+	"time"
+)
+
+// The protocol types cross the TCP transport as gob interface values; each
+// must round-trip through an interface-typed envelope exactly.
+
+type envelope struct{ Msg interface{} }
+
+func roundTrip(t *testing.T, msg interface{}) interface{} {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(envelope{Msg: msg}); err != nil {
+		t.Fatalf("encode %T: %v", msg, err)
+	}
+	var e envelope
+	if err := gob.NewDecoder(&buf).Decode(&e); err != nil {
+		t.Fatalf("decode %T: %v", msg, err)
+	}
+	return e.Msg
+}
+
+func TestCheckinRequestRoundTrip(t *testing.T) {
+	in := CheckinRequest{
+		DeviceID: "d1", Population: "pop", RuntimeVersion: 3,
+		AttestationToken: []byte{1, 2, 3},
+	}
+	out, ok := roundTrip(t, in).(CheckinRequest)
+	if !ok || out.DeviceID != "d1" || out.RuntimeVersion != 3 || len(out.AttestationToken) != 3 {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestCheckinResponseRoundTrip(t *testing.T) {
+	in := CheckinResponse{
+		Accepted: true, TaskID: "t", Round: 9,
+		Plan: []byte{4, 5}, Checkpoint: []byte{6},
+		ReportDeadline: 2 * time.Minute,
+	}
+	out, ok := roundTrip(t, in).(CheckinResponse)
+	if !ok || !out.Accepted || out.Round != 9 || out.ReportDeadline != 2*time.Minute {
+		t.Fatalf("got %+v", out)
+	}
+	rej := CheckinResponse{Accepted: false, RetryAfter: time.Hour, Reason: "come back later"}
+	outRej := roundTrip(t, rej).(CheckinResponse)
+	if outRej.Accepted || outRej.RetryAfter != time.Hour || outRej.Reason == "" {
+		t.Fatalf("got %+v", outRej)
+	}
+}
+
+func TestReportRequestRoundTrip(t *testing.T) {
+	in := ReportRequest{
+		DeviceID: "d1", TaskID: "t", Round: 3,
+		Update:  []byte{9, 9},
+		Metrics: map[string]float64{"train_loss": 0.5},
+	}
+	out, ok := roundTrip(t, in).(ReportRequest)
+	if !ok || out.Metrics["train_loss"] != 0.5 || len(out.Update) != 2 {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestReportResponseAndAbortRoundTrip(t *testing.T) {
+	resp := roundTrip(t, ReportResponse{Accepted: true, RetryAfter: time.Minute}).(ReportResponse)
+	if !resp.Accepted || resp.RetryAfter != time.Minute {
+		t.Fatalf("got %+v", resp)
+	}
+	ab := roundTrip(t, Abort{TaskID: "t", Round: 2, Reason: "enough devices"}).(Abort)
+	if ab.TaskID != "t" || ab.Round != 2 {
+		t.Fatalf("got %+v", ab)
+	}
+}

@@ -1,0 +1,275 @@
+package secagg
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/field"
+)
+
+// KeyAdvert is a device's Round-0 message: its identity and two X25519
+// public keys (CPub for share encryption, SPub for pairwise masking).
+type KeyAdvert struct {
+	ID   int
+	CPub []byte
+	SPub []byte
+}
+
+// RoutedShare is an encrypted Round-1 share bundle in transit: the server
+// routes it to its holder, who needs Owner to derive the decryption key.
+type RoutedShare struct {
+	Owner  int
+	Holder int
+	CT     []byte
+}
+
+// OwnerShare is one revealed share in a Round-3 unmask response.
+type OwnerShare struct {
+	Owner int
+	Share chunkedShare
+}
+
+// UnmaskResponse is a device's Round-3 message: shares of the personal mask
+// seeds of survivors and of the masking secret keys of dropped devices.
+// A correct client never reveals both kinds for the same owner.
+type UnmaskResponse struct {
+	From     int
+	BShares  []OwnerShare
+	SKShares []OwnerShare
+}
+
+// Client is one device's protocol state machine. IDs are 1-based and must
+// be unique within the instance.
+type Client struct {
+	id  int
+	cfg Config
+
+	cKey *ecdh.PrivateKey // share-encryption keypair
+	sKey *ecdh.PrivateKey // masking keypair
+	seed []byte           // personal mask seed b_u
+
+	roster    map[int]KeyAdvert
+	rosterIDs []int
+
+	held map[int]*shareBundle // shares I hold, keyed by owner
+}
+
+// NewClient creates a device participant with fresh keys.
+func NewClient(id int, cfg Config) (*Client, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if id < 1 {
+		return nil, fmt.Errorf("secagg: client id must be ≥ 1, got %d", id)
+	}
+	curve := ecdh.X25519()
+	cKey, err := curve.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("secagg: keygen: %w", err)
+	}
+	sKey, err := curve.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("secagg: keygen: %w", err)
+	}
+	seed := make([]byte, secretByteLen)
+	if _, err := io.ReadFull(rand.Reader, seed); err != nil {
+		return nil, fmt.Errorf("secagg: seed: %w", err)
+	}
+	return &Client{
+		id: id, cfg: cfg, cKey: cKey, sKey: sKey, seed: seed,
+		held: make(map[int]*shareBundle),
+	}, nil
+}
+
+// ID returns the participant id.
+func (c *Client) ID() int { return c.id }
+
+// Advertise returns the Round-0 key advertisement.
+func (c *Client) Advertise() KeyAdvert {
+	return KeyAdvert{ID: c.id, CPub: c.cKey.PublicKey().Bytes(), SPub: c.sKey.PublicKey().Bytes()}
+}
+
+// ReceiveRoster installs the server's broadcast of Round-0 adverts (the set
+// U1). The roster must contain this client and at least T participants.
+func (c *Client) ReceiveRoster(roster []KeyAdvert) error {
+	if len(roster) < c.cfg.T {
+		return fmt.Errorf("secagg: roster of %d below threshold %d", len(roster), c.cfg.T)
+	}
+	m := make(map[int]KeyAdvert, len(roster))
+	ids := make([]int, 0, len(roster))
+	for _, a := range roster {
+		if _, dup := m[a.ID]; dup {
+			return fmt.Errorf("secagg: duplicate id %d in roster", a.ID)
+		}
+		m[a.ID] = a
+		ids = append(ids, a.ID)
+	}
+	if _, ok := m[c.id]; !ok {
+		return fmt.Errorf("secagg: roster does not include self (%d)", c.id)
+	}
+	sort.Ints(ids)
+	c.roster = m
+	c.rosterIDs = ids
+	return nil
+}
+
+// ShareKeys produces the Round-1 encrypted share bundles, one per roster
+// member (including one to self, which the server routes back).
+func (c *Client) ShareKeys() ([]RoutedShare, error) {
+	if c.roster == nil {
+		return nil, fmt.Errorf("secagg: ShareKeys before roster")
+	}
+	n := len(c.rosterIDs)
+	bShares, err := splitBytes(c.seed, n, c.cfg.T, rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	skShares, err := splitBytes(c.sKey.Bytes(), n, c.cfg.T, rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RoutedShare, 0, n)
+	for i, holder := range c.rosterIDs {
+		bundle := &shareBundle{Owner: c.id, Holder: holder, BShare: bShares[i], SKShare: skShares[i]}
+		// Re-key share X coordinates to the holder id so reconstruction uses
+		// consistent evaluation points across owners.
+		bundle.BShare.X = uint64(i + 1)
+		bundle.SKShare.X = uint64(i + 1)
+		shared, err := c.pairwiseC(holder)
+		if err != nil {
+			return nil, err
+		}
+		ct, err := encryptBundle(shared, bundle)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, RoutedShare{Owner: c.id, Holder: holder, CT: ct})
+	}
+	return out, nil
+}
+
+// ReceiveShares decrypts and stores the Round-1 bundles routed to this
+// client. Bundles that fail authentication are rejected.
+func (c *Client) ReceiveShares(shares []RoutedShare) error {
+	for _, rs := range shares {
+		if rs.Holder != c.id {
+			return fmt.Errorf("secagg: share for holder %d routed to %d", rs.Holder, c.id)
+		}
+		shared, err := c.pairwiseC(rs.Owner)
+		if err != nil {
+			return err
+		}
+		bundle, err := decryptBundle(shared, rs.CT)
+		if err != nil {
+			return fmt.Errorf("secagg: share from %d: %w", rs.Owner, err)
+		}
+		if bundle.Owner != rs.Owner || bundle.Holder != c.id {
+			return fmt.Errorf("secagg: bundle metadata mismatch (owner %d/%d)", bundle.Owner, rs.Owner)
+		}
+		c.held[bundle.Owner] = bundle
+	}
+	return nil
+}
+
+// MaskedInput computes the Round-2 masked vector for input x:
+// Encode(x) + PRG(b_u) + Σ_{v>u} PRG(s_uv) − Σ_{v<u} PRG(s_uv).
+func (c *Client) MaskedInput(x []float64) ([]uint64, error) {
+	if c.roster == nil {
+		return nil, fmt.Errorf("secagg: MaskedInput before roster")
+	}
+	if len(x) != c.cfg.VectorLen {
+		return nil, fmt.Errorf("secagg: input length %d, want %d", len(x), c.cfg.VectorLen)
+	}
+	y := Encode(x)
+	// Personal mask.
+	self := prg(seedKey(c.seed), c.cfg.VectorLen)
+	field.AddVec(y, y, self)
+	// Pairwise masks over the full roster U1.
+	for _, v := range c.rosterIDs {
+		if v == c.id {
+			continue
+		}
+		seedUV, err := c.pairwiseS(v)
+		if err != nil {
+			return nil, err
+		}
+		pad := prg(seedUV, c.cfg.VectorLen)
+		if c.id < v {
+			field.AddVec(y, y, pad)
+		} else {
+			field.SubVec(y, y, pad)
+		}
+	}
+	return y, nil
+}
+
+// Unmask produces the Round-3 response given the server's survivor set U2.
+// It refuses to reveal when the survivor set is below threshold (which
+// would let a malicious server unmask an individual) and never reveals both
+// share kinds for one owner.
+func (c *Client) Unmask(survivors []int) (*UnmaskResponse, error) {
+	if c.roster == nil {
+		return nil, fmt.Errorf("secagg: Unmask before roster")
+	}
+	if len(survivors) < c.cfg.T {
+		return nil, fmt.Errorf("secagg: refusing to unmask with %d < T=%d survivors", len(survivors), c.cfg.T)
+	}
+	surv := make(map[int]bool, len(survivors))
+	for _, id := range survivors {
+		if _, ok := c.roster[id]; !ok {
+			return nil, fmt.Errorf("secagg: survivor %d not in roster", id)
+		}
+		surv[id] = true
+	}
+	resp := &UnmaskResponse{From: c.id}
+	for _, owner := range c.rosterIDs {
+		bundle, ok := c.held[owner]
+		if !ok {
+			continue // never received a share from this owner
+		}
+		if surv[owner] {
+			resp.BShares = append(resp.BShares, OwnerShare{Owner: owner, Share: bundle.BShare})
+		} else {
+			resp.SKShares = append(resp.SKShares, OwnerShare{Owner: owner, Share: bundle.SKShare})
+		}
+	}
+	return resp, nil
+}
+
+// pairwiseC derives the share-encryption secret with peer.
+func (c *Client) pairwiseC(peer int) ([]byte, error) {
+	a, ok := c.roster[peer]
+	if !ok {
+		return nil, fmt.Errorf("secagg: unknown peer %d", peer)
+	}
+	pub, err := ecdh.X25519().NewPublicKey(a.CPub)
+	if err != nil {
+		return nil, fmt.Errorf("secagg: peer %d cpub: %w", peer, err)
+	}
+	return c.cKey.ECDH(pub)
+}
+
+// pairwiseS derives the masking PRG seed with peer from the s-keypair.
+func (c *Client) pairwiseS(peer int) ([]byte, error) {
+	a, ok := c.roster[peer]
+	if !ok {
+		return nil, fmt.Errorf("secagg: unknown peer %d", peer)
+	}
+	pub, err := ecdh.X25519().NewPublicKey(a.SPub)
+	if err != nil {
+		return nil, fmt.Errorf("secagg: peer %d spub: %w", peer, err)
+	}
+	shared, err := c.sKey.ECDH(pub)
+	if err != nil {
+		return nil, err
+	}
+	return pairwiseSeed(shared, 'p'), nil
+}
+
+// seedKey domain-separates the personal seed before use as a PRG key.
+func seedKey(seed []byte) []byte {
+	return pairwiseSeed(seed, 'b')
+}

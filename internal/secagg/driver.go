@@ -1,0 +1,113 @@
+package secagg
+
+import "fmt"
+
+// Run executes a complete Secure Aggregation instance in-process. It exists
+// for the Aggregator actor and the benchmarks: the aggregator hands it the
+// per-group inputs and dropout schedule, and receives the group sum.
+//
+// inputs maps device id → update vector. dropAfterShare lists devices that
+// vanish after distributing shares but before sending a masked input (the
+// interesting recovery path: their pairwise masks must be reconstructed).
+// dropAfterMask lists devices that send a masked input but never answer the
+// unmask round (tolerated as long as ≥ T others answer).
+//
+// It returns Decode of the aggregate and the survivor ids included in it.
+func Run(cfg Config, inputs map[int][]float64, dropAfterShare, dropAfterMask []int) ([]float64, []int, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	dropShare := make(map[int]bool, len(dropAfterShare))
+	for _, id := range dropAfterShare {
+		dropShare[id] = true
+	}
+	dropMask := make(map[int]bool, len(dropAfterMask))
+	for _, id := range dropAfterMask {
+		dropMask[id] = true
+	}
+
+	srv, err := NewServer(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Round 0: advertise keys.
+	clients := make(map[int]*Client, len(inputs))
+	for id := range inputs {
+		c, err := NewClient(id, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		clients[id] = c
+		if err := srv.RegisterAdvert(c.Advertise()); err != nil {
+			return nil, nil, err
+		}
+	}
+	roster, err := srv.Roster()
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, c := range clients {
+		if err := c.ReceiveRoster(roster); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Round 1: share keys.
+	var allShares []RoutedShare
+	for _, c := range clients {
+		rs, err := c.ShareKeys()
+		if err != nil {
+			return nil, nil, err
+		}
+		allShares = append(allShares, rs...)
+	}
+	for holder, rs := range srv.RouteShares(allShares) {
+		if err := clients[holder].ReceiveShares(rs); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Round 2: masked inputs (dropAfterShare devices vanish here).
+	for id, c := range clients {
+		if dropShare[id] {
+			continue
+		}
+		y, err := c.MaskedInput(inputs[id])
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := srv.AddMasked(id, y); err != nil {
+			return nil, nil, err
+		}
+	}
+	survivors, err := srv.Survivors()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Round 3: unmask (dropAfterMask devices vanish here).
+	responded := 0
+	for _, id := range survivors {
+		if dropMask[id] {
+			continue
+		}
+		resp, err := clients[id].Unmask(survivors)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := srv.AddUnmaskResponse(resp); err != nil {
+			return nil, nil, err
+		}
+		responded++
+	}
+	if responded < cfg.T {
+		return nil, nil, fmt.Errorf("secagg: only %d unmask responses, need ≥ %d", responded, cfg.T)
+	}
+
+	sum, err := srv.Sum()
+	if err != nil {
+		return nil, nil, err
+	}
+	return Decode(sum), survivors, nil
+}

@@ -1,0 +1,130 @@
+// Package secagg implements the four-round Secure Aggregation protocol of
+// Bonawitz et al. (CCS 2017) as deployed in the FL system (Sec. 6): the
+// server learns only the sum of device update vectors, never an individual
+// update, and the protocol tolerates devices dropping out between rounds.
+//
+// Protocol sketch (server mediates everything):
+//
+//	Round 0  AdvertiseKeys   — each device sends two X25519 public keys:
+//	                           cPK (share encryption) and sPK (masking).
+//	Round 1  ShareKeys       — each device Shamir-shares its masking secret
+//	                           key and a personal mask seed b_u, encrypting
+//	                           the shares pairwise (AES-GCM under ECDH keys).
+//	                           (Rounds 0–1 are the paper's "Prepare" phase.)
+//	Round 2  MaskedInput     — devices upload x_u + PRG(b_u)
+//	                           + Σ_{v>u} PRG(s_uv) − Σ_{v<u} PRG(s_uv),
+//	                           where s_uv is the pairwise ECDH secret.
+//	                           (The paper's "Commit" phase.)
+//	Round 3  Unmask          — survivors reveal shares: b_u shares for
+//	                           surviving u, masking-key shares for dropped u.
+//	                           The server reconstructs and removes the masks.
+//	                           (The paper's "Finalization" phase.)
+//
+// Updates are real vectors; they are carried in GF(2^61−1) via fixed-point
+// encoding (Encode/Decode). All masks cancel exactly in the field.
+package secagg
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/field"
+)
+
+// Config describes one Secure Aggregation instance. The FL task defines the
+// group size (the parameter k of Sec. 6); the aggregator runs one instance
+// per group of at least that size.
+type Config struct {
+	// N is the number of participants in this instance.
+	N int
+	// T is the reconstruction threshold: the protocol completes iff at
+	// least T devices survive to the finalization round, and fewer than T
+	// colluding parties learn nothing.
+	T int
+	// VectorLen is the length of each device's input vector.
+	VectorLen int
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("secagg: need at least 2 participants, got %d", c.N)
+	}
+	if c.T < 1 || c.T > c.N {
+		return fmt.Errorf("secagg: threshold %d outside [1,%d]", c.T, c.N)
+	}
+	if c.VectorLen <= 0 {
+		return fmt.Errorf("secagg: non-positive vector length %d", c.VectorLen)
+	}
+	return nil
+}
+
+// FixedPointScale is the fixed-point scale for Encode/Decode: values are
+// quantized to 1/FixedPointScale resolution.
+const FixedPointScale = 1 << 20
+
+// Encode maps a real vector into field elements using fixed-point, two's
+// complement style: negative values wrap mod P. The decoded sum is correct
+// as long as |Σ x_i|·scale < P/2, comfortably true for model updates.
+func Encode(x []float64) []uint64 {
+	out := make([]uint64, len(x))
+	for i, v := range x {
+		q := int64(math.Round(v * FixedPointScale))
+		if q >= 0 {
+			out[i] = field.Reduce(uint64(q))
+		} else {
+			out[i] = field.Sub(0, field.Reduce(uint64(-q)))
+		}
+	}
+	return out
+}
+
+// Decode inverts Encode on an aggregate, mapping field elements in the top
+// half of the field back to negative reals.
+func Decode(y []uint64) []float64 {
+	out := make([]float64, len(y))
+	half := field.P / 2
+	for i, v := range y {
+		if v > half {
+			out[i] = -float64(field.P-v) / FixedPointScale
+		} else {
+			out[i] = float64(v) / FixedPointScale
+		}
+	}
+	return out
+}
+
+// prg expands a 32-byte seed into length field elements with AES-256-CTR.
+// Both the device and the server (after reconstruction) must produce
+// identical streams, which CTR over a zero IV guarantees.
+func prg(seed []byte, length int) []uint64 {
+	if len(seed) != 32 {
+		panic(fmt.Sprintf("secagg: prg seed must be 32 bytes, got %d", len(seed)))
+	}
+	block, err := aes.NewCipher(seed)
+	if err != nil {
+		panic("secagg: aes: " + err.Error()) // impossible for 32-byte key
+	}
+	iv := make([]byte, aes.BlockSize)
+	stream := cipher.NewCTR(block, iv)
+	buf := make([]byte, 8*length)
+	stream.XORKeyStream(buf, buf)
+	out := make([]uint64, length)
+	for i := range out {
+		out[i] = field.Reduce(binary.BigEndian.Uint64(buf[8*i:]))
+	}
+	return out
+}
+
+// pairwiseSeed hashes an ECDH shared secret into a PRG seed with a domain
+// separation tag.
+func pairwiseSeed(shared []byte, tag byte) []byte {
+	h := sha256.New()
+	h.Write([]byte{'s', 'a', 'g', 'g', tag})
+	h.Write(shared)
+	return h.Sum(nil)
+}

@@ -1,0 +1,485 @@
+package secagg
+
+import (
+	"bytes"
+	"crypto/rand"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/field"
+	"repro/internal/tensor"
+)
+
+func vec(vals ...float64) []float64 { return vals }
+
+func expectSum(t *testing.T, inputs map[int][]float64, include []int, got []float64) {
+	t.Helper()
+	want := make([]float64, len(got))
+	for _, id := range include {
+		for i, v := range inputs[id] {
+			want[i] += v
+		}
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-4 {
+			t.Fatalf("sum[%d] = %v, want %v (full: %v vs %v)", i, got[i], want[i], got, want)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	x := []float64{0, 1.5, -2.25, 1e-6, -1e-6, 1000.125}
+	got := Decode(Encode(x))
+	for i := range x {
+		if math.Abs(got[i]-x[i]) > 1.0/FixedPointScale {
+			t.Fatalf("decode(encode(%v)) = %v", x[i], got[i])
+		}
+	}
+}
+
+func TestEncodeNegativeWraps(t *testing.T) {
+	e := Encode([]float64{-1})
+	if e[0] <= field.P/2 {
+		t.Fatalf("negative value should land in top half of field: %d", e[0])
+	}
+}
+
+func TestPRGDeterministicAndSeedSensitive(t *testing.T) {
+	seed1 := bytes.Repeat([]byte{1}, 32)
+	seed2 := bytes.Repeat([]byte{2}, 32)
+	a := prg(seed1, 16)
+	b := prg(seed1, 16)
+	c := prg(seed2, 16)
+	diff := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("prg must be deterministic")
+		}
+		if a[i] >= field.P {
+			t.Fatal("prg output outside field")
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds must give different streams")
+	}
+}
+
+func TestSplitBytesRoundTrip(t *testing.T) {
+	secret := make([]byte, 32)
+	if _, err := rand.Read(secret); err != nil {
+		t.Fatal(err)
+	}
+	shares, err := splitBytes(secret, 5, 3, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := reconstructBytes(shares[1:4], 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatal("reconstructed secret differs")
+	}
+}
+
+func TestSplitBytesWrongLength(t *testing.T) {
+	if _, err := splitBytes([]byte{1, 2, 3}, 3, 2, rand.Reader); err == nil {
+		t.Fatal("expected error for short secret")
+	}
+}
+
+func TestBundleEncryptDecrypt(t *testing.T) {
+	shared := bytes.Repeat([]byte{9}, 32)
+	b := &shareBundle{Owner: 3, Holder: 7}
+	b.BShare.X = 7
+	b.BShare.Ys[0] = 123
+	b.SKShare.X = 7
+	b.SKShare.Ys[5] = 456
+	ct, err := encryptBundle(shared, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decryptBundle(shared, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Owner != 3 || got.Holder != 7 || got.BShare.Ys[0] != 123 || got.SKShare.Ys[5] != 456 {
+		t.Fatalf("bundle round-trip: %+v", got)
+	}
+	// Wrong key must fail authentication.
+	if _, err := decryptBundle(bytes.Repeat([]byte{8}, 32), ct); err == nil {
+		t.Fatal("decryption with wrong key must fail")
+	}
+	// Tampered ciphertext must fail.
+	ct[len(ct)-1] ^= 1
+	if _, err := decryptBundle(shared, ct); err == nil {
+		t.Fatal("tampered ciphertext must fail")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, c := range []Config{
+		{N: 1, T: 1, VectorLen: 1},
+		{N: 3, T: 0, VectorLen: 1},
+		{N: 3, T: 4, VectorLen: 1},
+		{N: 3, T: 2, VectorLen: 0},
+	} {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) should fail", c)
+		}
+	}
+	if err := (Config{N: 3, T: 2, VectorLen: 5}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullProtocolNoDropout(t *testing.T) {
+	cfg := Config{N: 4, T: 3, VectorLen: 3}
+	inputs := map[int][]float64{
+		1: vec(1, 2, 3),
+		2: vec(0.5, -1, 0),
+		3: vec(-2, 0.25, 1),
+		4: vec(10, -10, 0.125),
+	}
+	sum, survivors, err := Run(cfg, inputs, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(survivors) != 4 {
+		t.Fatalf("survivors = %v", survivors)
+	}
+	expectSum(t, inputs, survivors, sum)
+}
+
+func TestDropoutAfterShareKeys(t *testing.T) {
+	// Device 2 distributes shares then vanishes: its pairwise masks pollute
+	// the sum and must be reconstructed from its masking-key shares.
+	cfg := Config{N: 4, T: 2, VectorLen: 2}
+	inputs := map[int][]float64{
+		1: vec(1, 1), 2: vec(100, 100), 3: vec(2, 2), 4: vec(3, 3),
+	}
+	sum, survivors, err := Run(cfg, inputs, []int{2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(survivors) != 3 {
+		t.Fatalf("survivors = %v", survivors)
+	}
+	// Dropped device's input must NOT be in the sum.
+	expectSum(t, inputs, survivors, sum)
+}
+
+func TestDropoutAfterMaskedInput(t *testing.T) {
+	// Device 3 commits its masked input then never answers the unmask
+	// round; its update is still included ("All devices who complete this
+	// round will have their model update included").
+	cfg := Config{N: 4, T: 2, VectorLen: 2}
+	inputs := map[int][]float64{
+		1: vec(1, 0), 2: vec(0, 1), 3: vec(5, 5), 4: vec(-1, -1),
+	}
+	sum, survivors, err := Run(cfg, inputs, nil, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(survivors) != 4 {
+		t.Fatalf("survivors = %v", survivors)
+	}
+	expectSum(t, inputs, survivors, sum)
+}
+
+func TestBothDropoutKinds(t *testing.T) {
+	cfg := Config{N: 6, T: 3, VectorLen: 4}
+	inputs := map[int][]float64{
+		1: vec(1, 2, 3, 4), 2: vec(-1, -2, -3, -4), 3: vec(0.5, 0.5, 0.5, 0.5),
+		4: vec(7, 0, 0, 7), 5: vec(0, 9, 9, 0), 6: vec(1, 1, 1, 1),
+	}
+	sum, survivors, err := Run(cfg, inputs, []int{2, 5}, []int{6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(survivors) != 4 {
+		t.Fatalf("survivors = %v", survivors)
+	}
+	expectSum(t, inputs, survivors, sum)
+}
+
+func TestTooManyDropoutsFails(t *testing.T) {
+	cfg := Config{N: 4, T: 3, VectorLen: 1}
+	inputs := map[int][]float64{1: vec(1), 2: vec(2), 3: vec(3), 4: vec(4)}
+	if _, _, err := Run(cfg, inputs, []int{2, 3}, nil); err == nil {
+		t.Fatal("2 of 4 survivors with T=3 must fail")
+	}
+	// Too few unmask responses also fails.
+	if _, _, err := Run(cfg, inputs, nil, []int{1, 2}); err == nil {
+		t.Fatal("2 unmask responders with T=3 must fail")
+	}
+}
+
+func TestClientRefusesSubThresholdUnmask(t *testing.T) {
+	cfg := Config{N: 3, T: 3, VectorLen: 1}
+	c, err := NewClient(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := []KeyAdvert{c.Advertise()}
+	for id := 2; id <= 3; id++ {
+		p, _ := NewClient(id, cfg)
+		peers = append(peers, p.Advertise())
+	}
+	if err := c.ReceiveRoster(peers); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Unmask([]int{1, 2}); err == nil {
+		t.Fatal("client must refuse to unmask below threshold")
+	}
+}
+
+func TestServerRejectsDuplicatesAndUnknowns(t *testing.T) {
+	cfg := Config{N: 3, T: 2, VectorLen: 2}
+	srv, _ := NewServer(cfg)
+	c1, _ := NewClient(1, cfg)
+	c2, _ := NewClient(2, cfg)
+	if err := srv.RegisterAdvert(c1.Advertise()); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.RegisterAdvert(c1.Advertise()); err == nil {
+		t.Fatal("duplicate advert must be rejected")
+	}
+	if err := srv.RegisterAdvert(c2.Advertise()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Roster(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.RegisterAdvert(KeyAdvert{ID: 3}); err == nil {
+		t.Fatal("advert after roster freeze must be rejected")
+	}
+	if err := srv.AddMasked(99, make([]uint64, 2)); err == nil {
+		t.Fatal("masked input from unknown device must be rejected")
+	}
+	if err := srv.AddMasked(1, make([]uint64, 5)); err == nil {
+		t.Fatal("wrong-length masked input must be rejected")
+	}
+	if err := srv.AddMasked(1, make([]uint64, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddMasked(1, make([]uint64, 2)); err == nil {
+		t.Fatal("duplicate masked input must be rejected")
+	}
+}
+
+func TestMaskedInputIsActuallyMasked(t *testing.T) {
+	// An individual masked vector must look nothing like the input — this
+	// is a smoke check that masking is applied (true uniformity is a
+	// property of the PRG).
+	cfg := Config{N: 3, T: 2, VectorLen: 4}
+	inputs := map[int][]float64{1: vec(0, 0, 0, 0), 2: vec(0, 0, 0, 0), 3: vec(0, 0, 0, 0)}
+	srv, _ := NewServer(cfg)
+	clients := make(map[int]*Client)
+	for id := range inputs {
+		c, _ := NewClient(id, cfg)
+		clients[id] = c
+		_ = srv.RegisterAdvert(c.Advertise())
+	}
+	roster, _ := srv.Roster()
+	for _, c := range clients {
+		_ = c.ReceiveRoster(roster)
+	}
+	y, err := clients[1].MaskedInput(inputs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroish := 0
+	for _, v := range y {
+		if v == 0 {
+			zeroish++
+		}
+	}
+	if zeroish == len(y) {
+		t.Fatal("masked zero vector is still zero — no masking applied")
+	}
+}
+
+func TestRunVariousSizes(t *testing.T) {
+	for _, n := range []int{2, 5, 9} {
+		cfg := Config{N: n, T: (n + 1) / 2, VectorLen: 3}
+		inputs := make(map[int][]float64, n)
+		for id := 1; id <= n; id++ {
+			inputs[id] = vec(float64(id), -float64(id), 0.5*float64(id))
+		}
+		sum, survivors, err := Run(cfg, inputs, nil, nil)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		expectSum(t, inputs, survivors, sum)
+	}
+}
+
+// Property: Encode is additively homomorphic under field addition for sums
+// small enough to avoid wraparound.
+func TestEncodeHomomorphism(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.Abs(a) > 1e6 || math.Abs(b) > 1e6 {
+			return true
+		}
+		ea, eb := Encode([]float64{a}), Encode([]float64{b})
+		sum := []uint64{field.Add(ea[0], eb[0])}
+		got := Decode(sum)[0]
+		return math.Abs(got-(a+b)) <= 2.0/FixedPointScale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with random dropout patterns that keep at least T survivors and
+// T unmask responders, the protocol always produces the exact survivor sum.
+func TestRandomDropoutPatterns(t *testing.T) {
+	rng := tensor.NewRNG(99)
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(5) // 4..8
+		thresh := 2 + rng.Intn(n/2)
+		cfg := Config{N: n, T: thresh, VectorLen: 3}
+		inputs := make(map[int][]float64, n)
+		for id := 1; id <= n; id++ {
+			inputs[id] = vec(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+		}
+		// Drop devices randomly, keeping ≥ thresh survivors who respond.
+		var dropShare, dropMask []int
+		alive := n
+		for id := 1; id <= n; id++ {
+			if alive <= thresh {
+				break
+			}
+			switch rng.Intn(4) {
+			case 0:
+				dropShare = append(dropShare, id)
+				alive--
+			case 1:
+				dropMask = append(dropMask, id)
+				alive--
+			}
+		}
+		sum, survivors, err := Run(cfg, inputs, dropShare, dropMask)
+		if err != nil {
+			t.Fatalf("trial %d (n=%d t=%d dropS=%v dropM=%v): %v", trial, n, thresh, dropShare, dropMask, err)
+		}
+		expectSum(t, inputs, survivors, sum)
+	}
+}
+
+func TestClientStateMachineErrors(t *testing.T) {
+	cfg := Config{N: 3, T: 2, VectorLen: 2}
+	if _, err := NewClient(0, cfg); err == nil {
+		t.Fatal("id 0 must fail")
+	}
+	if _, err := NewClient(1, Config{N: 1, T: 1, VectorLen: 1}); err == nil {
+		t.Fatal("invalid config must fail")
+	}
+	c, err := NewClient(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ShareKeys(); err == nil {
+		t.Fatal("ShareKeys before roster must fail")
+	}
+	if _, err := c.MaskedInput([]float64{1, 2}); err == nil {
+		t.Fatal("MaskedInput before roster must fail")
+	}
+	if _, err := c.Unmask([]int{1, 2}); err == nil {
+		t.Fatal("Unmask before roster must fail")
+	}
+
+	// Roster problems.
+	c2, _ := NewClient(2, cfg)
+	c3, _ := NewClient(3, cfg)
+	if err := c.ReceiveRoster([]KeyAdvert{c2.Advertise()}); err == nil {
+		t.Fatal("roster below threshold must fail")
+	}
+	if err := c.ReceiveRoster([]KeyAdvert{c2.Advertise(), c3.Advertise()}); err == nil {
+		t.Fatal("roster without self must fail")
+	}
+	dup := c2.Advertise()
+	if err := c.ReceiveRoster([]KeyAdvert{c.Advertise(), dup, dup}); err == nil {
+		t.Fatal("duplicate roster ids must fail")
+	}
+
+	// Valid roster; then bad inputs.
+	if err := c.ReceiveRoster([]KeyAdvert{c.Advertise(), c2.Advertise(), c3.Advertise()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.MaskedInput([]float64{1}); err == nil {
+		t.Fatal("wrong-length input must fail")
+	}
+	if _, err := c.Unmask([]int{1, 99}); err == nil {
+		t.Fatal("survivor outside roster must fail")
+	}
+	if err := c.ReceiveShares([]RoutedShare{{Owner: 2, Holder: 99}}); err == nil {
+		t.Fatal("misrouted share must fail")
+	}
+}
+
+func TestUnmaskResponderNeverRevealsBothShares(t *testing.T) {
+	// Core security invariant: for one owner, a responder reveals the
+	// personal-seed share (survivor) XOR the masking-key share (dropped) —
+	// never both, which would unmask an individual's update.
+	cfg := Config{N: 4, T: 2, VectorLen: 1}
+	clients := make(map[int]*Client)
+	var roster []KeyAdvert
+	for id := 1; id <= 4; id++ {
+		c, err := NewClient(id, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[id] = c
+		roster = append(roster, c.Advertise())
+	}
+	var all []RoutedShare
+	for _, c := range clients {
+		if err := c.ReceiveRoster(roster); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range clients {
+		rs, err := c.ShareKeys()
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, rs...)
+	}
+	byHolder := make(map[int][]RoutedShare)
+	for _, rs := range all {
+		byHolder[rs.Holder] = append(byHolder[rs.Holder], rs)
+	}
+	for id, c := range clients {
+		if err := c.ReceiveShares(byHolder[id]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Survivors {1,2,3}; device 4 dropped.
+	resp, err := clients[1].Unmask([]int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bOwners := map[int]bool{}
+	for _, os := range resp.BShares {
+		bOwners[os.Owner] = true
+	}
+	for _, os := range resp.SKShares {
+		if bOwners[os.Owner] {
+			t.Fatalf("both share kinds revealed for owner %d", os.Owner)
+		}
+		if os.Owner != 4 {
+			t.Fatalf("masking-key share revealed for survivor %d", os.Owner)
+		}
+	}
+	for owner := range bOwners {
+		if owner == 4 {
+			t.Fatal("personal-seed share revealed for dropped device")
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package secagg
+
+import (
+	"crypto/ecdh"
+	"fmt"
+	"sort"
+
+	"repro/internal/field"
+)
+
+// Server is the aggregator side of one Secure Aggregation instance. It only
+// ever holds masked vectors and aggregate state — never an individual
+// cleartext update, which is the point of the protocol (Sec. 6: protection
+// against "honest but curious" access to Aggregator memory).
+type Server struct {
+	cfg Config
+
+	roster    map[int]KeyAdvert
+	rosterIDs []int // sorted; frozen once Roster() is served
+
+	sum      []uint64 // running sum of masked inputs (online aggregation)
+	maskedBy map[int]bool
+
+	unmaskFrom map[int]bool
+	bShares    map[int][]chunkedShare // owner -> revealed personal-seed shares
+	skShares   map[int][]chunkedShare // owner -> revealed masking-key shares
+}
+
+// NewServer creates the server side of an instance.
+func NewServer(cfg Config) (*Server, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:        cfg,
+		roster:     make(map[int]KeyAdvert),
+		sum:        make([]uint64, cfg.VectorLen),
+		maskedBy:   make(map[int]bool),
+		unmaskFrom: make(map[int]bool),
+		bShares:    make(map[int][]chunkedShare),
+		skShares:   make(map[int][]chunkedShare),
+	}, nil
+}
+
+// RegisterAdvert records a Round-0 key advertisement. Registration closes
+// when Roster is first called.
+func (s *Server) RegisterAdvert(a KeyAdvert) error {
+	if s.rosterIDs != nil {
+		return fmt.Errorf("secagg: roster already frozen")
+	}
+	if a.ID < 1 {
+		return fmt.Errorf("secagg: invalid id %d", a.ID)
+	}
+	if _, dup := s.roster[a.ID]; dup {
+		return fmt.Errorf("secagg: duplicate advert from %d", a.ID)
+	}
+	if len(s.roster) >= s.cfg.N {
+		return fmt.Errorf("secagg: instance full (%d participants)", s.cfg.N)
+	}
+	s.roster[a.ID] = a
+	return nil
+}
+
+// Roster freezes and returns the participant set U1 for broadcast. It fails
+// if fewer than T devices advertised.
+func (s *Server) Roster() ([]KeyAdvert, error) {
+	if len(s.roster) < s.cfg.T {
+		return nil, fmt.Errorf("secagg: only %d adverts, need ≥ %d", len(s.roster), s.cfg.T)
+	}
+	if s.rosterIDs == nil {
+		ids := make([]int, 0, len(s.roster))
+		for id := range s.roster {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		s.rosterIDs = ids
+	}
+	out := make([]KeyAdvert, 0, len(s.rosterIDs))
+	for _, id := range s.rosterIDs {
+		out = append(out, s.roster[id])
+	}
+	return out, nil
+}
+
+// RouteShares groups the Round-1 bundles by holder for delivery. Bundles
+// from unknown owners are dropped.
+func (s *Server) RouteShares(all []RoutedShare) map[int][]RoutedShare {
+	byHolder := make(map[int][]RoutedShare)
+	for _, rs := range all {
+		if _, ok := s.roster[rs.Owner]; !ok {
+			continue
+		}
+		if _, ok := s.roster[rs.Holder]; !ok {
+			continue
+		}
+		byHolder[rs.Holder] = append(byHolder[rs.Holder], rs)
+	}
+	return byHolder
+}
+
+// AddMasked accumulates a Round-2 masked input into the running sum. The
+// server never stores the individual vector beyond this addition.
+func (s *Server) AddMasked(id int, y []uint64) error {
+	if s.rosterIDs == nil {
+		return fmt.Errorf("secagg: masked input before roster freeze")
+	}
+	if _, ok := s.roster[id]; !ok {
+		return fmt.Errorf("secagg: masked input from unknown device %d", id)
+	}
+	if s.maskedBy[id] {
+		return fmt.Errorf("secagg: duplicate masked input from %d", id)
+	}
+	if len(y) != s.cfg.VectorLen {
+		return fmt.Errorf("secagg: masked input length %d, want %d", len(y), s.cfg.VectorLen)
+	}
+	field.AddVec(s.sum, s.sum, y)
+	s.maskedBy[id] = true
+	return nil
+}
+
+// Survivors returns the set U2 of devices whose masked input arrived,
+// sorted. The round can proceed only if |U2| ≥ T.
+func (s *Server) Survivors() ([]int, error) {
+	if len(s.maskedBy) < s.cfg.T {
+		return nil, fmt.Errorf("secagg: only %d masked inputs, need ≥ %d", len(s.maskedBy), s.cfg.T)
+	}
+	out := make([]int, 0, len(s.maskedBy))
+	for id := range s.maskedBy {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// AddUnmaskResponse records a Round-3 response.
+func (s *Server) AddUnmaskResponse(r *UnmaskResponse) error {
+	if _, ok := s.roster[r.From]; !ok {
+		return fmt.Errorf("secagg: unmask response from unknown device %d", r.From)
+	}
+	if s.unmaskFrom[r.From] {
+		return fmt.Errorf("secagg: duplicate unmask response from %d", r.From)
+	}
+	s.unmaskFrom[r.From] = true
+	for _, os := range r.BShares {
+		if s.maskedBy[os.Owner] {
+			s.bShares[os.Owner] = append(s.bShares[os.Owner], os.Share)
+		}
+	}
+	for _, os := range r.SKShares {
+		if !s.maskedBy[os.Owner] {
+			s.skShares[os.Owner] = append(s.skShares[os.Owner], os.Share)
+		}
+	}
+	return nil
+}
+
+// Sum finalizes the protocol: reconstructs personal seeds of survivors and
+// masking keys of dropped devices, strips all masks, and returns the
+// aggregate Σ_{u∈U2} x_u in field encoding (Decode converts to reals).
+func (s *Server) Sum() ([]uint64, error) {
+	survivors, err := s.Survivors()
+	if err != nil {
+		return nil, err
+	}
+	if len(s.unmaskFrom) < s.cfg.T {
+		return nil, fmt.Errorf("secagg: only %d unmask responses, need ≥ %d", len(s.unmaskFrom), s.cfg.T)
+	}
+	out := make([]uint64, s.cfg.VectorLen)
+	copy(out, s.sum)
+
+	// Remove survivors' personal masks PRG(b_u).
+	for _, u := range survivors {
+		shares := s.bShares[u]
+		if len(shares) < s.cfg.T {
+			return nil, fmt.Errorf("secagg: %d personal-seed shares for %d, need %d", len(shares), u, s.cfg.T)
+		}
+		seed, err := reconstructBytes(shares[:s.cfg.T], s.cfg.T)
+		if err != nil {
+			return nil, fmt.Errorf("secagg: reconstruct seed of %d: %w", u, err)
+		}
+		pad := prg(seedKey(seed), s.cfg.VectorLen)
+		field.SubVec(out, out, pad)
+	}
+
+	// Remove residual pairwise masks of dropped devices.
+	survSet := make(map[int]bool, len(survivors))
+	for _, v := range survivors {
+		survSet[v] = true
+	}
+	for _, u := range s.rosterIDs {
+		if survSet[u] {
+			continue
+		}
+		shares := s.skShares[u]
+		if len(shares) < s.cfg.T {
+			return nil, fmt.Errorf("secagg: %d masking-key shares for dropped %d, need %d", len(shares), u, s.cfg.T)
+		}
+		skBytes, err := reconstructBytes(shares[:s.cfg.T], s.cfg.T)
+		if err != nil {
+			return nil, fmt.Errorf("secagg: reconstruct key of %d: %w", u, err)
+		}
+		sk, err := ecdh.X25519().NewPrivateKey(skBytes)
+		if err != nil {
+			return nil, fmt.Errorf("secagg: rebuild key of %d: %w", u, err)
+		}
+		for _, v := range survivors {
+			pub, err := ecdh.X25519().NewPublicKey(s.roster[v].SPub)
+			if err != nil {
+				return nil, fmt.Errorf("secagg: spub of %d: %w", v, err)
+			}
+			shared, err := sk.ECDH(pub)
+			if err != nil {
+				return nil, err
+			}
+			pad := prg(pairwiseSeed(shared, 'p'), s.cfg.VectorLen)
+			// Survivor v's masked input contains +PRG(s_vu) when v<u and
+			// −PRG(s_vu) when v>u; cancel that residual.
+			if v < u {
+				field.SubVec(out, out, pad)
+			} else {
+				field.AddVec(out, out, pad)
+			}
+		}
+	}
+	return out, nil
+}

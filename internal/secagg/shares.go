@@ -1,0 +1,161 @@
+package secagg
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/field"
+)
+
+// 32-byte secrets (X25519 private keys, PRG seeds) are shared through the
+// 61-bit field by chunking into 48-bit pieces: 6 chunks cover 288 ≥ 256 bits.
+const (
+	secretChunks  = 6
+	chunkBits     = 48
+	chunkBytes    = chunkBits / 8
+	secretByteLen = 32
+)
+
+// chunkedShare is one participant's share of a 32-byte secret.
+type chunkedShare struct {
+	X  uint64
+	Ys [secretChunks]uint64
+}
+
+// splitBytes Shamir-shares a 32-byte secret into n chunked shares with
+// threshold t.
+func splitBytes(secret []byte, n, t int, rng io.Reader) ([]chunkedShare, error) {
+	if len(secret) != secretByteLen {
+		return nil, fmt.Errorf("secagg: secret must be %d bytes, got %d", secretByteLen, len(secret))
+	}
+	padded := make([]byte, secretChunks*chunkBytes)
+	copy(padded, secret)
+	out := make([]chunkedShare, n)
+	for c := 0; c < secretChunks; c++ {
+		chunk := uint64(0)
+		for b := 0; b < chunkBytes; b++ {
+			chunk = chunk<<8 | uint64(padded[c*chunkBytes+b])
+		}
+		shares, err := field.Split(chunk, n, t, rng)
+		if err != nil {
+			return nil, err
+		}
+		for i := range out {
+			out[i].X = shares[i].X
+			out[i].Ys[c] = shares[i].Y
+		}
+	}
+	return out, nil
+}
+
+// reconstructBytes inverts splitBytes given at least t shares.
+func reconstructBytes(shares []chunkedShare, t int) ([]byte, error) {
+	if len(shares) < t {
+		return nil, fmt.Errorf("secagg: need %d shares, have %d", t, len(shares))
+	}
+	padded := make([]byte, secretChunks*chunkBytes)
+	fs := make([]field.Share, len(shares))
+	for c := 0; c < secretChunks; c++ {
+		for i, s := range shares {
+			fs[i] = field.Share{X: s.X, Y: s.Ys[c]}
+		}
+		chunk, err := field.Reconstruct(fs, t)
+		if err != nil {
+			return nil, err
+		}
+		for b := chunkBytes - 1; b >= 0; b-- {
+			padded[c*chunkBytes+b] = byte(chunk)
+			chunk >>= 8
+		}
+	}
+	return padded[:secretByteLen], nil
+}
+
+// shareBundle is what device owner sends to device holder in Round 1: the
+// holder's shares of the owner's mask seed b and masking secret key.
+type shareBundle struct {
+	Owner   int
+	Holder  int
+	BShare  chunkedShare
+	SKShare chunkedShare
+}
+
+const bundleWireLen = 8 + 8 + 2*(8+secretChunks*8)
+
+func (b *shareBundle) marshal() []byte {
+	buf := make([]byte, 0, bundleWireLen)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(b.Owner))
+	buf = binary.BigEndian.AppendUint64(buf, uint64(b.Holder))
+	for _, cs := range []chunkedShare{b.BShare, b.SKShare} {
+		buf = binary.BigEndian.AppendUint64(buf, cs.X)
+		for _, y := range cs.Ys {
+			buf = binary.BigEndian.AppendUint64(buf, y)
+		}
+	}
+	return buf
+}
+
+func unmarshalBundle(buf []byte) (*shareBundle, error) {
+	if len(buf) != bundleWireLen {
+		return nil, fmt.Errorf("secagg: bundle length %d, want %d", len(buf), bundleWireLen)
+	}
+	b := &shareBundle{
+		Owner:  int(binary.BigEndian.Uint64(buf)),
+		Holder: int(binary.BigEndian.Uint64(buf[8:])),
+	}
+	off := 16
+	for _, cs := range []*chunkedShare{&b.BShare, &b.SKShare} {
+		cs.X = binary.BigEndian.Uint64(buf[off:])
+		off += 8
+		for i := range cs.Ys {
+			cs.Ys[i] = binary.BigEndian.Uint64(buf[off:])
+			off += 8
+		}
+	}
+	return b, nil
+}
+
+// encryptBundle seals a bundle with AES-GCM under the pairwise key derived
+// from an ECDH shared secret.
+func encryptBundle(shared []byte, b *shareBundle) ([]byte, error) {
+	key := sha256.Sum256(append([]byte("saggenc"), shared...))
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, gcm.NonceSize())
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		return nil, err
+	}
+	return append(nonce, gcm.Seal(nil, nonce, b.marshal(), nil)...), nil
+}
+
+// decryptBundle opens a sealed bundle.
+func decryptBundle(shared []byte, ct []byte) (*shareBundle, error) {
+	key := sha256.Sum256(append([]byte("saggenc"), shared...))
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, err
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	if len(ct) < gcm.NonceSize() {
+		return nil, fmt.Errorf("secagg: ciphertext too short")
+	}
+	pt, err := gcm.Open(nil, ct[:gcm.NonceSize()], ct[gcm.NonceSize():], nil)
+	if err != nil {
+		return nil, fmt.Errorf("secagg: decrypt: %w", err)
+	}
+	return unmarshalBundle(pt)
+}

@@ -1,0 +1,174 @@
+// Package storage is the persistent storage behind the FL server: committed
+// global model checkpoints and materialized round metrics (Sec. 7.4). Per
+// the design, *nothing* reaches this layer until a round's aggregate is
+// final (Sec. 4.2: "No information for a round is written to persistent
+// storage until it is fully aggregated") — the aggregator actors enforce
+// that; this package just stores what they commit.
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/checkpoint"
+	"repro/internal/metrics"
+)
+
+// Store persists committed round results.
+type Store interface {
+	// PutCheckpoint commits a global model checkpoint for a task.
+	PutCheckpoint(c *checkpoint.Checkpoint) error
+	// LatestCheckpoint returns the newest committed checkpoint for a task.
+	LatestCheckpoint(task string) (*checkpoint.Checkpoint, error)
+	// PutMetrics materializes a round's metric summaries.
+	PutMetrics(m *metrics.Materialized) error
+	// Metrics returns all materialized metrics for a task in round order.
+	Metrics(task string) ([]*metrics.Materialized, error)
+}
+
+// Mem is an in-memory Store for simulation and tests.
+type Mem struct {
+	mu          sync.Mutex
+	checkpoints map[string][]*checkpoint.Checkpoint
+	metrics     map[string][]*metrics.Materialized
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem {
+	return &Mem{
+		checkpoints: make(map[string][]*checkpoint.Checkpoint),
+		metrics:     make(map[string][]*metrics.Materialized),
+	}
+}
+
+// PutCheckpoint implements Store.
+func (s *Mem) PutCheckpoint(c *checkpoint.Checkpoint) error {
+	if c.TaskName == "" {
+		return fmt.Errorf("storage: checkpoint without task name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.checkpoints[c.TaskName] = append(s.checkpoints[c.TaskName], c.Clone())
+	return nil
+}
+
+// LatestCheckpoint implements Store.
+func (s *Mem) LatestCheckpoint(task string) (*checkpoint.Checkpoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cs := s.checkpoints[task]
+	if len(cs) == 0 {
+		return nil, fmt.Errorf("storage: no checkpoint for task %q", task)
+	}
+	return cs[len(cs)-1].Clone(), nil
+}
+
+// PutMetrics implements Store.
+func (s *Mem) PutMetrics(m *metrics.Materialized) error {
+	if m.TaskName == "" {
+		return fmt.Errorf("storage: metrics without task name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics[m.TaskName] = append(s.metrics[m.TaskName], m)
+	return nil
+}
+
+// Metrics implements Store.
+func (s *Mem) Metrics(task string) ([]*metrics.Materialized, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := append([]*metrics.Materialized(nil), s.metrics[task]...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Round < out[j].Round })
+	return out, nil
+}
+
+// File is a file-backed Store: checkpoints are written as binary files
+// under dir/<task>/round-<n>.ckpt. Metrics stay in memory (they are cheap
+// and regenerable); checkpoints are the durable artifact.
+type File struct {
+	dir string
+	mem *Mem // metrics + latest-lookup cache
+}
+
+// NewFile creates (if needed) and opens a file-backed store rooted at dir.
+func NewFile(dir string) (*File, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	return &File{dir: dir, mem: NewMem()}, nil
+}
+
+func sanitizeTask(task string) string {
+	out := make([]rune, 0, len(task))
+	for _, r := range task {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// PutCheckpoint implements Store.
+func (s *File) PutCheckpoint(c *checkpoint.Checkpoint) error {
+	if c.TaskName == "" {
+		return fmt.Errorf("storage: checkpoint without task name")
+	}
+	taskDir := filepath.Join(s.dir, sanitizeTask(c.TaskName))
+	if err := os.MkdirAll(taskDir, 0o755); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	b, err := c.Marshal(checkpoint.EncodingFloat64)
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(taskDir, fmt.Sprintf("round-%010d.ckpt", c.Round))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	return s.mem.PutCheckpoint(c)
+}
+
+// LatestCheckpoint implements Store. It prefers the in-memory cache and
+// falls back to scanning the directory (recovery after restart).
+func (s *File) LatestCheckpoint(task string) (*checkpoint.Checkpoint, error) {
+	if c, err := s.mem.LatestCheckpoint(task); err == nil {
+		return c, nil
+	}
+	taskDir := filepath.Join(s.dir, sanitizeTask(task))
+	entries, err := os.ReadDir(taskDir)
+	if err != nil || len(entries) == 0 {
+		return nil, fmt.Errorf("storage: no checkpoint for task %q", task)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() && filepath.Ext(e.Name()) == ".ckpt" {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("storage: no checkpoint for task %q", task)
+	}
+	sort.Strings(names)
+	b, err := os.ReadFile(filepath.Join(taskDir, names[len(names)-1]))
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	return checkpoint.Unmarshal(b)
+}
+
+// PutMetrics implements Store.
+func (s *File) PutMetrics(m *metrics.Materialized) error { return s.mem.PutMetrics(m) }
+
+// Metrics implements Store.
+func (s *File) Metrics(task string) ([]*metrics.Materialized, error) { return s.mem.Metrics(task) }

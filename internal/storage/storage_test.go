@@ -1,0 +1,116 @@
+package storage
+
+import (
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/metrics"
+	"repro/internal/tensor"
+)
+
+func ckpt(task string, round int64) *checkpoint.Checkpoint {
+	return &checkpoint.Checkpoint{
+		TaskName: task, Round: round, Weight: 100,
+		Params: tensor.Vector{float64(round), 2, 3},
+	}
+}
+
+func testStore(t *testing.T, s Store) {
+	t.Helper()
+	if _, err := s.LatestCheckpoint("missing"); err == nil {
+		t.Fatal("missing task should error")
+	}
+	if err := s.PutCheckpoint(ckpt("", 1)); err == nil {
+		t.Fatal("empty task name should error")
+	}
+	if err := s.PutCheckpoint(ckpt("task-a", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutCheckpoint(ckpt("task-a", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutCheckpoint(ckpt("task-b", 9)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.LatestCheckpoint("task-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Round != 2 || got.Params[0] != 2 {
+		t.Fatalf("latest = %+v", got)
+	}
+	gotB, _ := s.LatestCheckpoint("task-b")
+	if gotB.Round != 9 {
+		t.Fatalf("task-b latest = %+v", gotB)
+	}
+
+	// Metrics.
+	if err := s.PutMetrics(&metrics.Materialized{TaskName: "task-a", Round: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutMetrics(&metrics.Materialized{TaskName: "task-a", Round: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := s.Metrics("task-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 || ms[0].Round != 1 || ms[1].Round != 2 {
+		t.Fatalf("metrics order: %+v", ms)
+	}
+	if err := s.PutMetrics(&metrics.Materialized{}); err == nil {
+		t.Fatal("metrics without task should error")
+	}
+}
+
+func TestMemStore(t *testing.T) { testStore(t, NewMem()) }
+
+func TestFileStore(t *testing.T) {
+	s, err := NewFile(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	testStore(t, s)
+}
+
+func TestMemStoreIsolation(t *testing.T) {
+	s := NewMem()
+	c := ckpt("t", 1)
+	_ = s.PutCheckpoint(c)
+	c.Params[0] = 999 // mutate caller's copy
+	got, _ := s.LatestCheckpoint("t")
+	if got.Params[0] == 999 {
+		t.Fatal("store must deep-copy checkpoints")
+	}
+	got.Params[1] = 888
+	again, _ := s.LatestCheckpoint("t")
+	if again.Params[1] == 888 {
+		t.Fatal("store must return copies")
+	}
+}
+
+func TestFileStoreRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := NewFile(dir)
+	_ = s1.PutCheckpoint(ckpt("pop/task", 1))
+	_ = s1.PutCheckpoint(ckpt("pop/task", 12))
+
+	// A fresh store over the same directory must find the latest round.
+	s2, _ := NewFile(dir)
+	got, err := s2.LatestCheckpoint("pop/task")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Round != 12 {
+		t.Fatalf("recovered round = %d, want 12", got.Round)
+	}
+	if got.TaskName != "pop/task" {
+		t.Fatalf("recovered task = %q", got.TaskName)
+	}
+}
+
+func TestSanitizeTask(t *testing.T) {
+	if got := sanitizeTask("pop/task:v1"); got != "pop_task_v1" {
+		t.Fatalf("sanitize = %q", got)
+	}
+}

@@ -1,0 +1,57 @@
+package tensor
+
+import "testing"
+
+func benchMatrix(rows, cols int) (*Matrix, Vector, Vector) {
+	rng := NewRNG(1)
+	m := NewMatrix(rows, cols)
+	rng.FillNormal(Vector(m.Data), 1)
+	x := NewVector(cols)
+	rng.FillNormal(x, 1)
+	return m, x, NewVector(rows)
+}
+
+func BenchmarkMulVec(b *testing.B) {
+	m, x, dst := benchMatrix(256, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.MulVec(dst, x)
+	}
+}
+
+func BenchmarkMulVecT(b *testing.B) {
+	m, _, y := benchMatrix(256, 256)
+	rng := NewRNG(2)
+	rng.FillNormal(y, 1)
+	dst := NewVector(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.MulVecT(dst, y)
+	}
+}
+
+func BenchmarkAddOuter(b *testing.B) {
+	m, x, y := benchMatrix(256, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.AddOuter(0.01, y, x)
+	}
+}
+
+func BenchmarkSoftmax(b *testing.B) {
+	rng := NewRNG(3)
+	x := NewVector(1024)
+	rng.FillNormal(x, 3)
+	dst := NewVector(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Softmax(dst, x)
+	}
+}
+
+func BenchmarkRNGNormal(b *testing.B) {
+	rng := NewRNG(4)
+	for i := 0; i < b.N; i++ {
+		rng.NormFloat64()
+	}
+}

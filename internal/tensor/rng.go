@@ -1,0 +1,97 @@
+package tensor
+
+import "math"
+
+// RNG is a small deterministic pseudo-random generator (splitmix64 core,
+// xoshiro-style output) used for reproducible weight initialization and
+// synthetic data generation. We avoid math/rand so that simulations are
+// bit-reproducible across Go versions and so that per-device streams can be
+// derived cheaply from (seed, deviceID) pairs.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{state: seed}
+	// Warm up so nearby seeds diverge immediately.
+	r.Uint64()
+	r.Uint64()
+	return r
+}
+
+// Derive returns a new independent generator derived from r and the given
+// stream identifier, without perturbing r's own sequence.
+func (r *RNG) Derive(stream uint64) *RNG {
+	return NewRNG(r.state ^ (stream*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03))
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a standard normal variate (Box–Muller).
+func (r *RNG) NormFloat64() float64 {
+	// Rejection-free Box–Muller; u1 in (0,1] to avoid log(0).
+	u1 := 1 - r.Float64()
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// ExpFloat64 returns an exponential variate with mean 1.
+func (r *RNG) ExpFloat64() float64 {
+	return -math.Log(1 - r.Float64())
+}
+
+// LogNormal returns exp(mu + sigma·Z) for standard normal Z. Device speed
+// heterogeneity in the population model is lognormal.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.NormFloat64())
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// FillNormal fills v with N(0, std²) variates.
+func (r *RNG) FillNormal(v Vector, std float64) {
+	for i := range v {
+		v[i] = std * r.NormFloat64()
+	}
+}
+
+// GlorotInit fills the matrix with the Glorot/Xavier uniform initialization
+// appropriate for a fanIn×fanOut dense layer.
+func (r *RNG) GlorotInit(m *Matrix) {
+	limit := math.Sqrt(6.0 / float64(m.Rows+m.Cols))
+	for i := range m.Data {
+		m.Data[i] = (2*r.Float64() - 1) * limit
+	}
+}

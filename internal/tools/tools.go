@@ -1,0 +1,208 @@
+// Package tools implements the model engineer workflow of Sec. 7: defining
+// FL tasks from a model plus configuration, validating them against proxy
+// data with test predicates (the "unit tests" every task needs before
+// deployment), grid-search task groups, and the versioning/testing/release
+// gates of Sec. 7.3 — a task is deployable only if it is code-reviewed, its
+// predicates pass in simulation, its resource usage is within policy, and
+// its plan passes on every supported runtime version.
+package tools
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/device"
+	"repro/internal/nn"
+	"repro/internal/plan"
+	"repro/internal/tensor"
+)
+
+// Predicate is an engineer-provided test expectation evaluated against the
+// metrics of a simulated run ("FL tasks are validated against
+// engineer-provided test data and expectations, similar in nature to unit
+// tests").
+type Predicate struct {
+	Name  string
+	Check func(metrics map[string]float64) error
+}
+
+// Task is an FL task as the engineer sees it: a plan plus its tests and
+// review status.
+type Task struct {
+	Plan       *plan.Plan
+	Predicates []Predicate
+	// Reviewed records that the task "has been built from auditable, peer
+	// reviewed code".
+	Reviewed bool
+	// SupportedVersions lists every runtime version the task claims to
+	// support; release testing runs the plan on each.
+	SupportedVersions []int
+}
+
+// NewTask generates a task from engineer configuration.
+func NewTask(cfg plan.Config) (*Task, error) {
+	p, err := plan.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Task{Plan: p, SupportedVersions: []int{p.Device.MinRuntimeVersion}}, nil
+}
+
+// GridSearch builds a task group sweeping the learning rate ("FL tasks may
+// be defined in groups: for example, to evaluate a grid search over
+// learning rates").
+func GridSearch(base plan.Config, lrs []float64) ([]*Task, error) {
+	if len(lrs) == 0 {
+		return nil, fmt.Errorf("tools: empty grid")
+	}
+	out := make([]*Task, 0, len(lrs))
+	for _, lr := range lrs {
+		cfg := base
+		cfg.LearningRate = lr
+		cfg.TaskID = fmt.Sprintf("%s/lr=%g", base.TaskID, lr)
+		t, err := NewTask(cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// Policy bounds the resources a task may consume ("the resources consumed
+// during testing must be within a safe range of expected resources for the
+// target population").
+type Policy struct {
+	MaxModelParams int
+	MaxTrainTime   time.Duration
+}
+
+// DefaultPolicy matches a low-end phone budget.
+var DefaultPolicy = Policy{MaxModelParams: 5_000_000, MaxTrainTime: 30 * time.Second}
+
+// SimReport is the outcome of one simulated execution.
+type SimReport struct {
+	Metrics   map[string]float64
+	TrainTime time.Duration
+	NumParams int
+}
+
+// Simulate executes the task's plan on a simulated device loaded with proxy
+// data (Sec. 7.1), for the given runtime version, and returns the report.
+func Simulate(task *Task, proxy []nn.Example, runtimeVersion int) (*SimReport, error) {
+	vp, err := task.Plan.ForVersion(runtimeVersion)
+	if err != nil {
+		return nil, err
+	}
+	store, err := device.NewMemStore(vp.Device.Selection.StoreName, len(proxy)+1, 0)
+	if err != nil {
+		return nil, err
+	}
+	now := time.Date(2019, 1, 1, 0, 0, 0, 0, time.UTC)
+	for _, ex := range proxy {
+		store.Add(ex, now)
+	}
+	rt := device.NewRuntime("sim-device", runtimeVersion, nil, 42)
+	if err := rt.RegisterStore(store); err != nil {
+		return nil, err
+	}
+
+	m, err := vp.Device.Model.Build()
+	if err != nil {
+		return nil, err
+	}
+	params := make(tensor.Vector, m.NumParams())
+	m.ReadParams(params)
+	global := &checkpoint.Checkpoint{TaskName: vp.ID, Round: 0, Params: params}
+
+	start := time.Now()
+	res, err := rt.Execute(vp, global, now)
+	elapsed := time.Since(start)
+	if err != nil {
+		return nil, fmt.Errorf("tools: simulated execution: %w", err)
+	}
+	if res.Interrupted {
+		return nil, fmt.Errorf("tools: simulated execution interrupted")
+	}
+	return &SimReport{Metrics: res.Metrics, TrainTime: elapsed, NumParams: m.NumParams()}, nil
+}
+
+// Validate runs the task's predicates against a simulated execution on
+// proxy data and checks the resource policy.
+func Validate(task *Task, proxy []nn.Example, policy Policy) (*SimReport, error) {
+	if len(task.Predicates) == 0 {
+		return nil, fmt.Errorf("tools: task %q has no test predicates (required for deployment)", task.Plan.ID)
+	}
+	report, err := Simulate(task, proxy, task.Plan.Device.MinRuntimeVersion)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range task.Predicates {
+		if err := p.Check(report.Metrics); err != nil {
+			return report, fmt.Errorf("tools: predicate %q failed: %w", p.Name, err)
+		}
+	}
+	if policy.MaxModelParams > 0 && report.NumParams > policy.MaxModelParams {
+		return report, fmt.Errorf("tools: model has %d params, policy allows %d", report.NumParams, policy.MaxModelParams)
+	}
+	if policy.MaxTrainTime > 0 && report.TrainTime > policy.MaxTrainTime {
+		return report, fmt.Errorf("tools: training took %v, policy allows %v", report.TrainTime, policy.MaxTrainTime)
+	}
+	return report, nil
+}
+
+// Deployment is the release registry: deployed tasks per population, served
+// to devices as versioned plans.
+type Deployment struct {
+	policy Policy
+	tasks  map[string][]*Task // population -> tasks
+}
+
+// NewDeployment returns an empty registry with the given policy.
+func NewDeployment(policy Policy) *Deployment {
+	return &Deployment{policy: policy, tasks: make(map[string][]*Task)}
+}
+
+// Deploy applies the Sec. 7.3 gates and registers the task on success:
+// peer review, passing predicates on proxy data, resource policy, and the
+// plan passing on every supported runtime version.
+func (d *Deployment) Deploy(task *Task, proxy []nn.Example) error {
+	if !task.Reviewed {
+		return fmt.Errorf("tools: task %q is not peer reviewed", task.Plan.ID)
+	}
+	if _, err := Validate(task, proxy, d.policy); err != nil {
+		return err
+	}
+	for _, v := range task.SupportedVersions {
+		report, err := Simulate(task, proxy, v)
+		if err != nil {
+			return fmt.Errorf("tools: task %q fails on runtime version %d: %w", task.Plan.ID, v, err)
+		}
+		// Versioned and unversioned plans must be semantically equivalent:
+		// the same predicates must pass.
+		for _, p := range task.Predicates {
+			if err := p.Check(report.Metrics); err != nil {
+				return fmt.Errorf("tools: predicate %q fails on version %d: %w", p.Name, v, err)
+			}
+		}
+	}
+	d.tasks[task.Plan.Population] = append(d.tasks[task.Plan.Population], task)
+	return nil
+}
+
+// Tasks returns the deployed tasks for a population.
+func (d *Deployment) Tasks(population string) []*Task {
+	return append([]*Task(nil), d.tasks[population]...)
+}
+
+// PlanFor serves the appropriate versioned plan to a checking-in device
+// ("devices checking in may be served the appropriate (versioned) plan").
+func (d *Deployment) PlanFor(population string, runtimeVersion int) (*plan.Plan, error) {
+	for _, t := range d.tasks[population] {
+		if vp, err := t.Plan.ForVersion(runtimeVersion); err == nil {
+			return vp, nil
+		}
+	}
+	return nil, fmt.Errorf("tools: no deployed task for population %q runnable at version %d", population, runtimeVersion)
+}

@@ -1,0 +1,202 @@
+package tools
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/plan"
+)
+
+func baseConfig() plan.Config {
+	return plan.Config{
+		TaskID:        "pop/task",
+		Population:    "pop",
+		Model:         nn.Spec{Kind: nn.KindLogistic, Features: 4, Classes: 3, Seed: 1},
+		StoreName:     "proxy",
+		BatchSize:     10,
+		Epochs:        2,
+		LearningRate:  0.1,
+		TargetDevices: 100,
+	}
+}
+
+func proxyData(t *testing.T) []nn.Example {
+	t.Helper()
+	f, err := data.Blobs(data.BlobsConfig{Users: 1, ExamplesPer: 200, Features: 4, Classes: 3, TestSize: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f.Users[0]
+}
+
+func lossBelow(threshold float64) Predicate {
+	return Predicate{
+		Name: fmt.Sprintf("train_loss<%v", threshold),
+		Check: func(m map[string]float64) error {
+			if loss, ok := m["train_loss"]; !ok || loss >= threshold {
+				return fmt.Errorf("train_loss %v not below %v", m["train_loss"], threshold)
+			}
+			return nil
+		},
+	}
+}
+
+func TestNewTask(t *testing.T) {
+	task, err := NewTask(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if task.Plan.ID != "pop/task" || len(task.SupportedVersions) != 1 {
+		t.Fatalf("task: %+v", task)
+	}
+	bad := baseConfig()
+	bad.TargetDevices = 0
+	if _, err := NewTask(bad); err == nil {
+		t.Fatal("invalid config must fail")
+	}
+}
+
+func TestGridSearch(t *testing.T) {
+	tasks, err := GridSearch(baseConfig(), []float64{0.01, 0.1, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 3 {
+		t.Fatalf("grid size = %d", len(tasks))
+	}
+	seen := map[string]bool{}
+	for _, task := range tasks {
+		if seen[task.Plan.ID] {
+			t.Fatalf("duplicate task id %q", task.Plan.ID)
+		}
+		seen[task.Plan.ID] = true
+	}
+	if tasks[1].Plan.Device.LearningRate != 0.1 {
+		t.Fatalf("lr not applied: %v", tasks[1].Plan.Device.LearningRate)
+	}
+	if _, err := GridSearch(baseConfig(), nil); err == nil {
+		t.Fatal("empty grid must fail")
+	}
+}
+
+func TestSimulateProducesMetrics(t *testing.T) {
+	task, _ := NewTask(baseConfig())
+	report, err := Simulate(task, proxyData(t), task.Plan.Device.MinRuntimeVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Metrics["num_examples"] != 200 {
+		t.Fatalf("metrics: %+v", report.Metrics)
+	}
+	if report.NumParams <= 0 {
+		t.Fatal("missing param count")
+	}
+}
+
+func TestValidateRequiresPredicates(t *testing.T) {
+	task, _ := NewTask(baseConfig())
+	if _, err := Validate(task, proxyData(t), DefaultPolicy); err == nil {
+		t.Fatal("task without predicates must not validate")
+	}
+}
+
+func TestValidatePredicatePassAndFail(t *testing.T) {
+	task, _ := NewTask(baseConfig())
+	task.Predicates = []Predicate{lossBelow(10)}
+	if _, err := Validate(task, proxyData(t), DefaultPolicy); err != nil {
+		t.Fatalf("reasonable predicate should pass: %v", err)
+	}
+	task.Predicates = []Predicate{lossBelow(0.0000001)}
+	if _, err := Validate(task, proxyData(t), DefaultPolicy); err == nil {
+		t.Fatal("impossible predicate must fail")
+	}
+}
+
+func TestValidateResourcePolicy(t *testing.T) {
+	task, _ := NewTask(baseConfig())
+	task.Predicates = []Predicate{lossBelow(10)}
+	tight := Policy{MaxModelParams: 3}
+	if _, err := Validate(task, proxyData(t), tight); err == nil {
+		t.Fatal("param policy must reject the model")
+	}
+	slow := Policy{MaxTrainTime: time.Nanosecond}
+	if _, err := Validate(task, proxyData(t), slow); err == nil {
+		t.Fatal("time policy must reject the run")
+	}
+}
+
+func TestDeployGates(t *testing.T) {
+	proxy := proxyData(t)
+	d := NewDeployment(DefaultPolicy)
+
+	task, _ := NewTask(baseConfig())
+	task.Predicates = []Predicate{lossBelow(10)}
+
+	// Gate 1: review.
+	if err := d.Deploy(task, proxy); err == nil {
+		t.Fatal("unreviewed task must not deploy")
+	}
+	task.Reviewed = true
+	if err := d.Deploy(task, proxy); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Tasks("pop")) != 1 {
+		t.Fatal("task not registered")
+	}
+}
+
+func TestDeployVersionMatrix(t *testing.T) {
+	// A fused-ops task claiming to support version 1 must pass through the
+	// plan rewrite during release testing.
+	proxy := proxyData(t)
+	cfg := baseConfig()
+	cfg.UseFusedOps = true
+	task, err := NewTask(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task.Reviewed = true
+	task.Predicates = []Predicate{lossBelow(10)}
+	task.SupportedVersions = []int{1, 3}
+
+	d := NewDeployment(DefaultPolicy)
+	if err := d.Deploy(task, proxy); err != nil {
+		t.Fatalf("versioned release testing failed: %v", err)
+	}
+
+	// Devices on both runtime versions get a servable plan.
+	for _, v := range []int{1, 3} {
+		p, err := d.PlanFor("pop", v)
+		if err != nil {
+			t.Fatalf("PlanFor(%d): %v", v, err)
+		}
+		if p.Device.MinRuntimeVersion > v {
+			t.Fatalf("served plan requires %d > device %d", p.Device.MinRuntimeVersion, v)
+		}
+	}
+}
+
+func TestPlanForUnknownPopulation(t *testing.T) {
+	d := NewDeployment(DefaultPolicy)
+	if _, err := d.PlanFor("ghost", 3); err == nil {
+		t.Fatal("unknown population must fail")
+	}
+}
+
+func TestDeployVersionImpossible(t *testing.T) {
+	proxy := proxyData(t)
+	cfg := baseConfig()
+	cfg.UseFusedOps = true
+	task, _ := NewTask(cfg)
+	task.Reviewed = true
+	task.Predicates = []Predicate{lossBelow(10)}
+	task.SupportedVersions = []int{0} // nothing runs at version 0
+
+	d := NewDeployment(DefaultPolicy)
+	if err := d.Deploy(task, proxy); err == nil {
+		t.Fatal("unservable version claim must fail deployment")
+	}
+}

@@ -1,0 +1,243 @@
+// Package transport provides the bidirectional message streams devices use
+// to talk to the FL server (Sec. 2.2: devices "check in to the server by
+// opening a bidirectional stream... used to track liveness and orchestrate
+// multi-step communication").
+//
+// Two implementations: an in-memory transport for simulation and tests, and
+// a TCP transport (gob-encoded) for the standalone server binaries.
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Conn is a bidirectional message stream.
+type Conn interface {
+	// Send transmits one message.
+	Send(msg interface{}) error
+	// Recv blocks for the next message; it returns an error when the peer
+	// closed the stream.
+	Recv() (interface{}, error)
+	// Close tears the stream down; pending Recv calls fail.
+	Close() error
+}
+
+// Listener accepts incoming streams.
+type Listener interface {
+	Accept() (Conn, error)
+	Close() error
+	Addr() string
+}
+
+// --- In-memory transport ---
+
+type memConn struct {
+	in     <-chan interface{}
+	out    chan<- interface{}
+	done   chan struct{}
+	peer   *memConn
+	closeO sync.Once
+}
+
+// Pipe returns a connected pair of in-memory streams.
+func Pipe() (Conn, Conn) {
+	ab := make(chan interface{}, 64)
+	ba := make(chan interface{}, 64)
+	a := &memConn{in: ba, out: ab, done: make(chan struct{})}
+	b := &memConn{in: ab, out: ba, done: make(chan struct{})}
+	a.peer, b.peer = b, a
+	return a, b
+}
+
+// Send implements Conn.
+func (c *memConn) Send(msg interface{}) error {
+	// Check closure before attempting the buffered send; otherwise a ready
+	// buffer slot could win the select against a closed-peer signal.
+	select {
+	case <-c.done:
+		return fmt.Errorf("transport: connection closed")
+	case <-c.peer.done:
+		return fmt.Errorf("transport: peer closed")
+	default:
+	}
+	select {
+	case <-c.done:
+		return fmt.Errorf("transport: connection closed")
+	case <-c.peer.done:
+		return fmt.Errorf("transport: peer closed")
+	case c.out <- msg:
+		return nil
+	}
+}
+
+// Recv implements Conn.
+func (c *memConn) Recv() (interface{}, error) {
+	select {
+	case msg := <-c.in:
+		return msg, nil
+	case <-c.done:
+		return nil, fmt.Errorf("transport: connection closed")
+	case <-c.peer.done:
+		// Drain anything already buffered before reporting closure.
+		select {
+		case msg := <-c.in:
+			return msg, nil
+		default:
+			return nil, fmt.Errorf("transport: peer closed")
+		}
+	}
+}
+
+// Close implements Conn.
+func (c *memConn) Close() error {
+	c.closeO.Do(func() { close(c.done) })
+	return nil
+}
+
+// MemNetwork is an in-memory dial/listen registry keyed by address name.
+type MemNetwork struct {
+	mu        sync.Mutex
+	listeners map[string]*memListener
+}
+
+// NewMemNetwork returns an empty network.
+func NewMemNetwork() *MemNetwork {
+	return &MemNetwork{listeners: make(map[string]*memListener)}
+}
+
+type memListener struct {
+	addr    string
+	backlog chan Conn
+	done    chan struct{}
+	once    sync.Once
+	net     *MemNetwork
+}
+
+// Listen registers a listener at addr.
+func (n *MemNetwork) Listen(addr string) (Listener, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, exists := n.listeners[addr]; exists {
+		return nil, fmt.Errorf("transport: address %q in use", addr)
+	}
+	l := &memListener{addr: addr, backlog: make(chan Conn, 128), done: make(chan struct{}), net: n}
+	n.listeners[addr] = l
+	return l, nil
+}
+
+// Dial connects to a registered listener.
+func (n *MemNetwork) Dial(addr string) (Conn, error) {
+	n.mu.Lock()
+	l, ok := n.listeners[addr]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no listener at %q", addr)
+	}
+	client, server := Pipe()
+	select {
+	case l.backlog <- server:
+		return client, nil
+	case <-l.done:
+		return nil, fmt.Errorf("transport: listener at %q closed", addr)
+	}
+}
+
+// Accept implements Listener.
+func (l *memListener) Accept() (Conn, error) {
+	select {
+	case c := <-l.backlog:
+		return c, nil
+	case <-l.done:
+		return nil, fmt.Errorf("transport: listener closed")
+	}
+}
+
+// Close implements Listener.
+func (l *memListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		l.net.mu.Lock()
+		delete(l.net.listeners, l.addr)
+		l.net.mu.Unlock()
+	})
+	return nil
+}
+
+// Addr implements Listener.
+func (l *memListener) Addr() string { return l.addr }
+
+// --- TCP transport ---
+
+type tcpConn struct {
+	c   net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+	// gob encoders are not safe for concurrent writers.
+	sendMu sync.Mutex
+}
+
+// envelope wraps messages so gob can carry interface values.
+type envelope struct {
+	Msg interface{}
+}
+
+// Send implements Conn.
+func (t *tcpConn) Send(msg interface{}) error {
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	return t.enc.Encode(envelope{Msg: msg})
+}
+
+// Recv implements Conn.
+func (t *tcpConn) Recv() (interface{}, error) {
+	var e envelope
+	if err := t.dec.Decode(&e); err != nil {
+		return nil, err
+	}
+	return e.Msg, nil
+}
+
+// Close implements Conn.
+func (t *tcpConn) Close() error { return t.c.Close() }
+
+func wrapTCP(c net.Conn) Conn {
+	return &tcpConn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+}
+
+type tcpListener struct{ l net.Listener }
+
+// ListenTCP listens on a TCP address; ":0" picks a free port.
+func ListenTCP(addr string) (Listener, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &tcpListener{l: l}, nil
+}
+
+// DialTCP connects to a TCP FL server.
+func DialTCP(addr string) (Conn, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return wrapTCP(c), nil
+}
+
+// Accept implements Listener.
+func (t *tcpListener) Accept() (Conn, error) {
+	c, err := t.l.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return wrapTCP(c), nil
+}
+
+// Close implements Listener.
+func (t *tcpListener) Close() error { return t.l.Close() }
+
+// Addr implements Listener.
+func (t *tcpListener) Addr() string { return t.l.Addr().String() }

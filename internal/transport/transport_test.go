@@ -1,0 +1,221 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+func TestPipeRoundTrip(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	if err := a.Send("hello"); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg != "hello" {
+		t.Fatalf("got %v", msg)
+	}
+	// And the other direction.
+	if err := b.Send(42); err != nil {
+		t.Fatal(err)
+	}
+	if msg, _ := a.Recv(); msg != 42 {
+		t.Fatalf("got %v", msg)
+	}
+}
+
+func TestPipeCloseUnblocksRecv(t *testing.T) {
+	a, b := Pipe()
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Recv()
+		done <- err
+	}()
+	a.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Recv after peer close should error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv did not unblock on close")
+	}
+}
+
+func TestPipeDrainBeforeCloseError(t *testing.T) {
+	a, b := Pipe()
+	_ = a.Send("x")
+	a.Close()
+	msg, err := b.Recv()
+	if err != nil || msg != "x" {
+		t.Fatalf("buffered message lost: %v %v", msg, err)
+	}
+}
+
+func TestSendToClosedFails(t *testing.T) {
+	a, b := Pipe()
+	b.Close()
+	if err := a.Send("x"); err == nil {
+		t.Fatal("send to closed peer should fail")
+	}
+	a.Close()
+	if err := a.Send("y"); err == nil {
+		t.Fatal("send on closed conn should fail")
+	}
+}
+
+func TestMemNetworkDialListen(t *testing.T) {
+	n := NewMemNetwork()
+	l, err := n.Listen("fl-server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.Addr() != "fl-server" {
+		t.Fatalf("addr = %q", l.Addr())
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := l.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer c.Close()
+		msg, err := c.Recv()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		_ = c.Send("echo:" + msg.(string))
+	}()
+
+	c, err := n.Dial("fl-server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_ = c.Send("ping")
+	msg, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg != "echo:ping" {
+		t.Fatalf("got %v", msg)
+	}
+	wg.Wait()
+}
+
+func TestMemNetworkErrors(t *testing.T) {
+	n := NewMemNetwork()
+	if _, err := n.Dial("nowhere"); err == nil {
+		t.Fatal("dial to missing listener should fail")
+	}
+	l, _ := n.Listen("a")
+	if _, err := n.Listen("a"); err == nil {
+		t.Fatal("duplicate listen should fail")
+	}
+	l.Close()
+	if _, err := n.Listen("a"); err != nil {
+		t.Fatal("address should be free after close")
+	}
+	if _, err := n.Dial("a"); err != nil {
+		t.Fatal("dial to reopened listener should work")
+	}
+}
+
+func TestListenerCloseUnblocksAccept(t *testing.T) {
+	n := NewMemNetwork()
+	l, _ := n.Listen("x")
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Accept()
+		done <- err
+	}()
+	l.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Accept should fail after close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Accept did not unblock")
+	}
+}
+
+func TestTCPTransportProtocolMessages(t *testing.T) {
+	l, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c, err := l.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer c.Close()
+		msg, err := c.Recv()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		req, ok := msg.(protocol.CheckinRequest)
+		if !ok {
+			t.Errorf("got %T", msg)
+			return
+		}
+		_ = c.Send(protocol.CheckinResponse{Accepted: true, TaskID: "t", Round: 7, Plan: []byte{1, 2}})
+		_ = req
+	}()
+
+	c, err := DialTCP(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_ = c.Send(protocol.CheckinRequest{DeviceID: "d1", Population: "pop", RuntimeVersion: 3})
+	msg, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, ok := msg.(protocol.CheckinResponse)
+	if !ok || !resp.Accepted || resp.Round != 7 || len(resp.Plan) != 2 {
+		t.Fatalf("got %+v", msg)
+	}
+	wg.Wait()
+}
+
+func TestTCPRecvAfterPeerClose(t *testing.T) {
+	l, _ := ListenTCP("127.0.0.1:0")
+	defer l.Close()
+	go func() {
+		c, err := l.Accept()
+		if err == nil {
+			c.Close()
+		}
+	}()
+	c, err := DialTCP(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Recv(); err == nil {
+		t.Fatal("Recv should fail after peer close")
+	}
+}

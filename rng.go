@@ -1,0 +1,30 @@
+package repro
+
+import (
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// roundRNG drives per-round client sampling for Train/TrainWith.
+type roundRNG struct {
+	rng *tensor.RNG
+}
+
+func newRoundRNG(seed uint64) *roundRNG {
+	return &roundRNG{rng: tensor.NewRNG(seed)}
+}
+
+// sample picks k distinct users' datasets (all of them when k exceeds the
+// population).
+func (r *roundRNG) sample(fed *data.Federated, k int) [][]nn.Example {
+	if k <= 0 || k > len(fed.Users) {
+		k = len(fed.Users)
+	}
+	perm := r.rng.Perm(len(fed.Users))
+	out := make([][]nn.Example, k)
+	for i := 0; i < k; i++ {
+		out[i] = fed.Users[perm[i]]
+	}
+	return out
+}
