@@ -142,22 +142,33 @@ func BenchmarkOverSelection(b *testing.B) {
 }
 
 func BenchmarkSecAggQuadratic(b *testing.B) {
-	for _, n := range []int{4, 8, 16, 32} {
-		n := n
-		b.Run(fmt.Sprintf("group-%d", n), func(b *testing.B) {
-			cfg := secagg.Config{N: n, T: n/2 + 1, VectorLen: 128}
-			inputs := make(map[int][]float64, n)
-			for id := 1; id <= n; id++ {
-				v := make([]float64, 128)
+	cases := []struct{ n, dim int }{
+		{4, 128}, {8, 128}, {16, 128}, {32, 128}, {64, 128}, {128, 128},
+		// Large vectors stress the mask-expansion path: the streaming PRG
+		// must hold per-mask transients at O(chunk), not O(dim).
+		{32, 4096}, {128, 4096},
+	}
+	for _, bc := range cases {
+		bc := bc
+		name := fmt.Sprintf("group-%d", bc.n)
+		if bc.dim != 128 {
+			name = fmt.Sprintf("group-%d-dim-%d", bc.n, bc.dim)
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := secagg.Config{N: bc.n, T: bc.n/2 + 1, VectorLen: bc.dim}
+			inputs := make(map[int][]float64, bc.n)
+			for id := 1; id <= bc.n; id++ {
+				v := make([]float64, bc.dim)
 				for j := range v {
 					v[j] = float64(id + j)
 				}
 				inputs[id] = v
 			}
 			var drop []int
-			if n >= 3 {
+			if bc.n >= 3 {
 				drop = []int{1}
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, _, err := secagg.Run(cfg, inputs, drop, nil); err != nil {

@@ -12,7 +12,9 @@ package fedanalytics
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/nn"
 	"repro/internal/secagg"
@@ -112,27 +114,48 @@ func Aggregate(vectors map[int][]float64, bins int, secure bool, groupSize int) 
 	if len(ids) < groupSize {
 		return nil, fmt.Errorf("fedanalytics: %d devices below secure group size %d", len(ids), groupSize)
 	}
-	for start := 0; start < len(ids); start += groupSize {
-		end := start + groupSize
-		if len(ids)-end < groupSize {
-			end = len(ids) // fold the remainder into the last group
-		}
-		group := ids[start:end]
-		inputs := make(map[int][]float64, len(group))
-		for i, id := range group {
-			inputs[i+1] = vectors[id]
-		}
-		cfg := secagg.Config{N: len(group), T: len(group)/2 + 1, VectorLen: bins}
-		sum, _, err := secagg.Run(cfg, inputs, nil, nil)
-		if err != nil {
-			return nil, fmt.Errorf("fedanalytics: group starting at %d: %w", start, err)
-		}
-		for i, x := range sum {
-			total[i] += x
-		}
-		if end == len(ids) {
-			break
-		}
+	groups := secagg.GroupSpans(len(ids), groupSize)
+	// Groups are independent Secure Aggregation instances; run them
+	// concurrently and fold each group sum into the total under a lock.
+	// The semaphore bounds concurrent protocol *instances* (a large query
+	// may have thousands of groups); each admitted instance still fans out
+	// its own worker pools, so worst-case transients are
+	// O(GOMAXPROCS × workers × bins), acceptable at histogram sizes.
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for _, g := range groups {
+		sem <- struct{}{} // acquire before spawning: bounds live goroutines too
+		wg.Add(1)
+		go func(g [2]int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			group := ids[g[0]:g[1]]
+			inputs := make(map[int][]float64, len(group))
+			for i, id := range group {
+				inputs[i+1] = vectors[id]
+			}
+			cfg := secagg.Config{N: len(group), T: len(group)/2 + 1, VectorLen: bins}
+			sum, _, err := secagg.Run(cfg, inputs, nil, nil)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("fedanalytics: group starting at %d: %w", g[0], err)
+				}
+				return
+			}
+			for i, x := range sum {
+				total[i] += x
+			}
+		}(g)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return total, nil
 }

@@ -2,6 +2,8 @@ package flserver
 
 import (
 	"fmt"
+	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/actor"
@@ -35,6 +37,9 @@ type Aggregator struct {
 	// secure-mode buffer: device inputs awaiting the secagg run.
 	secInputs map[int][]float64
 	secNext   int
+	// finalizing is set once msgFinalizeGroup arrives; the actor may stay
+	// alive awaiting msgSecAggDone and must reject any late adds.
+	finalizing bool
 }
 
 // NewAggregator returns the behavior for a group aggregator.
@@ -64,6 +69,20 @@ type msgAddResult struct {
 	Err      string
 }
 
+// msgSecAggDone posts the result of an async secagg run back to the group
+// Aggregator that launched it.
+type msgSecAggDone struct {
+	Sum       []float64
+	Survivors int
+	Err       error
+}
+
+// secaggGate bounds concurrent secagg finalizations process-wide: each run
+// saturates the cores with its own worker pools, so admitting more than
+// GOMAXPROCS at once only multiplies transient partial-vector memory
+// (O(workers × dim) per run) without adding throughput.
+var secaggGate = make(chan struct{}, runtime.GOMAXPROCS(0))
+
 // Receive implements actor.Behavior.
 func (a *Aggregator) Receive(ctx *actor.Context, msg actor.Message) {
 	switch m := msg.(type) {
@@ -71,10 +90,16 @@ func (a *Aggregator) Receive(ctx *actor.Context, msg actor.Message) {
 		a.onAdd(m)
 	case msgFinalizeGroup:
 		a.onFinalize(ctx)
+	case msgSecAggDone:
+		a.onSecAggDone(ctx, m)
 	}
 }
 
 func (a *Aggregator) onAdd(m msgAddUpdate) {
+	if a.finalizing {
+		_ = a.master.Send(msgAddResult{DeviceID: m.DeviceID, OK: false, Err: "group already finalizing"})
+		return
+	}
 	if m.Update == nil {
 		// Metrics-only report (evaluation task).
 		a.evalCount++
@@ -114,27 +139,63 @@ func (a *Aggregator) onAdd(m msgAddUpdate) {
 }
 
 func (a *Aggregator) onFinalize(ctx *actor.Context) {
-	defer ctx.Stop()
+	a.finalizing = true
 	if a.secure && len(a.secInputs) > 0 {
 		n := len(a.secInputs)
-		t := n/2 + 1
-		cfg := secagg.Config{N: n, T: t, VectorLen: a.dim + 1}
 		if n < 2 {
-			// A singleton group cannot run the protocol; fall back to the
-			// direct sum (the value is its own sum).
-			for _, in := range a.secInputs {
-				_ = a.acc.AddRaw(tensor.Vector(in[:a.dim]), in[a.dim], 1)
-			}
-		} else {
-			sum, survivors, err := secagg.Run(cfg, a.secInputs, nil, nil)
-			if err != nil {
-				_ = a.master.Send(msgGroupResult{From: ctx.Self})
-				return
-			}
-			_ = a.acc.AddRaw(tensor.Vector(sum[:a.dim]), sum[a.dim], len(survivors))
+			// A singleton "group sum" IS the individual update, so a
+			// direct-sum fallback would hand the server exactly what Secure
+			// Aggregation exists to hide. Refuse and drop the update; the
+			// Master Aggregator partitions groups so this cannot happen
+			// short of a bug or an adversarial configuration.
+			a.finish(ctx, fmt.Sprintf("secagg: group of %d below minimum 2; update dropped", n))
+			return
 		}
+		cfg := secagg.Config{N: n, T: n/2 + 1, VectorLen: a.dim + 1}
+		inputs := a.secInputs
+		a.secInputs = nil
+		self := ctx.Self
+		// Run the protocol off the actor goroutine so multiple group
+		// Aggregators finalize concurrently; the result comes back as a
+		// message and the actor stays alive until it lands.
+		go func() {
+			// Receive's panic isolation does not cover this goroutine;
+			// convert a protocol panic into a failed finalization so it
+			// costs the group, not the process.
+			defer func() {
+				if r := recover(); r != nil {
+					_ = self.Send(msgSecAggDone{Err: fmt.Errorf("secagg panic: %v", r)})
+				}
+			}()
+			secaggGate <- struct{}{}
+			defer func() { <-secaggGate }()
+			sum, survivors, err := secagg.Run(cfg, inputs, nil, nil)
+			_ = self.Send(msgSecAggDone{Sum: sum, Survivors: len(survivors), Err: err})
+		}()
+		return
 	}
-	res := msgGroupResult{From: ctx.Self, Count: a.acc.Count() + a.evalCount, Metrics: a.metrics}
+	a.finish(ctx, "")
+}
+
+func (a *Aggregator) onSecAggDone(ctx *actor.Context, m msgSecAggDone) {
+	if m.Err != nil {
+		a.finish(ctx, m.Err.Error())
+		return
+	}
+	if err := a.acc.AddRaw(tensor.Vector(m.Sum[:a.dim]), m.Sum[a.dim], m.Survivors); err != nil {
+		a.finish(ctx, err.Error())
+		return
+	}
+	a.finish(ctx, "")
+}
+
+// finish reports the group partial and stops the actor. On a finalization
+// error the model updates are gone, but eval-only counts and metrics never
+// went through the secure path — report them rather than swallowing, and
+// surface the error to the Master Aggregator.
+func (a *Aggregator) finish(ctx *actor.Context, errStr string) {
+	defer ctx.Stop()
+	res := msgGroupResult{From: ctx.Self, Count: a.acc.Count() + a.evalCount, Metrics: a.metrics, Err: errStr}
 	if a.acc.Count() > 0 {
 		res.Weight = a.acc.Weight()
 		sum := make(tensor.Vector, a.dim)
@@ -297,8 +358,14 @@ func (ma *MasterAggregator) beginReporting(ctx *actor.Context) {
 	dim := len(ma.global.Params)
 	secure := ma.plan.Server.Aggregation == plan.AggregationSecure
 
-	// Spawn one Aggregator per group of groupSize devices.
-	numGroups := (len(ma.order) + ma.groupSize - 1) / ma.groupSize
+	// Spawn one Aggregator per group of groupSize devices. Rounding the
+	// group count up would strand a remainder group of < groupSize devices
+	// — in secure mode a trailing group of 1 would previously reach the
+	// direct-sum fallback and expose that device's raw update.
+	// secagg.GroupSpans folds the remainder into the last full group so no
+	// secure group falls below 2 (the Aggregator's singleton refusal
+	// backstops the edge where the whole round has one device).
+	numGroups := len(secagg.GroupSpans(len(ma.order), ma.groupSize))
 	ma.aggs = make([]*actor.Ref, numGroups)
 	for g := range ma.aggs {
 		ma.aggs[g] = ctx.Spawn(fmt.Sprintf("%s/agg-%d", ctx.Self.Name(), g), NewAggregator(dim, secure, ctx.Self))
@@ -307,7 +374,11 @@ func (ma *MasterAggregator) beginReporting(ctx *actor.Context) {
 	deadline := ma.plan.Server.ParticipationCap
 	for i, id := range ma.order {
 		ds := ma.devices[id]
-		ds.group = ma.aggs[i/ma.groupSize]
+		g := i / ma.groupSize
+		if g >= numGroups {
+			g = numGroups - 1
+		}
+		ds.group = ma.aggs[g]
 
 		vp, err := ma.plan.ForVersion(ds.held.RuntimeVersion)
 		if err != nil {
@@ -473,24 +544,34 @@ func (ma *MasterAggregator) onGroupResult(ctx *actor.Context, m msgGroupResult) 
 	metricVals := make(map[string][]float64)
 	evalOnly := ma.plan.Type == plan.TaskEval
 	reports := 0
+	var groupErrs []string
 	for _, p := range ma.partials {
+		if p.Err != "" {
+			groupErrs = append(groupErrs, p.Err)
+		}
+		// Metrics flow regardless of finalization errors: they never went
+		// through the secure path and describe reports that did complete.
+		for name, vs := range p.Metrics {
+			metricVals[name] = append(metricVals[name], vs...)
+		}
 		if p.Count == 0 {
 			continue
 		}
 		reports += p.Count
-		if !evalOnly {
+		if !evalOnly && len(p.Sum) > 0 {
 			if err := acc.AddRaw(p.Sum, p.Weight, p.Count); err != nil {
 				ma.fail(ctx, "merge: "+err.Error())
 				return
 			}
 		}
-		for name, vs := range p.Metrics {
-			metricVals[name] = append(metricVals[name], vs...)
-		}
 	}
 	if reports < ma.plan.Server.MinReports() {
-		ma.fail(ctx, fmt.Sprintf("only %d reports survived aggregation (< min %d)",
-			reports, ma.plan.Server.MinReports()))
+		reason := fmt.Sprintf("only %d reports survived aggregation (< min %d)",
+			reports, ma.plan.Server.MinReports())
+		if len(groupErrs) > 0 {
+			reason += "; group errors: " + strings.Join(groupErrs, "; ")
+		}
+		ma.fail(ctx, reason)
 		return
 	}
 	newGlobal := ma.global
@@ -531,12 +612,13 @@ func (ma *MasterAggregator) onGroupResult(ctx *actor.Context, m msgGroupResult) 
 	}
 	ma.state = "done"
 	_ = ma.coord.Send(msgRoundComplete{
-		TaskID:    ma.plan.ID,
-		Round:     newGlobal.Round,
-		Committed: newGlobal,
-		Completed: reports,
-		Aborted:   aborted,
-		Lost:      ma.lost,
+		TaskID:      ma.plan.ID,
+		Round:       newGlobal.Round,
+		Committed:   newGlobal,
+		Completed:   reports,
+		Aborted:     aborted,
+		Lost:        ma.lost,
+		GroupErrors: groupErrs,
 	})
 	ctx.Stop()
 }

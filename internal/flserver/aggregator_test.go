@@ -1,7 +1,9 @@
 package flserver
 
 import (
+	"errors"
 	"math"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -121,6 +123,192 @@ func TestAggregatorSecureMatchesSimple(t *testing.T) {
 		if math.Abs(plainRes.Sum[i]-secureRes.Sum[i]) > 1e-3 {
 			t.Fatalf("secure sum %v != plain %v", secureRes.Sum, plainRes.Sum)
 		}
+	}
+}
+
+func TestSecureSingletonRefusesDirectSum(t *testing.T) {
+	// Regression: a secure group of 1 used to fall back to a direct sum,
+	// handing the server the device's raw update. It must refuse instead,
+	// while still reporting the metrics that never went through the secure
+	// path.
+	sys := actor.NewSystem()
+	master, got, sig := collectMaster(sys)
+	agg := sys.Spawn("agg", NewAggregator(2, true, master))
+	defer sys.Shutdown(master, agg)
+
+	_ = agg.Send(msgAddUpdate{DeviceID: "solo",
+		Update:  &checkpoint.Checkpoint{Params: tensor.Vector{1, 2}, Weight: 1},
+		Metrics: map[string]float64{"train_loss": 0.5}})
+	waitSignals(t, sig, 1)
+	_ = agg.Send(msgFinalizeGroup{})
+	waitSignals(t, sig, 1)
+
+	msgs := got()
+	res, ok := msgs[len(msgs)-1].(msgGroupResult)
+	if !ok {
+		t.Fatalf("last message %T", msgs[len(msgs)-1])
+	}
+	if res.Err == "" {
+		t.Fatal("singleton secure group must refuse to aggregate")
+	}
+	if res.Sum != nil || res.Count != 0 || res.Weight != 0 {
+		t.Fatalf("raw update leaked into group result: %+v", res)
+	}
+	if len(res.Metrics["train_loss"]) != 1 {
+		t.Fatalf("metrics must still propagate: %+v", res.Metrics)
+	}
+}
+
+func TestSecAggFailureStillReportsMetrics(t *testing.T) {
+	// Regression: a secagg failure used to produce an empty msgGroupResult,
+	// silently dropping the group's metrics and hiding the error.
+	sys := actor.NewSystem()
+	master, got, sig := collectMaster(sys)
+	agg := sys.Spawn("agg", NewAggregator(2, true, master))
+	defer sys.Shutdown(master, agg)
+
+	for i, loss := range []float64{0.5, 0.7} {
+		_ = agg.Send(msgAddUpdate{DeviceID: string(rune('a' + i)),
+			Update:  &checkpoint.Checkpoint{Params: tensor.Vector{1, 2}, Weight: 1},
+			Metrics: map[string]float64{"train_loss": loss}})
+	}
+	waitSignals(t, sig, 2)
+	// Inject the protocol outcome directly: the async finalization path
+	// delivers failures as msgSecAggDone.
+	_ = agg.Send(msgSecAggDone{Err: errors.New("secagg: injected failure")})
+	waitSignals(t, sig, 1)
+
+	msgs := got()
+	res, ok := msgs[len(msgs)-1].(msgGroupResult)
+	if !ok {
+		t.Fatalf("last message %T", msgs[len(msgs)-1])
+	}
+	if !strings.Contains(res.Err, "injected failure") {
+		t.Fatalf("error not surfaced: %+v", res)
+	}
+	if res.Sum != nil || res.Count != 0 {
+		t.Fatalf("failed group must not report a sum: %+v", res)
+	}
+	if len(res.Metrics["train_loss"]) != 2 {
+		t.Fatalf("metrics swallowed on secagg failure: %+v", res.Metrics)
+	}
+}
+
+func TestMasterAggregatorSurfacesGroupErrors(t *testing.T) {
+	// A failed group's metrics still reach storage, its error reaches the
+	// Coordinator, and the round completes on the healthy groups.
+	sys := actor.NewSystem()
+	coord, got, sig := collectMaster(sys)
+	store := storage.NewMem()
+	p := testPlan(t, 4, true)
+	m, err := p.Device.Model.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim := m.NumParams()
+	global := &checkpoint.Checkpoint{TaskName: p.ID, Params: make(tensor.Vector, dim)}
+	ma := NewMasterAggregator(p, global, store, coord, nil, nil)
+	ma.state = "collecting"
+	ma.aggs = make([]*actor.Ref, 2)
+	ref := sys.Spawn("ma", ma)
+	defer sys.Shutdown(coord, ref)
+
+	_ = ref.Send(msgGroupResult{Sum: make(tensor.Vector, dim), Weight: 4, Count: 4,
+		Metrics: map[string][]float64{"train_loss": {1, 2, 3, 4}}})
+	_ = ref.Send(msgGroupResult{Err: "secagg: injected failure",
+		Metrics: map[string][]float64{"train_loss": {9, 9}}})
+	waitSignals(t, sig, 1)
+
+	msgs := got()
+	done, ok := msgs[len(msgs)-1].(msgRoundComplete)
+	if !ok {
+		t.Fatalf("coordinator got %T: %+v", msgs[len(msgs)-1], msgs[len(msgs)-1])
+	}
+	if len(done.GroupErrors) != 1 || !strings.Contains(done.GroupErrors[0], "injected failure") {
+		t.Fatalf("group errors not surfaced: %+v", done.GroupErrors)
+	}
+	if done.Completed != 4 {
+		t.Fatalf("completed = %d, want 4 (the failed group's updates are lost)", done.Completed)
+	}
+	ms, err := store.Metrics(p.ID)
+	if err != nil || len(ms) == 0 {
+		t.Fatalf("metrics never materialized: %v", err)
+	}
+	if n := ms[0].Stats["train_loss"].Count; n != 6 {
+		t.Fatalf("train_loss count = %d, want 6 (failed group's metrics must not be dropped)", n)
+	}
+}
+
+func TestTwoSecureGroupsFinalizeConcurrently(t *testing.T) {
+	// Two group Aggregators receive msgFinalizeGroup back to back; the
+	// secagg runs execute off the actor goroutines, concurrently. Run under
+	// -race (CI does) to check the parallel finalization pipeline.
+	sys := actor.NewSystem()
+	master, got, sig := collectMaster(sys)
+	aggA := sys.Spawn("agg-a", NewAggregator(2, true, master))
+	aggB := sys.Spawn("agg-b", NewAggregator(2, true, master))
+	defer sys.Shutdown(master, aggA, aggB)
+
+	for i := 0; i < 3; i++ {
+		_ = aggA.Send(msgAddUpdate{DeviceID: string(rune('a' + i)),
+			Update: &checkpoint.Checkpoint{Params: tensor.Vector{1, 2}, Weight: 1}})
+		_ = aggB.Send(msgAddUpdate{DeviceID: string(rune('x' + i)),
+			Update: &checkpoint.Checkpoint{Params: tensor.Vector{3, 4}, Weight: 2}})
+	}
+	waitSignals(t, sig, 6)
+	_ = aggA.Send(msgFinalizeGroup{})
+	_ = aggB.Send(msgFinalizeGroup{})
+	waitSignals(t, sig, 2)
+
+	results := 0
+	for _, m := range got() {
+		res, ok := m.(msgGroupResult)
+		if !ok {
+			continue
+		}
+		results++
+		if res.Err != "" || res.Count != 3 || len(res.Sum) != 2 {
+			t.Fatalf("group result: %+v", res)
+		}
+	}
+	if results != 2 {
+		t.Fatalf("got %d group results, want 2", results)
+	}
+}
+
+func TestSecureRemainderFoldedIntoLastGroup(t *testing.T) {
+	// Regression: 5 devices at secure group size 4 used to yield a trailing
+	// group of 1, whose "group sum" is the raw individual update. The
+	// remainder must fold into the full group, so all 5 updates land in one
+	// secagg instance and the committed weight covers every device.
+	fed, _ := data.Blobs(data.BlobsConfig{Users: 5, ExamplesPer: 20, Features: 4, Classes: 3, TestSize: 10, Seed: 21})
+	store := storage.NewMem()
+	p := testPlan(t, 5, true) // secure, group size 4
+	srv, net, addr := runServer(t, Config{
+		Population: "pop", Plans: []*plan.Plan{p}, Store: store,
+		Steering: pacing.New(time.Second), MaxRounds: 1, Seed: 22,
+	})
+	fl := newFleet(t, 5, fed, 3)
+	fl.run(net, addr)
+	waitDone(t, srv, 90*time.Second)
+	fl.halt()
+
+	ckpt, err := store.LatestCheckpoint(p.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every device holds 20 examples, so a round that kept all 5 updates
+	// commits total weight 100. A stranded singleton (refused by the
+	// aggregator) would leave only 80.
+	if math.Abs(ckpt.Weight-100) > 1e-3 {
+		t.Fatalf("committed weight = %v, want 100 (remainder update lost?)", ckpt.Weight)
+	}
+	ms, err := store.Metrics(p.ID)
+	if err != nil || len(ms) == 0 {
+		t.Fatalf("metrics: %v", err)
+	}
+	if n := ms[0].Stats["train_loss"].Count; n != 5 {
+		t.Fatalf("train_loss count = %d, want 5", n)
 	}
 }
 

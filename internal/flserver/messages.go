@@ -99,6 +99,10 @@ type msgGroupResult struct {
 	Weight  float64
 	Count   int
 	Metrics map[string][]float64 // metric name -> per-device values
+	// Err reports a finalization failure (e.g. the secagg run aborted).
+	// The group's model updates are lost, but Count and Metrics still
+	// describe the reports that never depended on the secure path.
+	Err string
 }
 
 // --- Coordinator messages ---
@@ -111,6 +115,9 @@ type msgRoundComplete struct {
 	Completed int
 	Aborted   int
 	Lost      int
+	// GroupErrors lists per-group finalization failures in an otherwise
+	// successful round (the failed groups' updates are simply absent).
+	GroupErrors []string
 }
 
 // msgRoundFailed reports an abandoned round.

@@ -6,8 +6,6 @@ import (
 	"fmt"
 	"io"
 	"sort"
-
-	"repro/internal/field"
 )
 
 // KeyAdvert is a device's Round-0 message: its identity and two X25519
@@ -55,6 +53,12 @@ type Client struct {
 	rosterIDs []int
 
 	held map[int]*shareBundle // shares I hold, keyed by owner
+
+	// cShared caches the share-encryption ECDH secret per peer: the secret
+	// is symmetric, so the value derived to encrypt an outgoing bundle in
+	// Round 1 decrypts the incoming bundle from the same peer — computing
+	// it twice would double the client's dominant X25519 cost.
+	cShared map[int][]byte
 }
 
 // NewClient creates a device participant with fresh keys.
@@ -80,7 +84,8 @@ func NewClient(id int, cfg Config) (*Client, error) {
 	}
 	return &Client{
 		id: id, cfg: cfg, cKey: cKey, sKey: sKey, seed: seed,
-		held: make(map[int]*shareBundle),
+		held:    make(map[int]*shareBundle),
+		cShared: make(map[int][]byte),
 	}, nil
 }
 
@@ -131,22 +136,35 @@ func (c *Client) ShareKeys() ([]RoutedShare, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]RoutedShare, 0, n)
-	for i, holder := range c.rosterIDs {
+	out := make([]RoutedShare, n)
+	secrets := make([][]byte, n)
+	// One ECDH + AES-GCM seal per roster member: independent work, fanned
+	// across the worker pool. Workers write only their own slots; the
+	// secret cache (a map) is filled serially afterwards.
+	err = parallelFor(n, func(i int) error {
+		holder := c.rosterIDs[i]
 		bundle := &shareBundle{Owner: c.id, Holder: holder, BShare: bShares[i], SKShare: skShares[i]}
 		// Re-key share X coordinates to the holder id so reconstruction uses
 		// consistent evaluation points across owners.
 		bundle.BShare.X = uint64(i + 1)
 		bundle.SKShare.X = uint64(i + 1)
-		shared, err := c.pairwiseC(holder)
+		shared, err := c.deriveC(holder)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		secrets[i] = shared
 		ct, err := encryptBundle(shared, bundle)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, RoutedShare{Owner: c.id, Holder: holder, CT: ct})
+		out[i] = RoutedShare{Owner: c.id, Holder: holder, CT: ct}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, holder := range c.rosterIDs {
+		c.cShared[holder] = secrets[i]
 	}
 	return out, nil
 }
@@ -184,24 +202,29 @@ func (c *Client) MaskedInput(x []float64) ([]uint64, error) {
 		return nil, fmt.Errorf("secagg: input length %d, want %d", len(x), c.cfg.VectorLen)
 	}
 	y := Encode(x)
-	// Personal mask.
-	self := prg(seedKey(c.seed), c.cfg.VectorLen)
-	field.AddVec(y, y, self)
-	// Pairwise masks over the full roster U1.
+	// Personal mask, streamed straight into the output.
+	prgApply(seedKey(c.seed), y, false)
+	// Pairwise masks over the full roster U1. The N−1 ECDH + PRG
+	// expansions dominate device-side cost; fan them across the worker
+	// pool, each worker folding masks into a private accumulator. ECDH on
+	// the (immutable) s-key and roster reads are safe concurrently.
+	peers := make([]int, 0, len(c.rosterIDs)-1)
 	for _, v := range c.rosterIDs {
-		if v == c.id {
-			continue
+		if v != c.id {
+			peers = append(peers, v)
 		}
+	}
+	err := parallelMasks(y, len(peers), func(i int, acc []uint64) error {
+		v := peers[i]
 		seedUV, err := c.pairwiseS(v)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		pad := prg(seedUV, c.cfg.VectorLen)
-		if c.id < v {
-			field.AddVec(y, y, pad)
-		} else {
-			field.SubVec(y, y, pad)
-		}
+		prgApply(seedUV, acc, c.id > v)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return y, nil
 }
@@ -239,8 +262,9 @@ func (c *Client) Unmask(survivors []int) (*UnmaskResponse, error) {
 	return resp, nil
 }
 
-// pairwiseC derives the share-encryption secret with peer.
-func (c *Client) pairwiseC(peer int) ([]byte, error) {
+// deriveC computes the share-encryption secret with peer (cache-free; safe
+// to call from workers).
+func (c *Client) deriveC(peer int) ([]byte, error) {
 	a, ok := c.roster[peer]
 	if !ok {
 		return nil, fmt.Errorf("secagg: unknown peer %d", peer)
@@ -250,6 +274,20 @@ func (c *Client) pairwiseC(peer int) ([]byte, error) {
 		return nil, fmt.Errorf("secagg: peer %d cpub: %w", peer, err)
 	}
 	return c.cKey.ECDH(pub)
+}
+
+// pairwiseC returns the share-encryption secret with peer, deriving and
+// caching it on first use.
+func (c *Client) pairwiseC(peer int) ([]byte, error) {
+	if s, ok := c.cShared[peer]; ok {
+		return s, nil
+	}
+	s, err := c.deriveC(peer)
+	if err != nil {
+		return nil, err
+	}
+	c.cShared[peer] = s
+	return s, nil
 }
 
 // pairwiseS derives the masking PRG seed with peer from the s-keypair.

@@ -1,0 +1,107 @@
+package secagg
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/field"
+)
+
+// workers returns the degree of parallelism for protocol hot paths: one
+// worker per scheduler proc, never more than one per task.
+func workers(tasks int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > tasks {
+		w = tasks
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// runWorkers drains n tasks on w workers and returns the first error.
+// Tasks are pulled from a shared atomic counter so uneven task costs (an
+// ECDH here, a cache hit there) still balance; an error stops the other
+// workers at their next pull.
+func runWorkers(w, n int, body func(worker, task int) error) error {
+	var (
+		next int64
+		wg   sync.WaitGroup
+	)
+	errs := make([]error, w)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				if err := body(k, i); err != nil {
+					errs[k] = err
+					atomic.StoreInt64(&next, int64(n)) // stop the other workers
+					return
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parallelFor runs fn(0..n-1) across the worker pool and returns the first
+// error. With one worker it runs inline, adding nothing to the serial path.
+func parallelFor(n int, fn func(i int) error) error {
+	w := workers(n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return runWorkers(w, n, func(_, i int) error { return fn(i) })
+}
+
+// parallelMasks applies n mask expansions into dst. Each worker accumulates
+// into a private partial vector in GF(2^61−1) — apply adds or subtracts its
+// masks into the accumulator it is handed — and the partials are merged
+// into dst once at the end, so workers never contend on dst and the
+// transient memory is O(workers × len), not O(n × len). With one worker,
+// apply writes straight into dst: the serial path allocates nothing extra.
+func parallelMasks(dst []uint64, n int, apply func(i int, acc []uint64) error) error {
+	w := workers(n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := apply(i, dst); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	partials := make([][]uint64, w)
+	err := runWorkers(w, n, func(k, i int) error {
+		if partials[k] == nil {
+			partials[k] = make([]uint64, len(dst))
+		}
+		return apply(i, partials[k])
+	})
+	if err != nil {
+		return err
+	}
+	for _, acc := range partials {
+		if acc != nil {
+			field.AddVec(dst, dst, acc)
+		}
+	}
+	return nil
+}

@@ -63,6 +63,29 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// GroupSpans partitions n items (indexes 0..n-1) into contiguous
+// aggregation groups of at least groupSize by folding the remainder into
+// the last group, so groups hold groupSize..2·groupSize−1 items and no
+// group falls below groupSize — the "no secure group below 2" invariant
+// shared by the FL server and federated analytics. Spans are half-open
+// [start, end) pairs. When n < groupSize the single span is undersized;
+// callers must reject it or refuse it downstream.
+func GroupSpans(n, groupSize int) [][2]int {
+	if n <= 0 || groupSize <= 0 {
+		return nil
+	}
+	num := n / groupSize
+	if num == 0 {
+		num = 1
+	}
+	spans := make([][2]int, num)
+	for g := range spans {
+		spans[g] = [2]int{g * groupSize, (g + 1) * groupSize}
+	}
+	spans[num-1][1] = n
+	return spans
+}
+
 // FixedPointScale is the fixed-point scale for Encode/Decode: values are
 // quantized to 1/FixedPointScale resolution.
 const FixedPointScale = 1 << 20
@@ -98,10 +121,22 @@ func Decode(y []uint64) []float64 {
 	return out
 }
 
-// prg expands a 32-byte seed into length field elements with AES-256-CTR.
-// Both the device and the server (after reconstruction) must produce
-// identical streams, which CTR over a zero IV guarantees.
-func prg(seed []byte, length int) []uint64 {
+// prgChunkElems bounds the transient keystream buffer of prgApply: masks of
+// any length stream through one fixed 4 KiB chunk.
+const prgChunkElems = 512
+
+// zeroChunk is a shared all-zero XOR source; XORKeyStream against it writes
+// raw keystream without first clearing the destination.
+var zeroChunk [8 * prgChunkElems]byte
+
+// prgApply expands a 32-byte seed with AES-256-CTR and adds (sub=false) or
+// subtracts (sub=true) the resulting field elements into dst, streaming in
+// fixed-size chunks. Both the device and the server (after reconstruction)
+// must produce identical streams, which CTR over a zero IV guarantees.
+// Unlike materializing the whole pad, this keeps the transient footprint at
+// one chunk regardless of VectorLen, so mask removal over large vectors
+// stays out of the allocator.
+func prgApply(seed []byte, dst []uint64, sub bool) {
 	if len(seed) != 32 {
 		panic(fmt.Sprintf("secagg: prg seed must be 32 bytes, got %d", len(seed)))
 	}
@@ -109,14 +144,35 @@ func prg(seed []byte, length int) []uint64 {
 	if err != nil {
 		panic("secagg: aes: " + err.Error()) // impossible for 32-byte key
 	}
-	iv := make([]byte, aes.BlockSize)
-	stream := cipher.NewCTR(block, iv)
-	buf := make([]byte, 8*length)
-	stream.XORKeyStream(buf, buf)
-	out := make([]uint64, length)
-	for i := range out {
-		out[i] = field.Reduce(binary.BigEndian.Uint64(buf[8*i:]))
+	var iv [aes.BlockSize]byte
+	stream := cipher.NewCTR(block, iv[:])
+	bufLen := len(dst)
+	if bufLen > prgChunkElems {
+		bufLen = prgChunkElems
 	}
+	buf := make([]byte, 8*bufLen)
+	for off := 0; off < len(dst); off += prgChunkElems {
+		n := len(dst) - off
+		if n > prgChunkElems {
+			n = prgChunkElems
+		}
+		stream.XORKeyStream(buf[:8*n], zeroChunk[:8*n])
+		if sub {
+			for i := 0; i < n; i++ {
+				dst[off+i] = field.Sub(dst[off+i], field.Reduce(binary.BigEndian.Uint64(buf[8*i:])))
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				dst[off+i] = field.Add(dst[off+i], field.Reduce(binary.BigEndian.Uint64(buf[8*i:])))
+			}
+		}
+	}
+}
+
+// prg expands a seed into length fresh field elements (prgApply onto zero).
+func prg(seed []byte, length int) []uint64 {
+	out := make([]uint64, length)
+	prgApply(seed, out, false)
 	return out
 }
 

@@ -2,8 +2,13 @@ package secagg
 
 import (
 	"bytes"
+	"crypto/aes"
+	"crypto/cipher"
 	"crypto/rand"
+	"encoding/binary"
+	"errors"
 	"math"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -65,6 +70,147 @@ func TestPRGDeterministicAndSeedSensitive(t *testing.T) {
 	}
 	if !diff {
 		t.Fatal("different seeds must give different streams")
+	}
+}
+
+func TestGroupSpans(t *testing.T) {
+	cases := []struct {
+		n, size int
+		want    [][2]int
+	}{
+		{0, 4, nil},
+		{3, 0, nil},
+		{1, 4, [][2]int{{0, 1}}}, // undersized: single span, caller refuses
+		{3, 4, [][2]int{{0, 3}}}, // undersized: single span
+		{4, 4, [][2]int{{0, 4}}}, // exact
+		{5, 4, [][2]int{{0, 5}}}, // remainder of 1 folds — never a singleton
+		{8, 4, [][2]int{{0, 4}, {4, 8}}},
+		{9, 4, [][2]int{{0, 4}, {4, 9}}},
+		{11, 4, [][2]int{{0, 4}, {4, 11}}},
+		{12, 4, [][2]int{{0, 4}, {4, 8}, {8, 12}}},
+	}
+	for _, c := range cases {
+		got := GroupSpans(c.n, c.size)
+		if len(got) != len(c.want) {
+			t.Fatalf("GroupSpans(%d,%d) = %v, want %v", c.n, c.size, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("GroupSpans(%d,%d) = %v, want %v", c.n, c.size, got, c.want)
+			}
+		}
+	}
+}
+
+func TestPRGApplyMatchesOneShotExpansion(t *testing.T) {
+	// The chunked stream must be bit-identical to a single AES-CTR
+	// expansion of the whole vector: device and server only agree on masks
+	// if chunking never restarts or skips keystream. 1000 elements spans
+	// the chunk boundary.
+	seed := bytes.Repeat([]byte{7}, 32)
+	const n = 1000
+	block, err := aes.NewCipher(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := make([]byte, 8*n)
+	cipher.NewCTR(block, make([]byte, aes.BlockSize)).XORKeyStream(raw, raw)
+	want := make([]uint64, n)
+	for i := range want {
+		want[i] = field.Reduce(binary.BigEndian.Uint64(raw[8*i:]))
+	}
+
+	dst := make([]uint64, n)
+	for i := range dst {
+		dst[i] = uint64(i * 37)
+	}
+	orig := append([]uint64(nil), dst...)
+	prgApply(seed, dst, false)
+	for i := range dst {
+		if dst[i] != field.Add(orig[i], want[i]) {
+			t.Fatalf("chunked add diverges from one-shot stream at %d", i)
+		}
+	}
+	prgApply(seed, dst, true)
+	for i := range dst {
+		if dst[i] != orig[i] {
+			t.Fatalf("subtracting the same stream did not invert at %d", i)
+		}
+	}
+}
+
+func TestParallelWorkersMatchSerial(t *testing.T) {
+	// Force a real worker pool even on a 1-CPU box; under -race (CI runs
+	// this package with it) this checks the parallel mask pipeline.
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	cfg := Config{N: 9, T: 5, VectorLen: 700} // > one PRG chunk
+	inputs := make(map[int][]float64, cfg.N)
+	for id := 1; id <= cfg.N; id++ {
+		v := make([]float64, cfg.VectorLen)
+		for j := range v {
+			v[j] = float64(id) - float64(j)/7
+		}
+		inputs[id] = v
+	}
+	sum, survivors, err := Run(cfg, inputs, []int{2, 7}, []int{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectSum(t, inputs, survivors, sum)
+}
+
+func TestParallelForPropagatesError(t *testing.T) {
+	wantErr := errors.New("boom")
+	for _, procs := range []int{1, 4} {
+		old := runtime.GOMAXPROCS(procs)
+		err := parallelFor(100, func(i int) error {
+			if i == 57 {
+				return wantErr
+			}
+			return nil
+		})
+		runtime.GOMAXPROCS(old)
+		if !errors.Is(err, wantErr) {
+			t.Fatalf("procs=%d: err = %v, want %v", procs, err, wantErr)
+		}
+	}
+}
+
+func TestParallelMasksMergesPartials(t *testing.T) {
+	const dim, tasks = 64, 10
+	want := make([]uint64, dim)
+	for i := 0; i < tasks; i++ {
+		for j := 0; j < dim; j++ {
+			if i%2 == 0 {
+				want[j] = field.Add(want[j], uint64(i*dim+j))
+			} else {
+				want[j] = field.Sub(want[j], uint64(i*dim+j))
+			}
+		}
+	}
+	for _, procs := range []int{1, 4} {
+		old := runtime.GOMAXPROCS(procs)
+		dst := make([]uint64, dim)
+		err := parallelMasks(dst, tasks, func(i int, acc []uint64) error {
+			for j := range acc {
+				if i%2 == 0 {
+					acc[j] = field.Add(acc[j], uint64(i*dim+j))
+				} else {
+					acc[j] = field.Sub(acc[j], uint64(i*dim+j))
+				}
+			}
+			return nil
+		})
+		runtime.GOMAXPROCS(old)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range dst {
+			if dst[j] != want[j] {
+				t.Fatalf("procs=%d: dst[%d] = %d, want %d", procs, j, dst[j], want[j])
+			}
+		}
 	}
 }
 

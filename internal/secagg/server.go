@@ -168,7 +168,24 @@ func (s *Server) Sum() ([]uint64, error) {
 	out := make([]uint64, s.cfg.VectorLen)
 	copy(out, s.sum)
 
-	// Remove survivors' personal masks PRG(b_u).
+	// Reconstruct all secrets first (cheap Shamir interpolation, serial),
+	// building one task per mask expansion. The expansions — an ECDH plus a
+	// PRG stream each for dropped-device pairs, a PRG stream for survivor
+	// personal masks — are the O(dropped × survivors) hot path and run on
+	// the worker pool, each worker folding into a private partial vector
+	// merged once at the end.
+	type maskTask struct {
+		owner int
+		peer  int              // pairwise tasks only
+		seed  []byte           // PRG seed, when already known
+		sk    *ecdh.PrivateKey // else derive the seed from sk × pub
+		pub   []byte
+		sub   bool
+	}
+	dropped := len(s.rosterIDs) - len(survivors)
+	tasks := make([]maskTask, 0, len(survivors)*(1+dropped))
+
+	// Survivors' personal masks PRG(b_u) are subtracted.
 	for _, u := range survivors {
 		shares := s.bShares[u]
 		if len(shares) < s.cfg.T {
@@ -178,11 +195,10 @@ func (s *Server) Sum() ([]uint64, error) {
 		if err != nil {
 			return nil, fmt.Errorf("secagg: reconstruct seed of %d: %w", u, err)
 		}
-		pad := prg(seedKey(seed), s.cfg.VectorLen)
-		field.SubVec(out, out, pad)
+		tasks = append(tasks, maskTask{owner: u, seed: seedKey(seed), sub: true})
 	}
 
-	// Remove residual pairwise masks of dropped devices.
+	// Residual pairwise masks of dropped devices.
 	survSet := make(map[int]bool, len(survivors))
 	for _, v := range survivors {
 		survSet[v] = true
@@ -204,23 +220,31 @@ func (s *Server) Sum() ([]uint64, error) {
 			return nil, fmt.Errorf("secagg: rebuild key of %d: %w", u, err)
 		}
 		for _, v := range survivors {
-			pub, err := ecdh.X25519().NewPublicKey(s.roster[v].SPub)
-			if err != nil {
-				return nil, fmt.Errorf("secagg: spub of %d: %w", v, err)
-			}
-			shared, err := sk.ECDH(pub)
-			if err != nil {
-				return nil, err
-			}
-			pad := prg(pairwiseSeed(shared, 'p'), s.cfg.VectorLen)
 			// Survivor v's masked input contains +PRG(s_vu) when v<u and
 			// −PRG(s_vu) when v>u; cancel that residual.
-			if v < u {
-				field.SubVec(out, out, pad)
-			} else {
-				field.AddVec(out, out, pad)
-			}
+			tasks = append(tasks, maskTask{owner: u, peer: v, sk: sk, pub: s.roster[v].SPub, sub: v < u})
 		}
+	}
+
+	err = parallelMasks(out, len(tasks), func(i int, acc []uint64) error {
+		t := tasks[i]
+		seed := t.seed
+		if seed == nil {
+			pub, err := ecdh.X25519().NewPublicKey(t.pub)
+			if err != nil {
+				return fmt.Errorf("secagg: spub of %d: %w", t.peer, err)
+			}
+			shared, err := t.sk.ECDH(pub)
+			if err != nil {
+				return fmt.Errorf("secagg: ecdh %d×%d: %w", t.owner, t.peer, err)
+			}
+			seed = pairwiseSeed(shared, 'p')
+		}
+		prgApply(seed, acc, t.sub)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
