@@ -17,6 +17,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/experiments"
 	"repro/internal/fedavg"
+	"repro/internal/flserver"
 	"repro/internal/nn"
 	"repro/internal/pacing"
 	"repro/internal/secagg"
@@ -33,16 +34,23 @@ const (
 // --- Figure/table benchmarks ---
 
 func BenchmarkFig6Diurnal(b *testing.B) {
-	var swing, corr float64
-	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig6(uint64(i+1), benchDays, benchPop, benchTarget)
-		if err != nil {
-			b.Fatal(err)
-		}
-		swing, corr = r.SwingRatio, r.Correlation
+	// The fleet-1M case is feasible because population.Sample walks a
+	// partial Fisher–Yates: per-round selection cost is O(devices visited),
+	// so a million-device fleet simulates a full day without timing out.
+	for _, pop := range []int{benchPop, 1_000_000} {
+		b.Run(fmt.Sprintf("fleet-%d", pop), func(b *testing.B) {
+			var swing, corr float64
+			for i := 0; i < b.N; i++ {
+				r, err := experiments.Fig6(uint64(i+1), benchDays, pop, benchTarget)
+				if err != nil {
+					b.Fatal(err)
+				}
+				swing, corr = r.SwingRatio, r.Correlation
+			}
+			b.ReportMetric(swing, "peak/trough")
+			b.ReportMetric(corr, "avail-corr")
+		})
 	}
-	b.ReportMetric(swing, "peak/trough")
-	b.ReportMetric(corr, "avail-corr")
 }
 
 func BenchmarkFig7Outcomes(b *testing.B) {
@@ -176,6 +184,41 @@ func BenchmarkSecAggQuadratic(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkRoundThroughput measures the round fan-out/ingest pipeline
+// (Configuration sends + wire codec + Reporting decode + aggregation) for K
+// devices reporting dim-sized updates, over both transports. Run with
+// -benchmem: B/op is dominated by the wire path. The plan-marshals/round
+// metric asserts Configuration marshals the plan O(versions), not
+// O(devices).
+func BenchmarkRoundThroughput(b *testing.B) {
+	for _, tr := range []struct {
+		name string
+		tcp  bool
+	}{{"mem", false}, {"tcp", true}} {
+		for _, k := range []int{64, 256, 1024} {
+			for _, dim := range []int{4096, 65536} {
+				b.Run(fmt.Sprintf("%s/K-%d/dim-%d", tr.name, k, dim), func(b *testing.B) {
+					b.ReportAllocs()
+					var st flserver.BenchRoundStats
+					for i := 0; i < b.N; i++ {
+						var err error
+						st, err = flserver.RunBenchRound(flserver.BenchRoundConfig{
+							Devices: k, Dim: dim, TCP: tr.tcp,
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						if st.Completed < k {
+							b.Fatalf("completed %d/%d devices", st.Completed, k)
+						}
+					}
+					b.ReportMetric(float64(st.PlanMarshals), "plan-marshals/round")
+				})
+			}
+		}
 	}
 }
 

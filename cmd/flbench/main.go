@@ -11,26 +11,34 @@
 //	flbench -exp overselect # Sec. 9 over-selection vs drop-out
 //	flbench -exp secagg     # Sec. 6 Secure Aggregation cost
 //	flbench -exp pacing     # Sec. 2.3 pace steering regimes
+//	flbench -exp roundtput  # round fan-out/ingest pipeline throughput
 //	flbench -exp all        # everything
+//
+// -json emits machine-readable results (one object keyed by experiment)
+// instead of the formatted tables, for the BENCH_*.json perf trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/flserver"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig6, fig7, fig8, fig9, table1, nextword, ksweep, overselect, secagg, pacing, all)")
+	exp := flag.String("exp", "all", "experiment to run (fig6, fig7, fig8, fig9, table1, nextword, ksweep, overselect, secagg, pacing, roundtput, all)")
 	days := flag.Int("days", 3, "simulated days for the operational figures")
 	pop := flag.Int("pop", 20000, "fleet size for the operational figures")
 	target := flag.Int("target", 100, "devices per round (K)")
 	seed := flag.Uint64("seed", 1, "random seed")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON results instead of formatted tables")
 	flag.Parse()
 
-	if err := run(*exp, *seed, *days, *pop, *target); err != nil {
+	if err := run(*exp, *seed, *days, *pop, *target, *asJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "flbench:", err)
 		os.Exit(1)
 	}
@@ -38,13 +46,90 @@ func main() {
 
 type formatter interface{ Format() string }
 
-func run(exp string, seed uint64, days, pop, target int) error {
+// roundtputRow is one (transport, K, dim) cell of the round-throughput
+// experiment.
+type roundtputRow struct {
+	Transport    string
+	Devices      int
+	Dim          int
+	MillisRound  float64
+	PlanMarshals int64
+	Completed    int
+	Lost         int
+}
+
+// roundtputResult mirrors BenchmarkRoundThroughput for the CLI: one real
+// round per cell through the Master Aggregator fan-out/ingest pipeline.
+type roundtputResult struct {
+	Rows []roundtputRow
+}
+
+// Format implements formatter.
+func (r *roundtputResult) Format() string {
+	var b strings.Builder
+	b.WriteString("Round throughput (Configuration fan-out + wire + Reporting ingest)\n")
+	b.WriteString("  transport     K     dim   ms/round   plan-marshals  completed\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-9s %5d %7d %10.1f %15d %10d\n",
+			row.Transport, row.Devices, row.Dim, row.MillisRound, row.PlanMarshals, row.Completed)
+	}
+	return b.String()
+}
+
+func roundThroughput() (*roundtputResult, error) {
+	res := &roundtputResult{}
+	for _, tcp := range []bool{false, true} {
+		name := "mem"
+		if tcp {
+			name = "tcp"
+		}
+		for _, k := range []int{64, 256, 1024} {
+			for _, dim := range []int{4096, 65536} {
+				st, err := flserver.RunBenchRound(flserver.BenchRoundConfig{Devices: k, Dim: dim, TCP: tcp})
+				if err != nil {
+					return nil, fmt.Errorf("roundtput %s K=%d dim=%d: %w", name, k, dim, err)
+				}
+				res.Rows = append(res.Rows, roundtputRow{
+					Transport:    name,
+					Devices:      k,
+					Dim:          dim,
+					MillisRound:  float64(st.Elapsed.Microseconds()) / 1000,
+					PlanMarshals: st.PlanMarshals,
+					Completed:    st.Completed,
+					Lost:         st.Lost,
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+func run(exp string, seed uint64, days, pop, target int, asJSON bool) error {
+	collected := make(map[string]interface{})
 	runOne := func(name string, f func() (formatter, error)) error {
 		res, err := f()
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
+		if asJSON {
+			collected[name] = res
+			return nil
+		}
 		fmt.Println(res.Format())
+		return nil
+	}
+	emit := func() error {
+		if !asJSON {
+			return nil
+		}
+		out, err := json.MarshalIndent(map[string]interface{}{
+			"seed": seed, "days": days, "pop": pop, "target": target,
+			"results": collected,
+		}, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
 		return nil
 	}
 
@@ -71,20 +156,24 @@ func run(exp string, seed uint64, days, pop, target int) error {
 		"pacing":    func() (formatter, error) { return experiments.Pacing(10000, seed) },
 		"adaptive":  func() (formatter, error) { return experiments.Adaptive(seed) },
 		"wallclock": func() (formatter, error) { return experiments.WallClock(seed) },
+		"roundtput": func() (formatter, error) { return roundThroughput() },
 	}
 
 	if exp == "all" {
 		// Deterministic order matching the paper's presentation.
-		for _, name := range []string{"pacing", "secagg", "nextword", "wallclock", "fig6", "fig7", "fig8", "fig9", "table1", "ksweep", "overselect", "adaptive"} {
+		for _, name := range []string{"pacing", "secagg", "roundtput", "nextword", "wallclock", "fig6", "fig7", "fig8", "fig9", "table1", "ksweep", "overselect", "adaptive"} {
 			if err := runOne(name, all[name]); err != nil {
 				return err
 			}
 		}
-		return nil
+		return emit()
 	}
 	f, ok := all[exp]
 	if !ok {
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
-	return runOne(exp, f)
+	if err := runOne(exp, f); err != nil {
+		return err
+	}
+	return emit()
 }

@@ -58,7 +58,7 @@ func (c *Checkpoint) Marshal(enc Encoding) ([]byte, error) {
 	if len(c.TaskName) > math.MaxUint16 {
 		return nil, fmt.Errorf("checkpoint: task name too long (%d bytes)", len(c.TaskName))
 	}
-	if len(c.Params) > math.MaxUint32 {
+	if uint64(len(c.Params)) > math.MaxUint32 {
 		return nil, fmt.Errorf("checkpoint: too many params (%d)", len(c.Params))
 	}
 	header := 4 + 1 + 1 + 2 + len(c.TaskName) + 8 + 8 + 4
@@ -124,22 +124,34 @@ func Unmarshal(b []byte) (*Checkpoint, error) {
 	off += 8
 	c.Weight = math.Float64frombits(binary.BigEndian.Uint64(b[off:]))
 	off += 8
-	n := int(binary.BigEndian.Uint32(b[off:]))
+	// Validate the claimed parameter count against the remaining bytes
+	// BEFORE allocating O(n): updates arrive from devices, and a hostile
+	// few-byte header claiming 2³²−1 params must not commit gigabytes.
+	// Sizes are computed in int64 so the count cannot overflow int on
+	// 32-bit platforms and slip past the check into make.
+	count := int64(binary.BigEndian.Uint32(b[off:]))
 	off += 4
+	var need int64
+	switch enc {
+	case EncodingFloat64:
+		need = 8 * count
+	case EncodingQuant8:
+		need = 16 + count
+	default:
+		return nil, fmt.Errorf("checkpoint: unknown encoding %d", enc)
+	}
+	if int64(len(b)-off) < need {
+		return nil, fmt.Errorf("checkpoint: truncated params (have %d, need %d)", len(b)-off, need)
+	}
+	n := int(count)
 	c.Params = make(tensor.Vector, n)
 
 	switch enc {
 	case EncodingFloat64:
-		if len(b) < off+8*n {
-			return nil, fmt.Errorf("checkpoint: truncated params (have %d, need %d)", len(b)-off, 8*n)
-		}
 		for i := 0; i < n; i++ {
 			c.Params[i] = math.Float64frombits(binary.BigEndian.Uint64(b[off+8*i:]))
 		}
 	case EncodingQuant8:
-		if len(b) < off+16+n {
-			return nil, fmt.Errorf("checkpoint: truncated quantized params")
-		}
 		lo := math.Float64frombits(binary.BigEndian.Uint64(b[off:]))
 		hi := math.Float64frombits(binary.BigEndian.Uint64(b[off+8:]))
 		off += 16
@@ -150,8 +162,6 @@ func Unmarshal(b []byte) (*Checkpoint, error) {
 		for i := 0; i < n; i++ {
 			c.Params[i] = lo + float64(b[off+i])*step
 		}
-	default:
-		return nil, fmt.Errorf("checkpoint: unknown encoding %d", enc)
 	}
 	return c, nil
 }

@@ -122,6 +122,29 @@ func TestUnmarshalErrors(t *testing.T) {
 	}
 }
 
+func TestUnmarshalHostileParamCount(t *testing.T) {
+	// Updates arrive from devices: a tiny buffer whose header claims 2³²−1
+	// params must error before allocating O(claimed) memory. (If the count
+	// were trusted, this test would OOM, not merely fail.)
+	c := sample()
+	for _, enc := range []Encoding{EncodingFloat64, EncodingQuant8} {
+		good, err := c.Marshal(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The param count sits 4 bytes before the params block; header is
+		// magic(4) version(1) encoding(1) nameLen(2) name round(8) weight(8).
+		countOff := 4 + 1 + 1 + 2 + len(c.TaskName) + 8 + 8
+		hostile := append([]byte(nil), good...)
+		for i := 0; i < 4; i++ {
+			hostile[countOff+i] = 0xFF
+		}
+		if _, err := Unmarshal(hostile); err == nil {
+			t.Errorf("encoding %d: hostile param count decoded cleanly", enc)
+		}
+	}
+}
+
 func TestMarshalBadEncoding(t *testing.T) {
 	if _, err := sample().Marshal(Encoding(0)); err == nil {
 		t.Fatal("expected error for unknown encoding")

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/actor"
@@ -15,6 +17,7 @@ import (
 	"repro/internal/secagg"
 	"repro/internal/storage"
 	"repro/internal/tensor"
+	"repro/internal/transport"
 )
 
 // Aggregator is the ephemeral per-group aggregation actor (Sec. 4.2). With
@@ -76,6 +79,11 @@ type msgSecAggDone struct {
 	Survivors int
 	Err       error
 }
+
+// planMarshals counts plan.Marshal calls made during Configuration,
+// process-wide. Tests and BenchmarkRoundThroughput read the delta across a
+// round to assert marshals stay O(distinct runtime versions), not O(devices).
+var planMarshals atomic.Int64
 
 // secaggGate bounds concurrent secagg finalizations process-wide: each run
 // saturates the cores with its own worker pools, so admitting more than
@@ -343,9 +351,46 @@ func (ma *MasterAggregator) onSelectionTimeout(ctx *actor.Context) {
 		len(ma.devices), ma.plan.Server.MinReports()))
 }
 
+// versionResp is the memoized Configuration payload for one effective
+// runtime version: either a CheckinResponse pre-framed for the wire, or
+// the reason devices of that version cannot run the plan.
+type versionResp struct {
+	enc *transport.Encoded
+	err string
+}
+
+// configJob is one device's Configuration send, executed on the fan-out
+// worker pool; resp is the device's version's shared pre-framed response.
+type configJob struct {
+	deviceID string
+	conn     transport.Conn
+	resp     *transport.Encoded
+}
+
+// fanoutWorkers sizes the Configuration send pool. Sends block on socket
+// I/O more than on CPU, so oversubscribe GOMAXPROCS — but keep the pool
+// bounded: each in-flight send holds one frame buffer (O(plan+checkpoint)),
+// so the pool size caps transient memory no matter how large the round is.
+func fanoutWorkers(jobs int) int {
+	w := 4 * runtime.GOMAXPROCS(0)
+	if w > 64 {
+		w = 64
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
 // beginReporting is the Configuration phase: spawn group Aggregators, send
 // each device its (version-matched) plan and the global checkpoint, and
-// start the report window.
+// start the report window. The per-device sends run on a worker pool off
+// the actor goroutine, so one slow or dead socket never stalls the round;
+// all bookkeeping stays on the actor, with send failures returning as
+// msgDeviceLost.
 func (ma *MasterAggregator) beginReporting(ctx *actor.Context) {
 	ma.state = "reporting"
 	ma.reportOpen = ma.now()
@@ -371,7 +416,18 @@ func (ma *MasterAggregator) beginReporting(ctx *actor.Context) {
 		ma.aggs[g] = ctx.Spawn(fmt.Sprintf("%s/agg-%d", ctx.Self.Name(), g), NewAggregator(dim, secure, ctx.Self))
 	}
 
+	// Build every device's send on the actor goroutine, marshaling the plan
+	// and building + pre-framing the CheckinResponse once per distinct
+	// *effective* runtime version: every runtime at or above the plan's
+	// MinRuntimeVersion executes the plan unchanged and shares one
+	// marshaled copy; each older version gets one lowered plan. Pre-framing
+	// (transport.Encode) means the multi-MB plan+checkpoint wire frame is
+	// built O(versions) per round and the pool workers push the same
+	// immutable bytes to every device of a version.
+	minV := ma.plan.Device.MinRuntimeVersion
+	byVersion := make(map[int]*versionResp)
 	deadline := ma.plan.Server.ParticipationCap
+	jobs := make([]configJob, 0, len(ma.order))
 	for i, id := range ma.order {
 		ds := ma.devices[id]
 		g := i / ma.groupSize
@@ -380,54 +436,129 @@ func (ma *MasterAggregator) beginReporting(ctx *actor.Context) {
 		}
 		ds.group = ma.aggs[g]
 
-		vp, err := ma.plan.ForVersion(ds.held.RuntimeVersion)
-		if err != nil {
-			// Device cannot execute any version of this plan; reject it.
-			_ = ds.held.Conn.Send(protocol.CheckinResponse{Accepted: false, Reason: err.Error()})
+		v := ds.held.RuntimeVersion
+		if v > minV {
+			v = minV
+		}
+		vr, ok := byVersion[v]
+		if !ok {
+			vr = &versionResp{}
+			vp, err := ma.plan.ForVersion(ds.held.RuntimeVersion)
+			if err != nil {
+				// Devices of this version cannot execute any form of the
+				// plan; every one of them is rejected below.
+				vr.err = err.Error()
+			} else {
+				planBytes, err := vp.Marshal()
+				planMarshals.Add(1)
+				if err != nil {
+					ma.fail(ctx, "marshal plan: "+err.Error())
+					return
+				}
+				vr.enc = transport.Encode(protocol.CheckinResponse{
+					Accepted:       true,
+					TaskID:         ma.plan.ID,
+					Round:          ma.global.Round,
+					Plan:           planBytes,
+					Checkpoint:     ckptBytes,
+					ReportDeadline: deadline,
+				})
+			}
+			byVersion[v] = vr
+		}
+		if vr.err != "" {
+			// Device cannot execute any version of this plan; reject it
+			// right here on the actor. Rejections are rare and tiny, and
+			// queueing them would leak the connection if ma.fail returns
+			// before the worker pool spawns (queued jobs never run).
+			_ = ds.held.Conn.Send(protocol.CheckinResponse{Accepted: false, Reason: vr.err})
 			_ = ds.held.Conn.Close()
 			ds.lost = true
 			ma.lost++
 			continue
 		}
-		planBytes, err := vp.Marshal()
-		if err != nil {
-			ma.fail(ctx, "marshal plan: "+err.Error())
-			return
-		}
-		resp := protocol.CheckinResponse{
-			Accepted:       true,
-			TaskID:         ma.plan.ID,
-			Round:          ma.global.Round,
-			Plan:           planBytes,
-			Checkpoint:     ckptBytes,
-			ReportDeadline: deadline,
-		}
-		if err := ds.held.Conn.Send(resp); err != nil {
-			ds.lost = true
-			ma.lost++
-			continue
-		}
-		// One reader goroutine per device: its report (or disconnect)
-		// becomes an actor message.
-		self := ctx.Self
-		conn := ds.held.Conn
-		deviceID := id
+		jobs = append(jobs, configJob{deviceID: id, conn: ds.held.Conn, resp: vr.enc})
+	}
+
+	self := ctx.Self
+	jobCh := make(chan configJob, len(jobs))
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
+	var sends sync.WaitGroup
+	sends.Add(len(jobs))
+	for w := fanoutWorkers(len(jobs)); w > 0; w-- {
 		go func() {
-			msg, err := conn.Recv()
-			if err != nil {
-				_ = self.Send(msgDeviceLost{DeviceID: deviceID})
-				return
+			for j := range jobCh {
+				if err := j.conn.Send(j.resp); err != nil {
+					// A failed Configuration send means a dead peer:
+					// release the fd here, then account the loss on the
+					// actor.
+					_ = j.conn.Close()
+					_ = self.Send(msgDeviceLost{DeviceID: j.deviceID})
+				} else {
+					// One reader goroutine per configured device: its
+					// report (or disconnect) becomes an actor message.
+					go readReport(self, j.deviceID, j.conn)
+				}
+				sends.Done()
 			}
-			req, ok := msg.(protocol.ReportRequest)
-			if !ok {
-				_ = self.Send(msgDeviceLost{DeviceID: deviceID})
-				return
-			}
-			_ = self.Send(msgReport{DeviceID: deviceID, Req: req, Conn: conn})
 		}()
 	}
-	self := ctx.Self
-	time.AfterFunc(ma.plan.Server.ReportTimeout, func() { _ = self.Send(msgReportTimeout{}) })
+
+	// The reporting window opens once every device has been sent its
+	// configuration (as it did when the sends were serial): a slow fan-out
+	// must not eat into the devices' time to report. The wait itself is
+	// capped at one ReportTimeout — a peer that checks in and then never
+	// drains its socket can block a worker's Send indefinitely (no write
+	// deadline), and the round must still time out rather than hang; the
+	// eventual fail()/finalize() closes that conn, unblocking the worker.
+	reportTimeout := ma.plan.Server.ReportTimeout
+	go func() {
+		sent := make(chan struct{})
+		go func() {
+			sends.Wait()
+			close(sent)
+		}()
+		select {
+		case <-sent:
+		case <-time.After(reportTimeout):
+		}
+		time.AfterFunc(reportTimeout, func() { _ = self.Send(msgReportTimeout{}) })
+	}()
+}
+
+// readReport blocks for one device's ReportRequest and forwards it to the
+// Master Aggregator, decoding the update bytes here at the edge: the
+// O(devices × dim) unmarshal work runs on the per-device reader goroutines
+// concurrently, and the actor only routes decoded updates to group
+// Aggregators.
+func readReport(self *actor.Ref, deviceID string, conn transport.Conn) {
+	msg, err := conn.Recv()
+	if err != nil {
+		_ = conn.Close()
+		_ = self.Send(msgDeviceLost{DeviceID: deviceID})
+		return
+	}
+	req, ok := msg.(protocol.ReportRequest)
+	if !ok {
+		_ = conn.Close()
+		_ = self.Send(msgDeviceLost{DeviceID: deviceID})
+		return
+	}
+	report := msgReport{DeviceID: deviceID, Req: req, Conn: conn}
+	if !req.Aborted && len(req.Update) > 0 {
+		if upd, err := checkpoint.Unmarshal(req.Update); err != nil {
+			report.DecodeErr = err.Error()
+		} else {
+			report.Update = upd
+		}
+		// The raw bytes alias the received wire frame; drop them so the
+		// frame is collectable while the report waits in the mailbox.
+		report.Req.Update = nil
+	}
+	_ = self.Send(report)
 }
 
 func (ma *MasterAggregator) onReport(ctx *actor.Context, m msgReport) {
@@ -446,18 +577,14 @@ func (ma *MasterAggregator) onReport(ctx *actor.Context, m msgReport) {
 		_ = m.Conn.Close()
 		return
 	}
-	var upd *checkpoint.Checkpoint
-	if len(m.Req.Update) > 0 {
-		var err error
-		upd, err = checkpoint.Unmarshal(m.Req.Update)
-		if err != nil {
-			ds.lost = true
-			ma.lost++
-			_ = m.Conn.Send(protocol.ReportResponse{Accepted: false, Reason: "bad update: " + err.Error()})
-			_ = m.Conn.Close()
-			return
-		}
-	} else if ma.plan.Type != plan.TaskEval {
+	if m.DecodeErr != "" {
+		ds.lost = true
+		ma.lost++
+		_ = m.Conn.Send(protocol.ReportResponse{Accepted: false, Reason: "bad update: " + m.DecodeErr})
+		_ = m.Conn.Close()
+		return
+	}
+	if m.Update == nil && ma.plan.Type != plan.TaskEval {
 		// A training task must carry an update.
 		ds.lost = true
 		ma.lost++
@@ -466,7 +593,7 @@ func (ma *MasterAggregator) onReport(ctx *actor.Context, m msgReport) {
 		return
 	}
 	ds.reported = true
-	_ = ds.group.Send(msgAddUpdate{DeviceID: m.DeviceID, Update: upd, Metrics: m.Req.Metrics})
+	_ = ds.group.Send(msgAddUpdate{DeviceID: m.DeviceID, Update: m.Update, Metrics: m.Req.Metrics})
 	_ = m.Conn.Send(protocol.ReportResponse{Accepted: true})
 	_ = m.Conn.Close()
 }
@@ -509,6 +636,10 @@ func (ma *MasterAggregator) onReportTimeout(ctx *actor.Context) {
 		ma.completed, ma.plan.Server.MinReports()))
 }
 
+// abortGrace bounds how long an over-selected device gets to take delivery
+// of its Abort message before its connection is torn down regardless.
+const abortGrace = 5 * time.Second
+
 // finalize closes the reporting window, collects group partials, and aborts
 // devices that are no longer needed.
 func (ma *MasterAggregator) finalize(ctx *actor.Context) {
@@ -517,13 +648,29 @@ func (ma *MasterAggregator) finalize(ctx *actor.Context) {
 		_ = agg.Send(msgFinalizeGroup{})
 	}
 	// Abort devices that have not reported: the round no longer needs them
-	// (Fig. 7 "aborted").
+	// (Fig. 7 "aborted"). The sends run off the actor goroutine: an
+	// unreported device may still have a configuration send in flight on a
+	// stuck socket, and its conn's send lock would block the actor forever.
+	// Close always happens — after the Abort is delivered, or after the
+	// grace period — which also unblocks any fan-out worker wedged on the
+	// same connection.
+	abort := protocol.Abort{TaskID: ma.plan.ID, Round: ma.global.Round, Reason: "enough devices completed"}
 	for _, id := range ma.order {
 		ds := ma.devices[id]
 		if !ds.reported && !ds.lost {
 			ds.aborted = true
-			_ = ds.held.Conn.Send(protocol.Abort{TaskID: ma.plan.ID, Round: ma.global.Round, Reason: "enough devices completed"})
-			_ = ds.held.Conn.Close()
+			go func(conn transport.Conn) {
+				sent := make(chan struct{})
+				go func() {
+					_ = conn.Send(abort)
+					close(sent)
+				}()
+				select {
+				case <-sent:
+				case <-time.After(abortGrace):
+				}
+				_ = conn.Close()
+			}(ds.held.Conn)
 		}
 	}
 }

@@ -1,0 +1,210 @@
+package flserver
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/actor"
+	"repro/internal/checkpoint"
+	"repro/internal/nn"
+	"repro/internal/plan"
+	"repro/internal/protocol"
+	"repro/internal/storage"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// BenchRoundConfig parametrizes one synthetic round for the
+// round-throughput benchmark (DESIGN.md §4): K devices check in, receive
+// the plan plus a dim-sized global checkpoint, and report a dim-sized
+// update, exercising the full Configuration fan-out → wire → Reporting
+// ingest pipeline without any on-device training.
+type BenchRoundConfig struct {
+	// Devices is K, the number of reports the round needs to commit.
+	Devices int
+	// Dim is the parameter count of the global checkpoint and of every
+	// device update.
+	Dim int
+	// TCP moves every message over real loopback sockets instead of the
+	// in-memory transport.
+	TCP bool
+	// MixedVersions makes half the fleet run runtime version 1, forcing the
+	// server to derive and marshal a lowered plan alongside the current one.
+	MixedVersions bool
+}
+
+// BenchRoundStats describes one completed synthetic round.
+type BenchRoundStats struct {
+	Completed int
+	Lost      int
+	// PlanMarshals is how many times the Master Aggregator marshaled a plan
+	// during Configuration (O(distinct versions), not O(devices)).
+	PlanMarshals int64
+	Elapsed      time.Duration
+}
+
+// RunBenchRound drives one round through a real Master Aggregator and real
+// transport connections: it injects K held devices (as a Selector would),
+// and a goroutine per device answers the CheckinResponse with a
+// pre-marshaled update. Used by BenchmarkRoundThroughput, `flbench -exp
+// roundtput`, and the -race fan-out/ingest tests.
+func RunBenchRound(cfg BenchRoundConfig) (BenchRoundStats, error) {
+	var stats BenchRoundStats
+	if cfg.Devices <= 0 || cfg.Dim <= 0 {
+		return stats, fmt.Errorf("benchround: Devices and Dim must be positive")
+	}
+	p, err := plan.Generate(plan.Config{
+		TaskID:     "bench/roundtput",
+		Population: "bench",
+		Model:      nn.Spec{Kind: nn.KindLogistic, Features: 4, Classes: 3, Seed: 1},
+		StoreName:  "bench", BatchSize: 10, Epochs: 1, LearningRate: 0.1,
+		TargetDevices:     cfg.Devices,
+		OverSelectFactor:  1.0,
+		MinReportFraction: 0.8,
+		SelectionTimeout:  time.Minute,
+		ReportTimeout:     5 * time.Minute,
+		ReportEncoding:    checkpoint.EncodingFloat64,
+		// Fused ops force version-1 devices onto a distinct lowered plan.
+		UseFusedOps: cfg.MixedVersions,
+	})
+	if err != nil {
+		return stats, err
+	}
+	// The Master Aggregator takes its dimension from the global checkpoint,
+	// so the model spec above stays tiny while the wire payloads scale.
+	global := &checkpoint.Checkpoint{TaskName: p.ID, Round: 0, Params: make(tensor.Vector, cfg.Dim)}
+	upd := &checkpoint.Checkpoint{TaskName: p.ID, Round: 0, Weight: 1, Params: make(tensor.Vector, cfg.Dim)}
+	for i := range upd.Params {
+		upd.Params[i] = float64(i%7) * 0.25
+	}
+	updBytes, err := upd.Marshal(checkpoint.EncodingFloat64)
+	if err != nil {
+		return stats, err
+	}
+
+	// Connect K device endpoints to K server-held connections.
+	serverConns := make([]transport.Conn, cfg.Devices)
+	clientConns := make([]transport.Conn, cfg.Devices)
+	if cfg.TCP {
+		// Both ends of every connection live in this process: 2K sockets
+		// plus headroom for the listener, test harness, and runtime.
+		if err := ensureFDLimit(2*uint64(cfg.Devices) + 64); err != nil {
+			return stats, fmt.Errorf("benchround: %w", err)
+		}
+		l, err := transport.ListenTCP("127.0.0.1:0")
+		if err != nil {
+			return stats, err
+		}
+		defer l.Close()
+		acceptErr := make(chan error, 1)
+		go func() {
+			for i := range serverConns {
+				c, err := l.Accept()
+				if err != nil {
+					acceptErr <- err
+					return
+				}
+				serverConns[i] = c
+			}
+			acceptErr <- nil
+		}()
+		for i := range clientConns {
+			c, err := transport.DialTCP(l.Addr())
+			if err != nil {
+				return stats, err
+			}
+			clientConns[i] = c
+		}
+		if err := <-acceptErr; err != nil {
+			return stats, err
+		}
+	} else {
+		for i := range serverConns {
+			serverConns[i], clientConns[i] = transport.Pipe()
+		}
+	}
+
+	// One goroutine per device: await the CheckinResponse, report the
+	// pre-marshaled update, read the ack.
+	var devices sync.WaitGroup
+	for i, conn := range clientConns {
+		devices.Add(1)
+		go func(i int, conn transport.Conn) {
+			defer devices.Done()
+			defer conn.Close()
+			msg, err := conn.Recv()
+			if err != nil {
+				return
+			}
+			resp, ok := msg.(protocol.CheckinResponse)
+			if !ok || !resp.Accepted {
+				return
+			}
+			_ = conn.Send(protocol.ReportRequest{
+				DeviceID: fmt.Sprintf("bench-%d", i),
+				TaskID:   resp.TaskID,
+				Round:    resp.Round,
+				Update:   updBytes,
+				Metrics:  map[string]float64{"train_loss": 0.5},
+			})
+			_, _ = conn.Recv()
+		}(i, conn)
+	}
+
+	sys := actor.NewSystem()
+	defer sys.Shutdown()
+	type roundOutcome struct {
+		complete msgRoundComplete
+		failed   msgRoundFailed
+		ok       bool
+	}
+	done := make(chan roundOutcome, 1)
+	coord := sys.Spawn("bench-coord", actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {
+		switch m := msg.(type) {
+		case msgRoundComplete:
+			done <- roundOutcome{complete: m, ok: true}
+		case msgRoundFailed:
+			done <- roundOutcome{failed: m}
+		}
+	}))
+	ma := sys.Spawn("bench-ma", NewMasterAggregator(p, global, storage.NewMem(), coord, nil, nil))
+
+	held := make([]heldDevice, cfg.Devices)
+	now := time.Now()
+	for i := range held {
+		version := 3
+		if cfg.MixedVersions && i%2 == 1 {
+			version = 1
+		}
+		held[i] = heldDevice{
+			ID:             fmt.Sprintf("bench-%d", i),
+			RuntimeVersion: version,
+			Conn:           serverConns[i],
+			AcceptedAt:     now,
+		}
+	}
+
+	marshalsBefore := planMarshals.Load()
+	start := time.Now()
+	// Injecting exactly SelectTarget devices triggers Configuration, as a
+	// Selector's msgDevices would; msgStartRound is skipped because no
+	// selection phase is being measured.
+	if err := ma.Send(msgDevices{Devices: held}); err != nil {
+		return stats, err
+	}
+	select {
+	case out := <-done:
+		stats.Elapsed = time.Since(start)
+		stats.PlanMarshals = planMarshals.Load() - marshalsBefore
+		if !out.ok {
+			return stats, fmt.Errorf("benchround: round failed: %s", out.failed.Reason)
+		}
+		stats.Completed = out.complete.Completed
+		stats.Lost = out.complete.Lost
+	case <-time.After(5 * time.Minute):
+		return stats, fmt.Errorf("benchround: round timed out")
+	}
+	devices.Wait()
+	return stats, nil
+}

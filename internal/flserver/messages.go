@@ -77,11 +77,17 @@ type msgSelectionTimeout struct{}
 // msgReportTimeout fires when the reporting window closes.
 type msgReportTimeout struct{}
 
-// msgReport is a device's update, posted by its connection reader.
+// msgReport is a device's update, posted by its connection reader. The
+// reader goroutine already decoded Req.Update (decode-at-the-edge, DESIGN.md
+// §5): the Master Aggregator only routes the result.
 type msgReport struct {
 	DeviceID string
 	Req      protocol.ReportRequest
-	Conn     transport.Conn
+	// Update is the decoded device update; nil for metrics-only reports.
+	Update *checkpoint.Checkpoint
+	// DecodeErr is set when Req.Update was present but failed to parse.
+	DecodeErr string
+	Conn      transport.Conn
 }
 
 // msgDeviceLost is posted when a device connection dies before reporting.

@@ -67,6 +67,10 @@ type Model struct {
 	Devices []Device
 	// amplitude is derived from DiurnalRatio: ratio = (1+a)/(1−a).
 	amplitude float64
+	// sampleIdx is Sample's persistent index permutation, allocated once:
+	// per-call partial shuffles leave it a permutation, so no O(fleet)
+	// allocation or re-initialization happens per round.
+	sampleIdx []int
 }
 
 // New builds a fleet, applying paper defaults for zero config fields.
@@ -172,14 +176,35 @@ func (m *Model) TrainDuration(d *Device, n int, perExample time.Duration) time.D
 // availability probabilities; it returns fewer than k when not enough
 // devices are available. The rng drives both availability draws and
 // selection order.
+//
+// The walk is a lazy partial Fisher–Yates over a persistent index slice:
+// position i swaps with a uniform j ∈ [i, n), which visits devices in
+// exactly the order a full rng.Perm would, but stops as soon as k available
+// devices are drawn. Cost is O(devices visited), not O(fleet) — with a 10⁶
+// device fleet and k ≈ 100, a round touches a few thousand entries. The
+// partial shuffle leaves sampleIdx a permutation, so the next call is
+// equally uniform without re-initialization. Not safe for concurrent use
+// (the rng isn't either).
 func (m *Model) Sample(k int, t time.Time, rng *tensor.RNG) []*Device {
-	out := make([]*Device, 0, k)
-	perm := rng.Perm(len(m.Devices))
-	for _, i := range perm {
-		if len(out) == k {
-			break
+	n := len(m.Devices)
+	if k <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	if m.sampleIdx == nil {
+		m.sampleIdx = make([]int, n)
+		for i := range m.sampleIdx {
+			m.sampleIdx[i] = i
 		}
-		d := &m.Devices[i]
+	}
+	idx := m.sampleIdx
+	out := make([]*Device, 0, k)
+	for i := 0; i < n && len(out) < k; i++ {
+		j := i + rng.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+		d := &m.Devices[idx[i]]
 		if rng.Float64() < m.AvailableProb(d, t) {
 			out = append(out, d)
 		}

@@ -148,6 +148,53 @@ func TestSampleBoundedByK(t *testing.T) {
 	}
 }
 
+func TestSampleScratchStaysPermutation(t *testing.T) {
+	// Sample's partial shuffle mutates a persistent index in place; it must
+	// remain a permutation across calls or later samples would repeat or
+	// skip devices.
+	m := fleet(t, 500)
+	rng := tensor.NewRNG(11)
+	for round := 0; round < 50; round++ {
+		got := m.Sample(20, night, rng)
+		seen := map[int]bool{}
+		for _, d := range got {
+			if seen[d.ID] {
+				t.Fatalf("round %d: duplicate device %d", round, d.ID)
+			}
+			seen[d.ID] = true
+		}
+	}
+	present := map[int]bool{}
+	for _, v := range m.sampleIdx {
+		if v < 0 || v >= 500 || present[v] {
+			t.Fatalf("sampleIdx corrupted: %v at len %d", v, len(m.sampleIdx))
+		}
+		present[v] = true
+	}
+	if len(present) != 500 {
+		t.Fatalf("sampleIdx lost entries: %d/500", len(present))
+	}
+}
+
+func TestSampleCoversWholeFleetOverTime(t *testing.T) {
+	// Selection must stay uniform call over call: across many rounds on a
+	// highly available fleet, (almost) every device should be picked.
+	m, err := New(Config{Size: 200, PeakAvailability: 0.9, DiurnalRatio: 1.001, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := tensor.NewRNG(13)
+	picked := map[int]bool{}
+	for round := 0; round < 200; round++ {
+		for _, d := range m.Sample(20, night, rng) {
+			picked[d.ID] = true
+		}
+	}
+	if len(picked) < 190 {
+		t.Fatalf("only %d/200 devices ever sampled; selection is not uniform", len(picked))
+	}
+}
+
 func TestNonGenuineFraction(t *testing.T) {
 	m, err := New(Config{Size: 5000, NonGenuineFraction: 0.1, Seed: 3})
 	if err != nil {

@@ -1,0 +1,263 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Binary wire codec for the five protocol messages. The gob envelope the
+// TCP transport used previously walks every value through reflection and
+// buffers it twice; with multi-MB plan/checkpoint/update payloads flowing
+// once per device per round, the codec below writes each message into a
+// single exact-size buffer instead. Layout is fixed-order big-endian
+// fields; strings and byte slices are u32-length-prefixed; durations are
+// i64 nanoseconds; metric maps are u32-count-prefixed (name, f64) pairs.
+//
+// The transport frames each payload with a wire-version byte and one of
+// these type codes; unknown message types fall back to gob (CodeGob), so
+// simulation-only or test-only messages keep working.
+
+// Type codes carried in the transport frame header.
+const (
+	// CodeGob marks a gob-encoded fallback payload for message types
+	// outside the five below.
+	CodeGob byte = iota
+	CodeCheckinRequest
+	CodeCheckinResponse
+	CodeReportRequest
+	CodeReportResponse
+	CodeAbort
+)
+
+// MarshalBinary encodes one of the five protocol messages into its compact
+// binary form and type code. ok is false for any other type, which the
+// transport then routes through the gob fallback.
+func MarshalBinary(msg interface{}) (code byte, payload []byte, ok bool) {
+	switch m := msg.(type) {
+	case CheckinRequest:
+		buf := make([]byte, 0, sizeStr(m.DeviceID)+sizeStr(m.Population)+8+sizeBytes(m.AttestationToken))
+		buf = appendStr(buf, m.DeviceID)
+		buf = appendStr(buf, m.Population)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(int64(m.RuntimeVersion)))
+		buf = appendBytes(buf, m.AttestationToken)
+		return CodeCheckinRequest, buf, true
+	case CheckinResponse:
+		buf := make([]byte, 0, 1+8+sizeStr(m.Reason)+sizeStr(m.TaskID)+8+sizeBytes(m.Plan)+sizeBytes(m.Checkpoint)+8)
+		buf = appendBool(buf, m.Accepted)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(int64(m.RetryAfter)))
+		buf = appendStr(buf, m.Reason)
+		buf = appendStr(buf, m.TaskID)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(m.Round))
+		buf = appendBytes(buf, m.Plan)
+		buf = appendBytes(buf, m.Checkpoint)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(int64(m.ReportDeadline)))
+		return CodeCheckinResponse, buf, true
+	case ReportRequest:
+		buf := make([]byte, 0, sizeStr(m.DeviceID)+sizeStr(m.TaskID)+8+sizeBytes(m.Update)+sizeMetrics(m.Metrics)+1)
+		buf = appendStr(buf, m.DeviceID)
+		buf = appendStr(buf, m.TaskID)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(m.Round))
+		buf = appendBytes(buf, m.Update)
+		buf = appendMetrics(buf, m.Metrics)
+		buf = appendBool(buf, m.Aborted)
+		return CodeReportRequest, buf, true
+	case ReportResponse:
+		buf := make([]byte, 0, 1+sizeStr(m.Reason)+8)
+		buf = appendBool(buf, m.Accepted)
+		buf = appendStr(buf, m.Reason)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(int64(m.RetryAfter)))
+		return CodeReportResponse, buf, true
+	case Abort:
+		buf := make([]byte, 0, sizeStr(m.TaskID)+8+sizeStr(m.Reason))
+		buf = appendStr(buf, m.TaskID)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(m.Round))
+		buf = appendStr(buf, m.Reason)
+		return CodeAbort, buf, true
+	}
+	return 0, nil, false
+}
+
+// UnmarshalBinary decodes a payload produced by MarshalBinary. Byte-slice
+// fields alias the payload buffer (each received frame owns its buffer, so
+// decode is copy-free). A truncated or inconsistent payload returns an
+// error, never panics.
+func UnmarshalBinary(code byte, payload []byte) (interface{}, error) {
+	r := &reader{b: payload}
+	var msg interface{}
+	switch code {
+	case CodeCheckinRequest:
+		m := CheckinRequest{}
+		m.DeviceID = r.str()
+		m.Population = r.str()
+		m.RuntimeVersion = int(r.i64())
+		m.AttestationToken = r.bytes()
+		msg = m
+	case CodeCheckinResponse:
+		m := CheckinResponse{}
+		m.Accepted = r.bool()
+		m.RetryAfter = time.Duration(r.i64())
+		m.Reason = r.str()
+		m.TaskID = r.str()
+		m.Round = r.i64()
+		m.Plan = r.bytes()
+		m.Checkpoint = r.bytes()
+		m.ReportDeadline = time.Duration(r.i64())
+		msg = m
+	case CodeReportRequest:
+		m := ReportRequest{}
+		m.DeviceID = r.str()
+		m.TaskID = r.str()
+		m.Round = r.i64()
+		m.Update = r.bytes()
+		m.Metrics = r.metrics()
+		m.Aborted = r.bool()
+		msg = m
+	case CodeReportResponse:
+		m := ReportResponse{}
+		m.Accepted = r.bool()
+		m.Reason = r.str()
+		m.RetryAfter = time.Duration(r.i64())
+		msg = m
+	case CodeAbort:
+		m := Abort{}
+		m.TaskID = r.str()
+		m.Round = r.i64()
+		m.Reason = r.str()
+		msg = m
+	default:
+		return nil, fmt.Errorf("protocol: unknown type code %d", code)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.b) != 0 {
+		return nil, fmt.Errorf("protocol: %d trailing bytes after type %d", len(r.b), code)
+	}
+	return msg, nil
+}
+
+// --- encoding helpers ---
+
+func sizeStr(s string) int   { return 4 + len(s) }
+func sizeBytes(b []byte) int { return 4 + len(b) }
+func sizeMetrics(m map[string]float64) int {
+	n := 4
+	for k := range m {
+		n += sizeStr(k) + 8
+	}
+	return n
+}
+
+func appendStr(buf []byte, s string) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(s)))
+	return append(buf, s...)
+}
+
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(b)))
+	return append(buf, b...)
+}
+
+func appendBool(buf []byte, v bool) []byte {
+	if v {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+func appendMetrics(buf []byte, m map[string]float64) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m)))
+	for k, v := range m {
+		buf = appendStr(buf, k)
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+// --- decoding helpers ---
+
+// reader consumes a payload front to back, latching the first error.
+type reader struct {
+	b   []byte
+	err error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("protocol: truncated %s (%d bytes left)", what, len(r.b))
+	}
+}
+
+func (r *reader) take(n int, what string) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.b) < n {
+		r.fail(what)
+		return nil
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out
+}
+
+func (r *reader) u32(what string) int {
+	b := r.take(4, what)
+	if b == nil {
+		return 0
+	}
+	return int(binary.BigEndian.Uint32(b))
+}
+
+func (r *reader) i64() int64 {
+	b := r.take(8, "int64")
+	if b == nil {
+		return 0
+	}
+	return int64(binary.BigEndian.Uint64(b))
+}
+
+func (r *reader) bool() bool {
+	b := r.take(1, "bool")
+	return b != nil && b[0] != 0
+}
+
+func (r *reader) str() string {
+	n := r.u32("string length")
+	return string(r.take(n, "string"))
+}
+
+// bytes returns the field aliased into the payload; nil-length fields decode
+// as nil so round-trips preserve emptiness.
+func (r *reader) bytes() []byte {
+	n := r.u32("bytes length")
+	if n == 0 {
+		return nil
+	}
+	return r.take(n, "bytes")
+}
+
+func (r *reader) metrics() map[string]float64 {
+	n := r.u32("metrics count")
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	// Each entry is ≥ 12 bytes; reject counts the payload cannot hold
+	// before allocating.
+	if n > len(r.b)/12 {
+		r.fail("metrics entries")
+		return nil
+	}
+	m := make(map[string]float64, n)
+	for i := 0; i < n; i++ {
+		k := r.str()
+		v := r.i64()
+		if r.err != nil {
+			return nil
+		}
+		m[k] = math.Float64frombits(uint64(v))
+	}
+	return m
+}

@@ -1,0 +1,129 @@
+package protocol
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// binRoundTrip pushes a message through the binary codec and back.
+func binRoundTrip(t *testing.T, msg interface{}) interface{} {
+	t.Helper()
+	code, payload, ok := MarshalBinary(msg)
+	if !ok {
+		t.Fatalf("MarshalBinary rejected %T", msg)
+	}
+	out, err := UnmarshalBinary(code, payload)
+	if err != nil {
+		t.Fatalf("UnmarshalBinary %T: %v", msg, err)
+	}
+	return out
+}
+
+func TestBinaryCodecRoundTripsAllMessages(t *testing.T) {
+	msgs := []interface{}{
+		CheckinRequest{DeviceID: "d1", Population: "pop", RuntimeVersion: 3,
+			AttestationToken: []byte{1, 2, 3}},
+		CheckinRequest{DeviceID: "", Population: "p"},
+		CheckinResponse{Accepted: true, TaskID: "t", Round: 9,
+			Plan: []byte{4, 5}, Checkpoint: []byte{6}, ReportDeadline: 2 * time.Minute},
+		CheckinResponse{Accepted: false, RetryAfter: time.Hour, Reason: "come back later"},
+		ReportRequest{DeviceID: "d1", TaskID: "t", Round: 3, Update: []byte{9, 9},
+			Metrics: map[string]float64{"train_loss": 0.5, "train_acc": 0.25}},
+		ReportRequest{DeviceID: "d2", TaskID: "t", Round: 4, Aborted: true},
+		ReportResponse{Accepted: true, RetryAfter: time.Minute},
+		ReportResponse{Accepted: false, Reason: "reporting window closed"},
+		Abort{TaskID: "t", Round: 2, Reason: "enough devices"},
+	}
+	for _, in := range msgs {
+		out := binRoundTrip(t, in)
+		if !reflect.DeepEqual(in, out) {
+			t.Errorf("round trip changed %T:\n in  %+v\n out %+v", in, in, out)
+		}
+	}
+}
+
+func TestBinaryCodecNegativeDurationsAndRounds(t *testing.T) {
+	in := CheckinResponse{RetryAfter: -time.Second, Round: -7, ReportDeadline: -time.Minute}
+	out := binRoundTrip(t, in).(CheckinResponse)
+	if out.RetryAfter != -time.Second || out.Round != -7 || out.ReportDeadline != -time.Minute {
+		t.Fatalf("got %+v", out)
+	}
+}
+
+func TestBinaryCodecLargePayloads(t *testing.T) {
+	big := make([]byte, 6<<20) // 6 MiB, a realistic full-model checkpoint
+	for i := range big {
+		big[i] = byte(i * 31)
+	}
+	resp := binRoundTrip(t, CheckinResponse{
+		Accepted: true, TaskID: "t", Plan: big[:1<<20], Checkpoint: big,
+	}).(CheckinResponse)
+	if !reflect.DeepEqual(resp.Checkpoint, big) || len(resp.Plan) != 1<<20 {
+		t.Fatal("large checkin payload corrupted")
+	}
+	rep := binRoundTrip(t, ReportRequest{DeviceID: "d", Update: big}).(ReportRequest)
+	if !reflect.DeepEqual(rep.Update, big) {
+		t.Fatal("large report payload corrupted")
+	}
+}
+
+func TestBinaryCodecRejectsUnknownTypes(t *testing.T) {
+	if _, _, ok := MarshalBinary("not a protocol message"); ok {
+		t.Fatal("strings must fall through to the gob path")
+	}
+	if _, _, ok := MarshalBinary(&CheckinRequest{}); ok {
+		t.Fatal("pointer forms are not wire messages")
+	}
+	if _, err := UnmarshalBinary(99, nil); err == nil {
+		t.Fatal("unknown type code must error")
+	}
+	if _, err := UnmarshalBinary(CodeGob, nil); err == nil {
+		t.Fatal("the gob code is the transport's, not the codec's")
+	}
+}
+
+// TestBinaryCodecTruncationSafe chops every prefix of every message's
+// encoding: decode must return an error (or an incomplete value), never
+// panic, and trailing garbage must be rejected.
+func TestBinaryCodecTruncationSafe(t *testing.T) {
+	msgs := []interface{}{
+		CheckinRequest{DeviceID: "d1", Population: "pop", RuntimeVersion: 3, AttestationToken: []byte{1}},
+		CheckinResponse{Accepted: true, TaskID: "t", Round: 9, Plan: []byte{4, 5}, Checkpoint: []byte{6}},
+		ReportRequest{DeviceID: "d1", TaskID: "t", Round: 3, Update: []byte{9}, Metrics: map[string]float64{"l": 1}},
+		ReportResponse{Accepted: true, Reason: "r"},
+		Abort{TaskID: "t", Round: 2, Reason: "r"},
+	}
+	for _, in := range msgs {
+		code, payload, _ := MarshalBinary(in)
+		for n := 0; n < len(payload); n++ {
+			if _, err := UnmarshalBinary(code, payload[:n]); err == nil {
+				t.Errorf("%T truncated to %d/%d bytes decoded cleanly", in, n, len(payload))
+			}
+		}
+		if _, err := UnmarshalBinary(code, append(append([]byte{}, payload...), 0xFF)); err == nil {
+			t.Errorf("%T with trailing garbage decoded cleanly", in)
+		}
+	}
+}
+
+// TestBinaryCodecHostileLengths feeds length fields that promise more data
+// than the payload holds, including a metrics count that would allocate
+// gigabytes if trusted.
+func TestBinaryCodecHostileLengths(t *testing.T) {
+	hostile := [][2]interface{}{
+		{CodeCheckinRequest, []byte{0xFF, 0xFF, 0xFF, 0xFF, 'x'}},
+		{CodeReportRequest, []byte{
+			0, 0, 0, 0, // DeviceID ""
+			0, 0, 0, 0, // TaskID ""
+			0, 0, 0, 0, 0, 0, 0, 0, // Round
+			0, 0, 0, 0, // Update empty
+			0xFF, 0xFF, 0xFF, 0xFF, // metrics count 4 billion
+		}},
+	}
+	for _, h := range hostile {
+		if _, err := UnmarshalBinary(h[0].(byte), h[1].([]byte)); err == nil {
+			t.Errorf("hostile payload for code %d decoded cleanly", h[0])
+		}
+	}
+}

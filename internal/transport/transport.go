@@ -4,14 +4,22 @@
 // multi-step communication").
 //
 // Two implementations: an in-memory transport for simulation and tests, and
-// a TCP transport (gob-encoded) for the standalone server binaries.
+// a TCP transport for the standalone server binaries. TCP frames carry the
+// compact binary codec of internal/protocol for the five wire messages
+// (length-prefixed, no reflection); anything else rides a gob-encoded
+// fallback frame.
 package transport
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+
+	"repro/internal/protocol"
 )
 
 // Conn is a bidirectional message stream.
@@ -54,6 +62,10 @@ func Pipe() (Conn, Conn) {
 
 // Send implements Conn.
 func (c *memConn) Send(msg interface{}) error {
+	// Pre-framed messages exist for the TCP wire; deliver the original.
+	if e, ok := msg.(*Encoded); ok {
+		msg = e.msg
+	}
 	// Check closure before attempting the buffered send; otherwise a ready
 	// buffer slot could win the select against a closed-peer signal.
 	select {
@@ -171,40 +183,171 @@ func (l *memListener) Addr() string { return l.addr }
 
 // --- TCP transport ---
 
+// Wire framing: u32 frame length | u8 wire version | u8 type code |
+// payload. The length covers the version and code bytes. Type codes are the
+// protocol package's; CodeGob marks a gob-encoded envelope for message
+// types outside the binary codec.
+const (
+	wireVersion = 1
+	// frameOverhead is the version + type-code bytes counted by the length.
+	frameOverhead = 2
+	// maxFrame bounds a single message so a corrupt or hostile length
+	// prefix cannot ask Recv to allocate unbounded memory.
+	maxFrame = 1 << 30
+)
+
 type tcpConn struct {
-	c   net.Conn
-	enc *gob.Encoder
-	dec *gob.Decoder
-	// gob encoders are not safe for concurrent writers.
+	c net.Conn
+	// sendMu serializes writers: frames must not interleave.
 	sendMu sync.Mutex
 }
 
-// envelope wraps messages so gob can carry interface values.
+// envelope wraps messages so gob can carry interface values on the
+// fallback path.
 type envelope struct {
 	Msg interface{}
 }
 
-// Send implements Conn.
+// Encoded is a message marshaled at most once for transmission to many
+// peers — e.g. one round's CheckinResponse fanned out to every device of a
+// runtime version, where re-marshaling the multi-MB plan+checkpoint
+// payload per device would copy it O(devices) times. TCP conns lazily
+// marshal on first send and then reuse the cached payload; the in-memory
+// transport delivers the original message and never marshals at all. The
+// cached payload is immutable once built (sync.Once publishes it), so one
+// Encoded value may be sent concurrently over any number of connections.
+type Encoded struct {
+	msg interface{}
+
+	once    sync.Once
+	code    byte
+	payload []byte
+	err     error
+}
+
+// Message returns the wrapped message.
+func (e *Encoded) Message() interface{} { return e.msg }
+
+// Encode wraps msg for repeated sending.
+func Encode(msg interface{}) *Encoded { return &Encoded{msg: msg} }
+
+// marshaled returns the cached (code, payload), building it on first use.
+func (e *Encoded) marshaled() (byte, []byte, error) {
+	e.once.Do(func() {
+		e.code, e.payload, e.err = marshalFrame(e.msg)
+	})
+	return e.code, e.payload, e.err
+}
+
+// marshalFrame produces the type code + payload for one frame: the binary
+// codec for protocol messages (one exact-size buffer, no reflection), gob
+// for everything else.
+func marshalFrame(msg interface{}) (byte, []byte, error) {
+	code, payload, ok := protocol.MarshalBinary(msg)
+	if !ok {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(envelope{Msg: msg}); err != nil {
+			return 0, nil, fmt.Errorf("transport: gob fallback: %w", err)
+		}
+		code, payload = protocol.CodeGob, buf.Bytes()
+	}
+	if len(payload) > maxFrame-frameOverhead {
+		return 0, nil, fmt.Errorf("transport: message of %d bytes exceeds frame limit", len(payload))
+	}
+	return code, payload, nil
+}
+
+// Send implements Conn. Every message goes out as a single vectored write
+// (header + payload, no intermediate buffer, no double copy); an Encoded
+// message reuses its cached payload instead of re-marshaling.
 func (t *tcpConn) Send(msg interface{}) error {
+	var code byte
+	var payload []byte
+	var err error
+	if e, ok := msg.(*Encoded); ok {
+		code, payload, err = e.marshaled()
+	} else {
+		code, payload, err = marshalFrame(msg)
+	}
+	if err != nil {
+		return err
+	}
+	var hdr [4 + frameOverhead]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(frameOverhead+len(payload)))
+	hdr[4] = wireVersion
+	hdr[5] = code
+
 	t.sendMu.Lock()
 	defer t.sendMu.Unlock()
-	return t.enc.Encode(envelope{Msg: msg})
+	bufs := net.Buffers{hdr[:], payload}
+	_, err = bufs.WriteTo(t.c)
+	return err
 }
 
 // Recv implements Conn.
 func (t *tcpConn) Recv() (interface{}, error) {
-	var e envelope
-	if err := t.dec.Decode(&e); err != nil {
+	var hdr [4 + frameOverhead]byte
+	if _, err := io.ReadFull(t.c, hdr[:]); err != nil {
 		return nil, err
 	}
-	return e.Msg, nil
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n < frameOverhead || n > maxFrame {
+		return nil, fmt.Errorf("transport: bad frame length %d", n)
+	}
+	if hdr[4] != wireVersion {
+		return nil, fmt.Errorf("transport: unsupported wire version %d", hdr[4])
+	}
+	code := hdr[5]
+	payload, err := readPayload(t.c, int(n-frameOverhead))
+	if err != nil {
+		return nil, err
+	}
+	if code == protocol.CodeGob {
+		var e envelope
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&e); err != nil {
+			return nil, fmt.Errorf("transport: gob fallback: %w", err)
+		}
+		return e.Msg, nil
+	}
+	return protocol.UnmarshalBinary(code, payload)
+}
+
+// readPayload reads an n-byte payload. Up to exactAlloc the buffer is
+// allocated in one piece; beyond that it grows geometrically as bytes
+// actually arrive, so a hostile length prefix can only commit memory by
+// sending that much data — an 8-byte header promising a gigabyte costs the
+// receiver 4 MiB, not 1 GiB.
+func readPayload(r io.Reader, n int) ([]byte, error) {
+	const exactAlloc = 4 << 20
+	if n <= exactAlloc {
+		buf := make([]byte, n)
+		_, err := io.ReadFull(r, buf)
+		return buf, err
+	}
+	buf := make([]byte, exactAlloc)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	for len(buf) < n {
+		next := 2 * len(buf)
+		if next > n {
+			next = n
+		}
+		grown := make([]byte, next)
+		copy(grown, buf)
+		if _, err := io.ReadFull(r, grown[len(buf):]); err != nil {
+			return nil, err
+		}
+		buf = grown
+	}
+	return buf, nil
 }
 
 // Close implements Conn.
 func (t *tcpConn) Close() error { return t.c.Close() }
 
 func wrapTCP(c net.Conn) Conn {
-	return &tcpConn{c: c, enc: gob.NewEncoder(c), dec: gob.NewDecoder(c)}
+	return &tcpConn{c: c}
 }
 
 type tcpListener struct{ l net.Listener }

@@ -1,6 +1,9 @@
 package transport
 
 import (
+	"encoding/gob"
+	"net"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -199,6 +202,249 @@ func TestTCPTransportProtocolMessages(t *testing.T) {
 		t.Fatalf("got %+v", msg)
 	}
 	wg.Wait()
+}
+
+// tcpPair returns a connected client/server conn over loopback.
+func tcpPair(t *testing.T) (Conn, Conn) {
+	t.Helper()
+	l, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	accepted := make(chan Conn, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			close(accepted)
+			return
+		}
+		accepted <- c
+	}()
+	client, err := DialTCP(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, ok := <-accepted
+	if !ok {
+		t.Fatal("accept failed")
+	}
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+// TestTCPBinaryCodecEveryMessage pushes each of the five protocol messages
+// through the framed binary codec over a real socket and checks exact
+// field equality.
+func TestTCPBinaryCodecEveryMessage(t *testing.T) {
+	client, server := tcpPair(t)
+	msgs := []interface{}{
+		protocol.CheckinRequest{DeviceID: "d1", Population: "pop", RuntimeVersion: 3, AttestationToken: []byte{7, 8}},
+		protocol.CheckinResponse{Accepted: true, TaskID: "t", Round: 9, Plan: []byte{1}, Checkpoint: []byte{2, 3}, ReportDeadline: time.Minute},
+		protocol.ReportRequest{DeviceID: "d1", TaskID: "t", Round: 9, Update: []byte{4, 5, 6}, Metrics: map[string]float64{"train_loss": 0.5}},
+		protocol.ReportResponse{Accepted: false, Reason: "window closed", RetryAfter: time.Hour},
+		protocol.Abort{TaskID: "t", Round: 9, Reason: "enough devices"},
+	}
+	for _, in := range msgs {
+		if err := client.Send(in); err != nil {
+			t.Fatalf("send %T: %v", in, err)
+		}
+		out, err := server.Recv()
+		if err != nil {
+			t.Fatalf("recv %T: %v", in, err)
+		}
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("round trip changed %T:\n in  %+v\n out %+v", in, in, out)
+		}
+	}
+}
+
+// TestTCPMultiMegabytePayloads moves a multi-MB checkpoint down and a
+// multi-MB update up, the round's two dominant transfers.
+func TestTCPMultiMegabytePayloads(t *testing.T) {
+	client, server := tcpPair(t)
+	big := make([]byte, 8<<20)
+	for i := range big {
+		big[i] = byte(i * 131)
+	}
+	go func() {
+		_ = server.Send(protocol.CheckinResponse{Accepted: true, TaskID: "t", Plan: big[:1<<20], Checkpoint: big})
+	}()
+	msg, err := client.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := msg.(protocol.CheckinResponse)
+	if !reflect.DeepEqual(resp.Checkpoint, big) || len(resp.Plan) != 1<<20 {
+		t.Fatal("multi-MB checkin payload corrupted in flight")
+	}
+	go func() {
+		_ = client.Send(protocol.ReportRequest{DeviceID: "d", Update: big})
+	}()
+	msg, err = server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep := msg.(protocol.ReportRequest); !reflect.DeepEqual(rep.Update, big) {
+		t.Fatal("multi-MB update corrupted in flight")
+	}
+}
+
+// benchExtra is a message type outside the binary codec, exercising the gob
+// fallback frame.
+type benchExtra struct {
+	Name  string
+	Vals  []float64
+	Round int64
+}
+
+func TestTCPGobFallbackInterop(t *testing.T) {
+	gob.Register(benchExtra{})
+	client, server := tcpPair(t)
+	// Fallback frames interleave with binary frames on one stream.
+	in := benchExtra{Name: "debug-stats", Vals: []float64{1, 2.5}, Round: 3}
+	if err := client.Send(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Send(protocol.Abort{TaskID: "t", Round: 3, Reason: "r"}); err != nil {
+		t.Fatal(err)
+	}
+	first, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, in) {
+		t.Fatalf("gob fallback changed the message: %+v", first)
+	}
+	second, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab, ok := second.(protocol.Abort); !ok || ab.Round != 3 {
+		t.Fatalf("binary frame after gob frame: %+v", second)
+	}
+}
+
+// TestEncodedFanout pre-frames one CheckinResponse and sends it over both
+// transports: TCP peers must decode the identical message, and the
+// in-memory transport must deliver the original value. Concurrent sends of
+// one Encoded over many conns are the fan-out pool's pattern (-race covers
+// the immutability claim).
+func TestEncodedFanout(t *testing.T) {
+	in := protocol.CheckinResponse{Accepted: true, TaskID: "t", Round: 4,
+		Plan: []byte{1, 2}, Checkpoint: make([]byte, 1<<16), ReportDeadline: time.Minute}
+	enc := Encode(in)
+	if !reflect.DeepEqual(enc.Message(), in) {
+		t.Fatal("Encoded lost the original message")
+	}
+
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	if err := a.Send(enc); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, in) {
+		t.Fatalf("mem transport delivered %T %+v", got, got)
+	}
+
+	const conns = 4
+	var wg sync.WaitGroup
+	for i := 0; i < conns; i++ {
+		client, server := tcpPair(t)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := server.Send(enc); err != nil {
+				t.Error(err)
+			}
+		}()
+		got, err := client.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, in) {
+			t.Fatalf("tcp conn %d decoded %+v", i, got)
+		}
+	}
+	wg.Wait()
+}
+
+// TestTCPConcurrentSenders hammers one conn from many goroutines: frames
+// must never interleave (every message decodes cleanly).
+func TestTCPConcurrentSenders(t *testing.T) {
+	client, server := tcpPair(t)
+	const senders, per = 8, 25
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := client.Send(protocol.ReportRequest{
+					DeviceID: "d", Round: int64(s*per + i),
+					Update: make([]byte, 1024+s),
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(s)
+	}
+	seen := 0
+	for seen < senders*per {
+		msg, err := server.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := msg.(protocol.ReportRequest); !ok {
+			t.Fatalf("frame corrupted under concurrent sends: %T", msg)
+		}
+		seen++
+	}
+	wg.Wait()
+}
+
+// TestTCPHostileLengthPrefix sends a raw frame header promising a huge
+// payload, then nothing: the server's Recv must fail once the stream ends
+// without committing gigabytes of memory up front (readPayload grows the
+// buffer only as bytes arrive).
+func TestTCPHostileLengthPrefix(t *testing.T) {
+	l, err := ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	recvErr := make(chan error, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			recvErr <- err
+			return
+		}
+		defer c.Close()
+		_, err = c.Recv()
+		recvErr <- err
+	}()
+	raw, err := net.Dial("tcp", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// length 1 GiB, valid version byte, binary type code — then hang up.
+	_, _ = raw.Write([]byte{0x40, 0x00, 0x00, 0x00, 1, byte(protocol.CodeAbort)})
+	_ = raw.Close()
+	select {
+	case err := <-recvErr:
+		if err == nil {
+			t.Fatal("Recv accepted a truncated 1 GiB frame")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Recv did not fail on a hostile length prefix")
+	}
 }
 
 func TestTCPRecvAfterPeerClose(t *testing.T) {
