@@ -17,6 +17,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/experiments"
 	"repro/internal/fedavg"
+	"repro/internal/fleet"
 	"repro/internal/flserver"
 	"repro/internal/nn"
 	"repro/internal/pacing"
@@ -219,6 +220,47 @@ func BenchmarkRoundThroughput(b *testing.B) {
 				})
 			}
 		}
+	}
+}
+
+// BenchmarkMultiPopulation drives ONE fleet gateway serving three FL
+// populations concurrently — shared Selector layer, shared lock service,
+// shared multi-tenant device fleet — through the real round pipeline
+// (check-in, plan delivery, on-device training, report, aggregation,
+// commit) until every population reaches its committed-round target, over
+// both transports. The rounds/pop metric confirms every population made
+// full progress through the shared layer.
+func BenchmarkMultiPopulation(b *testing.B) {
+	for _, tr := range []struct {
+		name string
+		tcp  bool
+	}{{"mem", false}, {"tcp", true}} {
+		b.Run(fmt.Sprintf("%s/pops-3", tr.name), func(b *testing.B) {
+			b.ReportAllocs()
+			var st fleet.BenchStats
+			for i := 0; i < b.N; i++ {
+				var err error
+				st, err = fleet.RunBenchMultiPop(fleet.BenchConfig{
+					Populations: 3, Devices: 9, TargetDevices: 3, Rounds: 2,
+					TCP: tr.tcp, Seed: uint64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for pop, rounds := range st.Rounds {
+					if rounds < 2 {
+						b.Fatalf("population %s committed %d rounds", pop, rounds)
+					}
+				}
+			}
+			minRounds := 0
+			for _, rounds := range st.Rounds {
+				if minRounds == 0 || rounds < minRounds {
+					minRounds = rounds
+				}
+			}
+			b.ReportMetric(float64(minRounds), "rounds/pop")
+		})
 	}
 }
 

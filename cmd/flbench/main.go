@@ -12,6 +12,7 @@
 //	flbench -exp secagg     # Sec. 6 Secure Aggregation cost
 //	flbench -exp pacing     # Sec. 2.3 pace steering regimes
 //	flbench -exp roundtput  # round fan-out/ingest pipeline throughput
+//	flbench -exp multipop   # Sec. 4.2 fleet gateway: 3 populations, one Selector layer
 //	flbench -exp all        # everything
 //
 // -json emits machine-readable results (one object keyed by experiment)
@@ -26,11 +27,12 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/flserver"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig6, fig7, fig8, fig9, table1, nextword, ksweep, overselect, secagg, pacing, roundtput, all)")
+	exp := flag.String("exp", "all", "experiment to run (fig6, fig7, fig8, fig9, table1, nextword, ksweep, overselect, secagg, pacing, roundtput, multipop, all)")
 	days := flag.Int("days", 3, "simulated days for the operational figures")
 	pop := flag.Int("pop", 20000, "fleet size for the operational figures")
 	target := flag.Int("target", 100, "devices per round (K)")
@@ -104,6 +106,72 @@ func roundThroughput() (*roundtputResult, error) {
 	return res, nil
 }
 
+// multipopRow is one transport's run of the multi-population fleet
+// experiment.
+type multipopRow struct {
+	Transport    string
+	Populations  int
+	Devices      int
+	MillisTotal  float64
+	RoundsPerPop map[string]int
+	Accepted     int64
+	Rejected     int64
+}
+
+// multipopResult mirrors BenchmarkMultiPopulation for the CLI: one fleet
+// gateway drives 3 populations to committed rounds over a shared Selector
+// layer and a shared multi-tenant device fleet, per transport.
+type multipopResult struct {
+	Rows []multipopRow
+}
+
+// Format implements formatter.
+func (r *multipopResult) Format() string {
+	var b strings.Builder
+	b.WriteString("Fleet gateway (one Selector layer, N populations, shared device fleet)\n")
+	b.WriteString("  transport  pops  devices   ms-total   accepted  rejected  rounds/pop\n")
+	for _, row := range r.Rows {
+		minRounds := 0
+		for _, n := range row.RoundsPerPop {
+			if minRounds == 0 || n < minRounds {
+				minRounds = n
+			}
+		}
+		fmt.Fprintf(&b, "  %-9s %5d %8d %10.1f %10d %9d %11d\n",
+			row.Transport, row.Populations, row.Devices, row.MillisTotal,
+			row.Accepted, row.Rejected, minRounds)
+	}
+	return b.String()
+}
+
+func multiPopulation(seed uint64) (*multipopResult, error) {
+	res := &multipopResult{}
+	for _, tcp := range []bool{false, true} {
+		name := "mem"
+		if tcp {
+			name = "tcp"
+		}
+		cfg := fleet.BenchConfig{
+			Populations: 3, Devices: 9, TargetDevices: 3, Rounds: 2,
+			TCP: tcp, Seed: seed,
+		}
+		st, err := fleet.RunBenchMultiPop(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("multipop %s: %w", name, err)
+		}
+		res.Rows = append(res.Rows, multipopRow{
+			Transport:    name,
+			Populations:  cfg.Populations,
+			Devices:      cfg.Devices,
+			MillisTotal:  float64(st.Elapsed.Microseconds()) / 1000,
+			RoundsPerPop: st.Rounds,
+			Accepted:     st.Accepted,
+			Rejected:     st.Rejected,
+		})
+	}
+	return res, nil
+}
+
 func run(exp string, seed uint64, days, pop, target int, asJSON bool) error {
 	collected := make(map[string]interface{})
 	runOne := func(name string, f func() (formatter, error)) error {
@@ -157,11 +225,12 @@ func run(exp string, seed uint64, days, pop, target int, asJSON bool) error {
 		"adaptive":  func() (formatter, error) { return experiments.Adaptive(seed) },
 		"wallclock": func() (formatter, error) { return experiments.WallClock(seed) },
 		"roundtput": func() (formatter, error) { return roundThroughput() },
+		"multipop":  func() (formatter, error) { return multiPopulation(seed) },
 	}
 
 	if exp == "all" {
 		// Deterministic order matching the paper's presentation.
-		for _, name := range []string{"pacing", "secagg", "roundtput", "nextword", "wallclock", "fig6", "fig7", "fig8", "fig9", "table1", "ksweep", "overselect", "adaptive"} {
+		for _, name := range []string{"pacing", "secagg", "roundtput", "multipop", "nextword", "wallclock", "fig6", "fig7", "fig8", "fig9", "table1", "ksweep", "overselect", "adaptive"} {
 			if err := runOne(name, all[name]); err != nil {
 				return err
 			}

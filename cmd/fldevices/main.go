@@ -1,10 +1,15 @@
-// Command fldevices runs a simulated device fleet against a TCP FL server
-// started with cmd/flserver:
+// Command fldevices runs a simulated device fleet against a TCP FL fleet
+// gateway started with cmd/flserver:
 //
 //	fldevices -addr localhost:8750 -population gboard -devices 40
+//	fldevices -addr localhost:8750 -population gboard,search,photos
 //
-// Each device holds a non-IID slice of a synthetic classification dataset
-// in its example store and loops: check in → (train + report | back off).
+// -population may be repeated and/or comma-separated. Each device is
+// multi-tenant (Sec. 3): it holds a non-IID slice of a synthetic
+// classification dataset in its example store, registers with EVERY named
+// population, and loops one connection at a time under the on-device
+// Scheduler — one check-in per population per pass, training sessions
+// strictly sequential, rejected check-ins backing off per pace steering.
 package main
 
 import (
@@ -17,16 +22,22 @@ import (
 
 	repro "repro"
 
+	"repro/internal/cliutil"
+	"repro/internal/device"
 	"repro/internal/flserver"
 )
 
 func main() {
-	addr := flag.String("addr", "localhost:8750", "FL server address")
-	populationName := flag.String("population", "gboard", "FL population name")
+	var populations cliutil.ListFlag
+	addr := flag.String("addr", "localhost:8750", "FL fleet gateway address")
+	flag.Var(&populations, "population", "FL population name(s); repeatable, comma-separated (default gboard)")
 	devices := flag.Int("devices", 40, "number of simulated devices")
 	duration := flag.Duration("duration", 10*time.Minute, "how long to run")
 	seed := flag.Uint64("seed", 1, "random seed")
 	flag.Parse()
+	if len(populations) == 0 {
+		populations = cliutil.ListFlag{"gboard"}
+	}
 
 	fed, err := repro.Blobs(repro.BlobsConfig{
 		Users: *devices, ExamplesPer: 40, Features: 8, Classes: 4,
@@ -50,6 +61,9 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One runtime and one example store serve every population (the
+			// plans all read the "examples" store); the per-device Scheduler
+			// guarantees sessions never overlap.
 			store, err := repro.NewExampleStore("examples", 1000, 0)
 			if err != nil {
 				log.Fatal(err)
@@ -62,43 +76,66 @@ func main() {
 			if err := rt.RegisterStore(store); err != nil {
 				log.Fatal(err)
 			}
-			client := &flserver.DeviceClient{
-				ID: fmt.Sprintf("dev-%d", i), Population: *populationName, Runtime: rt,
+			clients := make([]*flserver.DeviceClient, len(populations))
+			for pi, pop := range populations {
+				clients[pi] = &flserver.DeviceClient{
+					ID: fmt.Sprintf("dev-%d", i), Population: pop, Runtime: rt,
+				}
 			}
+			sched := device.NewScheduler()
 			for {
 				select {
 				case <-done:
 					return
 				default:
 				}
-				conn, err := repro.DialTCP(*addr)
-				if err != nil {
-					// Server gone or not yet up.
-					select {
-					case <-done:
-						return
-					case <-time.After(time.Second):
-						continue
-					}
+				// One pass of the connection loop: the periodic job enqueues
+				// one session per registered population; the scheduler runs
+				// them strictly sequentially (Sec. 3 Multi-Tenancy).
+				var minRetry time.Duration
+				dialErr := false
+				for _, c := range clients {
+					c := c
+					_ = sched.Enqueue(&device.Job{Population: c.Population, Run: func() {
+						conn, err := repro.DialTCP(*addr)
+						if err != nil {
+							// Server gone or not yet up.
+							dialErr = true
+							return
+						}
+						out, err := c.RunOnce(conn)
+						switch {
+						case err != nil:
+							atomic.AddInt64(&failed, 1)
+						case out.ReportAccepted:
+							atomic.AddInt64(&completed, 1)
+						case !out.Accepted:
+							atomic.AddInt64(&rejected, 1)
+							if out.RetryAfter > 0 && (minRetry == 0 || out.RetryAfter < minRetry) {
+								minRetry = out.RetryAfter
+							}
+						}
+					}})
 				}
-				out, err := client.RunOnce(conn)
-				switch {
-				case err != nil:
-					atomic.AddInt64(&failed, 1)
-					time.Sleep(500 * time.Millisecond)
-				case out.ReportAccepted:
-					atomic.AddInt64(&completed, 1)
-				case !out.Accepted:
-					atomic.AddInt64(&rejected, 1)
-					wait := out.RetryAfter
-					if wait <= 0 || wait > 5*time.Second {
-						wait = time.Second // compress pace steering for the demo
-					}
-					select {
-					case <-done:
-						return
-					case <-time.After(wait):
-					}
+				if _, err := sched.DrainAll(); err != nil {
+					log.Fatal(err)
+				}
+				// Back off per the tightest pace-steering hint, compressed
+				// for the demo; dial failures wait a full second.
+				wait := minRetry
+				if wait <= 0 {
+					wait = 100 * time.Millisecond
+				}
+				if wait > 5*time.Second {
+					wait = time.Second
+				}
+				if dialErr {
+					wait = time.Second
+				}
+				select {
+				case <-done:
+					return
+				case <-time.After(wait):
 				}
 			}
 		}()
@@ -108,8 +145,8 @@ func main() {
 	defer ticker.Stop()
 	go func() {
 		for range ticker.C {
-			log.Printf("fleet: %d updates accepted, %d rejections, %d errors",
-				atomic.LoadInt64(&completed), atomic.LoadInt64(&rejected), atomic.LoadInt64(&failed))
+			log.Printf("fleet (%d populations): %d updates accepted, %d rejections, %d errors",
+				len(populations), atomic.LoadInt64(&completed), atomic.LoadInt64(&rejected), atomic.LoadInt64(&failed))
 		}
 	}()
 	wg.Wait()

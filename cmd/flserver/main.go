@@ -1,101 +1,147 @@
-// Command flserver runs the FL server over TCP for one FL population.
+// Command flserver runs the FL fleet gateway over TCP: ONE process whose
+// shared Selector layer serves every named FL population concurrently.
 // Simulated devices connect with cmd/fldevices.
 //
 //	flserver -addr :8750 -population gboard -rounds 10 -target 20
+//	flserver -addr :8750 -population gboard,search,photos -rounds 5
+//	flserver -addr :8750 -population gboard -population search
 //
-// The server commits each round's global checkpoint to -storage (a
-// directory; in-memory when empty) and prints round progress.
+// -population may be repeated and/or comma-separated; every population is
+// served behind the same address and check-ins are routed by the
+// population named in each device's CheckinRequest. The fleet commits each
+// population's round checkpoints to -storage (a per-population
+// subdirectory; in-memory when empty) and prints per-population round
+// progress until every population reaches -rounds.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"path/filepath"
 	"time"
 
 	repro "repro"
 
-	"repro/internal/flserver"
+	"repro/internal/cliutil"
 	"repro/internal/plan"
 	"repro/internal/storage"
 )
 
 func main() {
+	var populations cliutil.ListFlag
 	addr := flag.String("addr", ":8750", "TCP listen address")
-	populationName := flag.String("population", "gboard", "FL population name")
-	target := flag.Int("target", 20, "devices per round (K)")
-	rounds := flag.Int("rounds", 10, "rounds to run before exiting (0 = forever)")
-	storageDir := flag.String("storage", "", "checkpoint directory (empty = in-memory)")
+	flag.Var(&populations, "population", "FL population name(s); repeatable, comma-separated (default gboard)")
+	target := flag.Int("target", 20, "devices per round (K) per population")
+	rounds := flag.Int("rounds", 10, "rounds to run per population before exiting (0 = forever)")
+	storageDir := flag.String("storage", "", "checkpoint directory, one subdirectory per population (empty = in-memory)")
 	selTimeout := flag.Duration("selection-timeout", 30*time.Second, "selection window")
 	repTimeout := flag.Duration("report-timeout", time.Minute, "reporting window")
 	flag.Parse()
+	if len(populations) == 0 {
+		populations = cliutil.ListFlag{"gboard"}
+	}
 
-	p, err := repro.GeneratePlan(plan.Config{
-		TaskID:           *populationName + "/train",
-		Population:       *populationName,
-		Model:            repro.ModelSpec{Kind: repro.KindMLP, Features: 8, Hidden: 16, Classes: 4, Seed: 1},
-		StoreName:        "examples",
-		BatchSize:        10,
-		Epochs:           1,
-		LearningRate:     0.05,
-		TargetDevices:    *target,
-		SelectionTimeout: *selTimeout,
-		ReportTimeout:    *repTimeout,
-	})
+	fleet, err := repro.NewFleet(repro.FleetConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer fleet.Close()
 
-	var store storage.Store
-	if *storageDir == "" {
-		store = storage.NewMem()
-	} else {
-		store, err = storage.NewFile(*storageDir)
+	type popState struct {
+		name  string
+		plan  *repro.Plan
+		store storage.Store
+	}
+	states := make([]popState, 0, len(populations))
+	for _, name := range populations {
+		p, err := repro.GeneratePlan(plan.Config{
+			TaskID:           name + "/train",
+			Population:       name,
+			Model:            repro.ModelSpec{Kind: repro.KindMLP, Features: 8, Hidden: 16, Classes: 4, Seed: 1},
+			StoreName:        "examples",
+			BatchSize:        10,
+			Epochs:           1,
+			LearningRate:     0.05,
+			TargetDevices:    *target,
+			SelectionTimeout: *selTimeout,
+			ReportTimeout:    *repTimeout,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
+		var store storage.Store
+		if *storageDir == "" {
+			store = storage.NewMem()
+		} else {
+			store, err = storage.NewFile(filepath.Join(*storageDir, name))
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := fleet.Register(repro.PopulationSpec{
+			Population: name,
+			Plans:      []*repro.Plan{p},
+			Store:      store,
+			Steering:   repro.NewPaceSteering(*selTimeout + *repTimeout),
+			MaxRounds:  *rounds,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		states = append(states, popState{name: name, plan: p, store: store})
 	}
-
-	srv, err := repro.NewServer(flserver.Config{
-		Population: *populationName,
-		Plans:      []*plan.Plan{p},
-		Store:      store,
-		Steering:   repro.NewPaceSteering(*selTimeout + *repTimeout),
-		MaxRounds:  *rounds,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer srv.Close()
 
 	l, err := repro.ListenTCP(*addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer l.Close()
-	log.Printf("FL server for population %q listening on %s (K=%d, rounds=%d)",
-		*populationName, l.Addr(), *target, *rounds)
+	log.Printf("FL fleet gateway for %d population(s) %v listening on %s (K=%d, rounds=%d)",
+		len(states), populations.String(), l.Addr(), *target, *rounds)
 
-	go srv.Serve(l)
+	go fleet.Serve(l)
+
+	allDone := make(chan struct{})
+	go func() {
+		for _, st := range states {
+			done, ok := fleet.Done(st.name)
+			if !ok {
+				return
+			}
+			<-done
+		}
+		close(allDone)
+	}()
 
 	ticker := time.NewTicker(2 * time.Second)
 	defer ticker.Stop()
 	for {
 		select {
-		case <-srv.Done():
-			st := srv.Stats()
-			ckpt, err := store.LatestCheckpoint(p.ID)
-			if err != nil {
-				log.Fatalf("finished but no checkpoint: %v", err)
+		case <-allDone:
+			for _, ps := range states {
+				st, err := fleet.PopulationStats(ps.name)
+				if err != nil {
+					log.Fatalf("population %s: stats: %v", ps.name, err)
+				}
+				ckpt, err := ps.store.LatestCheckpoint(ps.plan.ID)
+				if err != nil {
+					log.Fatalf("population %s finished but no checkpoint: %v", ps.name, err)
+				}
+				fmt.Printf("%s done: %d rounds committed (%d failed), final round %d, |params|=%d\n",
+					ps.name, st.Coordinator.RoundsCompleted, st.Coordinator.RoundsFailed, ckpt.Round, len(ckpt.Params))
 			}
-			fmt.Printf("done: %d rounds committed (%d failed), final round %d, |params|=%d\n",
-				st.RoundsCompleted, st.RoundsFailed, ckpt.Round, len(ckpt.Params))
 			return
 		case <-ticker.C:
-			st := srv.Stats()
-			sel := srv.SelectorStats()
-			log.Printf("round %d: %d completed, %d failed; selector accepted=%d rejected=%d held=%d",
-				st.CurrentRound, st.RoundsCompleted, st.RoundsFailed, sel.Accepted, sel.Rejected, sel.Held)
+			for _, ps := range states {
+				st, err := fleet.PopulationStats(ps.name)
+				if err != nil {
+					log.Printf("%s: stats unavailable: %v", ps.name, err)
+					continue
+				}
+				log.Printf("%s: round %d, %d completed, %d failed; selector accepted=%d rejected=%d held=%d",
+					ps.name, st.Coordinator.CurrentRound, st.Coordinator.RoundsCompleted, st.Coordinator.RoundsFailed,
+					st.Selector.Accepted, st.Selector.Rejected, st.Selector.Held)
+			}
 		}
 	}
 }

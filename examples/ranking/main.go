@@ -123,7 +123,10 @@ func main() {
 	close(stop)
 	wg.Wait()
 
-	st := srv.Stats()
+	st, err := srv.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
 	ckpt, err := store.LatestCheckpoint(p.ID)
 	if err != nil {
 		log.Fatal(err)

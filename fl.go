@@ -26,6 +26,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/fedanalytics"
 	"repro/internal/fedavg"
+	"repro/internal/fleet"
 	"repro/internal/flserver"
 	"repro/internal/nn"
 	"repro/internal/pacing"
@@ -67,8 +68,17 @@ type (
 	PopulationConfig = population.Config
 	// ServerConfig configures the actor-based FL server.
 	ServerConfig = flserver.Config
-	// Server is the FL server.
+	// Server is the FL server for one population.
 	Server = flserver.Server
+	// FleetConfig configures the multi-population fleet gateway.
+	FleetConfig = fleet.Config
+	// Fleet serves many FL populations over one shared Selector layer.
+	Fleet = fleet.Fleet
+	// PopulationSpec registers one FL population with a Fleet.
+	PopulationSpec = fleet.PopulationSpec
+	// FleetPopulationStats bundles one population's round and selector
+	// progress within a Fleet.
+	FleetPopulationStats = fleet.PopulationStats
 	// DeviceClient drives one device through the protocol.
 	DeviceClient = flserver.DeviceClient
 	// DeviceRuntime executes FL plans on a device.
@@ -126,6 +136,13 @@ func Simulate(cfg SimConfig) (*SimResults, error) { return sim.Run(cfg) }
 
 // NewServer builds the actor-based FL server for one population.
 func NewServer(cfg ServerConfig) (*Server, error) { return flserver.New(cfg) }
+
+// NewFleet builds the multi-population fleet gateway (Sec. 4.2): one
+// device-facing process whose shared Selector layer serves every
+// registered FL population, with one Coordinator per population under a
+// shared locking service. Populations are added with Fleet.Register and
+// removed with Fleet.Deregister at runtime.
+func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
 
 // NewMemStorage returns in-memory checkpoint/metrics storage.
 func NewMemStorage() storage.Store { return storage.NewMem() }

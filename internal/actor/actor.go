@@ -61,6 +61,11 @@ type Ref struct {
 	done    chan struct{}
 	once    sync.Once
 	sys     *System
+	// failure/reason record how the actor terminated. Written inside
+	// once.Do before done closes, so any goroutine that observes Stopped()
+	// reads them safely.
+	failure bool
+	reason  interface{}
 }
 
 // Name returns the actor's name.
@@ -88,6 +93,7 @@ func (r *Ref) Stop() { r.stop(false, nil) }
 
 func (r *Ref) stop(failure bool, reason interface{}) {
 	r.once.Do(func() {
+		r.failure, r.reason = failure, reason
 		close(r.done)
 		r.sys.notifyTermination(r, failure, reason)
 	})
@@ -112,6 +118,10 @@ type System struct {
 	watchers map[*Ref][]*Ref
 	actors   []*Ref
 	wg       sync.WaitGroup
+	// down is set by Shutdown; later Spawns return already-stopped refs,
+	// so a concurrent spawn (an actor mid-dispatch creating a child) can
+	// never outlive Shutdown's wait.
+	down bool
 }
 
 // NewSystem returns an empty actor system.
@@ -132,6 +142,14 @@ func (s *System) Spawn(name string, b Behavior) *Ref {
 	}
 	ctx := &Context{Self: r, System: s}
 	s.mu.Lock()
+	if s.down {
+		s.mu.Unlock()
+		r.once.Do(func() {
+			r.failure, r.reason = false, nil
+			close(r.done)
+		})
+		return r
+	}
 	s.actors = append(s.actors, r)
 	// Ephemeral actors (one Master Aggregator and a handful of Aggregators
 	// per round) would grow the registry forever on a long-running server;
@@ -145,8 +163,11 @@ func (s *System) Spawn(name string, b Behavior) *Ref {
 		}
 		s.actors = live
 	}
-	s.mu.Unlock()
+	// Inside the lock: the down check, the registry append and the
+	// WaitGroup increment must be atomic with respect to Shutdown's
+	// snapshot + Wait, or an Add could race a blocked Wait.
 	s.wg.Add(1)
+	s.mu.Unlock()
 	go func() {
 		defer s.wg.Done()
 		for {
@@ -175,12 +196,14 @@ func (s *System) dispatch(ctx *Context, b Behavior, msg Message) {
 }
 
 // Watch registers watcher to receive Terminated{target} when target stops.
-// If target is already stopped, the notification is delivered immediately.
+// If target is already stopped, the notification is delivered immediately —
+// preserving how it terminated, so a watcher registered just after a panic
+// still sees Failure=true and can respawn.
 func (s *System) watch(target, watcher *Ref) {
 	s.mu.Lock()
 	if target.Stopped() {
 		s.mu.Unlock()
-		_ = watcher.Send(Terminated{Ref: target})
+		_ = watcher.Send(Terminated{Ref: target, Failure: target.failure, Reason: target.reason})
 		return
 	}
 	s.watchers[target] = append(s.watchers[target], watcher)
@@ -202,12 +225,17 @@ func (s *System) notifyTermination(r *Ref, failure bool, reason interface{}) {
 
 // Shutdown stops the given actors, then every remaining actor ever spawned
 // in the system (ephemeral children included), and waits for all their
-// goroutines. Used at process teardown.
+// goroutines. Spawns racing the shutdown (an actor mid-dispatch creating a
+// child, a watcher respawning a Coordinator) return already-stopped refs
+// once the down flag is set, so the registry snapshot below is complete
+// and the wait cannot hang on an actor nobody stops. Used at process
+// teardown.
 func (s *System) Shutdown(refs ...*Ref) {
 	for _, r := range refs {
 		r.Stop()
 	}
 	s.mu.Lock()
+	s.down = true
 	all := append([]*Ref(nil), s.actors...)
 	s.mu.Unlock()
 	for _, r := range all {

@@ -262,3 +262,76 @@ func TestLockServiceExactlyOnceRespawn(t *testing.T) {
 	}
 	s.Shutdown(refs...)
 }
+
+func TestShutdownRacesConcurrentSpawns(t *testing.T) {
+	// Actors spawned concurrently with Shutdown (an actor mid-dispatch
+	// creating a child, or plain racing callers) must not leave goroutines
+	// the shutdown never stops — Shutdown would hang in wg.Wait forever.
+	sys := NewSystem()
+	stop := make(chan struct{})
+	var spawner sync.WaitGroup
+	spawner.Add(1)
+	go func() {
+		defer spawner.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sys.Spawn("storm", BehaviorFunc(func(ctx *Context, msg Message) {}))
+		}
+	}()
+	time.Sleep(5 * time.Millisecond)
+
+	done := make(chan struct{})
+	go func() {
+		sys.Shutdown()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown hung on actors spawned during shutdown")
+	}
+	// Post-shutdown spawns return already-stopped refs.
+	if r := sys.Spawn("late", BehaviorFunc(func(ctx *Context, msg Message) {})); !r.Stopped() {
+		t.Fatal("spawn after Shutdown must return a stopped ref")
+	}
+	close(stop)
+	spawner.Wait()
+}
+
+func TestWatchAfterTerminationPreservesFailure(t *testing.T) {
+	// A watcher registered after the target already died from a panic must
+	// still see Failure=true — supervision decisions (respawn or not) hang
+	// on that flag.
+	sys := NewSystem()
+	defer sys.Shutdown()
+	victim := sys.Spawn("victim", BehaviorFunc(func(ctx *Context, msg Message) {
+		panic("boom")
+	}))
+	_ = victim.Send("die")
+	for !victim.Stopped() {
+		time.Sleep(time.Millisecond)
+	}
+
+	got := make(chan Terminated, 1)
+	watcher := sys.Spawn("late-watcher", BehaviorFunc(func(ctx *Context, msg Message) {
+		if term, ok := msg.(Terminated); ok {
+			got <- term
+		}
+	}))
+	sys.Watch(victim, watcher)
+	select {
+	case term := <-got:
+		if !term.Failure {
+			t.Fatal("late watcher lost the Failure flag")
+		}
+		if term.Reason != "boom" {
+			t.Fatalf("late watcher lost the failure reason: %v", term.Reason)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("late watcher never notified")
+	}
+}

@@ -1,0 +1,26 @@
+// Package cliutil holds small flag helpers shared by the command-line
+// binaries, so cmd/flserver and cmd/fldevices parse identical flag syntax
+// into identical population sets.
+package cliutil
+
+import "strings"
+
+// ListFlag collects repeatable, comma-separated flag values:
+//
+//	-population a,b -population c  →  [a b c]
+//
+// It implements flag.Value.
+type ListFlag []string
+
+// String implements flag.Value.
+func (l *ListFlag) String() string { return strings.Join(*l, ",") }
+
+// Set implements flag.Value.
+func (l *ListFlag) Set(v string) error {
+	for _, name := range strings.Split(v, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			*l = append(*l, name)
+		}
+	}
+	return nil
+}

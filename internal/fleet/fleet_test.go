@@ -1,0 +1,346 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/device"
+	"repro/internal/flserver"
+	"repro/internal/nn"
+	"repro/internal/pacing"
+	"repro/internal/plan"
+	"repro/internal/protocol"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+func makePlan(t *testing.T, pop string, target int) *plan.Plan {
+	t.Helper()
+	p, err := plan.Generate(plan.Config{
+		TaskID: pop + "/train", Population: pop,
+		Model:     nn.Spec{Kind: nn.KindLogistic, Features: 4, Classes: 3, Seed: 1},
+		StoreName: pop + "-store", BatchSize: 5, Epochs: 1, LearningRate: 0.1,
+		TargetDevices: target, MinReportFraction: 0.7,
+		SelectionTimeout: 10 * time.Second, ReportTimeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestFleetThreePopulationsMem is the tentpole end-to-end: ONE fleet
+// process, three populations, one shared multi-tenant device fleet over
+// the in-memory transport; every population reaches its committed-round
+// target concurrently, with per-population stats.
+func TestFleetThreePopulationsMem(t *testing.T) {
+	st, err := RunBenchMultiPop(BenchConfig{
+		Populations: 3, Devices: 9, TargetDevices: 3, Rounds: 2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Rounds) != 3 {
+		t.Fatalf("per-population stats missing: %+v", st.Rounds)
+	}
+	for pop, rounds := range st.Rounds {
+		if rounds < 2 {
+			t.Fatalf("population %s committed %d rounds, want ≥ 2", pop, rounds)
+		}
+	}
+	if st.Accepted == 0 {
+		t.Fatal("shared selector layer accepted no devices")
+	}
+}
+
+// TestFleetThreePopulationsTCP drives the same three-population fleet over
+// real loopback sockets.
+func TestFleetThreePopulationsTCP(t *testing.T) {
+	st, err := RunBenchMultiPop(BenchConfig{
+		Populations: 3, Devices: 6, TargetDevices: 2, Rounds: 1, TCP: true, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pop, rounds := range st.Rounds {
+		if rounds < 1 {
+			t.Fatalf("population %s committed %d rounds over TCP, want ≥ 1", pop, rounds)
+		}
+	}
+}
+
+// runPopDevices starts a device loop fleet for one population and returns
+// a stop function.
+func runPopDevices(t *testing.T, pop string, n int, fed *data.Federated, dial func() (transport.Conn, error)) func() {
+	t.Helper()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("%s-dev-%d", pop, i)
+		st, err := device.NewMemStore(pop+"-store", 1000, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now := time.Now()
+		for _, ex := range fed.Users[i] {
+			st.Add(ex, now)
+		}
+		rt := device.NewRuntime(id, 3, nil, uint64(i)+500)
+		if err := rt.RegisterStore(st); err != nil {
+			t.Fatal(err)
+		}
+		client := &flserver.DeviceClient{ID: id, Population: pop, Runtime: rt}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if conn, err := dial(); err == nil {
+					_, _ = client.RunOnce(conn)
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+	}
+	return func() { close(stop); wg.Wait() }
+}
+
+// TestFleetRegisterDeregisterAtRuntime covers the registry: an unknown
+// population's check-in gets a steering-backed "retry later" (not a
+// dropped connection); registering it mid-flight makes it train to
+// completion over the already-running listener; deregistering removes the
+// lock owner and returns its check-ins to the unknown rejection.
+func TestFleetRegisterDeregisterAtRuntime(t *testing.T) {
+	f, err := New(Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	net := transport.NewMemNetwork()
+	l, err := net.Listen("fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go f.Serve(l)
+	dial := func() (transport.Conn, error) { return net.Dial("fleet") }
+
+	checkin := func(pop string) protocol.CheckinResponse {
+		t.Helper()
+		conn, err := dial()
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		if err := conn.Send(protocol.CheckinRequest{DeviceID: "probe", Population: pop}); err != nil {
+			t.Fatal(err)
+		}
+		msg, err := conn.Recv()
+		if err != nil {
+			t.Fatalf("check-in for %q must be answered, not dropped: %v", pop, err)
+		}
+		resp, ok := msg.(protocol.CheckinResponse)
+		if !ok {
+			t.Fatalf("unexpected reply %T", msg)
+		}
+		return resp
+	}
+
+	// pop-b is not registered: its devices must be steered away.
+	if resp := checkin("pop-b"); resp.Accepted || resp.RetryAfter <= 0 {
+		t.Fatalf("unknown population must get a steering-backed rejection: %+v", resp)
+	}
+	if _, err := f.PopulationStats("pop-b"); err == nil {
+		t.Fatal("stats for an unregistered population must error")
+	}
+
+	// Register two populations at runtime, against the live listener.
+	storeA, storeB := storage.NewMem(), storage.NewMem()
+	planA, planB := makePlan(t, "pop-a", 3), makePlan(t, "pop-b", 3)
+	fedA, _ := data.Blobs(data.BlobsConfig{Users: 8, ExamplesPer: 20, Features: 4, Classes: 3, TestSize: 10, Seed: 41})
+	fedB, _ := data.Blobs(data.BlobsConfig{Users: 8, ExamplesPer: 20, Features: 4, Classes: 3, TestSize: 10, Seed: 42})
+	for _, reg := range []struct {
+		pop   string
+		p     *plan.Plan
+		store storage.Store
+	}{{"pop-a", planA, storeA}, {"pop-b", planB, storeB}} {
+		if err := f.Register(PopulationSpec{
+			Population: reg.pop, Plans: []*plan.Plan{reg.p}, Store: reg.store,
+			Steering: pacing.New(time.Second), MaxRounds: 2,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Register(PopulationSpec{Population: "pop-a", Plans: []*plan.Plan{planA}, Store: storeA}); err == nil {
+		t.Fatal("duplicate registration must fail")
+	}
+
+	stopA := runPopDevices(t, "pop-a", 8, fedA, dial)
+	stopB := runPopDevices(t, "pop-b", 8, fedB, dial)
+	for _, pop := range []string{"pop-a", "pop-b"} {
+		done, ok := f.Done(pop)
+		if !ok {
+			t.Fatalf("population %s not registered", pop)
+		}
+		select {
+		case <-done:
+		case <-time.After(60 * time.Second):
+			t.Fatalf("population %s never finished", pop)
+		}
+	}
+	stopA()
+	stopB()
+
+	for _, c := range []struct {
+		pop   string
+		p     *plan.Plan
+		store storage.Store
+	}{{"pop-a", planA, storeA}, {"pop-b", planB, storeB}} {
+		if _, err := c.store.LatestCheckpoint(c.p.ID); err != nil {
+			t.Fatalf("%s never committed: %v", c.pop, err)
+		}
+		st, err := f.PopulationStats(c.pop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Coordinator.RoundsCompleted < 2 {
+			t.Fatalf("%s completed %d rounds", c.pop, st.Coordinator.RoundsCompleted)
+		}
+	}
+
+	// Deregister pop-a: the lock is released, stats error, and its devices
+	// are steered away again.
+	if err := f.Deregister("pop-a"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for f.LockOwner("pop-a") != nil {
+		if time.Now().After(deadline) {
+			t.Fatal("pop-a lock never released after deregistration")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := f.PopulationStats("pop-a"); err == nil {
+		t.Fatal("stats for a deregistered population must error")
+	}
+	if resp := checkin("pop-a"); resp.Accepted || resp.RetryAfter <= 0 {
+		t.Fatalf("deregistered population must get a steering-backed rejection: %+v", resp)
+	}
+	// pop-b is untouched.
+	if _, err := f.PopulationStats("pop-b"); err != nil {
+		t.Fatalf("pop-b must survive pop-a deregistration: %v", err)
+	}
+	if got := f.Populations(); len(got) != 1 || got[0] != "pop-b" {
+		t.Fatalf("registry after deregistration: %v", got)
+	}
+}
+
+// TestFleetDeregisterThenReregisterSameName is the plan-redeploy flow:
+// Deregister returns only after the outgoing Coordinator stopped, so an
+// immediate Register of the same population must acquire the lock and run
+// — never be stranded Coordinator-less by losing the lock race to the old
+// owner.
+func TestFleetDeregisterThenReregisterSameName(t *testing.T) {
+	f, err := New(Config{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	spec := PopulationSpec{
+		Population: "pop-r", Plans: []*plan.Plan{makePlan(t, "pop-r", 2)}, Store: storage.NewMem(),
+	}
+	for cycle := 0; cycle < 10; cycle++ {
+		if err := f.Register(spec); err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		// The fresh Coordinator must own the lock (give its first tick a
+		// moment to land).
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			coord, ok := f.Coordinator("pop-r")
+			if ok && f.LockOwner("pop-r") == coord && !coord.Stopped() {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("cycle %d: re-registered population never acquired its lock (owner=%v)", cycle, f.LockOwner("pop-r"))
+			}
+			time.Sleep(time.Millisecond)
+		}
+		if _, err := f.PopulationStats("pop-r"); err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		if err := f.Deregister("pop-r"); err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+	}
+}
+
+// TestFleetCloseDuringRegistrationChurn must terminate: Close races actor
+// spawns (watchers, coordinators, per-round children) and the actor
+// system's shutdown must stop them all.
+func TestFleetCloseDuringRegistrationChurn(t *testing.T) {
+	f, err := New(Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		pop := fmt.Sprintf("churn-%d", i%5)
+		_ = f.Register(PopulationSpec{
+			Population: pop, Plans: []*plan.Plan{makePlan(t, pop, 2)}, Store: storage.NewMem(),
+		})
+		if i%2 == 1 {
+			_ = f.Deregister(pop)
+		}
+	}
+	done := make(chan struct{})
+	go func() {
+		f.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("Fleet.Close hung")
+	}
+}
+
+// TestFleetStatsPerPopulation asserts the fleet-level stats API keys every
+// registered population and errors once the fleet is closed.
+func TestFleetStatsPerPopulation(t *testing.T) {
+	f, err := New(Config{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pop := range []string{"x", "y"} {
+		if err := f.Register(PopulationSpec{
+			Population: pop, Plans: []*plan.Plan{makePlan(t, pop, 2)}, Store: storage.NewMem(),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all, err := f.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 2 {
+		t.Fatalf("fleet stats = %v", all)
+	}
+	for _, pop := range []string{"x", "y"} {
+		if all[pop].Population != pop {
+			t.Fatalf("missing stats for %s: %+v", pop, all)
+		}
+	}
+	f.Close()
+	if _, err := f.Stats(); err == nil {
+		t.Fatal("stats on a closed fleet must error, not read as zero progress")
+	}
+}

@@ -298,6 +298,10 @@ func (ma *MasterAggregator) Receive(ctx *actor.Context, msg actor.Message) {
 		ma.onReportTimeout(ctx)
 	case msgGroupResult:
 		ma.onGroupResult(ctx, m)
+	case msgAbandonRound:
+		if ma.state != "done" {
+			ma.fail(ctx, m.Reason)
+		}
 	case msgCrash:
 		panic("master aggregator crash injected")
 	}
@@ -313,7 +317,7 @@ func (ma *MasterAggregator) onStart(ctx *actor.Context) {
 		if i < extra {
 			n++
 		}
-		_ = sel.Send(msgForwardDevices{N: n, To: ctx.Self})
+		_ = sel.Send(msgForwardDevices{Population: ma.plan.Population, N: n, To: ctx.Self})
 	}
 	self := ctx.Self
 	time.AfterFunc(ma.plan.Server.SelectionTimeout, func() { _ = self.Send(msgSelectionTimeout{}) })

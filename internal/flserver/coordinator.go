@@ -74,6 +74,20 @@ func (c *Coordinator) Receive(ctx *actor.Context, msg actor.Message) {
 			c.currentMA = nil
 			_ = ctx.Self.Send(msgTick{})
 		}
+	case msgStopCoordinator:
+		// Clean shutdown (population deregistered): abandon the in-flight
+		// round, hand the population lock back so a future registration can
+		// acquire it immediately, and stop without a failure so watchers do
+		// not respawn us.
+		if c.currentMA != nil {
+			_ = c.currentMA.Send(msgAbandonRound{Reason: "population deregistered"})
+			c.currentMA = nil
+		}
+		if c.acquired {
+			c.lock.Release(c.population, ctx.Self)
+			c.acquired = false
+		}
+		ctx.Stop()
 	case msgCoordinatorStats:
 		round := int64(0)
 		if len(c.plans) > 0 {

@@ -52,7 +52,7 @@ func TestCommitFailureAbandonsRoundThenRecovers(t *testing.T) {
 	waitDone(t, srv, 90*time.Second)
 	fl.halt()
 
-	st := srv.Stats()
+	st := stats(t, srv)
 	if st.RoundsFailed < 2 {
 		t.Fatalf("expected ≥2 abandoned rounds from storage failures, got %d", st.RoundsFailed)
 	}
@@ -88,7 +88,7 @@ func TestSelectorForwardsToDeadMasterLosesOnlyThoseDevices(t *testing.T) {
 	// The real assertion is end-to-end: rounds complete despite the
 	// forward-to-dead-ref path being exercised in Selector.onForward
 	// whenever a Master Aggregator stops while devices stream in.
-	if srv.Stats().RoundsCompleted < 2 {
+	if stats(t, srv).RoundsCompleted < 2 {
 		t.Fatal("training did not complete")
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/pacing"
 	"repro/internal/plan"
+	"repro/internal/protocol"
 	"repro/internal/storage"
 	"repro/internal/transport"
 )
@@ -144,9 +145,19 @@ func waitDone(t *testing.T, srv *Server, timeout time.Duration) {
 	select {
 	case <-srv.Done():
 	case <-time.After(timeout):
-		st := srv.Stats()
-		t.Fatalf("server did not finish: %+v", st)
+		st, err := srv.Stats()
+		t.Fatalf("server did not finish: %+v (stats err: %v)", st, err)
 	}
+}
+
+// stats fetches coordinator stats, failing the test on a dead coordinator.
+func stats(t *testing.T, srv *Server) CoordinatorStats {
+	t.Helper()
+	st, err := srv.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
 }
 
 func TestEndToEndTraining(t *testing.T) {
@@ -168,7 +179,7 @@ func TestEndToEndTraining(t *testing.T) {
 	waitDone(t, srv, 60*time.Second)
 	fl.halt()
 
-	st := srv.Stats()
+	st := stats(t, srv)
 	if st.RoundsCompleted < 5 {
 		t.Fatalf("rounds completed = %d, want ≥ 5", st.RoundsCompleted)
 	}
@@ -261,7 +272,7 @@ func TestRoundCompletesDespiteDropouts(t *testing.T) {
 	waitDone(t, srv, 120*time.Second)
 	fl.halt()
 
-	st := srv.Stats()
+	st := stats(t, srv)
 	if st.RoundsCompleted < 2 {
 		t.Fatalf("rounds completed = %d despite over-selection", st.RoundsCompleted)
 	}
@@ -332,7 +343,7 @@ func TestMasterAggregatorCrashRestartsRound(t *testing.T) {
 	if srv.Coordinator() == first {
 		t.Fatal("coordinator was not respawned")
 	}
-	st := srv.Stats()
+	st := stats(t, srv)
 	if st.RoundsCompleted < 2 {
 		t.Fatalf("rounds completed after coordinator crash = %d", st.RoundsCompleted)
 	}
@@ -376,7 +387,10 @@ func TestAttestationRejectsCompromisedDevices(t *testing.T) {
 	if fl.accepted == 0 {
 		t.Fatal("no genuine device was accepted")
 	}
-	sel := srv.SelectorStats()
+	sel, err := srv.SelectorStats()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if sel.Rejected == 0 {
 		t.Fatal("attestation rejections not counted")
 	}
@@ -435,12 +449,71 @@ func TestRoundFailsWithoutDevicesThenRecovers(t *testing.T) {
 	waitDone(t, srv, 60*time.Second)
 	fl.halt()
 
-	st := srv.Stats()
+	st := stats(t, srv)
 	if st.RoundsFailed == 0 {
 		t.Fatal("expected at least one abandoned round")
 	}
 	if st.RoundsCompleted < 1 {
 		t.Fatal("server never recovered")
+	}
+}
+
+func TestStatsErrorsOnDeadCoordinator(t *testing.T) {
+	// A dead coordinator must surface as an error, not as zero-value stats
+	// that look like "no progress yet".
+	p := testPlan(t, 4, false)
+	srv, err := New(Config{
+		Population: "pop", Plans: []*plan.Plan{p}, Store: storage.NewMem(),
+		Steering: pacing.New(time.Second), Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Stats(); err != nil {
+		t.Fatalf("live coordinator stats: %v", err)
+	}
+	if _, err := srv.SelectorStats(); err != nil {
+		t.Fatalf("live selector stats: %v", err)
+	}
+	srv.Close()
+	if _, err := srv.Stats(); err == nil {
+		t.Fatal("Stats on a closed server must error")
+	}
+	if _, err := srv.SelectorStats(); err == nil {
+		t.Fatal("SelectorStats on a closed server must error")
+	}
+}
+
+func TestHandleConnRejectsMalformedFirstMessage(t *testing.T) {
+	// A first message that is not a CheckinRequest must get a
+	// protocol-level rejection with a pace-steering reconnect hint, not a
+	// silently dropped connection.
+	p := testPlan(t, 4, false)
+	_, net, addr := runServer(t, Config{
+		Population: "pop", Plans: []*plan.Plan{p}, Store: storage.NewMem(),
+		Steering: pacing.New(time.Second), Seed: 10,
+	})
+	conn, err := net.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Send(protocol.ReportRequest{DeviceID: "rogue", TaskID: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := conn.Recv()
+	if err != nil {
+		t.Fatalf("malformed first message must be answered, not dropped: %v", err)
+	}
+	resp, ok := msg.(protocol.CheckinResponse)
+	if !ok {
+		t.Fatalf("unexpected reply %T", msg)
+	}
+	if resp.Accepted {
+		t.Fatal("malformed check-in must be rejected")
+	}
+	if resp.RetryAfter <= 0 {
+		t.Fatal("rejection must carry a pace-steering reconnect hint")
 	}
 }
 

@@ -45,16 +45,30 @@ type msgSetQuota struct {
 	Accept int
 }
 
-// msgForwardDevices instructs a Selector to send up to N held devices to
-// the given Master Aggregator.
+// msgForwardDevices instructs a Selector to send up to N of a population's
+// held devices to the given Master Aggregator.
 type msgForwardDevices struct {
-	N  int
-	To *actor.Ref
+	Population string
+	N          int
+	To         *actor.Ref
 }
 
-// msgSelectorStats asks a Selector for its current counts.
+// msgRegisterPopulation adds a population to a Selector at runtime.
+type msgRegisterPopulation struct {
+	Pop SelectorPopulation
+}
+
+// msgDeregisterPopulation removes a population from a Selector: parked
+// devices are steered away and later check-ins rejected as unknown.
+type msgDeregisterPopulation struct {
+	Name string
+}
+
+// msgSelectorStats asks a Selector for its current counts; Population ""
+// sums across every population the Selector serves.
 type msgSelectorStats struct {
-	Reply chan SelectorStats
+	Population string
+	Reply      chan SelectorStats
 }
 
 // SelectorStats reports a Selector's connection counts.
@@ -62,6 +76,17 @@ type SelectorStats struct {
 	Held     int
 	Accepted int64
 	Rejected int64
+	// UnknownPopulation counts check-ins rejected because no registered
+	// population matched (only reported on the all-population totals).
+	UnknownPopulation int64
+}
+
+// Add folds another stats sample into s (summing across Selectors).
+func (s *SelectorStats) Add(o SelectorStats) {
+	s.Held += o.Held
+	s.Accepted += o.Accepted
+	s.Rejected += o.Rejected
+	s.UnknownPopulation += o.UnknownPopulation
 }
 
 // --- Master Aggregator messages ---
@@ -135,6 +160,18 @@ type msgRoundFailed struct {
 
 // msgTick drives the Coordinator's periodic scheduling.
 type msgTick struct{}
+
+// msgStopCoordinator tells a Coordinator to shut down cleanly: abandon any
+// in-flight round, release the population lock, and stop without a failure
+// (so watchers do not respawn it). Sent on population deregistration.
+type msgStopCoordinator struct{}
+
+// msgAbandonRound tells a Master Aggregator to fail its round immediately
+// (e.g. the population was deregistered mid-round): device connections are
+// closed and group Aggregators stopped.
+type msgAbandonRound struct {
+	Reason string
+}
 
 // msgCoordinatorStats asks for coordinator progress.
 type msgCoordinatorStats struct {

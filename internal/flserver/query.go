@@ -1,0 +1,183 @@
+package flserver
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/actor"
+	"repro/internal/pacing"
+	"repro/internal/protocol"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// Exported entry points for driving Selector and Coordinator actors from
+// outside the package. The fleet gateway (internal/fleet) composes these
+// same actors across many populations: it spawns Selectors and
+// Coordinators itself and talks to them through the functions here, so the
+// actor message types stay private to this package.
+
+// statsTimeout bounds how long a stats query waits for an actor before
+// declaring it unresponsive.
+const statsTimeout = 5 * time.Second
+
+// StartCoordinator kicks a freshly spawned Coordinator's scheduling loop.
+func StartCoordinator(coord *actor.Ref) error { return coord.Send(msgTick{}) }
+
+// StopCoordinator cleanly shuts a Coordinator down: the in-flight round is
+// abandoned, the population lock released, and watchers see a non-failure
+// termination (no respawn).
+func StopCoordinator(coord *actor.Ref) error { return coord.Send(msgStopCoordinator{}) }
+
+// InjectCoordinatorCrash makes a Coordinator panic on its next message.
+// Failure-injection hook for supervision tests only.
+func InjectCoordinatorCrash(coord *actor.Ref) error { return coord.Send(msgCrash{}) }
+
+// ForwardCheckin hands a device's first message to a Selector, which owns
+// the accept/reject decision for the request's population.
+func ForwardCheckin(sel *actor.Ref, req protocol.CheckinRequest, conn transport.Conn) error {
+	return sel.Send(msgCheckin{Req: req, Conn: conn})
+}
+
+// RegisterSelectorPopulation adds a population to a running Selector.
+func RegisterSelectorPopulation(sel *actor.Ref, pop SelectorPopulation) error {
+	return sel.Send(msgRegisterPopulation{Pop: pop})
+}
+
+// DeregisterSelectorPopulation removes a population from a running
+// Selector: parked devices are steered away, later check-ins rejected.
+func DeregisterSelectorPopulation(sel *actor.Ref, name string) error {
+	return sel.Send(msgDeregisterPopulation{Name: name})
+}
+
+// QueryCoordinatorStats asks a Coordinator for its round progress. The
+// error is non-nil when the Coordinator is stopped or unresponsive —
+// callers must not mistake a dead Coordinator for zero progress.
+func QueryCoordinatorStats(coord *actor.Ref) (CoordinatorStats, error) {
+	reply := make(chan CoordinatorStats, 1)
+	if err := coord.Send(msgCoordinatorStats{Reply: reply}); err != nil {
+		return CoordinatorStats{}, fmt.Errorf("flserver: coordinator stats: %w", err)
+	}
+	select {
+	case st := <-reply:
+		return st, nil
+	case <-time.After(statsTimeout):
+		return CoordinatorStats{}, fmt.Errorf("flserver: coordinator %s did not answer stats within %v", coord.Name(), statsTimeout)
+	}
+}
+
+// QuerySelectorStats asks one Selector for its counts; population "" sums
+// across every population the Selector serves. The error is non-nil when
+// the Selector is stopped or unresponsive.
+func QuerySelectorStats(sel *actor.Ref, population string) (SelectorStats, error) {
+	reply := make(chan SelectorStats, 1)
+	if err := sel.Send(msgSelectorStats{Population: population, Reply: reply}); err != nil {
+		return SelectorStats{}, fmt.Errorf("flserver: selector stats: %w", err)
+	}
+	select {
+	case st := <-reply:
+		return st, nil
+	case <-time.After(statsTimeout):
+		return SelectorStats{}, fmt.Errorf("flserver: selector %s did not answer stats within %v", sel.Name(), statsTimeout)
+	}
+}
+
+// Hinter produces pace-steering reconnect hints outside any actor — on the
+// connection accept path, where malformed or unroutable first messages are
+// answered with a protocol-level rejection rather than a bare close. It
+// guards its RNG so concurrent connection handlers can share one instance.
+type Hinter struct {
+	steering *pacing.Steering
+	estimate int
+	now      func() time.Time
+
+	mu  sync.Mutex
+	rng *tensor.RNG
+}
+
+// NewHinter builds a Hinter over the given steering (nil = one-minute
+// cadence defaults) and population estimate.
+func NewHinter(steering *pacing.Steering, populationEstimate int, seed uint64, now func() time.Time) *Hinter {
+	if steering == nil {
+		steering = pacing.New(time.Minute)
+	}
+	if populationEstimate <= 0 {
+		populationEstimate = 1000
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Hinter{steering: steering, estimate: populationEstimate, now: now, rng: tensor.NewRNG(seed)}
+}
+
+// Hint suggests a reconnect delay for one rejected connection.
+func (h *Hinter) Hint(demand int) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.steering.Suggest(h.estimate, demand, h.now(), h.rng)
+}
+
+// RejectConn answers a misbehaving or unroutable connection with a
+// steering-backed protocol rejection, then closes it, so misconfigured
+// devices back off instead of hammering the accept loop.
+func (h *Hinter) RejectConn(conn transport.Conn, reason string) {
+	_ = conn.Send(protocol.CheckinResponse{Accepted: false, Reason: reason, RetryAfter: h.Hint(1)})
+	_ = conn.Close()
+}
+
+// CheckinRouter is the device-facing accept path shared by Server and the
+// fleet gateway: each connection's first message must be a CheckinRequest,
+// dispatched to a Selector round-robin (Selectors are "globally
+// distributed, close to devices" in the paper; round-robin stands in for
+// geographic affinity). Malformed first messages get a protocol-level
+// rejection with a pace-steering hint instead of a dropped connection.
+type CheckinRouter struct {
+	selectors []*actor.Ref
+	hinter    *Hinter
+	nextSel   uint64
+	handlers  sync.WaitGroup
+}
+
+// NewCheckinRouter builds the accept path over a Selector layer.
+func NewCheckinRouter(selectors []*actor.Ref, hinter *Hinter) *CheckinRouter {
+	return &CheckinRouter{selectors: selectors, hinter: hinter}
+}
+
+// Serve accepts device connections from l until l closes.
+func (r *CheckinRouter) Serve(l transport.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		r.handlers.Add(1)
+		go func() {
+			defer r.handlers.Done()
+			r.handleConn(conn)
+		}()
+	}
+}
+
+func (r *CheckinRouter) handleConn(conn transport.Conn) {
+	msg, err := conn.Recv()
+	if err != nil {
+		// Nothing decodable arrived; there is no peer to steer.
+		_ = conn.Close()
+		return
+	}
+	req, ok := msg.(protocol.CheckinRequest)
+	if !ok {
+		r.hinter.RejectConn(conn, fmt.Sprintf("protocol error: expected CheckinRequest, got %T", msg))
+		return
+	}
+	idx := atomic.AddUint64(&r.nextSel, 1) % uint64(len(r.selectors))
+	if err := ForwardCheckin(r.selectors[idx], req, conn); err != nil {
+		r.hinter.RejectConn(conn, "selector unavailable")
+	}
+}
+
+// Wait blocks until in-flight connection handlers finish (teardown, after
+// the listener closed).
+func (r *CheckinRouter) Wait() { r.handlers.Wait() }

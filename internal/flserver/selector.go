@@ -8,19 +8,22 @@ import (
 	"repro/internal/pacing"
 	"repro/internal/protocol"
 	"repro/internal/tensor"
+	"repro/internal/transport"
 )
 
-// Selector accepts and forwards device connections (Sec. 4.2). It
-// periodically receives quota from the Coordinator and makes local
-// accept/reject decisions; rejected devices get a pace-steering reconnect
-// hint. Accepted devices are parked until the Coordinator instructs the
-// Selector to forward them to an Aggregator, which keeps selection running
-// continuously and gives the pipelining of Sec. 4.3 for free.
-type Selector struct {
-	population string
-	verifier   *attest.Verifier
-	steering   *pacing.Steering
-	// PopulationEstimate and Demand feed pace steering.
+// SelectorPopulation configures one population served by a Selector:
+// its pace steering and the population-size estimate that feeds it.
+type SelectorPopulation struct {
+	Name               string
+	Steering           *pacing.Steering
+	PopulationEstimate int
+}
+
+// selPop is one population's slice of a Selector: its quota, parked
+// devices, reservoir state, pace steering, and streaming forward target.
+type selPop struct {
+	name               string
+	steering           *pacing.Steering
 	populationEstimate int
 	demand             int
 
@@ -33,8 +36,6 @@ type Selector struct {
 	// simple reservoir sampling"), so a device checking in late in the
 	// window has the same selection probability as an early one.
 	seen int64
-	rng  *tensor.RNG
-	now  func() time.Time
 
 	// pendingTo/pendingN track an outstanding forward request from a
 	// Master Aggregator, so devices checking in after the request still
@@ -43,20 +44,68 @@ type Selector struct {
 	pendingN  int
 }
 
-// NewSelector returns the behavior for a Selector actor.
-func NewSelector(population string, verifier *attest.Verifier, steering *pacing.Steering, populationEstimate int, seed uint64, now func() time.Time) *Selector {
+// Selector accepts and forwards device connections (Sec. 4.2) for every
+// population registered with it: the paper's Selectors are a shared,
+// device-facing layer that takes connections for many FL populations and
+// routes each check-in by its CheckinRequest.Population. Per population it
+// receives quota from that population's Coordinator, makes local
+// accept/reject decisions, and parks accepted devices until told to
+// forward them to an Aggregator; rejected devices — including devices of
+// populations this Selector does not (or no longer) serve — get a
+// pace-steering reconnect hint rather than a dropped connection.
+//
+// When a capacity is set, the parked pool is shared across populations
+// under weighted fair sharing: each population's share of the capacity is
+// proportional to its Coordinator's current quota demand, and a population
+// below its share may displace a parked device of a population above its
+// share.
+type Selector struct {
+	verifier *attest.Verifier
+	// defaultSteering answers check-ins for unregistered populations.
+	defaultSteering *pacing.Steering
+	// defaultEstimate sizes steering hints when no population state exists.
+	defaultEstimate int
+	// capacity bounds the total parked devices across all populations
+	// (0 = unbounded).
+	capacity int
+
+	pops map[string]*selPop
+	rng  *tensor.RNG
+	now  func() time.Time
+
+	// unknownRejected counts check-ins for populations this Selector does
+	// not serve.
+	unknownRejected int64
+	// retiredAccepted/retiredRejected retain deregistered populations'
+	// counters so the all-population totals stay monotonic across
+	// deregistrations.
+	retiredAccepted int64
+	retiredRejected int64
+}
+
+// NewSelector returns the behavior for a Selector actor serving the given
+// initial populations; more can be registered and deregistered at runtime
+// via RegisterSelectorPopulation / DeregisterSelectorPopulation.
+func NewSelector(verifier *attest.Verifier, defaultSteering *pacing.Steering, capacity int, seed uint64, now func() time.Time, pops ...SelectorPopulation) *Selector {
 	if now == nil {
 		now = time.Now
 	}
-	return &Selector{
-		population:         population,
-		verifier:           verifier,
-		steering:           steering,
-		populationEstimate: populationEstimate,
-		demand:             1,
-		rng:                tensor.NewRNG(seed),
-		now:                now,
+	if defaultSteering == nil {
+		defaultSteering = pacing.New(time.Minute)
 	}
+	s := &Selector{
+		verifier:        verifier,
+		defaultSteering: defaultSteering,
+		defaultEstimate: 1000,
+		capacity:        capacity,
+		pops:            make(map[string]*selPop),
+		rng:             tensor.NewRNG(seed),
+		now:             now,
+	}
+	for _, p := range pops {
+		s.register(p)
+	}
+	return s
 }
 
 // Receive implements actor.Behavior.
@@ -64,106 +113,228 @@ func (s *Selector) Receive(ctx *actor.Context, msg actor.Message) {
 	switch m := msg.(type) {
 	case msgCheckin:
 		s.onCheckin(m)
+	case msgRegisterPopulation:
+		s.register(m.Pop)
+	case msgDeregisterPopulation:
+		s.deregister(m.Name)
 	case msgSetQuota:
-		if m.Population == s.population {
-			s.quota = m.Accept
-			s.seen = 0
+		if p, ok := s.pops[m.Population]; ok {
+			p.quota = m.Accept
+			p.seen = 0
 			if m.Accept > 0 {
-				s.demand = m.Accept
+				p.demand = m.Accept
 			}
 		}
 	case msgForwardDevices:
 		s.onForward(m)
 	case msgSelectorStats:
-		m.Reply <- SelectorStats{Held: len(s.held), Accepted: s.accepted, Rejected: s.rejected}
+		m.Reply <- s.stats(m.Population)
 	case actor.Terminated:
-		// A watched Coordinator died; respawn is handled by the frontend
-		// (see Frontend.superviseCoordinator).
+		// A watched Coordinator died; respawn is handled by the owning
+		// Server or Fleet watcher.
 	}
+}
+
+// register adds (or reconfigures) a population on this Selector.
+func (s *Selector) register(cfg SelectorPopulation) {
+	if cfg.Name == "" {
+		return
+	}
+	if cfg.Steering == nil {
+		cfg.Steering = s.defaultSteering
+	}
+	if cfg.PopulationEstimate <= 0 {
+		cfg.PopulationEstimate = s.defaultEstimate
+	}
+	if p, ok := s.pops[cfg.Name]; ok {
+		p.steering = cfg.Steering
+		p.populationEstimate = cfg.PopulationEstimate
+		return
+	}
+	s.pops[cfg.Name] = &selPop{
+		name:               cfg.Name,
+		steering:           cfg.Steering,
+		populationEstimate: cfg.PopulationEstimate,
+		demand:             1,
+	}
+}
+
+// deregister removes a population: parked devices are steered away and the
+// population's state dropped. Later check-ins hit the unknown-population
+// rejection.
+func (s *Selector) deregister(name string) {
+	p, ok := s.pops[name]
+	if !ok {
+		return
+	}
+	now := s.now()
+	for _, d := range p.held {
+		p.rejected++
+		s.rejectConn(d.Conn, "population deregistered", p.steering, p.populationEstimate, p.demand, now)
+	}
+	s.retiredAccepted += p.accepted
+	s.retiredRejected += p.rejected
+	delete(s.pops, name)
+}
+
+// rejectConn answers a check-in with a steering-backed rejection and closes
+// the connection.
+func (s *Selector) rejectConn(conn transport.Conn, reason string, st *pacing.Steering, estimate, demand int, now time.Time) {
+	_ = conn.Send(protocol.CheckinResponse{
+		Accepted:   false,
+		Reason:     reason,
+		RetryAfter: st.Suggest(estimate, demand, now, s.rng),
+	})
+	_ = conn.Close()
 }
 
 func (s *Selector) onCheckin(m msgCheckin) {
 	now := s.now()
-	reject := func(reason string) {
-		s.rejected++
-		_ = m.Conn.Send(protocol.CheckinResponse{
-			Accepted:   false,
-			Reason:     reason,
-			RetryAfter: s.steering.Suggest(s.populationEstimate, s.demand, now, s.rng),
-		})
-		_ = m.Conn.Close()
-	}
-
-	if m.Req.Population != s.population {
-		reject("wrong population")
+	p, ok := s.pops[m.Req.Population]
+	if !ok {
+		// Unknown population: the device is misconfigured or the population
+		// is not (or no longer) registered. Steer it away with a reconnect
+		// hint instead of dropping the connection, so misrouted fleets back
+		// off rather than hammer the accept loop.
+		s.unknownRejected++
+		s.rejectConn(m.Conn, "unknown population "+m.Req.Population, s.defaultSteering, s.defaultEstimate, 1, now)
 		return
 	}
+	reject := func(reason string) {
+		p.rejected++
+		s.rejectConn(m.Conn, reason, p.steering, p.populationEstimate, p.demand, now)
+	}
+
 	if s.verifier != nil {
 		if err := s.verifier.Verify(m.Req.DeviceID, m.Req.Population, m.Req.AttestationToken, now); err != nil {
 			reject("attestation failed")
 			return
 		}
 	}
-	s.seen++
-	if s.quota <= 0 {
+	p.seen++
+	if p.quota <= 0 {
 		// Reservoir sampling over the parked pool: a late check-in replaces
 		// a random held device with probability held/seen, so selection
 		// within the window is uniform rather than first-come-first-served.
 		// Devices already forwarded to an Aggregator are committed and not
 		// recalled.
-		if n := len(s.held); n > 0 && s.rng.Float64() < float64(n)/float64(s.seen) {
+		if n := len(p.held); n > 0 && s.rng.Float64() < float64(n)/float64(p.seen) {
 			i := s.rng.Intn(n)
-			victim := s.held[i]
-			s.held[i] = heldDevice{
+			victim := p.held[i]
+			p.held[i] = heldDevice{
 				ID:             m.Req.DeviceID,
 				RuntimeVersion: m.Req.RuntimeVersion,
 				Conn:           m.Conn,
 				AcceptedAt:     now,
 			}
-			s.rejected++
-			_ = victim.Conn.Send(protocol.CheckinResponse{
-				Accepted:   false,
-				Reason:     "displaced by reservoir sampling",
-				RetryAfter: s.steering.Suggest(s.populationEstimate, s.demand, now, s.rng),
-			})
-			_ = victim.Conn.Close()
+			p.rejected++
+			s.rejectConn(victim.Conn, "displaced by reservoir sampling", p.steering, p.populationEstimate, p.demand, now)
 			return
 		}
 		reject("come back later")
 		return
 	}
-	s.quota--
-	s.accepted++
+	// Quota available; enforce the selector-wide parked-device capacity with
+	// demand-weighted fair sharing across populations.
+	if s.capacity > 0 && s.totalHeld() >= s.capacity {
+		if len(p.held) >= s.fairShare(p) || !s.displaceOverShare(now) {
+			reject("selector at capacity")
+			return
+		}
+	}
+	p.quota--
+	p.accepted++
 	d := heldDevice{
 		ID:             m.Req.DeviceID,
 		RuntimeVersion: m.Req.RuntimeVersion,
 		Conn:           m.Conn,
 		AcceptedAt:     now,
 	}
-	if s.pendingN > 0 && s.pendingTo != nil {
-		if err := s.pendingTo.Send(msgDevices{Devices: []heldDevice{d}}); err != nil {
-			s.pendingTo, s.pendingN = nil, 0
+	if p.pendingN > 0 && p.pendingTo != nil {
+		if err := p.pendingTo.Send(msgDevices{Devices: []heldDevice{d}}); err != nil {
+			p.pendingTo, p.pendingN = nil, 0
 			_ = d.Conn.Close()
 			return
 		}
-		s.pendingN--
-		if s.pendingN == 0 {
-			s.pendingTo = nil
+		p.pendingN--
+		if p.pendingN == 0 {
+			p.pendingTo = nil
 		}
 		return
 	}
-	s.held = append(s.held, d)
+	p.held = append(p.held, d)
+}
+
+// totalHeld is the parked-device count across all populations.
+func (s *Selector) totalHeld() int {
+	n := 0
+	for _, p := range s.pops {
+		n += len(p.held)
+	}
+	return n
+}
+
+// fairShare returns p's share of the selector capacity, weighted by each
+// population's current quota demand (only populations actively asking for
+// devices count toward the denominator).
+func (s *Selector) fairShare(p *selPop) int {
+	total := 0
+	for _, sp := range s.pops {
+		if sp.quota > 0 {
+			total += sp.demand
+		}
+	}
+	demand := p.demand
+	if p.quota <= 0 {
+		demand = 0
+	}
+	if total <= 0 {
+		return s.capacity
+	}
+	share := s.capacity * demand / total
+	if share < 1 && demand > 0 {
+		share = 1
+	}
+	return share
+}
+
+// displaceOverShare evicts one parked device from the population furthest
+// above its fair share, steering it away. Reports whether a slot was freed.
+func (s *Selector) displaceOverShare(now time.Time) bool {
+	var victim *selPop
+	excess := 0
+	for _, q := range s.pops {
+		if e := len(q.held) - s.fairShare(q); e > excess {
+			victim, excess = q, e
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	d := victim.held[0]
+	victim.held = append(victim.held[:0], victim.held[1:]...)
+	victim.rejected++
+	// The displaced device keeps its claim on the round: hand its quota
+	// back so a later check-in of its population can take the slot.
+	victim.quota++
+	victim.accepted--
+	s.rejectConn(d.Conn, "displaced by cross-population fair sharing", victim.steering, victim.populationEstimate, victim.demand, now)
+	return true
 }
 
 func (s *Selector) onForward(m msgForwardDevices) {
+	p, ok := s.pops[m.Population]
+	if !ok {
+		return
+	}
 	n := m.N
-	if n > len(s.held) {
-		n = len(s.held)
+	if n > len(p.held) {
+		n = len(p.held)
 	}
 	if n > 0 {
 		batch := make([]heldDevice, n)
-		copy(batch, s.held[:n])
-		s.held = append(s.held[:0], s.held[n:]...)
+		copy(batch, p.held[:n])
+		p.held = append(p.held[:0], p.held[n:]...)
 		if err := m.To.Send(msgDevices{Devices: batch}); err != nil {
 			// Master Aggregator already gone; the devices are lost, mirroring
 			// "if an Aggregator or Selector crashes, only the devices
@@ -175,9 +346,33 @@ func (s *Selector) onForward(m msgForwardDevices) {
 		}
 	}
 	// Remember the remainder so later check-ins stream to the round.
-	s.pendingTo = m.To
-	s.pendingN = m.N - n
-	if s.pendingN <= 0 {
-		s.pendingTo, s.pendingN = nil, 0
+	p.pendingTo = m.To
+	p.pendingN = m.N - n
+	if p.pendingN <= 0 {
+		p.pendingTo, p.pendingN = nil, 0
 	}
+}
+
+// stats reports one population's counters, or — for population "" — the
+// totals across every registered population plus unknown-population
+// rejections.
+func (s *Selector) stats(population string) SelectorStats {
+	if population != "" {
+		p, ok := s.pops[population]
+		if !ok {
+			return SelectorStats{}
+		}
+		return SelectorStats{Held: len(p.held), Accepted: p.accepted, Rejected: p.rejected}
+	}
+	total := SelectorStats{
+		UnknownPopulation: s.unknownRejected,
+		Accepted:          s.retiredAccepted,
+		Rejected:          s.unknownRejected + s.retiredRejected,
+	}
+	for _, p := range s.pops {
+		total.Held += len(p.held)
+		total.Accepted += p.accepted
+		total.Rejected += p.rejected
+	}
+	return total
 }

@@ -12,29 +12,57 @@ import (
 	"repro/internal/transport"
 )
 
+// spawnSelector spawns a Selector serving the named populations with the
+// given parked-pool capacity.
+func spawnSelector(sys *actor.System, name string, capacity int, seed uint64, pops ...string) *actor.Ref {
+	var sp []SelectorPopulation
+	for _, p := range pops {
+		sp = append(sp, SelectorPopulation{Name: p, Steering: pacing.New(time.Second), PopulationEstimate: 100})
+	}
+	return sys.Spawn(name, NewSelector(nil, pacing.New(time.Second), capacity, seed, nil, sp...))
+}
+
+// checkin sends one device check-in; the device side is drained so
+// rejection responses never block, and the last response is recorded.
+func checkin(sel *actor.Ref, pop, id string, responses func(protocol.CheckinResponse)) {
+	client, server := transport.Pipe()
+	go func() {
+		for {
+			msg, err := client.Recv()
+			if err != nil {
+				return
+			}
+			if r, ok := msg.(protocol.CheckinResponse); ok && responses != nil {
+				responses(r)
+			}
+		}
+	}()
+	_ = sel.Send(msgCheckin{
+		Req:  protocol.CheckinRequest{DeviceID: id, Population: pop},
+		Conn: server,
+	})
+}
+
+// popStats queries one population's counters synchronously.
+func popStats(t *testing.T, sel *actor.Ref, pop string) SelectorStats {
+	t.Helper()
+	st, err := QuerySelectorStats(sel, pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
 // driveSelector sends n device check-ins into a Selector with quota 1 and
 // returns the ID of the device that survives the reservoir.
 func driveSelector(t *testing.T, sys *actor.System, seed uint64, n int) string {
 	t.Helper()
-	sel := sys.Spawn(fmt.Sprintf("sel-%d", seed),
-		NewSelector("pop", nil, pacing.New(time.Second), 100, seed, nil))
+	sel := spawnSelector(sys, fmt.Sprintf("sel-%d", seed), 0, seed, "pop")
 	defer sel.Stop()
 
 	_ = sel.Send(msgSetQuota{Population: "pop", Accept: 1})
 	for i := 0; i < n; i++ {
-		client, server := transport.Pipe()
-		// Drain the device side so rejected responses don't block.
-		go func(c transport.Conn) {
-			for {
-				if _, err := c.Recv(); err != nil {
-					return
-				}
-			}
-		}(client)
-		_ = sel.Send(msgCheckin{
-			Req:  protocol.CheckinRequest{DeviceID: fmt.Sprintf("dev-%d", i), Population: "pop"},
-			Conn: server,
-		})
+		checkin(sel, "pop", fmt.Sprintf("dev-%d", i), nil)
 	}
 
 	// Collect the survivor.
@@ -50,7 +78,7 @@ func driveSelector(t *testing.T, sys *actor.System, seed uint64, n int) string {
 		}
 	}))
 	defer collector.Stop()
-	_ = sel.Send(msgForwardDevices{N: 1, To: collector})
+	_ = sel.Send(msgForwardDevices{Population: "pop", N: 1, To: collector})
 	select {
 	case <-got:
 	case <-time.After(10 * time.Second):
@@ -85,9 +113,9 @@ func TestReservoirSamplingIsNotFCFS(t *testing.T) {
 	}
 }
 
-func TestSelectorRejectsWrongPopulation(t *testing.T) {
+func TestSelectorRejectsUnknownPopulation(t *testing.T) {
 	sys := actor.NewSystem()
-	sel := sys.Spawn("sel", NewSelector("pop", nil, pacing.New(time.Second), 100, 1, nil))
+	sel := spawnSelector(sys, "sel", 0, 1, "pop")
 	defer sel.Stop()
 	_ = sel.Send(msgSetQuota{Population: "pop", Accept: 5})
 
@@ -102,16 +130,23 @@ func TestSelectorRejectsWrongPopulation(t *testing.T) {
 	}
 	resp := msg.(protocol.CheckinResponse)
 	if resp.Accepted {
-		t.Fatal("wrong population must be rejected")
+		t.Fatal("unknown population must be rejected")
 	}
 	if resp.RetryAfter <= 0 {
 		t.Fatal("rejection must carry a pace-steering hint")
+	}
+	st, err := QuerySelectorStats(sel, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.UnknownPopulation != 1 {
+		t.Fatalf("unknown-population rejections = %d, want 1", st.UnknownPopulation)
 	}
 }
 
 func TestSelectorQuotaForOtherPopulationIgnored(t *testing.T) {
 	sys := actor.NewSystem()
-	sel := sys.Spawn("sel", NewSelector("pop", nil, pacing.New(time.Second), 100, 1, nil))
+	sel := spawnSelector(sys, "sel", 0, 1, "pop")
 	defer sel.Stop()
 	_ = sel.Send(msgSetQuota{Population: "other", Accept: 5})
 
@@ -126,5 +161,90 @@ func TestSelectorQuotaForOtherPopulationIgnored(t *testing.T) {
 	}
 	if msg.(protocol.CheckinResponse).Accepted {
 		t.Fatal("quota for another population must not admit devices")
+	}
+}
+
+func TestSelectorFairSharesCapacityAcrossPopulations(t *testing.T) {
+	// Capacity 4, pop-a demanding 6 vs pop-b demanding 2: shares are 3 and
+	// 1. pop-a may fill the whole pool while alone, but a pop-b check-in
+	// must displace a parked pop-a device rather than be starved; a second
+	// pop-b check-in is over pop-b's share and bounces.
+	sys := actor.NewSystem()
+	sel := spawnSelector(sys, "sel", 4, 1, "pop-a", "pop-b")
+	defer sel.Stop()
+	_ = sel.Send(msgSetQuota{Population: "pop-a", Accept: 6})
+	_ = sel.Send(msgSetQuota{Population: "pop-b", Accept: 2})
+
+	for i := 0; i < 6; i++ {
+		checkin(sel, "pop-a", fmt.Sprintf("a-%d", i), nil)
+	}
+	if st := popStats(t, sel, "pop-a"); st.Held != 4 {
+		t.Fatalf("pop-a alone should fill the pool: held=%d", st.Held)
+	}
+
+	checkin(sel, "pop-b", "b-0", nil)
+	if st := popStats(t, sel, "pop-b"); st.Held != 1 {
+		t.Fatalf("pop-b below its share must displace into the pool: held=%d", st.Held)
+	}
+	if st := popStats(t, sel, "pop-a"); st.Held != 3 {
+		t.Fatalf("pop-a must give back its over-share slot: held=%d", st.Held)
+	}
+
+	checkin(sel, "pop-b", "b-1", nil)
+	if st := popStats(t, sel, "pop-b"); st.Held != 1 {
+		t.Fatalf("pop-b at its share must not grow: held=%d", st.Held)
+	}
+
+	total, err := QuerySelectorStats(sel, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Held != 4 {
+		t.Fatalf("capacity must bound the pool: held=%d", total.Held)
+	}
+}
+
+func TestSelectorDeregisterSteersParkedDevices(t *testing.T) {
+	sys := actor.NewSystem()
+	sel := spawnSelector(sys, "sel", 0, 1, "pop")
+	defer sel.Stop()
+	_ = sel.Send(msgSetQuota{Population: "pop", Accept: 2})
+
+	responses := make(chan protocol.CheckinResponse, 4)
+	record := func(r protocol.CheckinResponse) { responses <- r }
+	checkin(sel, "pop", "d-0", record)
+	checkin(sel, "pop", "d-1", record)
+	if st := popStats(t, sel, "pop"); st.Held != 2 {
+		t.Fatalf("held=%d, want 2", st.Held)
+	}
+
+	_ = sel.Send(msgDeregisterPopulation{Name: "pop"})
+	for i := 0; i < 2; i++ {
+		select {
+		case r := <-responses:
+			if r.Accepted || r.RetryAfter <= 0 {
+				t.Fatalf("parked device must get a steering-backed rejection: %+v", r)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("parked device never got a deregistration rejection")
+		}
+	}
+
+	// Later check-ins are unknown-population rejections.
+	checkin(sel, "pop", "d-2", nil)
+	st, err := QuerySelectorStats(sel, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.UnknownPopulation == 0 {
+		t.Fatal("check-in after deregistration must count as unknown population")
+	}
+	// The deregistered population's history stays in the totals: counters
+	// are monotonic across deregistrations.
+	if st.Accepted != 2 {
+		t.Fatalf("accepted history lost on deregistration: %+v", st)
+	}
+	if st.Rejected < 2 {
+		t.Fatalf("deregistration rejections lost: %+v", st)
 	}
 }

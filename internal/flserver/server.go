@@ -10,7 +10,6 @@ import (
 	"repro/internal/attest"
 	"repro/internal/pacing"
 	"repro/internal/plan"
-	"repro/internal/protocol"
 	"repro/internal/storage"
 	"repro/internal/transport"
 )
@@ -26,6 +25,10 @@ type Config struct {
 	// PopulationEstimate feeds pace steering.
 	PopulationEstimate int
 	NumSelectors       int
+	// SelectorCapacity bounds the parked devices per Selector (0 =
+	// unbounded). Multi-population deployments (internal/fleet) set it to
+	// get demand-weighted fair sharing of the parked pool.
+	SelectorCapacity int
 	// MaxRounds stops after that many committed rounds (0 = forever).
 	MaxRounds int
 	Seed      uint64
@@ -33,23 +36,25 @@ type Config struct {
 	Now func() time.Time
 }
 
-// Server wires the actor architecture to a transport listener: it spawns
-// the Selector layer and the Coordinator, dispatches device check-ins to
-// Selectors, and supervises the Coordinator via the lock service (a dead
-// Coordinator is detected and respawned exactly once, Sec. 4.4).
+// Server wires the actor architecture to a transport listener for a single
+// FL population: it spawns the Selector layer and the Coordinator,
+// dispatches device check-ins to Selectors, and supervises the Coordinator
+// via the lock service (a dead Coordinator is detected and respawned
+// exactly once, Sec. 4.4). The multi-population equivalent — one shared
+// Selector layer serving many populations — is internal/fleet, built from
+// the same actors.
 type Server struct {
-	cfg  Config
-	sys  *actor.System
-	lock *actor.LockService
+	cfg    Config
+	sys    *actor.System
+	lock   *actor.LockService
+	router *CheckinRouter
 
 	selectors []*actor.Ref
 	mu        sync.Mutex
 	coord     *actor.Ref
 	done      chan struct{}
 
-	nextSel  uint64
-	closed   atomic.Bool
-	handlers sync.WaitGroup
+	closed atomic.Bool
 }
 
 // New builds the server and spawns its actors.
@@ -84,11 +89,17 @@ func New(cfg Config) (*Server, error) {
 		lock: actor.NewLockService(),
 		done: make(chan struct{}),
 	}
+	pop := SelectorPopulation{
+		Name:               cfg.Population,
+		Steering:           cfg.Steering,
+		PopulationEstimate: cfg.PopulationEstimate,
+	}
 	for i := 0; i < cfg.NumSelectors; i++ {
 		sel := s.sys.Spawn(fmt.Sprintf("selector-%d", i),
-			NewSelector(cfg.Population, cfg.Verifier, cfg.Steering, cfg.PopulationEstimate, cfg.Seed+uint64(i), cfg.Now))
+			NewSelector(cfg.Verifier, cfg.Steering, cfg.SelectorCapacity, cfg.Seed+uint64(i), cfg.Now, pop))
 		s.selectors = append(s.selectors, sel)
 	}
+	s.router = NewCheckinRouter(s.selectors, NewHinter(cfg.Steering, cfg.PopulationEstimate, cfg.Seed+7919, cfg.Now))
 	s.spawnCoordinator()
 	return s, nil
 }
@@ -102,10 +113,10 @@ func (s *Server) spawnCoordinator() {
 	coord := s.sys.Spawn("coordinator/"+s.cfg.Population,
 		NewCoordinator(s.cfg.Population, s.lock, s.cfg.Store, s.cfg.Plans, s.selectors, s.cfg.MaxRounds, s.done, s.cfg.Now))
 	s.coord = coord
-	_ = coord.Send(msgTick{})
 
 	// The Selector layer's supervision duty (Sec. 4.4: "if the Coordinator
-	// dies, the Selector layer will detect this and respawn it").
+	// dies, the Selector layer will detect this and respawn it"). Watch
+	// before the first tick so even an instant crash is supervised.
 	watcher := s.sys.Spawn("coordinator-watcher", actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {
 		if t, ok := msg.(actor.Terminated); ok && t.Ref == coord {
 			if !s.closed.Load() && t.Failure {
@@ -115,6 +126,7 @@ func (s *Server) spawnCoordinator() {
 		}
 	}))
 	s.sys.Watch(coord, watcher)
+	_ = StartCoordinator(coord)
 }
 
 // Coordinator returns the current coordinator ref (tests).
@@ -127,73 +139,30 @@ func (s *Server) Coordinator() *actor.Ref {
 // Done is closed when MaxRounds rounds have committed.
 func (s *Server) Done() <-chan struct{} { return s.done }
 
-// Stats queries coordinator progress.
-func (s *Server) Stats() CoordinatorStats {
-	reply := make(chan CoordinatorStats, 1)
-	if err := s.Coordinator().Send(msgCoordinatorStats{Reply: reply}); err != nil {
-		return CoordinatorStats{}
-	}
-	select {
-	case st := <-reply:
-		return st
-	case <-time.After(5 * time.Second):
-		return CoordinatorStats{}
-	}
+// Stats queries coordinator progress. The error is non-nil when the
+// Coordinator is dead or unresponsive, so callers cannot mistake a dead
+// coordinator for zero progress.
+func (s *Server) Stats() (CoordinatorStats, error) {
+	return QueryCoordinatorStats(s.Coordinator())
 }
 
-// SelectorStats sums stats across the selector layer.
-func (s *Server) SelectorStats() SelectorStats {
+// SelectorStats sums stats across the selector layer. The error is non-nil
+// when any Selector is dead or unresponsive.
+func (s *Server) SelectorStats() (SelectorStats, error) {
 	var total SelectorStats
 	for _, sel := range s.selectors {
-		reply := make(chan SelectorStats, 1)
-		if sel.Send(msgSelectorStats{Reply: reply}) != nil {
-			continue
-		}
-		select {
-		case st := <-reply:
-			total.Held += st.Held
-			total.Accepted += st.Accepted
-			total.Rejected += st.Rejected
-		case <-time.After(5 * time.Second):
-		}
-	}
-	return total
-}
-
-// Serve accepts device connections from l until l closes. Each connection's
-// first message must be a CheckinRequest, which is dispatched to a Selector
-// round-robin (Selectors are "globally distributed, close to devices" in
-// the paper; round-robin stands in for geographic affinity).
-func (s *Server) Serve(l transport.Listener) {
-	for {
-		conn, err := l.Accept()
+		st, err := QuerySelectorStats(sel, "")
 		if err != nil {
-			return
+			return SelectorStats{}, err
 		}
-		s.handlers.Add(1)
-		go func() {
-			defer s.handlers.Done()
-			s.handleConn(conn)
-		}()
+		total.Add(st)
 	}
+	return total, nil
 }
 
-func (s *Server) handleConn(conn transport.Conn) {
-	msg, err := conn.Recv()
-	if err != nil {
-		_ = conn.Close()
-		return
-	}
-	req, ok := msg.(protocol.CheckinRequest)
-	if !ok {
-		_ = conn.Close()
-		return
-	}
-	idx := atomic.AddUint64(&s.nextSel, 1) % uint64(len(s.selectors))
-	if err := s.selectors[idx].Send(msgCheckin{Req: req, Conn: conn}); err != nil {
-		_ = conn.Close()
-	}
-}
+// Serve accepts device connections from l until l closes, routing each
+// connection's first message through the shared CheckinRouter accept path.
+func (s *Server) Serve(l transport.Listener) { s.router.Serve(l) }
 
 // Close stops the actor system.
 func (s *Server) Close() {
@@ -201,5 +170,5 @@ func (s *Server) Close() {
 	refs := append([]*actor.Ref{}, s.selectors...)
 	refs = append(refs, s.Coordinator())
 	s.sys.Shutdown(refs...)
-	s.handlers.Wait()
+	s.router.Wait()
 }
