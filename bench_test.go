@@ -10,6 +10,7 @@ package repro_test
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -260,6 +261,41 @@ func BenchmarkMultiPopulation(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(minRounds), "rounds/pop")
+		})
+	}
+}
+
+// BenchmarkMultiTask drives ONE population whose TaskSet interleaves a
+// train task with an eval task submitted through the live SubmitTask API
+// (Sec. 7 model-engineer workflow): the train task reaches its round
+// target while the eval task keeps its cadence, over both transports. The
+// per-task rounds/sec metrics expose how much round throughput the eval
+// traffic costs training.
+func BenchmarkMultiTask(b *testing.B) {
+	for _, tr := range []struct {
+		name string
+		tcp  bool
+	}{{"mem", false}, {"tcp", true}} {
+		b.Run(tr.name+"/train+eval", func(b *testing.B) {
+			b.ReportAllocs()
+			var st flserver.BenchMultiTaskStats
+			for i := 0; i < b.N; i++ {
+				var err error
+				st, err = flserver.RunBenchMultiTask(flserver.BenchMultiTaskConfig{
+					Devices: 9, TargetDevices: 3, TrainRounds: 4, EvalEvery: 2,
+					TCP: tr.tcp, Seed: uint64(i + 1),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			for id, rps := range st.RoundsPerSec {
+				name := "train-rounds/sec"
+				if strings.HasSuffix(id, "/eval") {
+					name = "eval-rounds/sec"
+				}
+				b.ReportMetric(rps, name)
+			}
 		})
 	}
 }

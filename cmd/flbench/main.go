@@ -13,6 +13,7 @@
 //	flbench -exp pacing     # Sec. 2.3 pace steering regimes
 //	flbench -exp roundtput  # round fan-out/ingest pipeline throughput
 //	flbench -exp multipop   # Sec. 4.2 fleet gateway: 3 populations, one Selector layer
+//	flbench -exp multitask  # Sec. 7 task lifecycle: interleaved train + eval tasks on one population
 //	flbench -exp all        # everything
 //
 // -json emits machine-readable results (one object keyed by experiment)
@@ -24,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/experiments"
@@ -32,7 +34,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig6, fig7, fig8, fig9, table1, nextword, ksweep, overselect, secagg, pacing, roundtput, multipop, all)")
+	exp := flag.String("exp", "all", "experiment to run (fig6, fig7, fig8, fig9, table1, nextword, ksweep, overselect, secagg, pacing, roundtput, multipop, multitask, all)")
 	days := flag.Int("days", 3, "simulated days for the operational figures")
 	pop := flag.Int("pop", 20000, "fleet size for the operational figures")
 	target := flag.Int("target", 100, "devices per round (K)")
@@ -172,6 +174,70 @@ func multiPopulation(seed uint64) (*multipopResult, error) {
 	return res, nil
 }
 
+// multitaskRow is one transport's run of the multi-task lifecycle
+// experiment.
+type multitaskRow struct {
+	Transport string
+	// RoundsCommitted / RoundsPerSec are keyed by task ID.
+	RoundsCommitted map[string]int
+	RoundsPerSec    map[string]float64
+	MillisTotal     float64
+}
+
+// multitaskResult mirrors BenchmarkMultiTask for the CLI: one population
+// interleaving a train task with an eval task submitted through the live
+// task lifecycle API, per transport.
+type multitaskResult struct {
+	Rows []multitaskRow
+}
+
+// Format implements formatter.
+func (r *multitaskResult) Format() string {
+	var b strings.Builder
+	b.WriteString("Task lifecycle (one population, train + eval tasks interleaved by the TaskSet)\n")
+	b.WriteString("  transport  task                 rounds   rounds/sec   ms-total\n")
+	for _, row := range r.Rows {
+		ids := make([]string, 0, len(row.RoundsCommitted))
+		for id := range row.RoundsCommitted {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Fprintf(&b, "  %-9s %-20s %6d %12.1f %10.1f\n",
+				row.Transport, id, row.RoundsCommitted[id], row.RoundsPerSec[id], row.MillisTotal)
+		}
+	}
+	return b.String()
+}
+
+func multiTask(seed uint64) (*multitaskResult, error) {
+	res := &multitaskResult{}
+	for _, tcp := range []bool{false, true} {
+		name := "mem"
+		if tcp {
+			name = "tcp"
+		}
+		st, err := flserver.RunBenchMultiTask(flserver.BenchMultiTaskConfig{
+			Devices: 9, TargetDevices: 3, TrainRounds: 4, EvalEvery: 2,
+			TCP: tcp, Seed: seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("multitask %s: %w", name, err)
+		}
+		row := multitaskRow{
+			Transport:       name,
+			RoundsCommitted: make(map[string]int, len(st.PerTask)),
+			RoundsPerSec:    st.RoundsPerSec,
+			MillisTotal:     float64(st.Elapsed.Microseconds()) / 1000,
+		}
+		for _, t := range st.PerTask {
+			row.RoundsCommitted[t.ID] = t.RoundsCommitted
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
 func run(exp string, seed uint64, days, pop, target int, asJSON bool) error {
 	collected := make(map[string]interface{})
 	runOne := func(name string, f func() (formatter, error)) error {
@@ -226,11 +292,12 @@ func run(exp string, seed uint64, days, pop, target int, asJSON bool) error {
 		"wallclock": func() (formatter, error) { return experiments.WallClock(seed) },
 		"roundtput": func() (formatter, error) { return roundThroughput() },
 		"multipop":  func() (formatter, error) { return multiPopulation(seed) },
+		"multitask": func() (formatter, error) { return multiTask(seed) },
 	}
 
 	if exp == "all" {
 		// Deterministic order matching the paper's presentation.
-		for _, name := range []string{"pacing", "secagg", "roundtput", "multipop", "nextword", "wallclock", "fig6", "fig7", "fig8", "fig9", "table1", "ksweep", "overselect", "adaptive"} {
+		for _, name := range []string{"pacing", "secagg", "roundtput", "multipop", "multitask", "nextword", "wallclock", "fig6", "fig7", "fig8", "fig9", "table1", "ksweep", "overselect", "adaptive"} {
 			if err := runOne(name, all[name]); err != nil {
 				return err
 			}

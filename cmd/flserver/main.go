@@ -12,6 +12,21 @@
 // population's round checkpoints to -storage (a per-population
 // subdirectory; in-memory when empty) and prints per-population round
 // progress until every population reaches -rounds.
+//
+// -tasks-dir turns the process into an operable service (Sec. 7
+// model-engineer workflow): the directory is watched for *.json task op
+// files, each processed exactly once, so new train/eval plans can be
+// dropped onto the LIVE process — and running tasks paused, resumed, or
+// retired — without restarting it:
+//
+//	flserver -addr :8750 -population gboard -rounds 0 -tasks-dir /etc/fl-tasks
+//	cat > /etc/fl-tasks/10-eval.json <<'EOF'
+//	{"population": "gboard",
+//	 "task": {"TaskID": "gboard/eval", "Population": "gboard", "Type": 2,
+//	          "Model": {"Kind": 2, "Features": 8, "Hidden": 16, "Classes": 4, "Seed": 1},
+//	          "StoreName": "examples", "TargetDevices": 10},
+//	 "policy": {"EvalEvery": 2, "EvalOf": "gboard/train"}}
+//	EOF
 package main
 
 import (
@@ -26,7 +41,56 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/plan"
 	"repro/internal/storage"
+	"repro/internal/tasks"
 )
+
+// watchTasksDir polls dir for operator task op files and applies each to
+// the live fleet exactly once, logging every outcome. A broken file is
+// consumed and reported rather than retried, so a typo cannot wedge the
+// watcher.
+func watchTasksDir(fleet *repro.Fleet, dir string) {
+	scanner := tasks.NewDirScanner(dir)
+	log.Printf("watching %s for task op files", dir)
+	for {
+		ops, err := scanner.Scan()
+		if err != nil {
+			log.Printf("tasks-dir: %v", err)
+			time.Sleep(5 * time.Second)
+			continue
+		}
+		for _, pending := range ops {
+			if pending.Err != nil {
+				log.Printf("tasks-dir %s: %v", pending.File, pending.Err)
+				continue
+			}
+			op := pending.Op
+			var err error
+			switch op.Action {
+			case tasks.OpSubmit:
+				var p *repro.Plan
+				if p, err = repro.GeneratePlan(*op.Task); err == nil {
+					err = fleet.SubmitTask(op.Population, p, op.Policy)
+				}
+			case tasks.OpPause:
+				err = fleet.PauseTask(op.Population, op.TaskID)
+			case tasks.OpResume:
+				err = fleet.ResumeTask(op.Population, op.TaskID)
+			case tasks.OpRetire:
+				err = fleet.RetireTask(op.Population, op.TaskID)
+			}
+			if err != nil {
+				log.Printf("tasks-dir %s: %s %s: %v", pending.File, op.Action, op.Population, err)
+				continue
+			}
+			id := op.TaskID
+			if op.Task != nil {
+				id = op.Task.TaskID
+			}
+			log.Printf("tasks-dir %s: %s %s/%s applied", pending.File, op.Action, op.Population, id)
+		}
+		time.Sleep(2 * time.Second)
+	}
+}
 
 func main() {
 	var populations cliutil.ListFlag
@@ -37,6 +101,7 @@ func main() {
 	storageDir := flag.String("storage", "", "checkpoint directory, one subdirectory per population (empty = in-memory)")
 	selTimeout := flag.Duration("selection-timeout", 30*time.Second, "selection window")
 	repTimeout := flag.Duration("report-timeout", time.Minute, "reporting window")
+	tasksDir := flag.String("tasks-dir", "", "directory watched for task op files (JSON); submit/pause/resume/retire tasks on the live process")
 	flag.Parse()
 	if len(populations) == 0 {
 		populations = cliutil.ListFlag{"gboard"}
@@ -101,6 +166,10 @@ func main() {
 
 	go fleet.Serve(l)
 
+	if *tasksDir != "" {
+		go watchTasksDir(fleet, *tasksDir)
+	}
+
 	allDone := make(chan struct{})
 	go func() {
 		for _, st := range states {
@@ -141,6 +210,12 @@ func main() {
 				log.Printf("%s: round %d, %d completed, %d failed; selector accepted=%d rejected=%d held=%d",
 					ps.name, st.Coordinator.CurrentRound, st.Coordinator.RoundsCompleted, st.Coordinator.RoundsFailed,
 					st.Selector.Accepted, st.Selector.Rejected, st.Selector.Held)
+				if ts, err := fleet.TaskStats(ps.name); err == nil {
+					for _, t := range ts {
+						log.Printf("  task %s [%s %s]: %d committed, %d failed, %d devices",
+							t.ID, t.Type, t.State, t.RoundsCommitted, t.RoundsFailed, t.Devices)
+					}
+				}
 			}
 		}
 	}

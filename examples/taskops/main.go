@@ -1,0 +1,210 @@
+// Task operations on a live FL population (Sec. 7): the model engineer's
+// workflow made first-class. A population starts with one training task;
+// while training is running we SUBMIT an evaluation task onto the live
+// server (it interleaves per its cadence, serving the training task's
+// latest checkpoint read-only), PAUSE and RESUME it, watch per-task stats,
+// and finally RETIRE it — all without restarting the server or disturbing
+// the round in flight.
+//
+//	go run ./examples/taskops
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	repro "repro"
+)
+
+const (
+	numDevices = 16
+	features   = 8
+	items      = 4
+)
+
+func main() {
+	fed, err := repro.Ranking(repro.RankingConfig{
+		Users: numDevices, ExamplesPer: 40, Features: features, Items: items,
+		TestSize: 200, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	train, err := repro.GeneratePlan(repro.TaskConfig{
+		TaskID:           "ranker/train",
+		Population:       "ranker",
+		Model:            repro.ModelSpec{Kind: repro.KindLogistic, Features: features, Classes: items, Seed: 3},
+		StoreName:        "clicks",
+		BatchSize:        10,
+		Epochs:           1,
+		LearningRate:     0.05,
+		TargetDevices:    6,
+		SelectionTimeout: 3 * time.Second,
+		ReportTimeout:    10 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	store := repro.NewMemStorage()
+	srv, err := repro.NewServer(repro.ServerConfig{
+		Population: "ranker",
+		Plans:      []*repro.Plan{train}, // seeds the task set with one Active task
+		Store:      store,
+		Steering:   repro.NewPaceSteering(time.Second),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	net := repro.NewMemNetwork()
+	l, err := net.Listen("fl")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer l.Close()
+	go srv.Serve(l)
+
+	// The device fleet loops check-in / execute / report in the background.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < numDevices; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			clicks, err := repro.NewExampleStore("clicks", 1000, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			now := time.Now()
+			for _, ex := range fed.Users[i] {
+				clicks.Add(ex, now)
+			}
+			rt := repro.NewDeviceRuntime(fmt.Sprintf("phone-%d", i), 3, uint64(i))
+			if err := rt.RegisterStore(clicks); err != nil {
+				log.Fatal(err)
+			}
+			client := &repro.DeviceClient{ID: fmt.Sprintf("phone-%d", i), Population: "ranker", Runtime: rt}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				conn, err := net.Dial("fl")
+				if err != nil {
+					return
+				}
+				if _, err := client.RunOnce(conn); err != nil {
+					time.Sleep(20 * time.Millisecond)
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}()
+	}
+	defer func() { close(stop); wg.Wait() }()
+
+	waitRounds := func(id string, n int) {
+		for {
+			for _, st := range mustStats(srv) {
+				if st.ID == id && st.RoundsCommitted >= n {
+					return
+				}
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	fmt.Println("== training starts with one task ==")
+	waitRounds(train.ID, 2)
+	printStats(srv)
+
+	fmt.Println("== submit an eval task onto the LIVE population ==")
+	eval, err := repro.GeneratePlan(repro.TaskConfig{
+		TaskID:           "ranker/eval",
+		Population:       "ranker",
+		Type:             repro.TaskEval,
+		Model:            repro.ModelSpec{Kind: repro.KindLogistic, Features: features, Classes: items, Seed: 3},
+		StoreName:        "clicks",
+		TargetDevices:    4,
+		SelectionTimeout: 3 * time.Second,
+		ReportTimeout:    10 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Evaluate the train task's latest checkpoint after every committed
+	// train round.
+	if err := srv.SubmitTask(eval, repro.TaskPolicy{EvalEvery: 1, EvalOf: train.ID}); err != nil {
+		log.Fatal(err)
+	}
+	waitRounds(eval.ID, 2)
+	printStats(srv)
+
+	fmt.Println("== pause the eval task, train on, resume it ==")
+	if err := srv.PauseTask(eval.ID); err != nil {
+		log.Fatal(err)
+	}
+	before := roundsOf(srv, train.ID)
+	waitRounds(train.ID, before+2)
+	if err := srv.ResumeTask(eval.ID); err != nil {
+		log.Fatal(err)
+	}
+	waitRounds(eval.ID, roundsOf(srv, eval.ID)+1)
+	printStats(srv)
+
+	fmt.Println("== retire the eval task; training is undisturbed ==")
+	if err := srv.RetireTask(eval.ID); err != nil {
+		log.Fatal(err)
+	}
+	waitRounds(train.ID, roundsOf(srv, train.ID)+2)
+	printStats(srv)
+
+	// The eval rounds never advanced the model: the only committed lineage
+	// is the train task's.
+	ckpt, err := store.LatestCheckpoint(train.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := store.LatestCheckpoint(eval.ID); err == nil {
+		log.Fatal("eval task must not own a checkpoint lineage")
+	}
+	m, err := train.Device.Model.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	m.WriteParams(ckpt.Params)
+	met := m.Evaluate(fed.Test)
+	fmt.Printf("final train checkpoint: round %d, accuracy %.3f (chance %.3f)\n",
+		ckpt.Round, met.Accuracy, 1.0/float64(items))
+}
+
+func mustStats(srv *repro.Server) []repro.TaskStats {
+	sts, err := srv.TaskStats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sts
+}
+
+func roundsOf(srv *repro.Server, id string) int {
+	for _, st := range mustStats(srv) {
+		if st.ID == id {
+			return st.RoundsCommitted
+		}
+	}
+	return 0
+}
+
+func printStats(srv *repro.Server) {
+	fmt.Println("  task            type   state    rounds  failed  devices")
+	for _, st := range mustStats(srv) {
+		fmt.Printf("  %-15s %-6s %-8s %6d %7d %8d\n",
+			st.ID, st.Type, st.State, st.RoundsCommitted, st.RoundsFailed, st.Devices)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/population"
 	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/internal/tasks"
 	"repro/internal/transport"
 )
 
@@ -79,6 +80,13 @@ type (
 	// FleetPopulationStats bundles one population's round and selector
 	// progress within a Fleet.
 	FleetPopulationStats = fleet.PopulationStats
+	// TaskState is an FL task's lifecycle state (Active/Paused/Retired).
+	TaskState = tasks.State
+	// TaskPolicy is a task's scheduling policy: weighted round-robin
+	// weight, eval cadence, deployment gates.
+	TaskPolicy = tasks.Policy
+	// TaskStats is one task's cumulative lifecycle record.
+	TaskStats = tasks.Stats
 	// DeviceClient drives one device through the protocol.
 	DeviceClient = flserver.DeviceClient
 	// DeviceRuntime executes FL plans on a device.
@@ -92,6 +100,22 @@ const (
 	KindLogistic = nn.KindLogistic
 	KindMLP      = nn.KindMLP
 	KindRNNLM    = nn.KindRNNLM
+)
+
+// Task types for TaskConfig.Type.
+const (
+	TaskTrain = plan.TaskTrain
+	TaskEval  = plan.TaskEval
+)
+
+// Task lifecycle states. Tasks are submitted onto live populations with
+// Server.SubmitTask / Fleet.SubmitTask, scheduled per their TaskPolicy,
+// and paused, resumed, or retired at runtime; per-task progress is
+// reported by TaskStats.
+const (
+	TaskActive  = tasks.Active
+	TaskPaused  = tasks.Paused
+	TaskRetired = tasks.Retired
 )
 
 // GeneratePlan builds a validated FL plan from a task configuration,

@@ -28,6 +28,7 @@ import (
 	"repro/internal/pacing"
 	"repro/internal/plan"
 	"repro/internal/storage"
+	"repro/internal/tasks"
 	"repro/internal/transport"
 )
 
@@ -59,8 +60,12 @@ type Config struct {
 type PopulationSpec struct {
 	// Population is the globally unique FL population name.
 	Population string
-	Plans      []*plan.Plan
-	Store      storage.Store
+	// Plans seeds the population's task set with default-policy tasks —
+	// sugar for Fleet.SubmitTask after Register. May be empty when every
+	// task arrives via SubmitTask or is restored from a previously
+	// persisted task set in Store.
+	Plans []*plan.Plan
+	Store storage.Store
 	// Steering paces this population's devices (default: the fleet's
 	// DefaultSteering).
 	Steering *pacing.Steering
@@ -81,7 +86,10 @@ type PopulationStats struct {
 
 // popEntry is the registry record for one registered population.
 type popEntry struct {
-	spec  PopulationSpec
+	spec PopulationSpec
+	// tasks is the population's task registry; it outlives any one
+	// Coordinator (crash respawns reuse it).
+	tasks *tasks.TaskSet
 	coord *actor.Ref
 	done  chan struct{}
 }
@@ -151,16 +159,17 @@ func New(cfg Config) (*Fleet, error) {
 func (f *Fleet) Register(spec PopulationSpec) error {
 	f.regMu.Lock()
 	defer f.regMu.Unlock()
-	if spec.Population == "" || len(spec.Plans) == 0 || spec.Store == nil {
-		return fmt.Errorf("fleet: Population, Plans and Store are required")
+	if spec.Population == "" || spec.Store == nil {
+		return fmt.Errorf("fleet: Population and Store are required")
 	}
-	for _, p := range spec.Plans {
-		if err := p.Validate(); err != nil {
-			return err
-		}
-		if p.Population != spec.Population {
-			return fmt.Errorf("fleet: plan %q is for population %q, spec is %q", p.ID, p.Population, spec.Population)
-		}
+	ts, err := tasks.New(spec.Population, spec.Store, f.cfg.Now)
+	if err != nil {
+		return err
+	}
+	// Seed validates every plan, checks the population match, and rejects
+	// duplicate task IDs (they would silently share a checkpoint lineage).
+	if err := ts.Seed(spec.Plans); err != nil {
+		return err
 	}
 	if spec.Steering == nil {
 		spec.Steering = f.cfg.DefaultSteering
@@ -168,8 +177,9 @@ func (f *Fleet) Register(spec PopulationSpec) error {
 	if spec.PopulationEstimate <= 0 {
 		spec.PopulationEstimate = f.cfg.DefaultPopulationEstimate
 	}
+	ts.SetPopulationEstimate(spec.PopulationEstimate)
 
-	entry := &popEntry{spec: spec, done: make(chan struct{})}
+	entry := &popEntry{spec: spec, tasks: ts, done: make(chan struct{})}
 	f.mu.Lock()
 	if f.closed.Load() {
 		f.mu.Unlock()
@@ -261,7 +271,7 @@ func (f *Fleet) spawnCoordinator(entry *popEntry) {
 		return
 	}
 	coord := f.sys.Spawn("coordinator/"+name,
-		flserver.NewCoordinator(name, f.lock, entry.spec.Store, entry.spec.Plans, f.selectors,
+		flserver.NewCoordinator(name, f.lock, entry.spec.Store, entry.tasks, f.selectors,
 			entry.spec.MaxRounds, entry.done, f.cfg.Now))
 	entry.coord = coord
 	f.mu.Unlock()
@@ -277,6 +287,68 @@ func (f *Fleet) spawnCoordinator(entry *popEntry) {
 	}))
 	f.sys.Watch(coord, watcher)
 	_ = flserver.StartCoordinator(coord)
+}
+
+// liveCoordinator resolves a population's current Coordinator for a task
+// lifecycle call.
+func (f *Fleet) liveCoordinator(population string) (*actor.Ref, error) {
+	coord, ok := f.Coordinator(population)
+	if !ok {
+		return nil, fmt.Errorf("fleet: population %q not registered (or still starting)", population)
+	}
+	return coord, nil
+}
+
+// SubmitTask deploys a new FL task (plan + scheduling policy) onto a live
+// registered population — no restart, no effect on the round in flight.
+// The mutation is routed through the population Coordinator's mailbox so
+// it serializes with round scheduling.
+func (f *Fleet) SubmitTask(population string, p *plan.Plan, pol tasks.Policy) error {
+	coord, err := f.liveCoordinator(population)
+	if err != nil {
+		return err
+	}
+	return flserver.SubmitTask(coord, p, pol)
+}
+
+// PauseTask stops scheduling a population's task; an in-flight round
+// completes normally and the task keeps its stats and checkpoints.
+func (f *Fleet) PauseTask(population, id string) error {
+	coord, err := f.liveCoordinator(population)
+	if err != nil {
+		return err
+	}
+	return flserver.PauseTask(coord, id)
+}
+
+// ResumeTask reactivates a population's paused task.
+func (f *Fleet) ResumeTask(population, id string) error {
+	coord, err := f.liveCoordinator(population)
+	if err != nil {
+		return err
+	}
+	return flserver.ResumeTask(coord, id)
+}
+
+// RetireTask permanently stops scheduling a population's task. A round
+// already in flight completes (and is recorded) rather than being aborted.
+func (f *Fleet) RetireTask(population, id string) error {
+	coord, err := f.liveCoordinator(population)
+	if err != nil {
+		return err
+	}
+	return flserver.RetireTask(coord, id)
+}
+
+// TaskStats reports every task of a population — state, policy, rounds
+// committed/failed, cumulative devices, last round time — in submission
+// order.
+func (f *Fleet) TaskStats(population string) ([]tasks.Stats, error) {
+	coord, err := f.liveCoordinator(population)
+	if err != nil {
+		return nil, err
+	}
+	return flserver.QueryTaskStats(coord)
 }
 
 // Populations lists the registered population names, sorted.

@@ -90,9 +90,10 @@ func TestCoordinatorRespawnRaceSharedLock(t *testing.T) {
 		for _, pop := range pops {
 			f.mu.Lock()
 			spec := f.pops[pop].spec
+			popTasks := f.pops[pop].tasks
 			f.mu.Unlock()
 			rival := f.sys.Spawn("rival-coordinator/"+pop,
-				flserver.NewCoordinator(pop, f.lock, spec.Store, spec.Plans, f.selectors, 0, nil, nil))
+				flserver.NewCoordinator(pop, f.lock, spec.Store, popTasks, f.selectors, 0, nil, nil))
 			rivals[pop] = rival
 			if err := flserver.StartCoordinator(rival); err != nil {
 				t.Fatal(err)

@@ -238,7 +238,11 @@ type MasterAggregator struct {
 	coord     *actor.Ref
 	selectors []*actor.Ref
 	groupSize int
-	now       func() time.Time
+	// minRuntime, when positive, is the task policy's floor on device
+	// runtime versions: older devices are rejected outright instead of
+	// being served a version-lowered plan.
+	minRuntime int
+	now        func() time.Time
 
 	state      string // "selecting", "reporting", "done"
 	devices    map[string]*deviceState
@@ -257,8 +261,10 @@ type msgStartRound struct{}
 // msgCrash exists for failure-injection tests.
 type msgCrash struct{}
 
-// NewMasterAggregator returns the behavior for one round.
-func NewMasterAggregator(p *plan.Plan, global *checkpoint.Checkpoint, store storage.Store, coord *actor.Ref, selectors []*actor.Ref, now func() time.Time) *MasterAggregator {
+// NewMasterAggregator returns the behavior for one round. minRuntime > 0
+// forbids serving devices whose runtime is older, even via plan lowering
+// (the task policy's MinRuntimeVersion).
+func NewMasterAggregator(p *plan.Plan, global *checkpoint.Checkpoint, store storage.Store, coord *actor.Ref, selectors []*actor.Ref, minRuntime int, now func() time.Time) *MasterAggregator {
 	if now == nil {
 		now = time.Now
 	}
@@ -267,15 +273,16 @@ func NewMasterAggregator(p *plan.Plan, global *checkpoint.Checkpoint, store stor
 		groupSize = p.Server.SecAggGroupSize
 	}
 	return &MasterAggregator{
-		plan:      p,
-		global:    global,
-		store:     store,
-		coord:     coord,
-		selectors: selectors,
-		groupSize: groupSize,
-		now:       now,
-		state:     "selecting",
-		devices:   make(map[string]*deviceState),
+		plan:       p,
+		global:     global,
+		store:      store,
+		coord:      coord,
+		selectors:  selectors,
+		groupSize:  groupSize,
+		minRuntime: minRuntime,
+		now:        now,
+		state:      "selecting",
+		devices:    make(map[string]*deviceState),
 	}
 }
 
@@ -440,6 +447,16 @@ func (ma *MasterAggregator) beginReporting(ctx *actor.Context) {
 		}
 		ds.group = ma.aggs[g]
 
+		if ma.minRuntime > 0 && ds.held.RuntimeVersion < ma.minRuntime {
+			// The task's policy pins a runtime floor: reject instead of
+			// serving a lowered plan the engineer asked us not to serve.
+			_ = ds.held.Conn.Send(protocol.CheckinResponse{Accepted: false,
+				Reason: fmt.Sprintf("task %s requires device runtime ≥ %d", ma.plan.ID, ma.minRuntime)})
+			_ = ds.held.Conn.Close()
+			ds.lost = true
+			ma.lost++
+			continue
+		}
 		v := ds.held.RuntimeVersion
 		if v > minV {
 			v = minV

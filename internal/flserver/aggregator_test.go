@@ -207,7 +207,7 @@ func TestMasterAggregatorSurfacesGroupErrors(t *testing.T) {
 	}
 	dim := m.NumParams()
 	global := &checkpoint.Checkpoint{TaskName: p.ID, Params: make(tensor.Vector, dim)}
-	ma := NewMasterAggregator(p, global, store, coord, nil, nil)
+	ma := NewMasterAggregator(p, global, store, coord, nil, 0, nil)
 	ma.state = "collecting"
 	ma.aggs = make([]*actor.Ref, 2)
 	ref := sys.Spawn("ma", ma)

@@ -168,7 +168,7 @@ func RunBenchRound(cfg BenchRoundConfig) (BenchRoundStats, error) {
 			done <- roundOutcome{failed: m}
 		}
 	}))
-	ma := sys.Spawn("bench-ma", NewMasterAggregator(p, global, storage.NewMem(), coord, nil, nil))
+	ma := sys.Spawn("bench-ma", NewMasterAggregator(p, global, storage.NewMem(), coord, nil, 0, nil))
 
 	held := make([]heldDevice, cfg.Devices)
 	now := time.Now()

@@ -8,6 +8,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/plan"
 	"repro/internal/storage"
+	"repro/internal/tasks"
 	"repro/internal/tensor"
 )
 
@@ -15,29 +16,44 @@ import (
 // holds the population's lock, schedules FL tasks, instructs Selectors how
 // many devices to accept, spawns a Master Aggregator per round, and
 // restarts rounds whose Master Aggregator fails (Sec. 4.4).
+//
+// Task scheduling is pulled from the population's TaskSet every tick
+// (Sec. 7.1: the service "chooses among them using a dynamic strategy"):
+// due eval tasks first, then weighted round-robin over active train tasks.
+// Lifecycle mutations (submit / pause / resume / retire) arrive as mailbox
+// messages, so they serialize with scheduling — a retired task's in-flight
+// round completes and is recorded, but the task never reschedules. The
+// TaskSet itself is owned by the Server/Fleet entry and survives this
+// actor's crash and respawn.
 type Coordinator struct {
 	population string
 	lock       *actor.LockService
 	store      storage.Store
-	plans      []*plan.Plan
+	tasks      *tasks.TaskSet
 	selectors  []*actor.Ref
 	// MaxRounds stops the coordinator after that many successful rounds
 	// (0 = run forever). Tests and benchmarks set it.
 	maxRounds int
 	now       func() time.Time
 
-	acquired  bool
-	planIdx   int
-	global    map[string]*checkpoint.Checkpoint // per task
-	currentMA *actor.Ref
-	completed int
-	failed    int
+	acquired    bool
+	global      map[string]*checkpoint.Checkpoint // per task lineage
+	currentMA   *actor.Ref
+	currentTask string
+	completed   int
+	failed      int
 	// onDone, if non-nil, is signalled when maxRounds is reached.
 	onDone chan struct{}
 }
 
-// NewCoordinator returns the behavior for a population coordinator.
-func NewCoordinator(population string, lock *actor.LockService, store storage.Store, plans []*plan.Plan, selectors []*actor.Ref, maxRounds int, onDone chan struct{}, now func() time.Time) *Coordinator {
+// loadRetryDelay is the backoff before retrying a tick whose task failed
+// to load its checkpoint (e.g. an eval task whose base has not committed
+// yet, or a transient storage read error).
+const loadRetryDelay = time.Second
+
+// NewCoordinator returns the behavior for a population coordinator driving
+// rounds for the tasks registered in ts.
+func NewCoordinator(population string, lock *actor.LockService, store storage.Store, ts *tasks.TaskSet, selectors []*actor.Ref, maxRounds int, onDone chan struct{}, now func() time.Time) *Coordinator {
 	if now == nil {
 		now = time.Now
 	}
@@ -45,7 +61,7 @@ func NewCoordinator(population string, lock *actor.LockService, store storage.St
 		population: population,
 		lock:       lock,
 		store:      store,
-		plans:      plans,
+		tasks:      ts,
 		selectors:  selectors,
 		maxRounds:  maxRounds,
 		now:        now,
@@ -63,17 +79,26 @@ func (c *Coordinator) Receive(ctx *actor.Context, msg actor.Message) {
 		c.onRoundComplete(ctx, m)
 	case msgRoundFailed:
 		c.failed++
+		c.tasks.NoteFailed(m.TaskID)
 		c.currentMA = nil
-		// Restart: the next tick spawns a fresh Master Aggregator for the
-		// same task ("the current round... will fail, but will then be
-		// restarted by the Coordinator").
+		c.currentTask = ""
+		// Restart: the next tick asks the TaskSet again ("the current
+		// round... will fail, but will then be restarted by the
+		// Coordinator"). A failed eval round re-arms its cadence, so it is
+		// retried rather than waiting out another EvalEvery train rounds.
 		_ = ctx.Self.Send(msgTick{})
 	case actor.Terminated:
 		if m.Ref == c.currentMA && m.Failure {
 			c.failed++
+			c.tasks.NoteFailed(c.currentTask)
 			c.currentMA = nil
+			c.currentTask = ""
 			_ = ctx.Self.Send(msgTick{})
 		}
+	case msgTaskOp:
+		c.onTaskOp(ctx, m)
+	case msgTaskStats:
+		m.Reply <- c.tasks.Stats()
 	case msgStopCoordinator:
 		// Clean shutdown (population deregistered): abandon the in-flight
 		// round, hand the population lock back so a future registration can
@@ -82,6 +107,7 @@ func (c *Coordinator) Receive(ctx *actor.Context, msg actor.Message) {
 		if c.currentMA != nil {
 			_ = c.currentMA.Send(msgAbandonRound{Reason: "population deregistered"})
 			c.currentMA = nil
+			c.currentTask = ""
 		}
 		if c.acquired {
 			c.lock.Release(c.population, ctx.Self)
@@ -90,14 +116,41 @@ func (c *Coordinator) Receive(ctx *actor.Context, msg actor.Message) {
 		ctx.Stop()
 	case msgCoordinatorStats:
 		round := int64(0)
-		if len(c.plans) > 0 {
-			if g, ok := c.global[c.plans[0].ID]; ok {
+		if id, ok := c.tasks.PrimaryID(); ok {
+			if g, ok := c.global[id]; ok {
 				round = g.Round
+			} else if st, ok := c.tasks.StatsFor(id); ok {
+				round = st.LastRound
 			}
 		}
 		m.Reply <- CoordinatorStats{RoundsCompleted: c.completed, RoundsFailed: c.failed, CurrentRound: round}
 	case msgCrash:
 		panic("coordinator crash injected")
+	}
+}
+
+// onTaskOp applies one lifecycle mutation. Running on the actor goroutine
+// means the mutation can never interleave with a scheduling tick; a
+// successful mutation is followed by a tick so a task submitted or resumed
+// on an idle population schedules immediately instead of waiting for the
+// next round to complete.
+func (c *Coordinator) onTaskOp(ctx *actor.Context, m msgTaskOp) {
+	var err error
+	switch m.Op {
+	case taskOpSubmit:
+		err = c.tasks.Submit(m.Plan, m.Policy)
+	case taskOpPause:
+		err = c.tasks.Pause(m.ID)
+	case taskOpResume:
+		err = c.tasks.Resume(m.ID)
+	case taskOpRetire:
+		err = c.tasks.Retire(m.ID)
+	default:
+		err = fmt.Errorf("flserver: unknown task op %d", m.Op)
+	}
+	m.Reply <- err
+	if err == nil {
+		_ = ctx.Self.Send(msgTick{})
 	}
 }
 
@@ -124,18 +177,25 @@ func (c *Coordinator) onTick(ctx *actor.Context) {
 		}
 		return
 	}
-	if len(c.plans) == 0 {
-		return
+
+	t, ok := c.tasks.Next()
+	if !ok {
+		return // nothing schedulable: all tasks paused/retired/gated, or none yet
 	}
+	p := t.Plan
 
-	// Dynamic task choice (Sec. 7.1: the service "chooses among them using
-	// a dynamic strategy"): round-robin over the deployed tasks.
-	p := c.plans[c.planIdx%len(c.plans)]
-	c.planIdx++
-
-	global, err := c.loadGlobal(p)
+	global, err := c.loadGlobal(t)
 	if err != nil {
 		c.failed++
+		c.tasks.NoteFailed(p.ID)
+		// A failed load must not stall the population: nothing else is
+		// guaranteed to tick an idle Coordinator (ticks come only from
+		// round outcomes and task ops), so retry after a short backoff.
+		// The TaskSet rotates its weighted round-robin on every pick, so a
+		// permanently broken task costs one failed pick per rotation — it
+		// cannot starve the healthy tasks.
+		self := ctx.Self
+		time.AfterFunc(loadRetryDelay, func() { _ = self.Send(msgTick{}) })
 		return
 	}
 
@@ -151,15 +211,33 @@ func (c *Coordinator) onTick(ctx *actor.Context) {
 		_ = sel.Send(msgSetQuota{Population: c.population, Accept: n})
 	}
 
-	ma := ctx.Spawn(fmt.Sprintf("ma/%s/r%d", p.ID, global.Round), NewMasterAggregator(p, global, c.store, ctx.Self, c.selectors, c.now))
+	ma := ctx.Spawn(fmt.Sprintf("ma/%s/r%d", p.ID, global.Round), NewMasterAggregator(p, global, c.store, ctx.Self, c.selectors, t.Policy.MinRuntimeVersion, c.now))
 	ctx.Watch(ma)
 	c.currentMA = ma
+	c.currentTask = p.ID
 	_ = ma.Send(msgStartRound{})
 }
 
-// loadGlobal fetches the latest committed checkpoint for the task, or
-// initializes round 0 from the model spec.
-func (c *Coordinator) loadGlobal(p *plan.Plan) (*checkpoint.Checkpoint, error) {
+// loadGlobal fetches the checkpoint the task's next round serves. Train
+// tasks (and standalone eval tasks) own a lineage keyed by their own ID:
+// the latest committed checkpoint, or a fresh round-0 initialization from
+// the model spec. An eval task with a base task (Policy.EvalOf) serves the
+// BASE task's latest committed checkpoint read-only — it is cached under
+// the base ID, never the eval ID, so eval rounds cannot perturb or fork
+// the training lineage.
+func (c *Coordinator) loadGlobal(t tasks.Task) (*checkpoint.Checkpoint, error) {
+	p := t.Plan
+	if p.Type == plan.TaskEval && t.Policy.EvalOf != "" {
+		if g, ok := c.global[t.Policy.EvalOf]; ok {
+			return g, nil
+		}
+		g, err := c.store.LatestCheckpoint(t.Policy.EvalOf)
+		if err != nil {
+			return nil, fmt.Errorf("eval task %q: base task %q has no committed checkpoint: %w", p.ID, t.Policy.EvalOf, err)
+		}
+		c.global[t.Policy.EvalOf] = g
+		return g, nil
+	}
 	if g, ok := c.global[p.ID]; ok {
 		return g, nil
 	}
@@ -179,8 +257,16 @@ func (c *Coordinator) loadGlobal(p *plan.Plan) (*checkpoint.Checkpoint, error) {
 }
 
 func (c *Coordinator) onRoundComplete(ctx *actor.Context, m msgRoundComplete) {
-	c.global[m.TaskID] = m.Committed
+	// Only train rounds advance a checkpoint lineage. A committed eval
+	// round's m.Committed is the base task's unchanged checkpoint; caching
+	// it under the eval task's ID would fork the lineage and freeze later
+	// eval rounds on a stale model.
+	if t, ok := c.tasks.Get(m.TaskID); !ok || t.Plan.Type != plan.TaskEval {
+		c.global[m.TaskID] = m.Committed
+	}
+	c.tasks.NoteCommitted(m.TaskID, m.Round, m.Completed, c.now())
 	c.completed++
 	c.currentMA = nil
+	c.currentTask = ""
 	_ = ctx.Self.Send(msgTick{})
 }

@@ -7,16 +7,16 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/data"
-	"repro/internal/metrics"
 	"repro/internal/pacing"
 	"repro/internal/plan"
 	"repro/internal/storage"
 )
 
 // failingStore rejects the first N checkpoint commits, then delegates.
-// It simulates a persistent-storage outage at commit time.
+// It simulates a persistent-storage outage at commit time. The embedded
+// Store serves every other method (metrics, task-set persistence).
 type failingStore struct {
-	inner    storage.Store
+	storage.Store
 	failures int
 	seen     int
 }
@@ -26,14 +26,7 @@ func (f *failingStore) PutCheckpoint(c *checkpoint.Checkpoint) error {
 	if f.seen <= f.failures {
 		return fmt.Errorf("injected storage failure %d", f.seen)
 	}
-	return f.inner.PutCheckpoint(c)
-}
-func (f *failingStore) LatestCheckpoint(task string) (*checkpoint.Checkpoint, error) {
-	return f.inner.LatestCheckpoint(task)
-}
-func (f *failingStore) PutMetrics(m *metrics.Materialized) error { return f.inner.PutMetrics(m) }
-func (f *failingStore) Metrics(task string) ([]*metrics.Materialized, error) {
-	return f.inner.Metrics(task)
+	return f.Store.PutCheckpoint(c)
 }
 
 func TestCommitFailureAbandonsRoundThenRecovers(t *testing.T) {
@@ -41,7 +34,7 @@ func TestCommitFailureAbandonsRoundThenRecovers(t *testing.T) {
 	// If it fails, the round must be abandoned — never half-committed — and
 	// the Coordinator must retry until storage recovers.
 	fed, _ := data.Blobs(data.BlobsConfig{Users: 10, ExamplesPer: 20, Features: 4, Classes: 3, TestSize: 10, Seed: 31})
-	store := &failingStore{inner: storage.NewMem(), failures: 2}
+	store := &failingStore{Store: storage.NewMem(), failures: 2}
 	p := testPlan(t, 4, false)
 	srv, net, addr := runServer(t, Config{
 		Population: "pop", Plans: []*plan.Plan{p}, Store: store,

@@ -15,7 +15,9 @@ import (
 
 	"repro/internal/actor"
 	"repro/internal/checkpoint"
+	"repro/internal/plan"
 	"repro/internal/protocol"
+	"repro/internal/tasks"
 	"repro/internal/transport"
 )
 
@@ -171,6 +173,35 @@ type msgStopCoordinator struct{}
 // closed and group Aggregators stopped.
 type msgAbandonRound struct {
 	Reason string
+}
+
+// taskOp enumerates task lifecycle mutations.
+type taskOp uint8
+
+// Task lifecycle operations.
+const (
+	taskOpSubmit taskOp = iota + 1
+	taskOpPause
+	taskOpResume
+	taskOpRetire
+)
+
+// msgTaskOp is one task lifecycle mutation (Sec. 7 model-engineer
+// workflow), routed through the Coordinator's mailbox so it serializes
+// with round scheduling: a task can never change state in the middle of a
+// scheduling tick, and a retired task's in-flight round completes but is
+// never rescheduled.
+type msgTaskOp struct {
+	Op     taskOp
+	Plan   *plan.Plan   // submit
+	Policy tasks.Policy // submit
+	ID     string       // pause / resume / retire
+	Reply  chan error
+}
+
+// msgTaskStats asks the Coordinator for its per-task lifecycle records.
+type msgTaskStats struct {
+	Reply chan []tasks.Stats
 }
 
 // msgCoordinatorStats asks for coordinator progress.

@@ -8,7 +8,9 @@ import (
 
 	"repro/internal/actor"
 	"repro/internal/pacing"
+	"repro/internal/plan"
 	"repro/internal/protocol"
+	"repro/internal/tasks"
 	"repro/internal/tensor"
 	"repro/internal/transport"
 )
@@ -50,6 +52,63 @@ func RegisterSelectorPopulation(sel *actor.Ref, pop SelectorPopulation) error {
 // Selector: parked devices are steered away, later check-ins rejected.
 func DeregisterSelectorPopulation(sel *actor.Ref, name string) error {
 	return sel.Send(msgDeregisterPopulation{Name: name})
+}
+
+// SubmitTask deploys a new FL task (plan + scheduling policy) onto a live
+// Coordinator. The mutation is a mailbox message, so it serializes with
+// round scheduling; the round in flight is unaffected.
+func SubmitTask(coord *actor.Ref, p *plan.Plan, pol tasks.Policy) error {
+	return taskOpRequest(coord, msgTaskOp{Op: taskOpSubmit, Plan: p, Policy: pol})
+}
+
+// PauseTask stops scheduling a task on a live Coordinator; an in-flight
+// round completes normally.
+func PauseTask(coord *actor.Ref, id string) error {
+	return taskOpRequest(coord, msgTaskOp{Op: taskOpPause, ID: id})
+}
+
+// ResumeTask reactivates a paused task on a live Coordinator.
+func ResumeTask(coord *actor.Ref, id string) error {
+	return taskOpRequest(coord, msgTaskOp{Op: taskOpResume, ID: id})
+}
+
+// RetireTask permanently stops scheduling a task on a live Coordinator. A
+// round already in flight completes rather than being aborted.
+func RetireTask(coord *actor.Ref, id string) error {
+	return taskOpRequest(coord, msgTaskOp{Op: taskOpRetire, ID: id})
+}
+
+// taskOpRequest routes one lifecycle mutation through the Coordinator's
+// mailbox and waits for its verdict. The error is the mutation's own
+// (unknown task, duplicate ID, bad transition) or a transport-level one
+// when the Coordinator is stopped or unresponsive.
+func taskOpRequest(coord *actor.Ref, m msgTaskOp) error {
+	m.Reply = make(chan error, 1)
+	if err := coord.Send(m); err != nil {
+		return fmt.Errorf("flserver: task op: %w", err)
+	}
+	select {
+	case err := <-m.Reply:
+		return err
+	case <-time.After(statsTimeout):
+		return fmt.Errorf("flserver: coordinator %s did not answer task op within %v", coord.Name(), statsTimeout)
+	}
+}
+
+// QueryTaskStats asks a Coordinator for every task's lifecycle record, in
+// submission order. Routed through the mailbox so the snapshot can never
+// interleave with a mid-commit round.
+func QueryTaskStats(coord *actor.Ref) ([]tasks.Stats, error) {
+	reply := make(chan []tasks.Stats, 1)
+	if err := coord.Send(msgTaskStats{Reply: reply}); err != nil {
+		return nil, fmt.Errorf("flserver: task stats: %w", err)
+	}
+	select {
+	case st := <-reply:
+		return st, nil
+	case <-time.After(statsTimeout):
+		return nil, fmt.Errorf("flserver: coordinator %s did not answer task stats within %v", coord.Name(), statsTimeout)
+	}
 }
 
 // QueryCoordinatorStats asks a Coordinator for its round progress. The

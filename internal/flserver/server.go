@@ -11,14 +11,20 @@ import (
 	"repro/internal/pacing"
 	"repro/internal/plan"
 	"repro/internal/storage"
+	"repro/internal/tasks"
 	"repro/internal/transport"
 )
 
 // Config configures a Server for one FL population.
 type Config struct {
 	Population string
-	Plans      []*plan.Plan
-	Store      storage.Store
+	// Plans seeds the population's task set with one Active, default-policy
+	// task per plan — sugar for calling SubmitTask after New. Tasks can be
+	// submitted, paused, resumed and retired on the live server at any
+	// time; Plans may be empty when every task arrives via SubmitTask (or
+	// is restored from a previously persisted task set in Store).
+	Plans []*plan.Plan
+	Store storage.Store
 	// Verifier enables attestation checks when non-nil.
 	Verifier *attest.Verifier
 	Steering *pacing.Steering
@@ -48,6 +54,10 @@ type Server struct {
 	sys    *actor.System
 	lock   *actor.LockService
 	router *CheckinRouter
+	// tasks is the population's task registry. It outlives any one
+	// Coordinator (respawns reuse it); mutations are routed through the
+	// live Coordinator's mailbox so they serialize with round scheduling.
+	tasks *tasks.TaskSet
 
 	selectors []*actor.Ref
 	mu        sync.Mutex
@@ -59,16 +69,19 @@ type Server struct {
 
 // New builds the server and spawns its actors.
 func New(cfg Config) (*Server, error) {
-	if cfg.Population == "" || len(cfg.Plans) == 0 || cfg.Store == nil {
-		return nil, fmt.Errorf("flserver: Population, Plans and Store are required")
+	if cfg.Population == "" || cfg.Store == nil {
+		return nil, fmt.Errorf("flserver: Population and Store are required")
 	}
-	for _, p := range cfg.Plans {
-		if err := p.Validate(); err != nil {
-			return nil, err
-		}
-		if p.Population != cfg.Population {
-			return nil, fmt.Errorf("flserver: plan %q is for population %q, server is %q", p.ID, p.Population, cfg.Population)
-		}
+	ts, err := tasks.New(cfg.Population, cfg.Store, cfg.Now)
+	if err != nil {
+		return nil, err
+	}
+	// Config.Plans is sugar: each plan becomes an Active default-policy
+	// task. Seed validates every plan, checks it belongs to this
+	// population, and rejects duplicate task IDs (colliding IDs would
+	// silently share one checkpoint lineage).
+	if err := ts.Seed(cfg.Plans); err != nil {
+		return nil, err
 	}
 	if cfg.NumSelectors <= 0 {
 		cfg.NumSelectors = 2
@@ -83,11 +96,14 @@ func New(cfg Config) (*Server, error) {
 		cfg.Now = time.Now
 	}
 
+	ts.SetPopulationEstimate(cfg.PopulationEstimate)
+
 	s := &Server{
-		cfg:  cfg,
-		sys:  actor.NewSystem(),
-		lock: actor.NewLockService(),
-		done: make(chan struct{}),
+		cfg:   cfg,
+		sys:   actor.NewSystem(),
+		lock:  actor.NewLockService(),
+		tasks: ts,
+		done:  make(chan struct{}),
 	}
 	pop := SelectorPopulation{
 		Name:               cfg.Population,
@@ -111,7 +127,7 @@ func (s *Server) spawnCoordinator() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	coord := s.sys.Spawn("coordinator/"+s.cfg.Population,
-		NewCoordinator(s.cfg.Population, s.lock, s.cfg.Store, s.cfg.Plans, s.selectors, s.cfg.MaxRounds, s.done, s.cfg.Now))
+		NewCoordinator(s.cfg.Population, s.lock, s.cfg.Store, s.tasks, s.selectors, s.cfg.MaxRounds, s.done, s.cfg.Now))
 	s.coord = coord
 
 	// The Selector layer's supervision duty (Sec. 4.4: "if the Coordinator
@@ -159,6 +175,32 @@ func (s *Server) SelectorStats() (SelectorStats, error) {
 	}
 	return total, nil
 }
+
+// SubmitTask deploys a new FL task — plan plus scheduling policy — onto
+// the live population (Sec. 7 model-engineer workflow): no restart, no
+// effect on the round in flight. The task is scheduled per its policy from
+// the next tick on. Routed through the Coordinator's mailbox so the
+// mutation serializes with round scheduling.
+func (s *Server) SubmitTask(p *plan.Plan, pol tasks.Policy) error {
+	return SubmitTask(s.Coordinator(), p, pol)
+}
+
+// PauseTask stops scheduling the task; an in-flight round completes
+// normally and the task's stats and checkpoint lineage are kept.
+func (s *Server) PauseTask(id string) error { return PauseTask(s.Coordinator(), id) }
+
+// ResumeTask reactivates a paused task.
+func (s *Server) ResumeTask(id string) error { return ResumeTask(s.Coordinator(), id) }
+
+// RetireTask permanently stops scheduling the task. A round already in
+// flight completes (and is recorded) rather than being aborted.
+func (s *Server) RetireTask(id string) error { return RetireTask(s.Coordinator(), id) }
+
+// TaskStats reports every task's lifecycle record — state, policy, rounds
+// committed/failed, cumulative devices, last round time — in submission
+// order. The error is non-nil when the Coordinator is dead or
+// unresponsive.
+func (s *Server) TaskStats() ([]tasks.Stats, error) { return QueryTaskStats(s.Coordinator()) }
 
 // Serve accepts device connections from l until l closes, routing each
 // connection's first message through the shared CheckinRouter accept path.

@@ -1,6 +1,8 @@
 package plan
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -231,6 +233,68 @@ func TestForVersionImpossible(t *testing.T) {
 	p, _ := Generate(cfg)
 	if _, err := p.ForVersion(0); err == nil {
 		t.Fatal("version 0 supports nothing; expected error")
+	}
+}
+
+func TestForVersionRewriteChainSubstituteTooNew(t *testing.T) {
+	// A rewrite exists for the fused op, but the substitute ops it produces
+	// are THEMSELVES newer than the target version ("a slightly smaller
+	// number that cannot be fixed without complex workarounds"): ForVersion
+	// must fail on the substitute check, not emit an unexecutable plan. The
+	// plan is hand-built so the fused op is the first op encountered.
+	p := &Plan{
+		ID: "pop/chain", Population: "pop", Type: TaskTrain,
+		Device: DevicePlan{
+			Ops:               []Op{OpFusedTrainMetrics},
+			MinRuntimeVersion: 3,
+		},
+	}
+	_, err := p.ForVersion(0)
+	if err == nil {
+		t.Fatal("rewrite whose substitutes are too new must fail")
+	}
+	// The failure must blame the substitute op, proving the chain was
+	// followed into the rewrite rather than rejected at the fused op.
+	if !strings.Contains(err.Error(), "rewrite of fused_train_metrics") ||
+		!strings.Contains(err.Error(), "train") {
+		t.Fatalf("error must name the unsupported substitute op: %v", err)
+	}
+}
+
+func TestForVersionIdempotent(t *testing.T) {
+	// Lowering an already-lowered plan must be the identity: the rewritten
+	// op sequence satisfies the target version, so no second rewrite (and
+	// no drift) can occur no matter how often ForVersion runs.
+	cfg := testConfig()
+	cfg.UseFusedOps = true
+	p, _ := Generate(cfg)
+	q1, err := p.ForVersion(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := q1.ForVersion(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2 != q1 {
+		t.Fatal("ForVersion on an already-lowered plan must return it unchanged")
+	}
+	// A higher-but-still-satisfied version is also the identity.
+	q3, err := q1.ForVersion(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q3 != q1 {
+		t.Fatal("ForVersion above the lowered plan's requirement must be the identity")
+	}
+	// And repeated lowering from the source converges to the same ops.
+	q4, err := p.ForVersion(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(q4.Device.Ops) != fmt.Sprint(q1.Device.Ops) ||
+		q4.Device.MinRuntimeVersion != q1.Device.MinRuntimeVersion {
+		t.Fatalf("repeated lowering diverged: %v vs %v", q4.Device.Ops, q1.Device.Ops)
 	}
 }
 

@@ -27,6 +27,14 @@ type Store interface {
 	PutMetrics(m *metrics.Materialized) error
 	// Metrics returns all materialized metrics for a task in round order.
 	Metrics(task string) ([]*metrics.Materialized, error)
+	// PutTaskSet persists the serialized FL task registry of the population
+	// this store backs (stores are per-population). The registry in memory
+	// is the authority; storage keeps only the latest snapshot so a
+	// restarted process resumes its tasks — states, policies, stats.
+	PutTaskSet(b []byte) error
+	// TaskSet returns the latest persisted task registry, or nil when none
+	// has been saved.
+	TaskSet() ([]byte, error)
 }
 
 // Mem is an in-memory Store for simulation and tests.
@@ -34,6 +42,7 @@ type Mem struct {
 	mu          sync.Mutex
 	checkpoints map[string][]*checkpoint.Checkpoint
 	metrics     map[string][]*metrics.Materialized
+	taskSet     []byte
 }
 
 // NewMem returns an empty in-memory store.
@@ -75,6 +84,24 @@ func (s *Mem) PutMetrics(m *metrics.Materialized) error {
 	defer s.mu.Unlock()
 	s.metrics[m.TaskName] = append(s.metrics[m.TaskName], m)
 	return nil
+}
+
+// PutTaskSet implements Store.
+func (s *Mem) PutTaskSet(b []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.taskSet = append([]byte(nil), b...)
+	return nil
+}
+
+// TaskSet implements Store.
+func (s *Mem) TaskSet() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.taskSet == nil {
+		return nil, nil
+	}
+	return append([]byte(nil), s.taskSet...), nil
 }
 
 // Metrics implements Store.
@@ -172,3 +199,32 @@ func (s *File) PutMetrics(m *metrics.Materialized) error { return s.mem.PutMetri
 
 // Metrics implements Store.
 func (s *File) Metrics(task string) ([]*metrics.Materialized, error) { return s.mem.Metrics(task) }
+
+// taskSetFile is where a File store keeps the task registry snapshot.
+const taskSetFile = "tasks.gob"
+
+// PutTaskSet implements Store: the snapshot is written atomically so a
+// crash mid-write leaves the previous registry intact.
+func (s *File) PutTaskSet(b []byte) error {
+	path := filepath.Join(s.dir, taskSetFile)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	return nil
+}
+
+// TaskSet implements Store.
+func (s *File) TaskSet() ([]byte, error) {
+	b, err := os.ReadFile(filepath.Join(s.dir, taskSetFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	return b, nil
+}

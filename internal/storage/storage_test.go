@@ -61,6 +61,20 @@ func testStore(t *testing.T, s Store) {
 	if err := s.PutMetrics(&metrics.Materialized{}); err == nil {
 		t.Fatal("metrics without task should error")
 	}
+
+	// Task registry snapshots: nil before any save, latest-wins after.
+	if b, err := s.TaskSet(); err != nil || b != nil {
+		t.Fatalf("unsaved task set = %v, %v", b, err)
+	}
+	if err := s.PutTaskSet([]byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutTaskSet([]byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if b, err := s.TaskSet(); err != nil || string(b) != "v2" {
+		t.Fatalf("task set = %q, %v", b, err)
+	}
 }
 
 func TestMemStore(t *testing.T) { testStore(t, NewMem()) }
@@ -106,6 +120,15 @@ func TestFileStoreRecovery(t *testing.T) {
 	}
 	if got.TaskName != "pop/task" {
 		t.Fatalf("recovered task = %q", got.TaskName)
+	}
+
+	// The task registry snapshot is durable too.
+	if err := s1.PutTaskSet([]byte("registry")); err != nil {
+		t.Fatal(err)
+	}
+	s3, _ := NewFile(dir)
+	if b, err := s3.TaskSet(); err != nil || string(b) != "registry" {
+		t.Fatalf("recovered task set = %q, %v", b, err)
 	}
 }
 

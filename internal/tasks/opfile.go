@@ -1,0 +1,140 @@
+package tasks
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/plan"
+)
+
+// OpFile is one operator instruction for a live FL process, dropped as a
+// JSON file into the directory a server watches (`flserver -tasks-dir`).
+// This is the paper's Sec. 7 workflow with the Python tooling swapped for
+// files: a model engineer writes a task configuration, drops it next to a
+// running deployment, and the new task is scheduled onto the live
+// population — no restart, no redeploy.
+//
+//	{
+//	  "action":     "submit",            // submit | pause | resume | retire
+//	  "population": "gboard",
+//	  "task":       { ...plan.Config... },      // submit only
+//	  "policy":     { "EvalEvery": 2, "EvalOf": "gboard/train" },
+//	  "task_id":    "gboard/eval"        // pause / resume / retire only
+//	}
+type OpFile struct {
+	// Action defaults to "submit" when a task config is present.
+	Action     string `json:"action"`
+	Population string `json:"population"`
+	// Task is the model-engineer task configuration (plan.Generate input);
+	// required for submit.
+	Task *plan.Config `json:"task"`
+	// Policy is the submitted task's scheduling policy (optional).
+	Policy Policy `json:"policy"`
+	// TaskID names the task for pause / resume / retire.
+	TaskID string `json:"task_id"`
+}
+
+// Op actions.
+const (
+	OpSubmit = "submit"
+	OpPause  = "pause"
+	OpResume = "resume"
+	OpRetire = "retire"
+)
+
+// ParseOpFile decodes and validates one operator instruction.
+func ParseOpFile(b []byte) (*OpFile, error) {
+	var op OpFile
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&op); err != nil {
+		return nil, fmt.Errorf("tasks: bad op file: %w", err)
+	}
+	if dec.More() {
+		// Trailing data usually means two ops were concatenated into one
+		// file; applying only the first silently would hide the mistake.
+		return nil, fmt.Errorf("tasks: op file has trailing data after the op object (one op per file)")
+	}
+	if op.Action == "" {
+		op.Action = OpSubmit
+	}
+	if op.Population == "" {
+		return nil, fmt.Errorf("tasks: op file needs a population")
+	}
+	switch op.Action {
+	case OpSubmit:
+		if op.Task == nil {
+			return nil, fmt.Errorf("tasks: submit op needs a task configuration")
+		}
+		if op.TaskID != "" && op.TaskID != op.Task.TaskID {
+			return nil, fmt.Errorf("tasks: task_id %q contradicts task.TaskID %q", op.TaskID, op.Task.TaskID)
+		}
+	case OpPause, OpResume, OpRetire:
+		if op.TaskID == "" {
+			return nil, fmt.Errorf("tasks: %s op needs task_id", op.Action)
+		}
+		if op.Task != nil {
+			return nil, fmt.Errorf("tasks: %s op must not carry a task configuration", op.Action)
+		}
+	default:
+		return nil, fmt.Errorf("tasks: unknown action %q", op.Action)
+	}
+	return &op, nil
+}
+
+// DirScanner polls a directory for operator instruction files, yielding
+// each *.json file exactly once (keyed by name; rewriting a processed file
+// under a new name submits a new op). Files that fail to parse are also
+// consumed — and reported — so a typo cannot wedge the watcher in a retry
+// loop.
+type DirScanner struct {
+	dir  string
+	seen map[string]bool
+}
+
+// NewDirScanner watches dir.
+func NewDirScanner(dir string) *DirScanner {
+	return &DirScanner{dir: dir, seen: make(map[string]bool)}
+}
+
+// PendingOp is one newly discovered instruction (or its parse failure).
+type PendingOp struct {
+	File string
+	Op   *OpFile
+	Err  error
+}
+
+// Scan returns the ops that appeared since the last scan, in file-name
+// order (operators sequence multi-step rollouts with sortable names).
+func (s *DirScanner) Scan() ([]PendingOp, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("tasks: scan %s: %w", s.dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || filepath.Ext(name) != ".json" || s.seen[name] {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []PendingOp
+	for _, name := range names {
+		s.seen[name] = true
+		p := PendingOp{File: name}
+		b, err := os.ReadFile(filepath.Join(s.dir, name))
+		if err != nil {
+			p.Err = err
+		} else {
+			p.Op, p.Err = ParseOpFile(b)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

@@ -1,0 +1,93 @@
+package tasks
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/plan"
+)
+
+func TestParseOpFile(t *testing.T) {
+	op, err := ParseOpFile([]byte(`{
+		"population": "gboard",
+		"task": {
+			"TaskID": "gboard/eval", "Population": "gboard", "Type": 2,
+			"Model": {"Kind": 1, "Features": 4, "Classes": 3, "Seed": 1},
+			"StoreName": "clicks", "TargetDevices": 4
+		},
+		"policy": {"EvalEvery": 2, "EvalOf": "gboard/train"}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op.Action != OpSubmit || op.Task == nil || op.Policy.EvalEvery != 2 {
+		t.Fatalf("parsed op = %+v", op)
+	}
+	// The parsed config must generate a valid plan.
+	p, err := plan.Generate(*op.Task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Type != plan.TaskEval || p.Population != "gboard" {
+		t.Fatalf("generated plan = %+v", p)
+	}
+
+	if _, err := ParseOpFile([]byte(`{"action":"retire","population":"gboard","task_id":"gboard/eval"}`)); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{
+		`{`,
+		`{"population":"p"}`,                    // submit without task
+		`{"action":"pause","population":"p"}`,   // pause without task_id
+		`{"action":"explode","population":"p"}`, // unknown action
+		`{"action":"retire","task_id":"x"}`,     // no population
+		`{"population":"p","unknown_field":1}`,  // typo'd field
+		`{"action":"retire","population":"p","task_id":"x"}{"action":"pause","population":"p","task_id":"y"}`, // concatenated ops
+		`{"action":"retire","population":"p","task_id":"x","task":{"TaskID":"x"}}`,                            // retire with config
+	} {
+		if _, err := ParseOpFile([]byte(bad)); err == nil {
+			t.Fatalf("op %s must be rejected", bad)
+		}
+	}
+}
+
+func TestDirScannerYieldsEachFileOnce(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("02-pause.json", `{"action":"pause","population":"p","task_id":"p/train"}`)
+	write("01-retire.json", `{"action":"retire","population":"p","task_id":"p/old"}`)
+	write("ignore.txt", "not json")
+
+	s := NewDirScanner(dir)
+	ops, err := s.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 2 || ops[0].File != "01-retire.json" || ops[1].File != "02-pause.json" {
+		t.Fatalf("scan = %+v", ops)
+	}
+	if ops[0].Err != nil || ops[0].Op.Action != OpRetire {
+		t.Fatalf("first op = %+v", ops[0])
+	}
+
+	// A second scan yields nothing old; a new file (even a broken one) is
+	// yielded once, with its parse error attached.
+	write("03-broken.json", `{nope`)
+	ops, err = s.Scan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 1 || ops[0].File != "03-broken.json" || ops[0].Err == nil {
+		t.Fatalf("second scan = %+v", ops)
+	}
+	ops, err = s.Scan()
+	if err != nil || len(ops) != 0 {
+		t.Fatalf("third scan must be empty: %+v, %v", ops, err)
+	}
+}

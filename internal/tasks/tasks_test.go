@@ -1,0 +1,462 @@
+package tasks
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+func trainPlan(t *testing.T, id string) *plan.Plan {
+	t.Helper()
+	p, err := plan.Generate(plan.Config{
+		TaskID: id, Population: "pop",
+		Model:     nn.Spec{Kind: nn.KindLogistic, Features: 4, Classes: 3, Seed: 1},
+		StoreName: "clicks", BatchSize: 10, Epochs: 1, LearningRate: 0.05,
+		TargetDevices: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func evalPlan(t *testing.T, id string) *plan.Plan {
+	t.Helper()
+	p, err := plan.Generate(plan.Config{
+		TaskID: id, Population: "pop", Type: plan.TaskEval,
+		Model:     nn.Spec{Kind: nn.KindLogistic, Features: 4, Classes: 3, Seed: 1},
+		StoreName: "clicks", TargetDevices: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func newSet(t *testing.T) *TaskSet {
+	t.Helper()
+	ts, err := New("pop", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+// commitTrainRound simulates the Coordinator committing one round for the
+// task Next returned.
+func commitTrainRound(ts *TaskSet, tk Task, round int64) {
+	ts.NoteCommitted(tk.Plan.ID, round, tk.Plan.Server.TargetDevices, time.Unix(round, 0))
+}
+
+func TestSeedRejectsDuplicateIDs(t *testing.T) {
+	ts := newSet(t)
+	p := trainPlan(t, "pop/train")
+	if err := ts.Seed([]*plan.Plan{p, trainPlan(t, "pop/train")}); err == nil {
+		t.Fatal("duplicate plan IDs must be rejected")
+	} else if !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("unhelpful duplicate error: %v", err)
+	}
+}
+
+func TestSubmitRejectsDuplicateAndWrongPopulation(t *testing.T) {
+	ts := newSet(t)
+	p := trainPlan(t, "pop/train")
+	if err := ts.Submit(p, Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Submit(trainPlan(t, "pop/train"), Policy{}); err == nil {
+		t.Fatal("resubmitting an existing task ID must fail")
+	}
+	// Retired IDs stay reserved: their checkpoint lineage exists in storage.
+	if err := ts.Retire("pop/train"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Submit(trainPlan(t, "pop/train"), Policy{}); err == nil {
+		t.Fatal("a retired task's ID must stay reserved")
+	}
+	other := trainPlan(t, "other/train")
+	other.Population = "other"
+	if err := ts.Submit(other, Policy{}); err == nil {
+		t.Fatal("population mismatch must fail")
+	}
+}
+
+func TestWeightedRoundRobinHonorsWeights(t *testing.T) {
+	ts := newSet(t)
+	if err := ts.Submit(trainPlan(t, "a"), Policy{Weight: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Submit(trainPlan(t, "b"), Policy{Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 40; i++ {
+		tk, ok := ts.Next()
+		if !ok {
+			t.Fatal("nothing schedulable")
+		}
+		counts[tk.Plan.ID]++
+		commitTrainRound(ts, tk, int64(i))
+	}
+	if counts["a"] != 30 || counts["b"] != 10 {
+		t.Fatalf("weight-3 vs weight-1 split = %v, want 30/10", counts)
+	}
+}
+
+func TestEvalCadenceInterleavesWithTraining(t *testing.T) {
+	ts := newSet(t)
+	if err := ts.Submit(trainPlan(t, "train"), Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Submit(evalPlan(t, "eval"), Policy{EvalEvery: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var seq []string
+	for i := 0; i < 12; i++ {
+		tk, ok := ts.Next()
+		if !ok {
+			t.Fatal("nothing schedulable")
+		}
+		seq = append(seq, tk.Plan.ID)
+		commitTrainRound(ts, tk, int64(i))
+	}
+	// Eval runs after every 2 committed train rounds: t t e t t e ...
+	want := []string{"train", "train", "eval", "train", "train", "eval", "train", "train", "eval", "train", "train", "eval"}
+	if fmt.Sprint(seq) != fmt.Sprint(want) {
+		t.Fatalf("schedule = %v, want %v", seq, want)
+	}
+	st, _ := ts.StatsFor("eval")
+	if st.Policy.EvalOf != "train" {
+		t.Fatalf("eval task must default EvalOf to the first train task, got %q", st.Policy.EvalOf)
+	}
+}
+
+func TestFailedEvalRoundRearmsAfterOneTrainCommit(t *testing.T) {
+	ts := newSet(t)
+	if err := ts.Submit(trainPlan(t, "train"), Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Submit(evalPlan(t, "eval"), Policy{EvalEvery: 3}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		tk, _ := ts.Next()
+		if tk.Plan.ID != "train" {
+			t.Fatalf("round %d: got %s", i, tk.Plan.ID)
+		}
+		commitTrainRound(ts, tk, int64(i))
+	}
+	tk, _ := ts.Next()
+	if tk.Plan.ID != "eval" {
+		t.Fatalf("eval should be due after 3 train commits, got %s", tk.Plan.ID)
+	}
+	ts.NoteFailed("eval")
+	// A failed eval must NOT be immediately due again (a persistently
+	// failing eval would starve training); it retries after ONE more train
+	// commit instead of waiting out the full cadence.
+	tk, _ = ts.Next()
+	if tk.Plan.ID != "train" {
+		t.Fatalf("after an eval failure training must proceed, got %s", tk.Plan.ID)
+	}
+	commitTrainRound(ts, tk, 3)
+	tk, _ = ts.Next()
+	if tk.Plan.ID != "eval" {
+		t.Fatalf("failed eval must retry after one train commit, got %s", tk.Plan.ID)
+	}
+}
+
+// failingTaskStore rejects task-set snapshots; the embedded Store serves
+// everything else.
+type failingTaskStore struct {
+	storage.Store
+	fail bool
+}
+
+func (s *failingTaskStore) PutTaskSet(b []byte) error {
+	if s.fail {
+		return fmt.Errorf("injected task-set persist failure")
+	}
+	return s.Store.PutTaskSet(b)
+}
+
+func TestFailedPersistRollsMutationBack(t *testing.T) {
+	store := &failingTaskStore{Store: storage.NewMem()}
+	ts, err := New("pop", store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Submit(trainPlan(t, "a"), Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	store.fail = true
+	if err := ts.Submit(trainPlan(t, "b"), Policy{}); err == nil {
+		t.Fatal("submit must surface the persist failure")
+	}
+	if ts.Len() != 1 {
+		t.Fatalf("unpersisted submit left the task behind: %d tasks", ts.Len())
+	}
+	if err := ts.Pause("a"); err == nil {
+		t.Fatal("pause must surface the persist failure")
+	}
+	if st, _ := ts.StatsFor("a"); st.State != Active {
+		t.Fatalf("errored pause took effect: %v", st.State)
+	}
+	// Recovery: once storage heals, the same mutations succeed.
+	store.fail = false
+	if err := ts.Submit(trainPlan(t, "b"), Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Pause("a"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeedRejectsChangedPlanUnderRestoredID(t *testing.T) {
+	store := storage.NewMem()
+	ts, err := New("pop", store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Seed([]*plan.Plan{trainPlan(t, "pop/train")}); err != nil {
+		t.Fatal(err)
+	}
+	// Restart with the identical plan: fine, persisted state kept.
+	ts2, err := New("pop", store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts2.Seed([]*plan.Plan{trainPlan(t, "pop/train")}); err != nil {
+		t.Fatal(err)
+	}
+	// Restart with a CHANGED plan under the same ID: silently keeping the
+	// old plan would mislead the operator — it must error.
+	changed := trainPlan(t, "pop/train")
+	changed.Device.LearningRate = 0.5
+	ts3, err := New("pop", store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts3.Seed([]*plan.Plan{changed}); err == nil {
+		t.Fatal("a changed plan body under a restored task ID must be rejected")
+	}
+}
+
+func TestPauseResumeRetire(t *testing.T) {
+	ts := newSet(t)
+	if err := ts.Submit(trainPlan(t, "a"), Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Submit(trainPlan(t, "b"), Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Pause("a"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		tk, ok := ts.Next()
+		if !ok || tk.Plan.ID != "b" {
+			t.Fatalf("paused task scheduled: %v %v", tk.Plan, ok)
+		}
+	}
+	if err := ts.Pause("a"); err == nil {
+		t.Fatal("pausing a paused task must fail")
+	}
+	if err := ts.Resume("a"); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 4; i++ {
+		tk, _ := ts.Next()
+		seen[tk.Plan.ID] = true
+	}
+	if !seen["a"] || !seen["b"] {
+		t.Fatalf("resumed task not scheduled: %v", seen)
+	}
+	if err := ts.Retire("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Resume("a"); err == nil {
+		t.Fatal("retirement must be terminal")
+	}
+	for i := 0; i < 6; i++ {
+		tk, ok := ts.Next()
+		if !ok || tk.Plan.ID != "a" {
+			continue
+		}
+		t.Fatal("retired task scheduled")
+	}
+	// A retired task's in-flight round outcome is still recorded.
+	ts.NoteCommitted("a", 9, 4, time.Unix(9, 0))
+	st, _ := ts.StatsFor("a")
+	if st.RoundsCommitted != 1 || st.State != Retired {
+		t.Fatalf("retired task stats = %+v", st)
+	}
+}
+
+func TestAllPausedMeansNothingSchedulable(t *testing.T) {
+	ts := newSet(t)
+	if err := ts.Submit(trainPlan(t, "a"), Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Pause("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ts.Next(); ok {
+		t.Fatal("nothing should be schedulable")
+	}
+}
+
+func TestMinDevicesGate(t *testing.T) {
+	ts := newSet(t)
+	if err := ts.Submit(trainPlan(t, "big"), Policy{MinDevices: 5000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Submit(trainPlan(t, "small"), Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	ts.SetPopulationEstimate(1000)
+	for i := 0; i < 6; i++ {
+		tk, ok := ts.Next()
+		if !ok || tk.Plan.ID != "small" {
+			t.Fatalf("gated task scheduled: %+v %v", tk, ok)
+		}
+	}
+	ts.SetPopulationEstimate(10000)
+	seen := map[string]bool{}
+	for i := 0; i < 4; i++ {
+		tk, _ := ts.Next()
+		seen[tk.Plan.ID] = true
+	}
+	if !seen["big"] {
+		t.Fatal("task must schedule once the population estimate covers MinDevices")
+	}
+}
+
+func TestPureEvalSetSchedulesRoundRobin(t *testing.T) {
+	// A set with no train task has no cadence clock: eval tasks share
+	// rounds by weighted round-robin instead of never running.
+	ts := newSet(t)
+	if err := ts.Submit(evalPlan(t, "e1"), Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Submit(evalPlan(t, "e2"), Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 8; i++ {
+		tk, ok := ts.Next()
+		if !ok {
+			t.Fatal("nothing schedulable")
+		}
+		counts[tk.Plan.ID]++
+	}
+	if counts["e1"] != 4 || counts["e2"] != 4 {
+		t.Fatalf("pure-eval round robin = %v", counts)
+	}
+}
+
+func TestEvalOfMustNameATrainTask(t *testing.T) {
+	ts := newSet(t)
+	if err := ts.Submit(evalPlan(t, "e1"), Policy{EvalOf: "nope"}); err == nil {
+		t.Fatal("unknown EvalOf must be rejected")
+	}
+	if err := ts.Submit(evalPlan(t, "e1"), Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Submit(evalPlan(t, "e2"), Policy{EvalOf: "e1"}); err == nil {
+		t.Fatal("EvalOf naming an eval task must be rejected")
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	store := storage.NewMem()
+	ts, err := New("pop", store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Submit(trainPlan(t, "train"), Policy{Weight: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Submit(evalPlan(t, "eval"), Policy{EvalEvery: 3}); err != nil {
+		t.Fatal(err)
+	}
+	ts.NoteCommitted("train", 7, 12, time.Unix(100, 0))
+	if err := ts.Pause("eval"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A "restarted process": a fresh TaskSet over the same store.
+	ts2, err := New("pop", store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ts2.Stats()
+	if len(got) != 2 {
+		t.Fatalf("restored %d tasks, want 2", len(got))
+	}
+	if got[0].ID != "train" || got[0].Policy.Weight != 2 || got[0].RoundsCommitted != 1 ||
+		got[0].LastRound != 7 || got[0].Devices != 12 {
+		t.Fatalf("restored train stats = %+v", got[0])
+	}
+	if got[1].ID != "eval" || got[1].State != Paused || got[1].Policy.EvalEvery != 3 ||
+		got[1].Policy.EvalOf != "train" {
+		t.Fatalf("restored eval stats = %+v", got[1])
+	}
+	// Seeding the restored set with the same plan must keep the persisted
+	// state (no silent resurrection of the paused eval task).
+	if err := ts2.Seed([]*plan.Plan{trainPlan(t, "train"), evalPlan(t, "eval")}); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := ts2.StatsFor("eval"); st.State != Paused {
+		t.Fatalf("seed resurrected a paused task: %+v", st)
+	}
+	// The cadence clock survived: one more train commit makes eval due
+	// after resume... (EvalEvery 3, one committed so far).
+	if err := ts2.Resume("eval"); err != nil {
+		t.Fatal(err)
+	}
+	tk, ok := ts2.Next()
+	if !ok || tk.Plan.ID != "train" {
+		t.Fatalf("restored set scheduled %v, want train", tk.Plan)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	// The registry must be safe under concurrent mutation + scheduling:
+	// the server serializes mutations through the Coordinator, but the
+	// TaskSet outlives Coordinators and is queried from other goroutines.
+	ts := newSet(t)
+	if err := ts.Submit(trainPlan(t, "seed"), Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id := fmt.Sprintf("task-%d", w)
+			_ = ts.Submit(trainPlan(t, id), Policy{Weight: w + 1})
+			for i := 0; i < 100; i++ {
+				if tk, ok := ts.Next(); ok {
+					ts.NoteCommitted(tk.Plan.ID, int64(i), 1, time.Unix(int64(i), 0))
+				}
+				_ = ts.Stats()
+				if i%10 == 0 {
+					_ = ts.Pause(id)
+					_ = ts.Resume(id)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if ts.Len() != 9 {
+		t.Fatalf("len = %d, want 9", ts.Len())
+	}
+}
