@@ -190,11 +190,16 @@ func BenchmarkSecAggQuadratic(b *testing.B) {
 }
 
 // BenchmarkRoundThroughput measures the round fan-out/ingest pipeline
-// (Configuration sends + wire codec + Reporting decode + aggregation) for K
-// devices reporting dim-sized updates, over both transports. Run with
-// -benchmem: B/op is dominated by the wire path. The plan-marshals/round
-// metric asserts Configuration marshals the plan O(versions), not
-// O(devices).
+// (Configuration sends + wire codec + Reporting decode-and-accumulate at
+// the edge) for K devices reporting dim-sized updates, over both
+// transports and both uplink encodings (the plan.Server.ReportEncoding
+// knob: float64 ships 8 bytes/param, quant8 1 byte/param and is
+// dequantized straight into the accumulator stripes). Run with -benchmem:
+// B/op is dominated by the wire path. The plan-marshals/round metric
+// asserts Configuration marshals the plan O(versions), not O(devices).
+// The bare "<transport>/K-<k>/dim-<dim>" names (no encoding suffix) keep
+// the float64 cells comparable against the earlier baselines in
+// BENCH_roundtput.json.
 func BenchmarkRoundThroughput(b *testing.B) {
 	for _, tr := range []struct {
 		name string
@@ -202,23 +207,28 @@ func BenchmarkRoundThroughput(b *testing.B) {
 	}{{"mem", false}, {"tcp", true}} {
 		for _, k := range []int{64, 256, 1024} {
 			for _, dim := range []int{4096, 65536} {
-				b.Run(fmt.Sprintf("%s/K-%d/dim-%d", tr.name, k, dim), func(b *testing.B) {
-					b.ReportAllocs()
-					var st flserver.BenchRoundStats
-					for i := 0; i < b.N; i++ {
-						var err error
-						st, err = flserver.RunBenchRound(flserver.BenchRoundConfig{
-							Devices: k, Dim: dim, TCP: tr.tcp,
-						})
-						if err != nil {
-							b.Fatal(err)
+				for _, enc := range []struct {
+					name string
+					e    checkpoint.Encoding
+				}{{"", checkpoint.EncodingFloat64}, {"/quant8", checkpoint.EncodingQuant8}} {
+					b.Run(fmt.Sprintf("%s/K-%d/dim-%d%s", tr.name, k, dim, enc.name), func(b *testing.B) {
+						b.ReportAllocs()
+						var st flserver.BenchRoundStats
+						for i := 0; i < b.N; i++ {
+							var err error
+							st, err = flserver.RunBenchRound(flserver.BenchRoundConfig{
+								Devices: k, Dim: dim, TCP: tr.tcp, Encoding: enc.e,
+							})
+							if err != nil {
+								b.Fatal(err)
+							}
+							if st.Completed < k {
+								b.Fatalf("completed %d/%d devices", st.Completed, k)
+							}
 						}
-						if st.Completed < k {
-							b.Fatalf("completed %d/%d devices", st.Completed, k)
-						}
-					}
-					b.ReportMetric(float64(st.PlanMarshals), "plan-marshals/round")
-				})
+						b.ReportMetric(float64(st.PlanMarshals), "plan-marshals/round")
+					})
+				}
 			}
 		}
 	}

@@ -28,6 +28,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/checkpoint"
 	"repro/internal/experiments"
 	"repro/internal/fleet"
 	"repro/internal/flserver"
@@ -50,12 +51,13 @@ func main() {
 
 type formatter interface{ Format() string }
 
-// roundtputRow is one (transport, K, dim) cell of the round-throughput
-// experiment.
+// roundtputRow is one (transport, K, dim, encoding) cell of the
+// round-throughput experiment.
 type roundtputRow struct {
 	Transport    string
 	Devices      int
 	Dim          int
+	Encoding     string
 	MillisRound  float64
 	PlanMarshals int64
 	Completed    int
@@ -71,11 +73,11 @@ type roundtputResult struct {
 // Format implements formatter.
 func (r *roundtputResult) Format() string {
 	var b strings.Builder
-	b.WriteString("Round throughput (Configuration fan-out + wire + Reporting ingest)\n")
-	b.WriteString("  transport     K     dim   ms/round   plan-marshals  completed\n")
+	b.WriteString("Round throughput (Configuration fan-out + wire + edge-accumulated Reporting ingest)\n")
+	b.WriteString("  transport     K     dim  encoding   ms/round   plan-marshals  completed\n")
 	for _, row := range r.Rows {
-		fmt.Fprintf(&b, "  %-9s %5d %7d %10.1f %15d %10d\n",
-			row.Transport, row.Devices, row.Dim, row.MillisRound, row.PlanMarshals, row.Completed)
+		fmt.Fprintf(&b, "  %-9s %5d %7d  %-8s %10.1f %15d %10d\n",
+			row.Transport, row.Devices, row.Dim, row.Encoding, row.MillisRound, row.PlanMarshals, row.Completed)
 	}
 	return b.String()
 }
@@ -89,19 +91,27 @@ func roundThroughput() (*roundtputResult, error) {
 		}
 		for _, k := range []int{64, 256, 1024} {
 			for _, dim := range []int{4096, 65536} {
-				st, err := flserver.RunBenchRound(flserver.BenchRoundConfig{Devices: k, Dim: dim, TCP: tcp})
-				if err != nil {
-					return nil, fmt.Errorf("roundtput %s K=%d dim=%d: %w", name, k, dim, err)
+				for _, enc := range []struct {
+					name string
+					e    checkpoint.Encoding
+				}{{"float64", checkpoint.EncodingFloat64}, {"quant8", checkpoint.EncodingQuant8}} {
+					st, err := flserver.RunBenchRound(flserver.BenchRoundConfig{
+						Devices: k, Dim: dim, TCP: tcp, Encoding: enc.e,
+					})
+					if err != nil {
+						return nil, fmt.Errorf("roundtput %s K=%d dim=%d enc=%s: %w", name, k, dim, enc.name, err)
+					}
+					res.Rows = append(res.Rows, roundtputRow{
+						Transport:    name,
+						Devices:      k,
+						Dim:          dim,
+						Encoding:     enc.name,
+						MillisRound:  float64(st.Elapsed.Microseconds()) / 1000,
+						PlanMarshals: st.PlanMarshals,
+						Completed:    st.Completed,
+						Lost:         st.Lost,
+					})
 				}
-				res.Rows = append(res.Rows, roundtputRow{
-					Transport:    name,
-					Devices:      k,
-					Dim:          dim,
-					MillisRound:  float64(st.Elapsed.Microseconds()) / 1000,
-					PlanMarshals: st.PlanMarshals,
-					Completed:    st.Completed,
-					Lost:         st.Lost,
-				})
 			}
 		}
 	}

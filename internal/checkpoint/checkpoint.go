@@ -101,55 +101,117 @@ func (c *Checkpoint) Marshal(enc Encoding) ([]byte, error) {
 	return buf, nil
 }
 
-// Unmarshal parses a checkpoint produced by Marshal.
-func Unmarshal(b []byte) (*Checkpoint, error) {
+// Meta is a checkpoint's header, parsed without materializing the O(dim)
+// parameter vector. The Reporting hot path uses it to validate an incoming
+// update (dimension, weight) before deciding where — and whether — to
+// decode the parameters (DecodeParams into a pooled buffer, or
+// AccumulateParams straight into an accumulator stripe).
+type Meta struct {
+	Round     int64
+	Weight    float64
+	NumParams int
+	Encoding  Encoding
+	// nameOff/nameLen locate the task name inside the buffer; paramsOff is
+	// where the parameter section (including the Quant8 min/max prefix)
+	// starts. Kept as offsets so ParseMeta allocates nothing.
+	nameOff, nameLen, paramsOff int
+}
+
+// TaskName extracts the task name from the buffer the Meta was parsed from.
+func (m Meta) TaskName(b []byte) string { return string(b[m.nameOff : m.nameOff+m.nameLen]) }
+
+// ParseMeta validates and parses a checkpoint header. It performs every
+// bounds check Unmarshal would — a buffer that passes ParseMeta cannot make
+// DecodeParams or AccumulateParams read out of range — while allocating
+// nothing, so the per-device Reporting path can inspect updates for free.
+func ParseMeta(b []byte) (Meta, error) {
+	var m Meta
 	if len(b) < 12 {
-		return nil, fmt.Errorf("checkpoint: truncated header (%d bytes)", len(b))
+		return m, fmt.Errorf("checkpoint: truncated header (%d bytes)", len(b))
 	}
 	if binary.BigEndian.Uint32(b) != magic {
-		return nil, fmt.Errorf("checkpoint: bad magic %#x", binary.BigEndian.Uint32(b))
+		return m, fmt.Errorf("checkpoint: bad magic %#x", binary.BigEndian.Uint32(b))
 	}
 	if b[4] != formatVersion {
-		return nil, fmt.Errorf("checkpoint: unsupported format version %d", b[4])
+		return m, fmt.Errorf("checkpoint: unsupported format version %d", b[4])
 	}
-	enc := Encoding(b[5])
-	nameLen := int(binary.BigEndian.Uint16(b[6:]))
+	m.Encoding = Encoding(b[5])
+	m.nameLen = int(binary.BigEndian.Uint16(b[6:]))
+	m.nameOff = 8
 	off := 8
-	if len(b) < off+nameLen+20 {
-		return nil, fmt.Errorf("checkpoint: truncated body")
+	if len(b) < off+m.nameLen+20 {
+		return m, fmt.Errorf("checkpoint: truncated body")
 	}
-	c := &Checkpoint{TaskName: string(b[off : off+nameLen])}
-	off += nameLen
-	c.Round = int64(binary.BigEndian.Uint64(b[off:]))
+	off += m.nameLen
+	m.Round = int64(binary.BigEndian.Uint64(b[off:]))
 	off += 8
-	c.Weight = math.Float64frombits(binary.BigEndian.Uint64(b[off:]))
+	m.Weight = math.Float64frombits(binary.BigEndian.Uint64(b[off:]))
 	off += 8
 	// Validate the claimed parameter count against the remaining bytes
-	// BEFORE allocating O(n): updates arrive from devices, and a hostile
-	// few-byte header claiming 2³²−1 params must not commit gigabytes.
-	// Sizes are computed in int64 so the count cannot overflow int on
-	// 32-bit platforms and slip past the check into make.
+	// BEFORE anyone allocates O(n): updates arrive from devices, and a
+	// hostile few-byte header claiming 2³²−1 params must not commit
+	// gigabytes. Sizes are computed in int64 so the count cannot overflow
+	// int on 32-bit platforms and slip past the check into make.
 	count := int64(binary.BigEndian.Uint32(b[off:]))
 	off += 4
 	var need int64
-	switch enc {
+	switch m.Encoding {
 	case EncodingFloat64:
 		need = 8 * count
 	case EncodingQuant8:
 		need = 16 + count
 	default:
-		return nil, fmt.Errorf("checkpoint: unknown encoding %d", enc)
+		return m, fmt.Errorf("checkpoint: unknown encoding %d", m.Encoding)
 	}
 	if int64(len(b)-off) < need {
-		return nil, fmt.Errorf("checkpoint: truncated params (have %d, need %d)", len(b)-off, need)
+		return m, fmt.Errorf("checkpoint: truncated params (have %d, need %d)", len(b)-off, need)
 	}
-	n := int(count)
-	c.Params = make(tensor.Vector, n)
+	m.NumParams = int(count)
+	m.paramsOff = off
+	return m, nil
+}
 
-	switch enc {
+// DecodeParams decodes the parameter section of the buffer m was parsed
+// from into dst[:m.NumParams], overwriting it. dst must hold at least
+// NumParams elements; it is typically a pooled buffer, so steady-state
+// rounds decode without allocating.
+func (m Meta) DecodeParams(b []byte, dst tensor.Vector) error {
+	if len(dst) < m.NumParams {
+		return fmt.Errorf("checkpoint: decode buffer holds %d params, need %d", len(dst), m.NumParams)
+	}
+	m.apply(b, dst, false)
+	return nil
+}
+
+// AccumulateParams folds the parameter section of the buffer m was parsed
+// from into sum: sum[i] += params[i], dequantizing on the fly for Quant8 —
+// no intermediate O(dim) vector is ever materialized. sum must hold exactly
+// NumParams elements. The fold either applies fully or (on the length
+// mismatch error) leaves sum untouched, so a guarded accumulator stripe
+// never sees a half-applied update.
+func (m Meta) AccumulateParams(b []byte, sum tensor.Vector) error {
+	if len(sum) != m.NumParams {
+		return fmt.Errorf("checkpoint: accumulate dim %d, update has %d", len(sum), m.NumParams)
+	}
+	m.apply(b, sum, true)
+	return nil
+}
+
+// apply decodes params into dst, either overwriting (add=false) or
+// accumulating (add=true). Bounds were established by ParseMeta.
+func (m Meta) apply(b []byte, dst tensor.Vector, add bool) {
+	off := m.paramsOff
+	n := m.NumParams
+	switch m.Encoding {
 	case EncodingFloat64:
-		for i := 0; i < n; i++ {
-			c.Params[i] = math.Float64frombits(binary.BigEndian.Uint64(b[off+8*i:]))
+		if add {
+			for i := 0; i < n; i++ {
+				dst[i] += math.Float64frombits(binary.BigEndian.Uint64(b[off+8*i:]))
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				dst[i] = math.Float64frombits(binary.BigEndian.Uint64(b[off+8*i:]))
+			}
 		}
 	case EncodingQuant8:
 		lo := math.Float64frombits(binary.BigEndian.Uint64(b[off:]))
@@ -159,10 +221,27 @@ func Unmarshal(b []byte) (*Checkpoint, error) {
 		if hi > lo {
 			step = (hi - lo) / 255
 		}
-		for i := 0; i < n; i++ {
-			c.Params[i] = lo + float64(b[off+i])*step
+		if add {
+			for i := 0; i < n; i++ {
+				dst[i] += lo + float64(b[off+i])*step
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				dst[i] = lo + float64(b[off+i])*step
+			}
 		}
 	}
+}
+
+// Unmarshal parses a checkpoint produced by Marshal.
+func Unmarshal(b []byte) (*Checkpoint, error) {
+	m, err := ParseMeta(b)
+	if err != nil {
+		return nil, err
+	}
+	c := &Checkpoint{TaskName: m.TaskName(b), Round: m.Round, Weight: m.Weight,
+		Params: make(tensor.Vector, m.NumParams)}
+	m.apply(b, c.Params, false)
 	return c, nil
 }
 

@@ -272,7 +272,8 @@ func (f *Fleet) spawnCoordinator(entry *popEntry) {
 	}
 	coord := f.sys.Spawn("coordinator/"+name,
 		flserver.NewCoordinator(name, f.lock, entry.spec.Store, entry.tasks, f.selectors,
-			entry.spec.MaxRounds, entry.done, f.cfg.Now))
+			entry.spec.MaxRounds, entry.done, f.cfg.Now).
+			WithPacing(entry.spec.Steering, entry.spec.PopulationEstimate))
 	entry.coord = coord
 	f.mu.Unlock()
 

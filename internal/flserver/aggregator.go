@@ -1,6 +1,7 @@
 package flserver
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
@@ -58,11 +59,22 @@ func NewAggregator(dim int, secure bool, master *actor.Ref) *Aggregator {
 	}
 }
 
-// msgAddUpdate is routed from the Master Aggregator: one device's update.
+// msgAddUpdate delivers one device's update to its group Aggregator. On
+// the wire path it comes straight from the device's connection reader
+// (secure rounds buffer per-device vectors — secagg needs them — but the
+// master hop is skipped); tests and the legacy path may still route a
+// decoded Checkpoint.
 type msgAddUpdate struct {
 	DeviceID string
 	Update   *checkpoint.Checkpoint
-	Metrics  map[string]float64
+	// Input, when set, is a pre-validated pooled delta‖weight buffer of
+	// length dim+1 decoded at the edge; the Aggregator owns it from here
+	// and returns it to the pool once the secagg run has consumed it.
+	Input   tensor.Vector
+	Metrics map[string]float64
+	// Conn, when set, is the device's connection awaiting the
+	// ReportResponse; the Aggregator answers it off the actor goroutine.
+	Conn transport.Conn
 }
 
 // msgAddResult tells the Master Aggregator whether the add was accepted.
@@ -97,15 +109,44 @@ func (a *Aggregator) Receive(ctx *actor.Context, msg actor.Message) {
 	case msgAddUpdate:
 		a.onAdd(m)
 	case msgFinalizeGroup:
-		a.onFinalize(ctx)
+		a.onFinalize(ctx, m)
 	case msgSecAggDone:
 		a.onSecAggDone(ctx, m)
 	}
 }
 
 func (a *Aggregator) onAdd(m msgAddUpdate) {
+	// resolve reports the verdict: to the device (off the actor goroutine —
+	// a stalled socket must never block the group) and to the Master
+	// Aggregator for round accounting.
+	resolve := func(ok bool, reason string) {
+		if m.Conn != nil {
+			sendThenClose(m.Conn, protocol.ReportResponse{Accepted: ok, Reason: reason})
+		}
+		_ = a.master.Send(msgAddResult{DeviceID: m.DeviceID, OK: ok, Err: reason})
+	}
 	if a.finalizing {
-		_ = a.master.Send(msgAddResult{DeviceID: m.DeviceID, OK: false, Err: "group already finalizing"})
+		if m.Input != nil {
+			putParamBuf(m.Input)
+		}
+		resolve(false, "reporting window closed")
+		return
+	}
+	if m.Input != nil {
+		// Pre-validated pooled delta‖weight from the device's reader: the
+		// appended weight element rides through the secure sum so the
+		// server learns Σn without individual n's.
+		if len(m.Input) != a.dim+1 {
+			putParamBuf(m.Input)
+			resolve(false, fmt.Sprintf("update dim %d, want %d", len(m.Input)-1, a.dim))
+			return
+		}
+		a.secInputs[a.secNext] = m.Input
+		a.secNext++
+		for name, v := range m.Metrics {
+			a.metrics[name] = append(a.metrics[name], v)
+		}
+		resolve(true, "")
 		return
 	}
 	if m.Update == nil {
@@ -114,40 +155,56 @@ func (a *Aggregator) onAdd(m msgAddUpdate) {
 		for name, v := range m.Metrics {
 			a.metrics[name] = append(a.metrics[name], v)
 		}
-		_ = a.master.Send(msgAddResult{DeviceID: m.DeviceID, OK: true})
+		resolve(true, "")
 		return
 	}
 	if len(m.Update.Params) != a.dim {
-		_ = a.master.Send(msgAddResult{DeviceID: m.DeviceID, OK: false,
-			Err: fmt.Sprintf("update dim %d, want %d", len(m.Update.Params), a.dim)})
+		resolve(false, fmt.Sprintf("update dim %d, want %d", len(m.Update.Params), a.dim))
 		return
 	}
 	if m.Update.Weight <= 0 {
-		_ = a.master.Send(msgAddResult{DeviceID: m.DeviceID, OK: false, Err: "non-positive weight"})
+		resolve(false, "non-positive weight")
 		return
 	}
 	if a.secure {
-		// Buffer delta‖weight; the appended weight element rides through
-		// the secure sum so the server learns Σn without individual n's.
-		input := make([]float64, a.dim+1)
+		// Buffer delta‖weight (legacy/test path: the update arrived as a
+		// decoded Checkpoint rather than a pooled buffer).
+		input := make(tensor.Vector, a.dim+1)
 		copy(input, m.Update.Params)
 		input[a.dim] = m.Update.Weight
 		a.secInputs[a.secNext] = input
 		a.secNext++
 	} else {
 		if err := a.acc.Add(&fedavg.Update{Delta: m.Update.Params, Weight: m.Update.Weight}); err != nil {
-			_ = a.master.Send(msgAddResult{DeviceID: m.DeviceID, OK: false, Err: err.Error()})
+			resolve(false, err.Error())
 			return
 		}
 	}
 	for name, v := range m.Metrics {
 		a.metrics[name] = append(a.metrics[name], v)
 	}
-	_ = a.master.Send(msgAddResult{DeviceID: m.DeviceID, OK: true})
+	resolve(true, "")
 }
 
-func (a *Aggregator) onFinalize(ctx *actor.Context) {
+func (a *Aggregator) onFinalize(ctx *actor.Context, m msgFinalizeGroup) {
 	a.finalizing = true
+	// Merge this group's share of the round's edge-accumulation stripes
+	// (non-secure rounds; empty otherwise). Drain seals each stripe, so a
+	// reader racing the window close gets ErrPartialClosed instead of
+	// folding into a merged stripe.
+	for _, st := range m.Stripes {
+		sum, weight, count, evalCount, metrics := st.Drain()
+		if count > 0 {
+			if err := a.acc.AddRaw(sum, weight, count); err != nil {
+				a.finish(ctx, "merge stripe: "+err.Error())
+				return
+			}
+		}
+		a.evalCount += evalCount
+		for name, vs := range metrics {
+			a.metrics[name] = append(a.metrics[name], vs...)
+		}
+	}
 	if a.secure && len(a.secInputs) > 0 {
 		n := len(a.secInputs)
 		if n < 2 {
@@ -178,6 +235,12 @@ func (a *Aggregator) onFinalize(ctx *actor.Context) {
 			secaggGate <- struct{}{}
 			defer func() { <-secaggGate }()
 			sum, survivors, err := secagg.Run(cfg, inputs, nil, nil)
+			// The protocol consumed the inputs (Encode copies them into
+			// field elements); hand the buffers back so the next round's
+			// readers reuse them instead of allocating O(group × dim).
+			for _, in := range inputs {
+				putParamBuf(in)
+			}
 			_ = self.Send(msgSecAggDone{Sum: sum, Survivors: len(survivors), Err: err})
 		}()
 		return
@@ -244,10 +307,14 @@ type MasterAggregator struct {
 	minRuntime int
 	now        func() time.Time
 
-	state      string // "selecting", "reporting", "done"
-	devices    map[string]*deviceState
-	order      []string // device ids in arrival order
-	aggs       []*actor.Ref
+	state   string // "selecting", "reporting", "done"
+	devices map[string]*deviceState
+	order   []string // device ids in arrival order
+	aggs    []*actor.Ref
+	// ingest is the round's striped edge accumulator (non-secure rounds):
+	// reader goroutines fold decoded updates straight into its stripes and
+	// only fixed-size accounting messages reach this actor.
+	ingest     *roundIngest
 	completed  int
 	lost       int
 	partials   []msgGroupResult
@@ -295,12 +362,12 @@ func (ma *MasterAggregator) Receive(ctx *actor.Context, msg actor.Message) {
 		ma.onDevices(ctx, m)
 	case msgSelectionTimeout:
 		ma.onSelectionTimeout(ctx)
-	case msgReport:
-		ma.onReport(ctx, m)
+	case msgReportDone:
+		ma.noteReportOutcome(ctx, m.DeviceID, m.OK)
 	case msgDeviceLost:
 		ma.onDeviceLost(m)
 	case msgAddResult:
-		ma.onAddResult(ctx, m)
+		ma.noteReportOutcome(ctx, m.DeviceID, m.OK)
 	case msgReportTimeout:
 		ma.onReportTimeout(ctx)
 	case msgGroupResult:
@@ -371,11 +438,26 @@ type versionResp struct {
 }
 
 // configJob is one device's Configuration send, executed on the fan-out
-// worker pool; resp is the device's version's shared pre-framed response.
+// worker pool; resp is the device's version's shared pre-framed response,
+// group the device's assigned group Aggregator (secure rounds report to it
+// directly, skipping the master hop).
 type configJob struct {
 	deviceID string
 	conn     transport.Conn
 	resp     *transport.Encoded
+	group    *actor.Ref
+}
+
+// reportReader is what a per-device connection reader needs to consume one
+// report at the edge: the non-secure path decodes-and-accumulates into the
+// round's stripes, the secure path decodes into a pooled buffer delivered
+// straight to the device's group Aggregator.
+type reportReader struct {
+	self     *actor.Ref
+	dim      int
+	secure   bool
+	evalOnly bool
+	ingest   *roundIngest
 }
 
 // fanoutWorkers sizes the Configuration send pool. Sends block on socket
@@ -426,6 +508,9 @@ func (ma *MasterAggregator) beginReporting(ctx *actor.Context) {
 	for g := range ma.aggs {
 		ma.aggs[g] = ctx.Spawn(fmt.Sprintf("%s/agg-%d", ctx.Self.Name(), g), NewAggregator(dim, secure, ctx.Self))
 	}
+	if !secure {
+		ma.ingest = newRoundIngest(dim)
+	}
 
 	// Build every device's send on the actor goroutine, marshaling the plan
 	// and building + pre-framing the CheckinResponse once per distinct
@@ -449,10 +534,11 @@ func (ma *MasterAggregator) beginReporting(ctx *actor.Context) {
 
 		if ma.minRuntime > 0 && ds.held.RuntimeVersion < ma.minRuntime {
 			// The task's policy pins a runtime floor: reject instead of
-			// serving a lowered plan the engineer asked us not to serve.
-			_ = ds.held.Conn.Send(protocol.CheckinResponse{Accepted: false,
+			// serving a lowered plan the engineer asked us not to serve. The
+			// rejection goes out on the bounded response pool — a stalled
+			// socket must never block the actor goroutine.
+			sendThenClose(ds.held.Conn, protocol.CheckinResponse{Accepted: false,
 				Reason: fmt.Sprintf("task %s requires device runtime ≥ %d", ma.plan.ID, ma.minRuntime)})
-			_ = ds.held.Conn.Close()
 			ds.lost = true
 			ma.lost++
 			continue
@@ -488,20 +574,26 @@ func (ma *MasterAggregator) beginReporting(ctx *actor.Context) {
 			byVersion[v] = vr
 		}
 		if vr.err != "" {
-			// Device cannot execute any version of this plan; reject it
-			// right here on the actor. Rejections are rare and tiny, and
-			// queueing them would leak the connection if ma.fail returns
-			// before the worker pool spawns (queued jobs never run).
-			_ = ds.held.Conn.Send(protocol.CheckinResponse{Accepted: false, Reason: vr.err})
-			_ = ds.held.Conn.Close()
+			// Device cannot execute any version of this plan; the rejection
+			// rides the bounded response pool, which owns the close — the
+			// connection cannot leak even if ma.fail runs first (ds.lost is
+			// already set, so fail skips it).
+			sendThenClose(ds.held.Conn, protocol.CheckinResponse{Accepted: false, Reason: vr.err})
 			ds.lost = true
 			ma.lost++
 			continue
 		}
-		jobs = append(jobs, configJob{deviceID: id, conn: ds.held.Conn, resp: vr.enc})
+		jobs = append(jobs, configJob{deviceID: id, conn: ds.held.Conn, resp: vr.enc, group: ds.group})
 	}
 
 	self := ctx.Self
+	rr := reportReader{
+		self:     self,
+		dim:      dim,
+		secure:   secure,
+		evalOnly: ma.plan.Type == plan.TaskEval,
+		ingest:   ma.ingest,
+	}
 	jobCh := make(chan configJob, len(jobs))
 	for _, j := range jobs {
 		jobCh <- j
@@ -519,9 +611,10 @@ func (ma *MasterAggregator) beginReporting(ctx *actor.Context) {
 					_ = j.conn.Close()
 					_ = self.Send(msgDeviceLost{DeviceID: j.deviceID})
 				} else {
-					// One reader goroutine per configured device: its
-					// report (or disconnect) becomes an actor message.
-					go readReport(self, j.deviceID, j.conn)
+					// One reader goroutine per configured device: the
+					// O(dim) decode-and-accumulate happens there, and only
+					// fixed-size accounting reaches the actor.
+					go rr.read(j.deviceID, j.conn, j.group)
 				}
 				sends.Done()
 			}
@@ -550,86 +643,117 @@ func (ma *MasterAggregator) beginReporting(ctx *actor.Context) {
 	}()
 }
 
-// readReport blocks for one device's ReportRequest and forwards it to the
-// Master Aggregator, decoding the update bytes here at the edge: the
-// O(devices × dim) unmarshal work runs on the per-device reader goroutines
-// concurrently, and the actor only routes decoded updates to group
-// Aggregators.
-func readReport(self *actor.Ref, deviceID string, conn transport.Conn) {
+// read blocks for one device's ReportRequest and consumes it at the edge:
+// the O(devices × dim) decode work runs on the per-device reader goroutines
+// concurrently, non-secure updates are dequantized straight into one of the
+// round's accumulator stripes (zero O(dim) allocation, zero O(dim) mailbox
+// hop), and secure updates are decoded into a pooled buffer delivered
+// straight to the device's group Aggregator — the Master Aggregator only
+// ever sees fixed-size accounting messages.
+func (r reportReader) read(deviceID string, conn transport.Conn, group *actor.Ref) {
 	msg, err := conn.Recv()
 	if err != nil {
 		_ = conn.Close()
-		_ = self.Send(msgDeviceLost{DeviceID: deviceID})
+		_ = r.self.Send(msgDeviceLost{DeviceID: deviceID})
 		return
 	}
 	req, ok := msg.(protocol.ReportRequest)
 	if !ok {
 		_ = conn.Close()
-		_ = self.Send(msgDeviceLost{DeviceID: deviceID})
+		_ = r.self.Send(msgDeviceLost{DeviceID: deviceID})
 		return
 	}
-	report := msgReport{DeviceID: deviceID, Req: req, Conn: conn}
-	if !req.Aborted && len(req.Update) > 0 {
-		if upd, err := checkpoint.Unmarshal(req.Update); err != nil {
-			report.DecodeErr = err.Error()
-		} else {
-			report.Update = upd
-		}
-		// The raw bytes alias the received wire frame; drop them so the
-		// frame is collectable while the report waits in the mailbox.
-		report.Req.Update = nil
+	// reject accounts the loss first (fixed-size message to the actor),
+	// then answers the device from this goroutine — a stalled peer stalls
+	// only its own reader, for at most abortGrace.
+	reject := func(reason string) {
+		_ = r.self.Send(msgReportDone{DeviceID: deviceID})
+		sendWithGrace(conn, protocol.ReportResponse{Accepted: false, Reason: reason})
 	}
-	_ = self.Send(report)
+	// late answers a report that lost the race against the closing of the
+	// reporting window (the '#' outcome of Table 1) — no accounting: the
+	// round already settled this device's fate.
+	late := func() {
+		sendWithGrace(conn, protocol.ReportResponse{Accepted: false, Reason: "reporting window closed"})
+	}
+	if req.Aborted {
+		reject("device aborted")
+		return
+	}
+	if len(req.Update) == 0 {
+		if !r.evalOnly {
+			// A training task must carry an update.
+			reject("missing update")
+			return
+		}
+		// Metrics-only report (evaluation task).
+		if r.secure {
+			_ = group.Send(msgAddUpdate{DeviceID: deviceID, Metrics: req.Metrics, Conn: conn})
+			return
+		}
+		if err := r.ingest.stripe().AddEval(req.Metrics); err != nil {
+			late()
+			return
+		}
+		_ = r.self.Send(msgReportDone{DeviceID: deviceID, OK: true})
+		sendWithGrace(conn, protocol.ReportResponse{Accepted: true})
+		return
+	}
+	meta, err := checkpoint.ParseMeta(req.Update)
+	if err != nil {
+		reject("bad update: " + err.Error())
+		return
+	}
+	if meta.NumParams != r.dim {
+		reject(fmt.Sprintf("update dim %d, want %d", meta.NumParams, r.dim))
+		return
+	}
+	if meta.Weight <= 0 {
+		reject("non-positive weight")
+		return
+	}
+	if r.secure {
+		// Decode delta‖weight into a pooled buffer; the group Aggregator
+		// (which must keep per-device vectors for the secagg run) owns it
+		// from here and recycles it after the protocol consumes it.
+		buf := getParamBuf(r.dim + 1)
+		if err := meta.DecodeParams(req.Update, buf[:r.dim]); err != nil {
+			putParamBuf(buf)
+			reject("bad update: " + err.Error())
+			return
+		}
+		buf[r.dim] = meta.Weight
+		_ = group.Send(msgAddUpdate{DeviceID: deviceID, Input: buf, Metrics: req.Metrics, Conn: conn})
+		return
+	}
+	// Decode-and-accumulate at the edge: the wire bytes are folded
+	// (dequantized, for Quant8) straight into a stripe of the round
+	// accumulator, under that stripe's lock — no intermediate vector.
+	err = r.ingest.stripe().Accumulate(meta.Weight, req.Metrics, func(sum tensor.Vector) error {
+		return meta.AccumulateParams(req.Update, sum)
+	})
+	switch {
+	case errors.Is(err, fedavg.ErrPartialClosed):
+		late()
+	case err != nil:
+		reject(err.Error())
+	default:
+		_ = r.self.Send(msgReportDone{DeviceID: deviceID, OK: true})
+		sendWithGrace(conn, protocol.ReportResponse{Accepted: true})
+	}
 }
 
-func (ma *MasterAggregator) onReport(ctx *actor.Context, m msgReport) {
-	ds, ok := ma.devices[m.DeviceID]
-	if !ok || ma.state != "reporting" || ds.reported || ds.lost {
-		// Late or unknown report: the reporting window already closed for
-		// this device (the '#' outcome of Table 1).
-		_ = m.Conn.Send(protocol.ReportResponse{Accepted: false, Reason: "reporting window closed"})
-		_ = m.Conn.Close()
+func (ma *MasterAggregator) noteReportOutcome(ctx *actor.Context, deviceID string, ok bool) {
+	ds, exists := ma.devices[deviceID]
+	if !exists || ds.reported || ds.lost || ds.aborted {
 		return
 	}
-	if m.Req.Aborted {
+	if !ok {
 		ds.lost = true
 		ma.lost++
-		_ = m.Conn.Send(protocol.ReportResponse{Accepted: false, Reason: "device aborted"})
-		_ = m.Conn.Close()
-		return
-	}
-	if m.DecodeErr != "" {
-		ds.lost = true
-		ma.lost++
-		_ = m.Conn.Send(protocol.ReportResponse{Accepted: false, Reason: "bad update: " + m.DecodeErr})
-		_ = m.Conn.Close()
-		return
-	}
-	if m.Update == nil && ma.plan.Type != plan.TaskEval {
-		// A training task must carry an update.
-		ds.lost = true
-		ma.lost++
-		_ = m.Conn.Send(protocol.ReportResponse{Accepted: false, Reason: "missing update"})
-		_ = m.Conn.Close()
 		return
 	}
 	ds.reported = true
-	_ = ds.group.Send(msgAddUpdate{DeviceID: m.DeviceID, Update: m.Update, Metrics: m.Req.Metrics})
-	_ = m.Conn.Send(protocol.ReportResponse{Accepted: true})
-	_ = m.Conn.Close()
-}
-
-func (ma *MasterAggregator) onAddResult(ctx *actor.Context, m msgAddResult) {
-	ds, ok := ma.devices[m.DeviceID]
-	if !ok {
-		return
-	}
-	if !m.OK {
-		ds.reported = false
-		ds.lost = true
-		ma.lost++
-		return
-	}
 	ma.completed++
 	if ma.state == "reporting" && ma.completed >= ma.plan.Server.TargetDevices {
 		ma.finalize(ctx)
@@ -649,27 +773,51 @@ func (ma *MasterAggregator) onReportTimeout(ctx *actor.Context) {
 	if ma.state != "reporting" {
 		return
 	}
-	if ma.completed >= ma.plan.Server.MinReports() {
+	// ma.completed lags the edge folds by one mailbox hop (the reader folds
+	// into a stripe, then posts msgReportDone); a report that already
+	// landed in a stripe must count toward the minimum even if its
+	// accounting message is still queued — failing the round here would
+	// discard updates whose devices were told "accepted".
+	reports := ma.completed
+	if ma.ingest != nil {
+		if n := ma.ingest.reports(); n > reports {
+			reports = n
+		}
+	}
+	if reports >= ma.plan.Server.MinReports() {
 		ma.finalize(ctx)
 		return
 	}
 	ma.fail(ctx, fmt.Sprintf("report timeout with %d reports (< min %d)",
-		ma.completed, ma.plan.Server.MinReports()))
+		reports, ma.plan.Server.MinReports()))
 }
 
 // abortGrace bounds how long an over-selected device gets to take delivery
 // of its Abort message before its connection is torn down regardless.
 const abortGrace = 5 * time.Second
 
-// finalize closes the reporting window, collects group partials, and aborts
-// devices that are no longer needed.
+// finalize closes the reporting window, seals the edge-accumulation
+// stripes and deals them out to the group Aggregators for merging, and
+// aborts devices that are no longer needed.
 func (ma *MasterAggregator) finalize(ctx *actor.Context) {
 	ma.state = "collecting"
-	for _, agg := range ma.aggs {
-		_ = agg.Send(msgFinalizeGroup{})
+	// Seal the stripes BEFORE handing them to the Aggregators: a reader
+	// racing the window close gets ErrPartialClosed and answers its device
+	// "window closed" instead of folding into a stripe mid-merge.
+	var stripes []*fedavg.PartialAccumulator
+	if ma.ingest != nil {
+		ma.ingest.close()
+		stripes = ma.ingest.stripes
+	}
+	for i, agg := range ma.aggs {
+		fin := msgFinalizeGroup{}
+		for j := i; j < len(stripes); j += len(ma.aggs) {
+			fin.Stripes = append(fin.Stripes, stripes[j])
+		}
+		_ = agg.Send(fin)
 	}
 	// Abort devices that have not reported: the round no longer needs them
-	// (Fig. 7 "aborted"). The sends run off the actor goroutine: an
+	// (Fig. 7 "aborted"). The sends ride the bounded response pool: an
 	// unreported device may still have a configuration send in flight on a
 	// stuck socket, and its conn's send lock would block the actor forever.
 	// Close always happens — after the Abort is delivered, or after the
@@ -680,18 +828,7 @@ func (ma *MasterAggregator) finalize(ctx *actor.Context) {
 		ds := ma.devices[id]
 		if !ds.reported && !ds.lost {
 			ds.aborted = true
-			go func(conn transport.Conn) {
-				sent := make(chan struct{})
-				go func() {
-					_ = conn.Send(abort)
-					close(sent)
-				}()
-				select {
-				case <-sent:
-				case <-time.After(abortGrace):
-				}
-				_ = conn.Close()
-			}(ds.held.Conn)
+			sendThenClose(ds.held.Conn, abort)
 		}
 	}
 }
@@ -793,6 +930,11 @@ func (ma *MasterAggregator) onGroupResult(ctx *actor.Context, m msgGroupResult) 
 
 func (ma *MasterAggregator) fail(ctx *actor.Context, reason string) {
 	ma.state = "done"
+	if ma.ingest != nil {
+		// Seal the stripes: readers still in flight get ErrPartialClosed
+		// rather than folding into an abandoned round.
+		ma.ingest.close()
+	}
 	for _, ds := range ma.devices {
 		if !ds.reported && !ds.lost {
 			_ = ds.held.Conn.Close()
@@ -806,6 +948,5 @@ func (ma *MasterAggregator) fail(ctx *actor.Context, reason string) {
 }
 
 func (ma *MasterAggregator) abortDevice(d heldDevice, reason string) {
-	_ = d.Conn.Send(protocol.CheckinResponse{Accepted: false, Reason: reason})
-	_ = d.Conn.Close()
+	sendThenClose(d.Conn, protocol.CheckinResponse{Accepted: false, Reason: reason})
 }

@@ -32,6 +32,18 @@ type BenchRoundConfig struct {
 	// MixedVersions makes half the fleet run runtime version 1, forcing the
 	// server to derive and marshal a lowered plan alongside the current one.
 	MixedVersions bool
+	// Encoding is the uplink encoding devices report with (the
+	// plan.Server.ReportEncoding knob); 0 means full float64, the PR 2
+	// baseline. EncodingQuant8 ships 1 byte/param — the ~8× uplink lever.
+	Encoding checkpoint.Encoding
+	// Secure runs the round under Secure Aggregation (group size
+	// min(Devices, 8)), exercising the pooled per-device input path.
+	Secure bool
+	// DistinctUpdates gives every device its own update (scaled by device
+	// index) and weight instead of one shared payload, so the committed
+	// checkpoint discriminates mis-aggregation; used by the
+	// edge-accumulation equivalence tests.
+	DistinctUpdates bool
 }
 
 // BenchRoundStats describes one completed synthetic round.
@@ -42,6 +54,10 @@ type BenchRoundStats struct {
 	// during Configuration (O(distinct versions), not O(devices)).
 	PlanMarshals int64
 	Elapsed      time.Duration
+	// Committed is the checkpoint the round committed (nil if the plan's
+	// apply step failed before storage); equivalence tests compare it
+	// against a serial reference fold.
+	Committed *checkpoint.Checkpoint
 }
 
 // RunBenchRound drives one round through a real Master Aggregator and real
@@ -54,6 +70,20 @@ func RunBenchRound(cfg BenchRoundConfig) (BenchRoundStats, error) {
 	if cfg.Devices <= 0 || cfg.Dim <= 0 {
 		return stats, fmt.Errorf("benchround: Devices and Dim must be positive")
 	}
+	enc := cfg.Encoding
+	if enc == 0 {
+		enc = checkpoint.EncodingFloat64
+	}
+	groupSize := 0
+	if cfg.Secure {
+		groupSize = 8
+		if cfg.Devices < groupSize {
+			groupSize = cfg.Devices
+		}
+		if groupSize < 2 {
+			return stats, fmt.Errorf("benchround: secure round needs ≥ 2 devices")
+		}
+	}
 	p, err := plan.Generate(plan.Config{
 		TaskID:     "bench/roundtput",
 		Population: "bench",
@@ -64,7 +94,9 @@ func RunBenchRound(cfg BenchRoundConfig) (BenchRoundStats, error) {
 		MinReportFraction: 0.8,
 		SelectionTimeout:  time.Minute,
 		ReportTimeout:     5 * time.Minute,
-		ReportEncoding:    checkpoint.EncodingFloat64,
+		ReportEncoding:    enc,
+		SecureAggregation: cfg.Secure,
+		SecAggGroupSize:   groupSize,
 		// Fused ops force version-1 devices onto a distinct lowered plan.
 		UseFusedOps: cfg.MixedVersions,
 	})
@@ -78,9 +110,26 @@ func RunBenchRound(cfg BenchRoundConfig) (BenchRoundStats, error) {
 	for i := range upd.Params {
 		upd.Params[i] = float64(i%7) * 0.25
 	}
-	updBytes, err := upd.Marshal(checkpoint.EncodingFloat64)
+	// One shared payload by default (the throughput benchmark measures the
+	// pipeline, not K marshals); distinct per-device payloads on request.
+	updBytes := make([][]byte, cfg.Devices)
+	shared, err := upd.Marshal(enc)
 	if err != nil {
 		return stats, err
+	}
+	for i := range updBytes {
+		if !cfg.DistinctUpdates {
+			updBytes[i] = shared
+			continue
+		}
+		u := &checkpoint.Checkpoint{TaskName: p.ID, Round: 0, Weight: float64(1 + i%3),
+			Params: make(tensor.Vector, cfg.Dim)}
+		for j := range u.Params {
+			u.Params[j] = float64(i+1) * (float64(j%7)*0.25 - 0.5)
+		}
+		if updBytes[i], err = u.Marshal(enc); err != nil {
+			return stats, err
+		}
 	}
 
 	// Connect K device endpoints to K server-held connections.
@@ -145,7 +194,7 @@ func RunBenchRound(cfg BenchRoundConfig) (BenchRoundStats, error) {
 				DeviceID: fmt.Sprintf("bench-%d", i),
 				TaskID:   resp.TaskID,
 				Round:    resp.Round,
-				Update:   updBytes,
+				Update:   updBytes[i],
 				Metrics:  map[string]float64{"train_loss": 0.5},
 			})
 			_, _ = conn.Recv()
@@ -202,6 +251,7 @@ func RunBenchRound(cfg BenchRoundConfig) (BenchRoundStats, error) {
 		}
 		stats.Completed = out.complete.Completed
 		stats.Lost = out.complete.Lost
+		stats.Committed = out.complete.Committed
 	case <-time.After(5 * time.Minute):
 		return stats, fmt.Errorf("benchround: round timed out")
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/actor"
 	"repro/internal/checkpoint"
+	"repro/internal/pacing"
 	"repro/internal/plan"
 	"repro/internal/storage"
 	"repro/internal/tasks"
@@ -42,8 +43,35 @@ type Coordinator struct {
 	currentTask string
 	completed   int
 	failed      int
+	// drained records that maxRounds was reached and the Selectors told to
+	// release this population's parked devices.
+	drained bool
 	// onDone, if non-nil, is signalled when maxRounds is reached.
 	onDone chan struct{}
+
+	// Live population estimation (WithPacing): every tick probes the
+	// Selectors for observed check-in rates; each msgCheckinRate sample
+	// refreshes the TaskSet's population estimate, so MinDevices gates
+	// track the reachable population instead of the static config value.
+	steering       *pacing.Steering
+	staticEstimate int
+	estimate       float64
+	selRates       map[*actor.Ref]msgCheckinRate
+	gateRetry      bool
+}
+
+// WithPacing attaches the population's pace steering and the static
+// estimate it was configured with, enabling live population estimation
+// from the Selector layer's observed check-in rates. Returns c for
+// chaining at the spawn site.
+func (c *Coordinator) WithPacing(st *pacing.Steering, staticEstimate int) *Coordinator {
+	if staticEstimate <= 0 {
+		staticEstimate = 1
+	}
+	c.steering = st
+	c.staticEstimate = staticEstimate
+	c.estimate = float64(staticEstimate)
+	return c
 }
 
 // loadRetryDelay is the backoff before retrying a tick whose task failed
@@ -95,6 +123,8 @@ func (c *Coordinator) Receive(ctx *actor.Context, msg actor.Message) {
 			c.currentTask = ""
 			_ = ctx.Self.Send(msgTick{})
 		}
+	case msgCheckinRate:
+		c.onCheckinRate(m)
 	case msgTaskOp:
 		c.onTaskOp(ctx, m)
 	case msgTaskStats:
@@ -164,10 +194,23 @@ func (c *Coordinator) onTick(ctx *actor.Context) {
 		}
 		c.acquired = true
 	}
+	// Any tick satisfies a pending gate-retry; a new one is armed below if
+	// the gate still holds.
+	c.gateRetry = false
+	c.probeRates(ctx)
 	if c.currentMA != nil {
 		return // round in flight
 	}
 	if c.maxRounds > 0 && c.completed >= c.maxRounds {
+		if !c.drained {
+			// No further round will start: release the parked devices (and
+			// their half-open connections) the Selectors are holding for
+			// us, instead of stranding them until process teardown.
+			c.drained = true
+			for _, sel := range c.selectors {
+				_ = sel.Send(msgReleaseParked{Population: c.population})
+			}
+		}
 		if c.onDone != nil {
 			select {
 			case <-c.onDone:
@@ -180,7 +223,16 @@ func (c *Coordinator) onTick(ctx *actor.Context) {
 
 	t, ok := c.tasks.Next()
 	if !ok {
-		return // nothing schedulable: all tasks paused/retired/gated, or none yet
+		// Nothing schedulable: all tasks paused/retired/gated, or none yet.
+		// A task gated only by MinDevices may become schedulable as fresh
+		// check-in rate samples move the live estimate, and an idle
+		// Coordinator has no other tick source — re-check on a backoff.
+		if c.steering != nil && !c.gateRetry && c.tasks.GatedByEstimate() {
+			c.gateRetry = true
+			self := ctx.Self
+			time.AfterFunc(loadRetryDelay, func() { _ = self.Send(msgTick{}) })
+		}
+		return
 	}
 	p := t.Plan
 
@@ -254,6 +306,57 @@ func (c *Coordinator) loadGlobal(t tasks.Task) (*checkpoint.Checkpoint, error) {
 	g := &checkpoint.Checkpoint{TaskName: p.ID, Round: 0, Params: params}
 	c.global[p.ID] = g
 	return g, nil
+}
+
+// probeRates asks every Selector for its check-in arrivals since the last
+// sample. Fire-and-forget: the samples return as msgCheckinRate messages,
+// so the actor never blocks on a Selector.
+func (c *Coordinator) probeRates(ctx *actor.Context) {
+	if c.steering == nil {
+		return
+	}
+	for _, sel := range c.selectors {
+		_ = sel.Send(msgRateProbe{Population: c.population, To: ctx.Self})
+	}
+}
+
+// onCheckinRate folds one Selector's arrival sample into the live
+// population estimate. Devices reconnect about once per steering MeanWait
+// (evaluated at the static estimate the Selectors steer with), so the
+// fleet-wide arrival rate λ implies population ≈ λ × MeanWait; an EWMA
+// smooths sampling noise. The result feeds TaskSet.SetPopulationEstimate,
+// which the MinDevices deployment gates check.
+func (c *Coordinator) onCheckinRate(m msgCheckinRate) {
+	if c.steering == nil || m.Elapsed <= 0 {
+		return
+	}
+	if c.selRates == nil {
+		c.selRates = make(map[*actor.Ref]msgCheckinRate)
+	}
+	c.selRates[m.From] = m
+	// Fold the LATEST sample per selector: rates sum across the layer, and
+	// the demand devices were most recently steered with is the max of the
+	// current samples (a historical maximum would bias MeanWait — ~1/demand
+	// in the spread regime — low forever after one high-demand task).
+	var rate float64
+	demand := 0
+	for _, s := range c.selRates {
+		rate += float64(s.Count) / s.Elapsed.Seconds()
+		if s.Demand > demand {
+			demand = s.Demand
+		}
+	}
+	mean := c.steering.MeanWait(c.staticEstimate, demand, c.now())
+	raw := rate * mean.Seconds()
+	if raw > 1e9 {
+		raw = 1e9
+	}
+	c.estimate = 0.5*c.estimate + 0.5*raw
+	est := int(c.estimate)
+	if est < 1 {
+		est = 1
+	}
+	c.tasks.SetPopulationEstimate(est)
 }
 
 func (c *Coordinator) onRoundComplete(ctx *actor.Context, m msgRoundComplete) {

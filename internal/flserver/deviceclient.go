@@ -112,7 +112,7 @@ func (d *DeviceClient) RunOnce(conn transport.Conn) (*Outcome, error) {
 		if d.TrainDelay > 0 {
 			time.Sleep(d.TrainDelay)
 		}
-		updBytes, err := res.Update.Marshal(p.Device.ReportEncoding)
+		updBytes, err := res.Update.Marshal(p.UplinkEncoding())
 		if err != nil {
 			return nil, fmt.Errorf("device %s: marshal update: %w", d.ID, err)
 		}

@@ -1,0 +1,127 @@
+package flserver
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fedavg"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// roundIngest is the striped edge-accumulation state of one non-secure
+// round: GOMAXPROCS mutex-striped partial accumulators that the per-device
+// connection readers fold decoded updates into directly. The per-device hot
+// loop performs zero O(dim) allocations and zero O(dim) actor-mailbox hops;
+// at finalization the stripes are sealed and distributed across the round's
+// group Aggregators for merging (the Sec. 4.3 aggregation tree).
+type roundIngest struct {
+	stripes []*fedavg.PartialAccumulator
+	next    atomic.Uint64
+}
+
+// newRoundIngest builds one stripe per processor for dim-sized updates.
+func newRoundIngest(dim int) *roundIngest {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	ri := &roundIngest{stripes: make([]*fedavg.PartialAccumulator, n)}
+	for i := range ri.stripes {
+		ri.stripes[i] = fedavg.NewPartial(dim)
+	}
+	return ri
+}
+
+// stripe hands out stripes round-robin, spreading concurrent readers across
+// the stripe locks.
+func (ri *roundIngest) stripe() *fedavg.PartialAccumulator {
+	return ri.stripes[ri.next.Add(1)%uint64(len(ri.stripes))]
+}
+
+// close seals every stripe: folds that lost the race against finalization
+// get fedavg.ErrPartialClosed instead of silently landing in a merged (or
+// abandoned) round.
+func (ri *roundIngest) close() {
+	for _, s := range ri.stripes {
+		s.Close()
+	}
+}
+
+// reports counts the device reports already folded into the stripes
+// (updates plus metrics-only). The Master Aggregator's accounting lags the
+// folds by one mailbox hop, so window-close decisions consult this ground
+// truth rather than fail a round whose reports physically arrived.
+func (ri *roundIngest) reports() int {
+	n := 0
+	for _, s := range ri.stripes {
+		n += s.Reports()
+	}
+	return n
+}
+
+// updateBufPool recycles O(dim) parameter buffers across devices and across
+// rounds: the secure Reporting path decodes each device's delta‖weight into
+// a pooled buffer that the group Aggregator returns after the secagg run
+// consumes it, so steady-state rounds reuse the same K buffers instead of
+// generating O(K×dim) garbage per round.
+var updateBufPool sync.Pool
+
+// getParamBuf returns a length-n buffer, reusing a pooled one when its
+// capacity suffices (a pooled buffer of the wrong size is simply dropped).
+func getParamBuf(n int) tensor.Vector {
+	if v, ok := updateBufPool.Get().(tensor.Vector); ok && cap(v) >= n {
+		return v[:n]
+	}
+	return make(tensor.Vector, n)
+}
+
+// putParamBuf returns a buffer to the pool. The caller must not touch the
+// slice afterwards — the next getParamBuf may hand it to another device's
+// reader.
+func putParamBuf(v tensor.Vector) {
+	if cap(v) > 0 {
+		updateBufPool.Put(v[:cap(v)])
+	}
+}
+
+// respGate bounds concurrent off-goroutine response sends process-wide, so
+// a flood of rejections cannot hold unbounded frame buffers in flight.
+var respGate = make(chan struct{}, 256)
+
+// sendThenClose delivers msg to conn on its own goroutine and then closes
+// the connection. Every path that answers a device from an actor goroutine
+// (Master Aggregator rejections and aborts, group Aggregator report
+// responses) routes through here: a stalled socket blocks one pooled
+// goroutine for at most abortGrace — never an actor, never the round.
+func sendThenClose(conn transport.Conn, msg interface{}) {
+	go func() {
+		respGate <- struct{}{}
+		defer func() { <-respGate }()
+		sendWithGrace(conn, msg)
+	}()
+}
+
+// sendWithGrace attempts one send, bounded by abortGrace, then closes the
+// conn regardless — the Close also unblocks the inner Send if the peer
+// checked in and then never drained its socket (Conn has no write
+// deadline).
+func sendWithGrace(conn transport.Conn, msg interface{}) {
+	sent := make(chan struct{})
+	go func() {
+		_ = conn.Send(msg)
+		close(sent)
+	}()
+	// This runs once per report on the hot path: stop the timer as soon as
+	// the (typical, microsecond) send completes, rather than leaving K live
+	// timers per round to expire on their own.
+	grace := time.NewTimer(abortGrace)
+	select {
+	case <-sent:
+		grace.Stop()
+	case <-grace.C:
+	}
+	_ = conn.Close()
+}

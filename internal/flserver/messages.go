@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/actor"
 	"repro/internal/checkpoint"
+	"repro/internal/fedavg"
 	"repro/internal/plan"
 	"repro/internal/protocol"
 	"repro/internal/tasks"
@@ -66,6 +67,35 @@ type msgDeregisterPopulation struct {
 	Name string
 }
 
+// msgReleaseParked tells a Selector to steer one population's parked
+// devices away (with a reconnect hint) and stop accepting more. Sent by a
+// Coordinator that has reached its round target: a device parked for a
+// round that will never start must not sit on a half-open connection.
+type msgReleaseParked struct {
+	Population string
+}
+
+// msgRateProbe asks a Selector for one population's check-in arrivals since
+// the last probe; the sample returns to To as msgCheckinRate. The
+// Coordinator probes every scheduling tick and feeds the observed rates
+// into the TaskSet's live population estimate (DESIGN.md §2a).
+type msgRateProbe struct {
+	Population string
+	To         *actor.Ref
+}
+
+// msgCheckinRate is one Selector's arrival sample for a population: Count
+// check-ins observed over Elapsed, while steering hints were computed for
+// per-selector demand Demand. A Selector only emits a sample once its
+// window is long enough to carry signal.
+type msgCheckinRate struct {
+	From       *actor.Ref
+	Population string
+	Count      int64
+	Elapsed    time.Duration
+	Demand     int
+}
+
 // msgSelectorStats asks a Selector for its current counts; Population ""
 // sums across every population the Selector serves.
 type msgSelectorStats struct {
@@ -104,17 +134,16 @@ type msgSelectionTimeout struct{}
 // msgReportTimeout fires when the reporting window closes.
 type msgReportTimeout struct{}
 
-// msgReport is a device's update, posted by its connection reader. The
-// reader goroutine already decoded Req.Update (decode-at-the-edge, DESIGN.md
-// §5): the Master Aggregator only routes the result.
-type msgReport struct {
+// msgReportDone is the fixed-size outcome of one device's report, posted by
+// its connection reader after the O(dim) work already happened at the edge
+// (decode-and-accumulate into a stripe for non-secure rounds, decode into a
+// pooled group-Aggregator input for secure ones). Only round accounting
+// crosses the Master Aggregator's mailbox — never a parameter vector.
+type msgReportDone struct {
 	DeviceID string
-	Req      protocol.ReportRequest
-	// Update is the decoded device update; nil for metrics-only reports.
-	Update *checkpoint.Checkpoint
-	// DecodeErr is set when Req.Update was present but failed to parse.
-	DecodeErr string
-	Conn      transport.Conn
+	// OK is true when the report was folded in; false records a rejected
+	// report (device abort, malformed or dimension-mismatched update).
+	OK bool
 }
 
 // msgDeviceLost is posted when a device connection dies before reporting.
@@ -123,7 +152,13 @@ type msgDeviceLost struct {
 }
 
 // msgFinalizeGroup tells an Aggregator to deliver its partial aggregate.
-type msgFinalizeGroup struct{}
+// For non-secure rounds it carries the Aggregator's share of the round's
+// edge-accumulation stripes to merge first — the aggregation tree of
+// Sec. 4.3: readers fold into stripes, group Aggregators merge stripes,
+// the Master Aggregator merges group partials.
+type msgFinalizeGroup struct {
+	Stripes []*fedavg.PartialAccumulator
+}
 
 // msgGroupResult is an Aggregator's partial aggregate for the round.
 type msgGroupResult struct {

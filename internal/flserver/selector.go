@@ -42,7 +42,18 @@ type selPop struct {
 	// flow to the round as they arrive.
 	pendingTo *actor.Ref
 	pendingN  int
+
+	// arrivals counts this population's check-ins since rateStart; the
+	// Coordinator drains the window via msgRateProbe to maintain a live
+	// population estimate from observed check-in rates.
+	arrivals  int64
+	rateStart time.Time
 }
+
+// minRateWindow is the shortest sampling window a Selector will answer a
+// rate probe from: ticks arrive in bursts around round boundaries, and a
+// near-empty millisecond window would read as "nobody is checking in".
+const minRateWindow = 500 * time.Millisecond
 
 // Selector accepts and forwards device connections (Sec. 4.2) for every
 // population registered with it: the paper's Selectors are a shared,
@@ -127,6 +138,10 @@ func (s *Selector) Receive(ctx *actor.Context, msg actor.Message) {
 		}
 	case msgForwardDevices:
 		s.onForward(m)
+	case msgRateProbe:
+		s.onRateProbe(ctx, m)
+	case msgReleaseParked:
+		s.releaseParked(m.Population)
 	case msgSelectorStats:
 		m.Reply <- s.stats(m.Population)
 	case actor.Terminated:
@@ -156,7 +171,32 @@ func (s *Selector) register(cfg SelectorPopulation) {
 		steering:           cfg.Steering,
 		populationEstimate: cfg.PopulationEstimate,
 		demand:             1,
+		rateStart:          s.now(),
 	}
+}
+
+// onRateProbe answers a Coordinator's check-in rate probe with the
+// population's arrivals since the previous sample, then resets the window.
+// Windows shorter than minRateWindow are left accumulating — a burst of
+// probes around a round boundary must not manufacture zero-rate samples.
+func (s *Selector) onRateProbe(ctx *actor.Context, m msgRateProbe) {
+	p, ok := s.pops[m.Population]
+	if !ok || m.To == nil {
+		return
+	}
+	now := s.now()
+	elapsed := now.Sub(p.rateStart)
+	if elapsed < minRateWindow {
+		return
+	}
+	_ = m.To.Send(msgCheckinRate{
+		From:       ctx.Self,
+		Population: p.name,
+		Count:      p.arrivals,
+		Elapsed:    elapsed,
+		Demand:     p.demand,
+	})
+	p.arrivals, p.rateStart = 0, now
 }
 
 // deregister removes a population: parked devices are steered away and the
@@ -175,6 +215,24 @@ func (s *Selector) deregister(name string) {
 	s.retiredAccepted += p.accepted
 	s.retiredRejected += p.rejected
 	delete(s.pops, name)
+}
+
+// releaseParked steers a population's parked devices away and zeroes its
+// quota, keeping the population registered: its Coordinator finished its
+// rounds, so holding devices (and their connections) would strand them.
+func (s *Selector) releaseParked(name string) {
+	p, ok := s.pops[name]
+	if !ok {
+		return
+	}
+	now := s.now()
+	for _, d := range p.held {
+		p.rejected++
+		s.rejectConn(d.Conn, "population idle", p.steering, p.populationEstimate, p.demand, now)
+	}
+	p.held = p.held[:0]
+	p.quota = 0
+	p.pendingTo, p.pendingN = nil, 0
 }
 
 // rejectConn answers a check-in with a steering-backed rejection and closes
@@ -200,6 +258,7 @@ func (s *Selector) onCheckin(m msgCheckin) {
 		s.rejectConn(m.Conn, "unknown population "+m.Req.Population, s.defaultSteering, s.defaultEstimate, 1, now)
 		return
 	}
+	p.arrivals++
 	reject := func(reason string) {
 		p.rejected++
 		s.rejectConn(m.Conn, reason, p.steering, p.populationEstimate, p.demand, now)

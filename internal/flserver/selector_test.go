@@ -248,3 +248,108 @@ func TestSelectorDeregisterSteersParkedDevices(t *testing.T) {
 		t.Fatalf("deregistration rejections lost: %+v", st)
 	}
 }
+
+// TestSelectorRateProbeSamplesAndResets: a rate probe returns the arrivals
+// observed since the previous sample and resets the window; windows shorter
+// than minRateWindow stay accumulating (no zero-rate noise from tick
+// bursts). Time is injected, so the window arithmetic is deterministic.
+func TestSelectorRateProbeSamplesAndResets(t *testing.T) {
+	sys := actor.NewSystem()
+	defer sys.Shutdown()
+	now := time.Date(2019, 3, 1, 12, 0, 0, 0, time.UTC)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	sel := sys.Spawn("sel-rate", NewSelector(nil, pacing.New(time.Second), 0, 1, clock,
+		SelectorPopulation{Name: "pop", Steering: pacing.New(time.Second), PopulationEstimate: 100}))
+
+	var got []msgCheckinRate
+	sig := make(chan struct{}, 16)
+	sink := sys.Spawn("rate-sink", actor.BehaviorFunc(func(ctx *actor.Context, msg actor.Message) {
+		if m, ok := msg.(msgCheckinRate); ok {
+			mu.Lock()
+			got = append(got, m)
+			mu.Unlock()
+			sig <- struct{}{}
+		}
+	}))
+
+	for i := 0; i < 6; i++ {
+		checkin(sel, "pop", fmt.Sprintf("d-%d", i), nil)
+	}
+	// Probe inside the minimum window: no sample may be produced.
+	_ = sel.Send(msgRateProbe{Population: "pop", To: sink})
+	advance(2 * time.Second)
+	_ = sel.Send(msgRateProbe{Population: "pop", To: sink})
+	select {
+	case <-sig:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no rate sample after a full window")
+	}
+	mu.Lock()
+	first := got[0]
+	mu.Unlock()
+	if first.Count != 6 || first.Elapsed != 2*time.Second {
+		t.Fatalf("first sample: %+v, want 6 arrivals over 2s", first)
+	}
+	// The window reset: two more arrivals over one more second.
+	checkin(sel, "pop", "d-6", nil)
+	checkin(sel, "pop", "d-7", nil)
+	advance(time.Second)
+	_ = sel.Send(msgRateProbe{Population: "pop", To: sink})
+	select {
+	case <-sig:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no second sample")
+	}
+	mu.Lock()
+	second := got[1]
+	mu.Unlock()
+	if second.Count != 2 || second.Elapsed != time.Second {
+		t.Fatalf("second sample: %+v, want 2 arrivals over 1s", second)
+	}
+}
+
+// TestSelectorReleaseParkedFreesConnections: a finished Coordinator's
+// release must steer every parked device away (closing its connection)
+// and zero the quota so no device is parked for a round that will never
+// start.
+func TestSelectorReleaseParkedFreesConnections(t *testing.T) {
+	sys := actor.NewSystem()
+	defer sys.Shutdown()
+	sel := spawnSelector(sys, "sel-release", 0, 3, "pop")
+	_ = sel.Send(msgSetQuota{Population: "pop", Accept: 4})
+
+	var mu sync.Mutex
+	released := 0
+	for i := 0; i < 4; i++ {
+		checkin(sel, "pop", fmt.Sprintf("d-%d", i), func(r protocol.CheckinResponse) {
+			if !r.Accepted && r.RetryAfter > 0 {
+				mu.Lock()
+				released++
+				mu.Unlock()
+			}
+		})
+	}
+	waitFor(t, func() bool { return popStats(t, sel, "pop").Held == 4 })
+	_ = sel.Send(msgReleaseParked{Population: "pop"})
+	waitFor(t, func() bool { return popStats(t, sel, "pop").Held == 0 })
+	waitFor(t, func() bool { mu.Lock(); defer mu.Unlock(); return released == 4 })
+	// Quota is gone: the next check-in is rejected, not parked.
+	checkin(sel, "pop", "late", nil)
+	waitFor(t, func() bool { st := popStats(t, sel, "pop"); return st.Held == 0 && st.Rejected >= 5 })
+}
+
+// waitFor polls cond until true or the deadline passes.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition never held")
+}

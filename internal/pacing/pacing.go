@@ -78,6 +78,31 @@ func (s *Steering) Suggest(population, demand int, now time.Time, rng *tensor.RN
 	return s.clamp(d, now)
 }
 
+// MeanWait returns the expected value of the delay Suggest would draw for
+// the given population estimate and demand, after the same clamping (the
+// diurnal LoadFactor applies too, since devices were steered under it).
+// The live population estimator inverts it: devices reconnect about once
+// per MeanWait, so an observed check-in rate λ implies a population of
+// roughly λ × MeanWait.
+func (s *Steering) MeanWait(population, demand int, now time.Time) time.Duration {
+	if population < 1 {
+		population = 1
+	}
+	if demand < 1 {
+		demand = 1
+	}
+	var d time.Duration
+	if population <= s.SmallThreshold {
+		// untilNext is uniform over (0, period] (mean period/2) and the
+		// jitter uniform over the first 10% of the round (mean 5%).
+		d = time.Duration(0.55 * float64(s.RoundPeriod))
+	} else {
+		// suggestSpread draws uniformly from [0.5·W, 1.5·W]: mean W.
+		d = time.Duration(float64(population) * float64(s.RoundPeriod) / (s.Overprovision * float64(demand)))
+	}
+	return s.clamp(d, now)
+}
+
 // suggestSync aligns reconnects to the next shared round boundary plus a
 // small jitter, so rejected devices come back together.
 func (s *Steering) suggestSync(now time.Time, rng *tensor.RNG) time.Duration {

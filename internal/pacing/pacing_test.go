@@ -154,3 +154,43 @@ func TestStatelessness(t *testing.T) {
 		t.Fatalf("steering is not stateless: %v vs %v", d1, d2)
 	}
 }
+
+func TestMeanWaitTracksSuggestMean(t *testing.T) {
+	// MeanWait must sit near the empirical mean of Suggest's draws in both
+	// regimes — the live population estimator inverts it, so a biased mean
+	// biases every estimate.
+	s := steering()
+	rng := tensor.NewRNG(11)
+	for _, tc := range []struct{ pop, demand int }{
+		{100, 10},        // small-population (synchronizing) regime
+		{2_000_000, 300}, // large-population (spread) regime
+	} {
+		var sum time.Duration
+		const draws = 4000
+		for i := 0; i < draws; i++ {
+			// Spread now over a full round period so the sync regime's
+			// until-next-boundary term averages out.
+			now := epoch.Add(time.Duration(i) * s.RoundPeriod / draws)
+			sum += s.Suggest(tc.pop, tc.demand, now, rng)
+		}
+		empirical := sum / draws
+		mean := s.MeanWait(tc.pop, tc.demand, epoch)
+		ratio := float64(empirical) / float64(mean)
+		if ratio < 0.7 || ratio > 1.4 {
+			t.Fatalf("pop=%d demand=%d: MeanWait %v vs empirical mean %v (ratio %.2f)",
+				tc.pop, tc.demand, mean, empirical, ratio)
+		}
+	}
+}
+
+func TestMeanWaitClamped(t *testing.T) {
+	s := steering()
+	// A tiny demand in a huge population would suggest days; MaxWait must
+	// bound MeanWait exactly like it bounds Suggest.
+	if got := s.MeanWait(100_000_000, 1, epoch); got > s.MaxWait {
+		t.Fatalf("MeanWait %v above MaxWait %v", got, s.MaxWait)
+	}
+	if got := s.MeanWait(0, 0, epoch); got < s.MinWait {
+		t.Fatalf("degenerate MeanWait %v below MinWait", got)
+	}
+}

@@ -142,6 +142,14 @@ type ServerPlan struct {
 	// ParticipationCap bounds a single device's participation time
 	// (the straggler cap visible in Fig. 8).
 	ParticipationCap time.Duration
+	// ReportEncoding is the uplink encoding the task requests for device
+	// updates — the server-side knob of the Sec. 11 bandwidth lever
+	// (EncodingQuant8 ships 1 byte/param instead of 8, an ~8× uplink
+	// reduction, and the Reporting path dequantizes it straight into the
+	// aggregation stripes). Generate mirrors it into the device plan; 0
+	// defers to Device.ReportEncoding (plans marshaled before this field
+	// existed).
+	ReportEncoding checkpoint.Encoding
 }
 
 // SelectTarget returns the number of devices to admit into a round.
@@ -211,7 +219,29 @@ func (p *Plan) Validate() error {
 	if p.Server.Aggregation == AggregationSecure && p.Server.SecAggGroupSize < 2 {
 		return fmt.Errorf("plan %q: secure aggregation needs SecAggGroupSize ≥ 2", p.ID)
 	}
+	if e := p.Server.ReportEncoding; e != 0 && e != checkpoint.EncodingFloat64 && e != checkpoint.EncodingQuant8 {
+		return fmt.Errorf("plan %q: unknown report encoding %d", p.ID, e)
+	}
+	if p.Server.ReportEncoding != 0 && p.Device.ReportEncoding != 0 &&
+		p.Server.ReportEncoding != p.Device.ReportEncoding {
+		return fmt.Errorf("plan %q: server requests report encoding %d but device plan carries %d",
+			p.ID, p.Server.ReportEncoding, p.Device.ReportEncoding)
+	}
 	return nil
+}
+
+// UplinkEncoding resolves the encoding devices use for their update
+// reports: the server plan's request when set, else the device plan's
+// (plans marshaled before ServerPlan.ReportEncoding existed), else full
+// float64.
+func (p *Plan) UplinkEncoding() checkpoint.Encoding {
+	if p.Server.ReportEncoding != 0 {
+		return p.Server.ReportEncoding
+	}
+	if p.Device.ReportEncoding != 0 {
+		return p.Device.ReportEncoding
+	}
+	return checkpoint.EncodingFloat64
 }
 
 // Marshal encodes the plan for the wire.
@@ -352,6 +382,7 @@ func Generate(cfg Config) (*Plan, error) {
 			SelectionTimeout:  cfg.SelectionTimeout,
 			ReportTimeout:     cfg.ReportTimeout,
 			ParticipationCap:  cfg.ParticipationCap,
+			ReportEncoding:    cfg.ReportEncoding,
 		},
 	}
 	if err := p.Validate(); err != nil {

@@ -31,10 +31,17 @@ const (
 	CodeAbort
 )
 
-// MarshalBinary encodes one of the five protocol messages into its compact
-// binary form and type code. ok is false for any other type, which the
+// MarshalBinaryParts encodes one of the five protocol messages as an
+// ordered list of byte segments whose concatenation is the MarshalBinary
+// payload. Large byte-slice fields — a ReportRequest's Update, a
+// CheckinResponse's Plan and Checkpoint — are returned as their own
+// segments, ALIASED from the message rather than copied, so a transport
+// with vectored writes ships a multi-MB update without ever building a
+// contiguous frame: the per-report O(dim) payload copy disappears from the
+// uplink hot path. Callers must not mutate the message's byte fields until
+// the parts have been written. ok is false for any other type, which the
 // transport then routes through the gob fallback.
-func MarshalBinary(msg interface{}) (code byte, payload []byte, ok bool) {
+func MarshalBinaryParts(msg interface{}) (code byte, parts [][]byte, ok bool) {
 	switch m := msg.(type) {
 	case CheckinRequest:
 		buf := make([]byte, 0, sizeStr(m.DeviceID)+sizeStr(m.Population)+8+sizeBytes(m.AttestationToken))
@@ -42,41 +49,66 @@ func MarshalBinary(msg interface{}) (code byte, payload []byte, ok bool) {
 		buf = appendStr(buf, m.Population)
 		buf = binary.BigEndian.AppendUint64(buf, uint64(int64(m.RuntimeVersion)))
 		buf = appendBytes(buf, m.AttestationToken)
-		return CodeCheckinRequest, buf, true
+		return CodeCheckinRequest, [][]byte{buf}, true
 	case CheckinResponse:
-		buf := make([]byte, 0, 1+8+sizeStr(m.Reason)+sizeStr(m.TaskID)+8+sizeBytes(m.Plan)+sizeBytes(m.Checkpoint)+8)
-		buf = appendBool(buf, m.Accepted)
-		buf = binary.BigEndian.AppendUint64(buf, uint64(int64(m.RetryAfter)))
-		buf = appendStr(buf, m.Reason)
-		buf = appendStr(buf, m.TaskID)
-		buf = binary.BigEndian.AppendUint64(buf, uint64(m.Round))
-		buf = appendBytes(buf, m.Plan)
-		buf = appendBytes(buf, m.Checkpoint)
-		buf = binary.BigEndian.AppendUint64(buf, uint64(int64(m.ReportDeadline)))
-		return CodeCheckinResponse, buf, true
+		head := make([]byte, 0, 1+8+sizeStr(m.Reason)+sizeStr(m.TaskID)+8+4)
+		head = appendBool(head, m.Accepted)
+		head = binary.BigEndian.AppendUint64(head, uint64(int64(m.RetryAfter)))
+		head = appendStr(head, m.Reason)
+		head = appendStr(head, m.TaskID)
+		head = binary.BigEndian.AppendUint64(head, uint64(m.Round))
+		head = binary.BigEndian.AppendUint32(head, uint32(len(m.Plan)))
+		mid := make([]byte, 0, 4)
+		mid = binary.BigEndian.AppendUint32(mid, uint32(len(m.Checkpoint)))
+		tail := make([]byte, 0, 8)
+		tail = binary.BigEndian.AppendUint64(tail, uint64(int64(m.ReportDeadline)))
+		return CodeCheckinResponse, [][]byte{head, m.Plan, mid, m.Checkpoint, tail}, true
 	case ReportRequest:
-		buf := make([]byte, 0, sizeStr(m.DeviceID)+sizeStr(m.TaskID)+8+sizeBytes(m.Update)+sizeMetrics(m.Metrics)+1)
-		buf = appendStr(buf, m.DeviceID)
-		buf = appendStr(buf, m.TaskID)
-		buf = binary.BigEndian.AppendUint64(buf, uint64(m.Round))
-		buf = appendBytes(buf, m.Update)
-		buf = appendMetrics(buf, m.Metrics)
-		buf = appendBool(buf, m.Aborted)
-		return CodeReportRequest, buf, true
+		head := make([]byte, 0, sizeStr(m.DeviceID)+sizeStr(m.TaskID)+8+4)
+		head = appendStr(head, m.DeviceID)
+		head = appendStr(head, m.TaskID)
+		head = binary.BigEndian.AppendUint64(head, uint64(m.Round))
+		head = binary.BigEndian.AppendUint32(head, uint32(len(m.Update)))
+		tail := make([]byte, 0, sizeMetrics(m.Metrics)+1)
+		tail = appendMetrics(tail, m.Metrics)
+		tail = appendBool(tail, m.Aborted)
+		return CodeReportRequest, [][]byte{head, m.Update, tail}, true
 	case ReportResponse:
 		buf := make([]byte, 0, 1+sizeStr(m.Reason)+8)
 		buf = appendBool(buf, m.Accepted)
 		buf = appendStr(buf, m.Reason)
 		buf = binary.BigEndian.AppendUint64(buf, uint64(int64(m.RetryAfter)))
-		return CodeReportResponse, buf, true
+		return CodeReportResponse, [][]byte{buf}, true
 	case Abort:
 		buf := make([]byte, 0, sizeStr(m.TaskID)+8+sizeStr(m.Reason))
 		buf = appendStr(buf, m.TaskID)
 		buf = binary.BigEndian.AppendUint64(buf, uint64(m.Round))
 		buf = appendStr(buf, m.Reason)
-		return CodeAbort, buf, true
+		return CodeAbort, [][]byte{buf}, true
 	}
 	return 0, nil, false
+}
+
+// MarshalBinary encodes one of the five protocol messages into a single
+// contiguous buffer (the concatenation of MarshalBinaryParts). ok is false
+// for any other type.
+func MarshalBinary(msg interface{}) (code byte, payload []byte, ok bool) {
+	code, parts, ok := MarshalBinaryParts(msg)
+	if !ok {
+		return 0, nil, false
+	}
+	if len(parts) == 1 {
+		return code, parts[0], true
+	}
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	buf := make([]byte, 0, n)
+	for _, p := range parts {
+		buf = append(buf, p...)
+	}
+	return code, buf, true
 }
 
 // UnmarshalBinary decodes a payload produced by MarshalBinary. Byte-slice

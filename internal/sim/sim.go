@@ -193,7 +193,7 @@ func Run(cfg Config) (*Results, error) {
 		finishP90: p90,
 		planWire:  cfg.Plan.WireSize(),
 		ckptWire:  ck.WireSize(checkpoint.EncodingFloat64),
-		updWire:   ck.WireSize(cfg.Plan.Device.ReportEncoding),
+		updWire:   ck.WireSize(cfg.Plan.UplinkEncoding()),
 	}
 
 	end := cfg.Start.Add(cfg.Duration)

@@ -216,13 +216,22 @@ func (ts *TaskSet) Seed(plans []*plan.Plan) error {
 }
 
 // samePlan reports whether two plans have identical bodies (via their
-// canonical wire encoding).
+// canonical wire encoding). The uplink report encoding is compared in its
+// RESOLVED form (Plan.UplinkEncoding): plans persisted before
+// ServerPlan.ReportEncoding existed carry 0 there, and a restart must not
+// refuse its own prior state just because the same configuration now
+// populates the new field.
 func samePlan(a, b *plan.Plan) (bool, error) {
-	ab, err := a.Marshal()
+	normalize := func(p *plan.Plan) *plan.Plan {
+		n := *p
+		n.Server.ReportEncoding = p.UplinkEncoding()
+		return &n
+	}
+	ab, err := normalize(a).Marshal()
 	if err != nil {
 		return false, fmt.Errorf("tasks: compare plans: %w", err)
 	}
-	bb, err := b.Marshal()
+	bb, err := normalize(b).Marshal()
 	if err != nil {
 		return false, fmt.Errorf("tasks: compare plans: %w", err)
 	}
@@ -331,10 +340,36 @@ func (ts *TaskSet) setState(id string, next State, verb string, from ...State) e
 }
 
 // SetPopulationEstimate updates the estimate the MinDevices gates check.
+// The Coordinator feeds it live from the Selector layer's observed
+// check-in rates, so gates track the population actually reachable rather
+// than the static configuration value.
 func (ts *TaskSet) SetPopulationEstimate(n int) {
 	ts.mu.Lock()
 	ts.estimate = n
 	ts.mu.Unlock()
+}
+
+// PopulationEstimate returns the current estimate.
+func (ts *TaskSet) PopulationEstimate() int {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.estimate
+}
+
+// GatedByEstimate reports whether any Active task is currently held back
+// solely by its MinDevices population gate — the signal the Coordinator
+// uses to keep re-checking an otherwise idle population as fresh estimate
+// samples arrive.
+func (ts *TaskSet) GatedByEstimate() bool {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	for _, id := range ts.order {
+		r := ts.tasks[id]
+		if r.state == Active && r.policy.MinDevices > 0 && ts.estimate > 0 && ts.estimate < r.policy.MinDevices {
+			return true
+		}
+	}
+	return false
 }
 
 // schedulable reports whether r passes its policy's deployment gates.

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/nn"
 	"repro/internal/plan"
 	"repro/internal/storage"
@@ -458,5 +459,37 @@ func TestConcurrentUse(t *testing.T) {
 	wg.Wait()
 	if ts.Len() != 9 {
 		t.Fatalf("len = %d, want 9", ts.Len())
+	}
+}
+
+func TestSeedAcceptsPlansPersistedBeforeServerReportEncoding(t *testing.T) {
+	// Plans persisted before ServerPlan.ReportEncoding existed carry 0 in
+	// that field; a restarted process re-generating the SAME configuration
+	// (which now populates the field) must recognize its own prior state,
+	// not refuse to start with "different plan".
+	store := storage.NewMem()
+	p := trainPlan(t, "upgrade")
+	old := *p
+	old.Server.ReportEncoding = 0 // pre-upgrade snapshot shape
+	ts1, err := New("pop", store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts1.Submit(&old, Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	ts2, err := New("pop", store, nil) // restores the old-shape snapshot
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts2.Seed([]*plan.Plan{p}); err != nil {
+		t.Fatalf("restart refused its own pre-upgrade task set: %v", err)
+	}
+	// A genuinely different encoding is still a different plan.
+	changed := *p
+	changed.Server.ReportEncoding = checkpoint.EncodingFloat64
+	changed.Device.ReportEncoding = checkpoint.EncodingFloat64
+	if err := ts2.Seed([]*plan.Plan{&changed}); err == nil {
+		t.Fatal("a changed uplink encoding must still read as a different plan")
 	}
 }

@@ -219,10 +219,11 @@ type envelope struct {
 type Encoded struct {
 	msg interface{}
 
-	once    sync.Once
-	code    byte
-	payload []byte
-	err     error
+	once  sync.Once
+	code  byte
+	parts [][]byte
+	size  int
+	err   error
 }
 
 // Message returns the wrapped message.
@@ -231,55 +232,70 @@ func (e *Encoded) Message() interface{} { return e.msg }
 // Encode wraps msg for repeated sending.
 func Encode(msg interface{}) *Encoded { return &Encoded{msg: msg} }
 
-// marshaled returns the cached (code, payload), building it on first use.
-func (e *Encoded) marshaled() (byte, []byte, error) {
+// marshaled returns the cached (code, parts, total size), building them on
+// first use.
+func (e *Encoded) marshaled() (byte, [][]byte, int, error) {
 	e.once.Do(func() {
-		e.code, e.payload, e.err = marshalFrame(e.msg)
+		e.code, e.parts, e.size, e.err = marshalFrame(e.msg)
 	})
-	return e.code, e.payload, e.err
+	return e.code, e.parts, e.size, e.err
 }
 
-// marshalFrame produces the type code + payload for one frame: the binary
-// codec for protocol messages (one exact-size buffer, no reflection), gob
-// for everything else.
-func marshalFrame(msg interface{}) (byte, []byte, error) {
-	code, payload, ok := protocol.MarshalBinary(msg)
+// marshalFrame produces the type code + payload segments for one frame: the
+// binary codec for protocol messages (exact-size metadata buffers with the
+// large update/plan/checkpoint fields aliased, never copied), gob for
+// everything else. size is the summed payload length.
+func marshalFrame(msg interface{}) (byte, [][]byte, int, error) {
+	code, parts, ok := protocol.MarshalBinaryParts(msg)
 	if !ok {
 		var buf bytes.Buffer
 		if err := gob.NewEncoder(&buf).Encode(envelope{Msg: msg}); err != nil {
-			return 0, nil, fmt.Errorf("transport: gob fallback: %w", err)
+			return 0, nil, 0, fmt.Errorf("transport: gob fallback: %w", err)
 		}
-		code, payload = protocol.CodeGob, buf.Bytes()
+		code, parts = protocol.CodeGob, [][]byte{buf.Bytes()}
 	}
-	if len(payload) > maxFrame-frameOverhead {
-		return 0, nil, fmt.Errorf("transport: message of %d bytes exceeds frame limit", len(payload))
+	size := 0
+	for _, p := range parts {
+		size += len(p)
 	}
-	return code, payload, nil
+	if size > maxFrame-frameOverhead {
+		return 0, nil, 0, fmt.Errorf("transport: message of %d bytes exceeds frame limit", size)
+	}
+	return code, parts, size, nil
 }
 
 // Send implements Conn. Every message goes out as a single vectored write
-// (header + payload, no intermediate buffer, no double copy); an Encoded
-// message reuses its cached payload instead of re-marshaling.
+// (header + payload segments, no intermediate buffer): a multi-MB device
+// update or plan+checkpoint payload is written straight from the caller's
+// buffer, never copied into a frame. An Encoded message reuses its cached
+// segments instead of re-marshaling.
 func (t *tcpConn) Send(msg interface{}) error {
 	var code byte
-	var payload []byte
+	var parts [][]byte
+	var size int
 	var err error
 	if e, ok := msg.(*Encoded); ok {
-		code, payload, err = e.marshaled()
+		code, parts, size, err = e.marshaled()
 	} else {
-		code, payload, err = marshalFrame(msg)
+		code, parts, size, err = marshalFrame(msg)
 	}
 	if err != nil {
 		return err
 	}
 	var hdr [4 + frameOverhead]byte
-	binary.BigEndian.PutUint32(hdr[:4], uint32(frameOverhead+len(payload)))
+	binary.BigEndian.PutUint32(hdr[:4], uint32(frameOverhead+size))
 	hdr[4] = wireVersion
 	hdr[5] = code
 
 	t.sendMu.Lock()
 	defer t.sendMu.Unlock()
-	bufs := net.Buffers{hdr[:], payload}
+	bufs := make(net.Buffers, 0, 1+len(parts))
+	bufs = append(bufs, hdr[:])
+	for _, p := range parts {
+		if len(p) > 0 {
+			bufs = append(bufs, p)
+		}
+	}
 	_, err = bufs.WriteTo(t.c)
 	return err
 }
