@@ -23,6 +23,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/pacing"
 	"repro/internal/secagg"
+	"repro/internal/shard"
 	"repro/internal/storage"
 	"repro/internal/tensor"
 )
@@ -307,6 +308,49 @@ func BenchmarkMultiTask(b *testing.B) {
 				b.ReportMetric(rps, name)
 			}
 		})
+	}
+}
+
+// BenchmarkShardedRound drives the 3-selector × 1-coordinator sharded
+// deployment (DESIGN.md process-topology section) to two committed rounds:
+// every device terminates on a selector shard, each shard decodes and
+// accumulates its reports at the edge, and ONE sealed stripe per shard per
+// round crosses the selector→coordinator link. The K-4096 cell is the
+// paper-scale round; bytes-up/round measures the aggregation traffic that
+// actually crossed the process boundary (sealed partials, never raw
+// updates). TCP runs the same topology over real loopback sockets.
+func BenchmarkShardedRound(b *testing.B) {
+	for _, tr := range []struct {
+		name string
+		tcp  bool
+	}{{"mem", false}, {"tcp", true}} {
+		for _, k := range []int{64, 512, 4096} {
+			if tr.tcp && k > 64 {
+				// The TCP cell is a wire-path smoke; paper-scale K runs
+				// in-process where the swarm isn't fd-bound.
+				continue
+			}
+			b.Run(fmt.Sprintf("%s/K-%d/shards-3", tr.name, k), func(b *testing.B) {
+				b.ReportAllocs()
+				var st shard.BenchShardedStats
+				for i := 0; i < b.N; i++ {
+					var err error
+					st, err = shard.RunBenchSharded(shard.BenchShardedConfig{
+						Shards: 3, TargetDevices: k, Devices: 2 * k, Rounds: 2,
+						TCP: tr.tcp, Seed: uint64(i + 1),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if st.Rounds < 2 {
+						b.Fatalf("committed %d rounds, want >= 2", st.Rounds)
+					}
+				}
+				b.ReportMetric(float64(st.Rounds)/st.Elapsed.Seconds(), "rounds/sec")
+				b.ReportMetric(float64(st.BytesUpstream)/float64(st.Rounds), "bytes-up/round")
+				b.ReportMetric(float64(st.SealsReceived)/float64(st.Rounds), "seals/round")
+			})
+		}
 	}
 }
 

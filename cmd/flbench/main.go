@@ -14,6 +14,7 @@
 //	flbench -exp roundtput  # round fan-out/ingest pipeline throughput
 //	flbench -exp multipop   # Sec. 4.2 fleet gateway: 3 populations, one Selector layer
 //	flbench -exp multitask  # Sec. 7 task lifecycle: interleaved train + eval tasks on one population
+//	flbench -exp shardtput  # Sec. 4.1 sharded selector tier: 3 selector procs + 1 coordinator
 //	flbench -exp all        # everything
 //
 // -json emits machine-readable results (one object keyed by experiment)
@@ -32,10 +33,11 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fleet"
 	"repro/internal/flserver"
+	"repro/internal/shard"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig6, fig7, fig8, fig9, table1, nextword, ksweep, overselect, secagg, pacing, roundtput, multipop, multitask, all)")
+	exp := flag.String("exp", "all", "experiment to run (fig6, fig7, fig8, fig9, table1, nextword, ksweep, overselect, secagg, pacing, roundtput, multipop, multitask, shardtput, all)")
 	days := flag.Int("days", 3, "simulated days for the operational figures")
 	pop := flag.Int("pop", 20000, "fleet size for the operational figures")
 	target := flag.Int("target", 100, "devices per round (K)")
@@ -248,6 +250,73 @@ func multiTask(seed uint64) (*multitaskResult, error) {
 	return res, nil
 }
 
+// shardtputRow is one (transport, K) cell of the sharded-deployment
+// experiment: 3 selector processes, 1 coordinator, sealed stripes upstream.
+type shardtputRow struct {
+	Transport     string
+	Shards        int
+	Devices       int
+	K             int
+	MillisTotal   float64
+	Rounds        int
+	SealsPerRound float64
+	BytesUpRound  float64
+	Accepted      int64
+}
+
+// shardtputResult mirrors BenchmarkShardedRound for the CLI: the sharded
+// selector tier commits rounds while only sealed stripes — one per shard
+// per round — cross the selector→coordinator boundary.
+type shardtputResult struct {
+	Rows []shardtputRow
+}
+
+// Format implements formatter.
+func (r *shardtputResult) Format() string {
+	var b strings.Builder
+	b.WriteString("Sharded selector tier (N selector procs, 1 coordinator, sealed stripes upstream)\n")
+	b.WriteString("  transport  shards     K  devices   ms-total  rounds  seals/round  bytes-up/round   accepted\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-9s %6d %5d %8d %10.1f %7d %12.1f %15.0f %10d\n",
+			row.Transport, row.Shards, row.K, row.Devices, row.MillisTotal,
+			row.Rounds, row.SealsPerRound, row.BytesUpRound, row.Accepted)
+	}
+	return b.String()
+}
+
+func shardThroughput(seed uint64) (*shardtputResult, error) {
+	res := &shardtputResult{}
+	for _, cell := range []struct {
+		tcp bool
+		k   int
+	}{{false, 64}, {false, 512}, {true, 64}} {
+		name := "mem"
+		if cell.tcp {
+			name = "tcp"
+		}
+		cfg := shard.BenchShardedConfig{
+			Shards: 3, TargetDevices: cell.k, Devices: 2 * cell.k, Rounds: 2,
+			TCP: cell.tcp, Seed: seed,
+		}
+		st, err := shard.RunBenchSharded(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("shardtput %s K=%d: %w", name, cell.k, err)
+		}
+		res.Rows = append(res.Rows, shardtputRow{
+			Transport:     name,
+			Shards:        cfg.Shards,
+			Devices:       cfg.Devices,
+			K:             cell.k,
+			MillisTotal:   float64(st.Elapsed.Microseconds()) / 1000,
+			Rounds:        st.Rounds,
+			SealsPerRound: float64(st.SealsReceived) / float64(st.Rounds),
+			BytesUpRound:  float64(st.BytesUpstream) / float64(st.Rounds),
+			Accepted:      st.Accepted,
+		})
+	}
+	return res, nil
+}
+
 func run(exp string, seed uint64, days, pop, target int, asJSON bool) error {
 	collected := make(map[string]interface{})
 	runOne := func(name string, f func() (formatter, error)) error {
@@ -303,11 +372,12 @@ func run(exp string, seed uint64, days, pop, target int, asJSON bool) error {
 		"roundtput": func() (formatter, error) { return roundThroughput() },
 		"multipop":  func() (formatter, error) { return multiPopulation(seed) },
 		"multitask": func() (formatter, error) { return multiTask(seed) },
+		"shardtput": func() (formatter, error) { return shardThroughput(seed) },
 	}
 
 	if exp == "all" {
 		// Deterministic order matching the paper's presentation.
-		for _, name := range []string{"pacing", "secagg", "roundtput", "multipop", "multitask", "nextword", "wallclock", "fig6", "fig7", "fig8", "fig9", "table1", "ksweep", "overselect", "adaptive"} {
+		for _, name := range []string{"pacing", "secagg", "roundtput", "multipop", "multitask", "shardtput", "nextword", "wallclock", "fig6", "fig7", "fig8", "fig9", "table1", "ksweep", "overselect", "adaptive"} {
 			if err := runOne(name, all[name]); err != nil {
 				return err
 			}

@@ -4,6 +4,12 @@
 //	fldevices -addr localhost:8750 -population gboard -devices 40
 //	fldevices -addr localhost:8750 -population gboard,search,photos
 //
+// -addr accepts a comma-separated list for a SHARDED deployment (one
+// address per flselector process); device i homes on address i mod N, so
+// the swarm spreads evenly across the selector shards:
+//
+//	fldevices -addr localhost:8751,localhost:8752,localhost:8753 -population gboard
+//
 // -population may be repeated and/or comma-separated. Each device is
 // multi-tenant (Sec. 3): it holds a non-IID slice of a synthetic
 // classification dataset in its example store, registers with EVERY named
@@ -29,7 +35,8 @@ import (
 
 func main() {
 	var populations cliutil.ListFlag
-	addr := flag.String("addr", "localhost:8750", "FL fleet gateway address")
+	var addrs cliutil.ListFlag
+	flag.Var(&addrs, "addr", "FL server address(es); comma-separated for sharded deployments, device i homes on address i mod N (default localhost:8750)")
 	flag.Var(&populations, "population", "FL population name(s); repeatable, comma-separated (default gboard)")
 	devices := flag.Int("devices", 40, "number of simulated devices")
 	duration := flag.Duration("duration", 10*time.Minute, "how long to run")
@@ -37,6 +44,9 @@ func main() {
 	flag.Parse()
 	if len(populations) == 0 {
 		populations = cliutil.ListFlag{"gboard"}
+	}
+	if len(addrs) == 0 {
+		addrs = cliutil.ListFlag{"localhost:8750"}
 	}
 
 	fed, err := repro.Blobs(repro.BlobsConfig{
@@ -59,6 +69,8 @@ func main() {
 	for i := 0; i < *devices; i++ {
 		i := i
 		wg.Add(1)
+		// Shard-aware homing: this device always dials the same address.
+		addr := addrs[i%len(addrs)]
 		go func() {
 			defer wg.Done()
 			// One runtime and one example store serve every population (the
@@ -97,7 +109,7 @@ func main() {
 				for _, c := range clients {
 					c := c
 					_ = sched.Enqueue(&device.Job{Population: c.Population, Run: func() {
-						conn, err := repro.DialTCP(*addr)
+						conn, err := repro.DialTCP(addr)
 						if err != nil {
 							// Server gone or not yet up.
 							dialErr = true

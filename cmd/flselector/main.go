@@ -1,0 +1,78 @@
+// Command flselector runs ONE selector shard of a sharded FL deployment
+// (DESIGN.md process-topology section): it terminates device TCP
+// connections, runs the edge decode-and-accumulate stripes for each round
+// the coordinator opens, and ships a single sealed stripe upstream per
+// round — device updates never leave this process.
+//
+//	flserver   -shard-listen :8760 -population gboard -rounds 10 -min-shards 3
+//	flselector -coordinator localhost:8760 -addr :8751 -shard 0
+//	flselector -coordinator localhost:8760 -addr :8752 -shard 1
+//	flselector -coordinator localhost:8760 -addr :8753 -shard 2
+//	fldevices  -addr localhost:8751,localhost:8752,localhost:8753 -population gboard
+//
+// The coordinator link reconnects with exponential backoff and heartbeat
+// liveness; while it is down, parked devices are steered away with
+// pace-steering retry hints instead of stranding on a dead shard.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/pacing"
+	"repro/internal/shard"
+	"repro/internal/transport"
+)
+
+func main() {
+	coordAddr := flag.String("coordinator", "localhost:8760", "coordinator shard-listen address")
+	addr := flag.String("addr", ":8751", "device-facing TCP listen address")
+	shardID := flag.Uint("shard", 0, "stable 0-based shard index")
+	name := flag.String("name", "", "shard name in stats and logs (default shard-<N>)")
+	selectors := flag.Int("selectors", 1, "Selector actors terminating device connections")
+	estimate := flag.Int("estimate", 1000, "population estimate seeding pace steering")
+	seed := flag.Uint64("seed", 1, "random seed")
+	flag.Parse()
+
+	sp := shard.NewSelectorProc(shard.SelectorConfig{
+		Shard:              uint32(*shardID),
+		Name:               *name,
+		NumSelectors:       *selectors,
+		Steering:           pacing.New(time.Minute),
+		PopulationEstimate: *estimate,
+		Seed:               *seed + uint64(*shardID)*131,
+	}, func() (transport.Conn, error) { return transport.DialTCP(*coordAddr) })
+	defer sp.Close()
+
+	l, err := transport.ListenTCP(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer l.Close()
+	log.Printf("selector shard %d serving devices on %s, coordinator %s", *shardID, l.Addr(), *coordAddr)
+
+	go func() {
+		ticker := time.NewTicker(2 * time.Second)
+		defer ticker.Stop()
+		for range ticker.C {
+			st, err := sp.Stats()
+			if err != nil {
+				log.Printf("shard %d: stats unavailable: %v", *shardID, err)
+				continue
+			}
+			link := "up"
+			if !st.CoordinatorUp {
+				link = "DOWN"
+			}
+			log.Printf("shard %d: coordinator %s; accepted=%d rejected=%d held=%d; seals=%d up-bytes=%d dropped=%d",
+				*shardID, link, st.Selector.Accepted, st.Selector.Rejected, st.Selector.Held,
+				st.SealsShipped, st.BytesShipped, st.RoundsDropped)
+		}
+	}()
+
+	// Serve blocks until the listener closes (process killed).
+	sp.Serve(l)
+	fmt.Printf("shard %d: device listener closed\n", *shardID)
+}

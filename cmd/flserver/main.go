@@ -27,6 +27,14 @@
 //	          "StoreName": "examples", "TargetDevices": 10},
 //	 "policy": {"EvalEvery": 2, "EvalOf": "gboard/train"}}
 //	EOF
+//
+// -shard-listen switches the process into COORDINATOR MODE for a sharded
+// deployment (DESIGN.md process-topology section): instead of terminating
+// device connections itself, it listens for flselector shard links, fans
+// each round's RoundConfig out to the shards, merges their sealed stripes,
+// and commits the round — the only process that writes checkpoints:
+//
+//	flserver -shard-listen :8760 -population gboard -rounds 10 -min-shards 3
 package main
 
 import (
@@ -39,10 +47,69 @@ import (
 	repro "repro"
 
 	"repro/internal/cliutil"
+	"repro/internal/pacing"
 	"repro/internal/plan"
+	"repro/internal/shard"
 	"repro/internal/storage"
 	"repro/internal/tasks"
+	"repro/internal/transport"
 )
+
+// runCoordinator is flserver's coordinator mode: one population, round
+// state and the lock service owned here, device traffic terminated by the
+// flselector shards that dial in.
+func runCoordinator(shardListen, population string, p *repro.Plan, store storage.Store, rounds, minShards int) {
+	coord, err := shard.NewCoordinatorProc(shard.CoordinatorConfig{
+		Population: population,
+		Plans:      []*repro.Plan{p},
+		Store:      store,
+		Steering:   pacing.New(time.Minute),
+		MaxRounds:  rounds,
+		MinShards:  minShards,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer coord.Close()
+
+	l, err := transport.ListenTCP(shardListen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer l.Close()
+	log.Printf("FL coordinator for %s listening for shards on %s (rounds=%d, min-shards=%d)",
+		population, l.Addr(), rounds, minShards)
+	go coord.Serve(l)
+
+	ticker := time.NewTicker(2 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-coord.Done():
+			st, err := coord.Stats()
+			if err != nil {
+				log.Fatal(err)
+			}
+			ckpt, err := store.LatestCheckpoint(p.ID)
+			if err != nil {
+				log.Fatalf("%s finished but no checkpoint: %v", population, err)
+			}
+			fmt.Printf("%s done: %d rounds committed (%d failed), final round %d, |params|=%d, %d seals / %d bytes upstream\n",
+				population, st.RoundsCompleted, st.RoundsFailed, ckpt.Round, len(ckpt.Params),
+				st.SealsReceived, st.BytesUpstream)
+			return
+		case <-ticker.C:
+			st, err := coord.Stats()
+			if err != nil {
+				log.Printf("%s: stats unavailable: %v", population, err)
+				continue
+			}
+			log.Printf("%s: round %d, %d completed, %d failed; %d shard(s) connected, %d seals / %d bytes upstream",
+				population, st.CurrentRound, st.RoundsCompleted, st.RoundsFailed,
+				st.Shards, st.SealsReceived, st.BytesUpstream)
+		}
+	}
+}
 
 // watchTasksDir polls dir for operator task op files and applies each to
 // the live fleet exactly once, logging every outcome. A broken file is
@@ -102,9 +169,43 @@ func main() {
 	selTimeout := flag.Duration("selection-timeout", 30*time.Second, "selection window")
 	repTimeout := flag.Duration("report-timeout", time.Minute, "reporting window")
 	tasksDir := flag.String("tasks-dir", "", "directory watched for task op files (JSON); submit/pause/resume/retire tasks on the live process")
+	shardListen := flag.String("shard-listen", "", "coordinator mode: listen for flselector shard links on this address instead of serving devices")
+	minShards := flag.Int("min-shards", 1, "coordinator mode: shards required before a round starts")
 	flag.Parse()
 	if len(populations) == 0 {
 		populations = cliutil.ListFlag{"gboard"}
+	}
+
+	if *shardListen != "" {
+		if len(populations) != 1 {
+			log.Fatal("coordinator mode serves exactly one -population")
+		}
+		name := populations[0]
+		p, err := repro.GeneratePlan(plan.Config{
+			TaskID:           name + "/train",
+			Population:       name,
+			Model:            repro.ModelSpec{Kind: repro.KindMLP, Features: 8, Hidden: 16, Classes: 4, Seed: 1},
+			StoreName:        "examples",
+			BatchSize:        10,
+			Epochs:           1,
+			LearningRate:     0.05,
+			TargetDevices:    *target,
+			SelectionTimeout: *selTimeout,
+			ReportTimeout:    *repTimeout,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var store storage.Store
+		if *storageDir == "" {
+			store = storage.NewMem()
+		} else {
+			if store, err = storage.NewFile(filepath.Join(*storageDir, name)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		runCoordinator(*shardListen, name, p, store, *rounds, *minShards)
+		return
 	}
 
 	fleet, err := repro.NewFleet(repro.FleetConfig{})

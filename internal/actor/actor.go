@@ -5,6 +5,14 @@
 // Terminated message when an actor stops or panics, which is how the
 // Coordinator restarts failed Master Aggregators and the Selector layer
 // respawns a dead Coordinator (Sec. 4.4).
+//
+// Ref is an interface so references are location-transparent (Sec. 4.1:
+// actor instances "may be co-located on the same process or distributed
+// across multiple data centers"): the local implementation below is a
+// mailbox in this process, and internal/remote provides an implementation
+// that marshals messages over a transport connection to a peer process.
+// In-process sends stay on the fast path — a local Send is a channel
+// operation, never a codec hop.
 package actor
 
 import (
@@ -15,10 +23,28 @@ import (
 // Message is anything sent to an actor.
 type Message interface{}
 
+// Ref is a location-transparent handle to a running actor. Implementations
+// must be comparable (the supervision graph and the lock service key on Ref
+// identity), which every pointer implementation is.
+type Ref interface {
+	// Name returns the actor's name.
+	Name() string
+	// Send enqueues a message. It returns an error when the actor has
+	// stopped or (for remote refs) the peer is unreachable.
+	Send(msg Message) error
+	// Stop terminates the actor. Safe to call more than once and from any
+	// goroutine.
+	Stop()
+	// Stopped reports whether the actor has terminated. For remote refs
+	// this reflects peer liveness, so lock leases held by a dead peer are
+	// stealable exactly like leases held by a dead local actor.
+	Stopped() bool
+}
+
 // Terminated is delivered to watchers when an actor stops. Failure is true
 // when the actor died from a panic rather than a clean stop.
 type Terminated struct {
-	Ref     *Ref
+	Ref     Ref
 	Failure bool
 	// Reason carries the panic value for failures.
 	Reason interface{}
@@ -39,23 +65,24 @@ func (f BehaviorFunc) Receive(ctx *Context, msg Message) { f(ctx, msg) }
 // Context is passed to Receive, giving the behavior access to its own ref
 // and the system for spawning and watching.
 type Context struct {
-	Self   *Ref
+	Self   Ref
 	System *System
 }
 
 // Spawn creates a child actor.
-func (c *Context) Spawn(name string, b Behavior) *Ref { return c.System.Spawn(name, b) }
+func (c *Context) Spawn(name string, b Behavior) Ref { return c.System.Spawn(name, b) }
 
 // Watch registers Self to receive Terminated when target stops.
-func (c *Context) Watch(target *Ref) { c.System.watch(target, c.Self) }
+func (c *Context) Watch(target Ref) { c.System.watch(target, c.Self) }
 
 // Stop stops this actor after the current message.
 func (c *Context) Stop() { c.Self.Stop() }
 
 const mailboxSize = 1024
 
-// Ref is a handle to a running actor.
-type Ref struct {
+// localRef is the in-process Ref implementation: a mailbox drained by one
+// goroutine.
+type localRef struct {
 	name    string
 	mailbox chan Message
 	done    chan struct{}
@@ -68,12 +95,12 @@ type Ref struct {
 	reason  interface{}
 }
 
-// Name returns the actor's name.
-func (r *Ref) Name() string { return r.name }
+// Name implements Ref.
+func (r *localRef) Name() string { return r.name }
 
-// Send enqueues a message. It returns an error when the actor has stopped;
-// it blocks when the mailbox is full (backpressure).
-func (r *Ref) Send(msg Message) error {
+// Send implements Ref. It returns an error when the actor has stopped; it
+// blocks when the mailbox is full (backpressure).
+func (r *localRef) Send(msg Message) error {
 	select {
 	case <-r.done:
 		return fmt.Errorf("actor: %s is stopped", r.name)
@@ -87,11 +114,10 @@ func (r *Ref) Send(msg Message) error {
 	}
 }
 
-// Stop terminates the actor. Safe to call more than once and from any
-// goroutine. Messages already enqueued may be dropped.
-func (r *Ref) Stop() { r.stop(false, nil) }
+// Stop implements Ref. Messages already enqueued may be dropped.
+func (r *localRef) Stop() { r.stop(false, nil) }
 
-func (r *Ref) stop(failure bool, reason interface{}) {
+func (r *localRef) stop(failure bool, reason interface{}) {
 	r.once.Do(func() {
 		r.failure, r.reason = failure, reason
 		close(r.done)
@@ -99,8 +125,8 @@ func (r *Ref) stop(failure bool, reason interface{}) {
 	})
 }
 
-// Stopped reports whether the actor has terminated.
-func (r *Ref) Stopped() bool {
+// Stopped implements Ref.
+func (r *localRef) Stopped() bool {
 	select {
 	case <-r.done:
 		return true
@@ -112,11 +138,11 @@ func (r *Ref) Stopped() bool {
 // System owns the actor registry and supervision graph. Actors in one
 // system share an address space, mirroring the paper's note that instances
 // may be co-located or distributed; distribution happens at the transport
-// layer, not here.
+// layer (internal/remote), not here.
 type System struct {
 	mu       sync.Mutex
-	watchers map[*Ref][]*Ref
-	actors   []*Ref
+	watchers map[Ref][]Ref
+	actors   []*localRef
 	wg       sync.WaitGroup
 	// down is set by Shutdown; later Spawns return already-stopped refs,
 	// so a concurrent spawn (an actor mid-dispatch creating a child) can
@@ -126,15 +152,15 @@ type System struct {
 
 // NewSystem returns an empty actor system.
 func NewSystem() *System {
-	return &System{watchers: make(map[*Ref][]*Ref)}
+	return &System{watchers: make(map[Ref][]Ref)}
 }
 
 // Spawn starts an actor with the given behavior. The actor's goroutine
 // processes the mailbox until Stop; a panic in Receive terminates the actor
 // and notifies watchers with Failure=true ("ephemeral actors", Sec. 4.2 —
 // failure means losing the actor, not the process).
-func (s *System) Spawn(name string, b Behavior) *Ref {
-	r := &Ref{
+func (s *System) Spawn(name string, b Behavior) Ref {
+	r := &localRef{
 		name:    name,
 		mailbox: make(chan Message, mailboxSize),
 		done:    make(chan struct{}),
@@ -175,7 +201,7 @@ func (s *System) Spawn(name string, b Behavior) *Ref {
 			case <-r.done:
 				return
 			case msg := <-r.mailbox:
-				s.dispatch(ctx, b, msg)
+				s.dispatch(ctx, r, b, msg)
 				if r.Stopped() {
 					return
 				}
@@ -186,10 +212,10 @@ func (s *System) Spawn(name string, b Behavior) *Ref {
 }
 
 // dispatch runs one Receive with panic isolation.
-func (s *System) dispatch(ctx *Context, b Behavior, msg Message) {
+func (s *System) dispatch(ctx *Context, r *localRef, b Behavior, msg Message) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			ctx.Self.stop(true, rec)
+			r.stop(true, rec)
 		}
 	}()
 	b.Receive(ctx, msg)
@@ -198,12 +224,23 @@ func (s *System) dispatch(ctx *Context, b Behavior, msg Message) {
 // Watch registers watcher to receive Terminated{target} when target stops.
 // If target is already stopped, the notification is delivered immediately —
 // preserving how it terminated, so a watcher registered just after a panic
-// still sees Failure=true and can respawn.
-func (s *System) watch(target, watcher *Ref) {
+// still sees Failure=true and can respawn. Termination notifications fire
+// only for actors spawned in this system; watching a remote ref delivers
+// immediately when the peer is already down, and is otherwise a no-op
+// (remote liveness is the remote package's heartbeat concern).
+func (s *System) watch(target, watcher Ref) {
 	s.mu.Lock()
 	if target.Stopped() {
 		s.mu.Unlock()
-		_ = watcher.Send(Terminated{Ref: target, Failure: target.failure, Reason: target.reason})
+		failure, reason := true, interface{}(nil)
+		if lr, ok := target.(*localRef); ok {
+			failure, reason = lr.failure, lr.reason
+		}
+		_ = watcher.Send(Terminated{Ref: target, Failure: failure, Reason: reason})
+		return
+	}
+	if _, ok := target.(*localRef); !ok {
+		s.mu.Unlock()
 		return
 	}
 	s.watchers[target] = append(s.watchers[target], watcher)
@@ -211,9 +248,9 @@ func (s *System) watch(target, watcher *Ref) {
 }
 
 // Watch is the non-actor entry point for watching (e.g. tests, transports).
-func (s *System) Watch(target, watcher *Ref) { s.watch(target, watcher) }
+func (s *System) Watch(target, watcher Ref) { s.watch(target, watcher) }
 
-func (s *System) notifyTermination(r *Ref, failure bool, reason interface{}) {
+func (s *System) notifyTermination(r *localRef, failure bool, reason interface{}) {
 	s.mu.Lock()
 	ws := s.watchers[r]
 	delete(s.watchers, r)
@@ -230,13 +267,13 @@ func (s *System) notifyTermination(r *Ref, failure bool, reason interface{}) {
 // once the down flag is set, so the registry snapshot below is complete
 // and the wait cannot hang on an actor nobody stops. Used at process
 // teardown.
-func (s *System) Shutdown(refs ...*Ref) {
+func (s *System) Shutdown(refs ...Ref) {
 	for _, r := range refs {
 		r.Stop()
 	}
 	s.mu.Lock()
 	s.down = true
-	all := append([]*Ref(nil), s.actors...)
+	all := append([]*localRef(nil), s.actors...)
 	s.mu.Unlock()
 	for _, r := range all {
 		r.Stop()

@@ -9,7 +9,7 @@ import (
 
 // collect spawns an actor that appends every message to a slice guarded by
 // a mutex and signals on each receipt.
-func collect(s *System, name string) (*Ref, func() []Message, chan struct{}) {
+func collect(s *System, name string) (Ref, func() []Message, chan struct{}) {
 	var mu sync.Mutex
 	var got []Message
 	signal := make(chan struct{}, 1024)
@@ -243,13 +243,13 @@ func TestLockServiceExactlyOnceRespawn(t *testing.T) {
 
 	var winners int64
 	var wg sync.WaitGroup
-	refs := make([]*Ref, 16)
+	refs := make([]Ref, 16)
 	for i := range refs {
 		refs[i] = s.Spawn("contender", BehaviorFunc(func(ctx *Context, msg Message) {}))
 	}
 	for _, r := range refs {
 		wg.Add(1)
-		go func(r *Ref) {
+		go func(r Ref) {
 			defer wg.Done()
 			if l.Acquire("pop", r) {
 				atomic.AddInt64(&winners, 1)

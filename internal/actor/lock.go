@@ -8,19 +8,24 @@ import "sync"
 // actor; when the owner dies, the next Acquire steals the lock — and only
 // one contender wins, which is what makes Coordinator respawn happen
 // "exactly once" (Sec. 4.4).
+//
+// Owners are Refs, so leases are location-transparent: a remote ref whose
+// Stopped() reflects peer liveness (internal/remote) holds and loses leases
+// exactly like a local actor. internal/remote serves this service over the
+// wire to other processes.
 type LockService struct {
 	mu     sync.Mutex
-	owners map[string]*Ref
+	owners map[string]Ref
 }
 
 // NewLockService returns an empty lock service.
 func NewLockService() *LockService {
-	return &LockService{owners: make(map[string]*Ref)}
+	return &LockService{owners: make(map[string]Ref)}
 }
 
 // Acquire attempts to take the lock for key on behalf of owner. It succeeds
 // when the key is free, already held by owner, or held by a stopped actor.
-func (l *LockService) Acquire(key string, owner *Ref) bool {
+func (l *LockService) Acquire(key string, owner Ref) bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	cur, ok := l.owners[key]
@@ -32,7 +37,7 @@ func (l *LockService) Acquire(key string, owner *Ref) bool {
 }
 
 // Release frees the lock if owner holds it.
-func (l *LockService) Release(key string, owner *Ref) {
+func (l *LockService) Release(key string, owner Ref) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.owners[key] == owner {
@@ -41,7 +46,7 @@ func (l *LockService) Release(key string, owner *Ref) {
 }
 
 // Owner returns the current live owner of key, or nil.
-func (l *LockService) Owner(key string) *Ref {
+func (l *LockService) Owner(key string) Ref {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	cur, ok := l.owners[key]

@@ -1,0 +1,106 @@
+package fedavg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// SealedStripe is the merge-ready form of a round's drained
+// PartialAccumulator stripes: the raw delta sum, the summed weight, the
+// update and eval counts, and the per-metric device samples. A selector
+// shard seals its stripes into one of these at round finalize and ships it
+// upstream (protocol.StripeSeal carries the marshaled form); the
+// coordinator folds sealed stripes from every shard into the global
+// Accumulator. Sealing commutes with merging: folding devices into stripes
+// per shard and then merging sealed stripes yields the same sums (up to
+// float association) as folding every device into one accumulator.
+type SealedStripe struct {
+	// Sum is the raw delta sum; nil when Count is zero.
+	Sum    tensor.Vector
+	Weight float64
+	// Count is the number of device updates folded in; EvalCount the number
+	// of metrics-only (evaluation) reports.
+	Count     int
+	EvalCount int
+	// Metrics are the device-reported metric samples, keyed by name.
+	Metrics map[string][]float64
+}
+
+// SealStripes drains every stripe and merges them into one SealedStripe
+// (the shard-local reduction step of the aggregation tree). The stripes
+// must share the accumulator dimension; they are closed and must not be
+// used again.
+func SealStripes(stripes []*PartialAccumulator) (SealedStripe, error) {
+	var out SealedStripe
+	for _, st := range stripes {
+		sum, weight, count, evalCount, metrics := st.Drain()
+		out.EvalCount += evalCount
+		for name, vs := range metrics {
+			if out.Metrics == nil {
+				out.Metrics = make(map[string][]float64)
+			}
+			out.Metrics[name] = append(out.Metrics[name], vs...)
+		}
+		if count == 0 {
+			continue
+		}
+		if out.Sum == nil {
+			out.Sum = sum
+		} else {
+			if len(sum) != len(out.Sum) {
+				return out, fmt.Errorf("fedavg: seal stripe dim %d vs %d", len(sum), len(out.Sum))
+			}
+			out.Sum.Axpy(1, sum)
+		}
+		out.Weight += weight
+		out.Count += count
+	}
+	return out, nil
+}
+
+// AddSealed folds a sealed stripe's update sum into the accumulator. A
+// stripe with no updates (eval-only or empty) is a no-op here — its eval
+// count and metrics are merged by the caller, which owns the round's metric
+// tally.
+func (a *Accumulator) AddSealed(s SealedStripe) error {
+	if s.Count == 0 {
+		return nil
+	}
+	return a.AddRaw(s.Sum, s.Weight, s.Count)
+}
+
+// Sealed-sum wire form: u32 element count followed by count big-endian
+// float64 bits. The length is fully determined by the count, so a decoder
+// can validate the buffer before allocating.
+const sumHeader = 4
+
+// MarshalSum encodes a raw delta sum for the wire.
+func MarshalSum(v tensor.Vector) []byte {
+	buf := make([]byte, sumHeader+8*len(v))
+	binary.BigEndian.PutUint32(buf, uint32(len(v)))
+	for i, x := range v {
+		binary.BigEndian.PutUint64(buf[sumHeader+8*i:], math.Float64bits(x))
+	}
+	return buf
+}
+
+// UnmarshalSum decodes a MarshalSum buffer. The element count is validated
+// against the buffer length before any allocation, so a hostile count
+// cannot commit memory beyond the bytes actually received.
+func UnmarshalSum(b []byte) (tensor.Vector, error) {
+	if len(b) < sumHeader {
+		return nil, fmt.Errorf("fedavg: sealed sum truncated (%d bytes)", len(b))
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	if len(b) != sumHeader+8*n {
+		return nil, fmt.Errorf("fedavg: sealed sum claims %d elements in %d bytes", n, len(b))
+	}
+	v := make(tensor.Vector, n)
+	for i := range v {
+		v[i] = math.Float64frombits(binary.BigEndian.Uint64(b[sumHeader+8*i:]))
+	}
+	return v, nil
+}

@@ -90,7 +90,7 @@ type popEntry struct {
 	// tasks is the population's task registry; it outlives any one
 	// Coordinator (crash respawns reuse it).
 	tasks *tasks.TaskSet
-	coord *actor.Ref
+	coord actor.Ref
 	done  chan struct{}
 }
 
@@ -101,7 +101,7 @@ type Fleet struct {
 	cfg       Config
 	sys       *actor.System
 	lock      *actor.LockService
-	selectors []*actor.Ref
+	selectors []actor.Ref
 	router    *flserver.CheckinRouter
 
 	// regMu serializes Register/Deregister end to end (including the
@@ -292,7 +292,7 @@ func (f *Fleet) spawnCoordinator(entry *popEntry) {
 
 // liveCoordinator resolves a population's current Coordinator for a task
 // lifecycle call.
-func (f *Fleet) liveCoordinator(population string) (*actor.Ref, error) {
+func (f *Fleet) liveCoordinator(population string) (actor.Ref, error) {
 	coord, ok := f.Coordinator(population)
 	if !ok {
 		return nil, fmt.Errorf("fleet: population %q not registered (or still starting)", population)
@@ -367,7 +367,7 @@ func (f *Fleet) Populations() []string {
 // Coordinator returns the current Coordinator ref for a population
 // (tests and supervision checks). ok is false while the population is
 // unknown or its Coordinator not yet spawned.
-func (f *Fleet) Coordinator(population string) (*actor.Ref, bool) {
+func (f *Fleet) Coordinator(population string) (actor.Ref, bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	entry, ok := f.pops[population]
@@ -379,7 +379,7 @@ func (f *Fleet) Coordinator(population string) (*actor.Ref, bool) {
 
 // LockOwner returns the live owner of a population's lock, or nil — the
 // shared locking service's view of who coordinates the population.
-func (f *Fleet) LockOwner(population string) *actor.Ref {
+func (f *Fleet) LockOwner(population string) actor.Ref {
 	return f.lock.Owner(population)
 }
 
@@ -401,7 +401,7 @@ func (f *Fleet) Done(population string) (<-chan struct{}, bool) {
 func (f *Fleet) PopulationStats(population string) (PopulationStats, error) {
 	f.mu.Lock()
 	entry, ok := f.pops[population]
-	var ref *actor.Ref
+	var ref actor.Ref
 	if ok {
 		ref = entry.coord
 	}
@@ -458,6 +458,22 @@ func (f *Fleet) SelectorTotals() (flserver.SelectorStats, error) {
 	return total, nil
 }
 
+// PerSelectorStats breaks the shared selector layer down by Selector actor
+// name, all populations summed per Selector — the per-shard view behind
+// SelectorTotals. The error is non-nil when any Selector is dead or
+// unresponsive: a dead selector is an explicit failure, never zeros.
+func (f *Fleet) PerSelectorStats() (map[string]flserver.SelectorStats, error) {
+	out := make(map[string]flserver.SelectorStats, len(f.selectors))
+	for _, sel := range f.selectors {
+		st, err := flserver.QuerySelectorStats(sel, "")
+		if err != nil {
+			return nil, err
+		}
+		out[sel.Name()] = st
+	}
+	return out, nil
+}
+
 // Serve accepts device connections from l until l closes, routing each
 // connection's first message through the shared CheckinRouter accept path
 // (Selectors route check-ins by population; malformed first messages get a
@@ -469,7 +485,7 @@ func (f *Fleet) Serve(l transport.Listener) { f.router.Serve(l) }
 func (f *Fleet) Close() {
 	f.closed.Store(true)
 	f.mu.Lock()
-	refs := append([]*actor.Ref{}, f.selectors...)
+	refs := append([]actor.Ref{}, f.selectors...)
 	for _, entry := range f.pops {
 		if entry.coord != nil {
 			refs = append(refs, entry.coord)

@@ -51,7 +51,7 @@ func TestCoordinatorRespawnRaceSharedLock(t *testing.T) {
 
 	// waitOwned blocks until pop's registry coordinator is live and owns
 	// the population lock.
-	waitOwned := func(pop string, not *actor.Ref) *actor.Ref {
+	waitOwned := func(pop string, not actor.Ref) actor.Ref {
 		deadline := time.Now().Add(15 * time.Second)
 		for {
 			coord, ok := f.Coordinator(pop)
@@ -75,7 +75,7 @@ func TestCoordinatorRespawnRaceSharedLock(t *testing.T) {
 		for _, pop := range pops {
 			coord, _ := f.Coordinator(pop)
 			wg.Add(1)
-			go func(pop string, old *actor.Ref) {
+			go func(pop string, old actor.Ref) {
 				defer wg.Done()
 				_ = flserver.InjectCoordinatorCrash(old)
 				waitOwned(pop, old)
@@ -86,7 +86,7 @@ func TestCoordinatorRespawnRaceSharedLock(t *testing.T) {
 		// Now race a rival "second respawn" per population against the live
 		// owner: a duplicated watcher decision must lose the lock Acquire on
 		// its first tick and stop itself — never a second live Coordinator.
-		rivals := make(map[string]*actor.Ref, len(pops))
+		rivals := make(map[string]actor.Ref, len(pops))
 		for _, pop := range pops {
 			f.mu.Lock()
 			spec := f.pops[pop].spec

@@ -31,7 +31,7 @@ type Aggregator struct {
 	dim    int
 	secure bool
 	// threshold for the secagg instance, derived from group size.
-	master *actor.Ref
+	master actor.Ref
 
 	acc     *fedavg.Accumulator
 	metrics map[string][]float64
@@ -47,7 +47,7 @@ type Aggregator struct {
 }
 
 // NewAggregator returns the behavior for a group aggregator.
-func NewAggregator(dim int, secure bool, master *actor.Ref) *Aggregator {
+func NewAggregator(dim int, secure bool, master actor.Ref) *Aggregator {
 	return &Aggregator{
 		dim:       dim,
 		secure:    secure,
@@ -284,7 +284,7 @@ func (a *Aggregator) finish(ctx *actor.Context, errStr string) {
 // deviceState tracks one selected device through a round.
 type deviceState struct {
 	held     heldDevice
-	group    *actor.Ref
+	group    actor.Ref
 	reported bool
 	lost     bool
 	aborted  bool
@@ -298,8 +298,8 @@ type MasterAggregator struct {
 	plan      *plan.Plan
 	global    *checkpoint.Checkpoint
 	store     storage.Store
-	coord     *actor.Ref
-	selectors []*actor.Ref
+	coord     actor.Ref
+	selectors []actor.Ref
 	groupSize int
 	// minRuntime, when positive, is the task policy's floor on device
 	// runtime versions: older devices are rejected outright instead of
@@ -310,7 +310,7 @@ type MasterAggregator struct {
 	state   string // "selecting", "reporting", "done"
 	devices map[string]*deviceState
 	order   []string // device ids in arrival order
-	aggs    []*actor.Ref
+	aggs    []actor.Ref
 	// ingest is the round's striped edge accumulator (non-secure rounds):
 	// reader goroutines fold decoded updates straight into its stripes and
 	// only fixed-size accounting messages reach this actor.
@@ -331,7 +331,7 @@ type msgCrash struct{}
 // NewMasterAggregator returns the behavior for one round. minRuntime > 0
 // forbids serving devices whose runtime is older, even via plan lowering
 // (the task policy's MinRuntimeVersion).
-func NewMasterAggregator(p *plan.Plan, global *checkpoint.Checkpoint, store storage.Store, coord *actor.Ref, selectors []*actor.Ref, minRuntime int, now func() time.Time) *MasterAggregator {
+func NewMasterAggregator(p *plan.Plan, global *checkpoint.Checkpoint, store storage.Store, coord actor.Ref, selectors []actor.Ref, minRuntime int, now func() time.Time) *MasterAggregator {
 	if now == nil {
 		now = time.Now
 	}
@@ -445,7 +445,7 @@ type configJob struct {
 	deviceID string
 	conn     transport.Conn
 	resp     *transport.Encoded
-	group    *actor.Ref
+	group    actor.Ref
 }
 
 // reportReader is what a per-device connection reader needs to consume one
@@ -453,7 +453,7 @@ type configJob struct {
 // round's stripes, the secure path decodes into a pooled buffer delivered
 // straight to the device's group Aggregator.
 type reportReader struct {
-	self     *actor.Ref
+	self     actor.Ref
 	dim      int
 	secure   bool
 	evalOnly bool
@@ -504,7 +504,7 @@ func (ma *MasterAggregator) beginReporting(ctx *actor.Context) {
 	// secure group falls below 2 (the Aggregator's singleton refusal
 	// backstops the edge where the whole round has one device).
 	numGroups := len(secagg.GroupSpans(len(ma.order), ma.groupSize))
-	ma.aggs = make([]*actor.Ref, numGroups)
+	ma.aggs = make([]actor.Ref, numGroups)
 	for g := range ma.aggs {
 		ma.aggs[g] = ctx.Spawn(fmt.Sprintf("%s/agg-%d", ctx.Self.Name(), g), NewAggregator(dim, secure, ctx.Self))
 	}
@@ -650,7 +650,7 @@ func (ma *MasterAggregator) beginReporting(ctx *actor.Context) {
 // hop), and secure updates are decoded into a pooled buffer delivered
 // straight to the device's group Aggregator — the Master Aggregator only
 // ever sees fixed-size accounting messages.
-func (r reportReader) read(deviceID string, conn transport.Conn, group *actor.Ref) {
+func (r reportReader) read(deviceID string, conn transport.Conn, group actor.Ref) {
 	msg, err := conn.Recv()
 	if err != nil {
 		_ = conn.Close()

@@ -19,7 +19,7 @@ import (
 
 // collectMaster spawns an actor standing in for the Master Aggregator,
 // recording everything the Aggregator sends.
-func collectMaster(s *actor.System) (*actor.Ref, func() []actor.Message, chan struct{}) {
+func collectMaster(s *actor.System) (actor.Ref, func() []actor.Message, chan struct{}) {
 	var mu sync.Mutex
 	var got []actor.Message
 	sig := make(chan struct{}, 256)
@@ -209,7 +209,7 @@ func TestMasterAggregatorSurfacesGroupErrors(t *testing.T) {
 	global := &checkpoint.Checkpoint{TaskName: p.ID, Params: make(tensor.Vector, dim)}
 	ma := NewMasterAggregator(p, global, store, coord, nil, 0, nil)
 	ma.state = "collecting"
-	ma.aggs = make([]*actor.Ref, 2)
+	ma.aggs = make([]actor.Ref, 2)
 	ref := sys.Spawn("ma", ma)
 	defer sys.Shutdown(coord, ref)
 

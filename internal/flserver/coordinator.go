@@ -31,7 +31,7 @@ type Coordinator struct {
 	lock       *actor.LockService
 	store      storage.Store
 	tasks      *tasks.TaskSet
-	selectors  []*actor.Ref
+	selectors  []actor.Ref
 	// MaxRounds stops the coordinator after that many successful rounds
 	// (0 = run forever). Tests and benchmarks set it.
 	maxRounds int
@@ -39,7 +39,7 @@ type Coordinator struct {
 
 	acquired    bool
 	global      map[string]*checkpoint.Checkpoint // per task lineage
-	currentMA   *actor.Ref
+	currentMA   actor.Ref
 	currentTask string
 	completed   int
 	failed      int
@@ -53,11 +53,11 @@ type Coordinator struct {
 	// Selectors for observed check-in rates; each msgCheckinRate sample
 	// refreshes the TaskSet's population estimate, so MinDevices gates
 	// track the reachable population instead of the static config value.
-	steering       *pacing.Steering
-	staticEstimate int
-	estimate       float64
-	selRates       map[*actor.Ref]msgCheckinRate
-	gateRetry      bool
+	// The folding itself lives in pacing.RateTracker, shared with the
+	// sharded coordinator (which folds one sample stream per shard).
+	steering  *pacing.Steering
+	rates     *pacing.RateTracker
+	gateRetry bool
 }
 
 // WithPacing attaches the population's pace steering and the static
@@ -65,12 +65,8 @@ type Coordinator struct {
 // from the Selector layer's observed check-in rates. Returns c for
 // chaining at the spawn site.
 func (c *Coordinator) WithPacing(st *pacing.Steering, staticEstimate int) *Coordinator {
-	if staticEstimate <= 0 {
-		staticEstimate = 1
-	}
 	c.steering = st
-	c.staticEstimate = staticEstimate
-	c.estimate = float64(staticEstimate)
+	c.rates = pacing.NewRateTracker(st, staticEstimate)
 	return c
 }
 
@@ -81,7 +77,7 @@ const loadRetryDelay = time.Second
 
 // NewCoordinator returns the behavior for a population coordinator driving
 // rounds for the tasks registered in ts.
-func NewCoordinator(population string, lock *actor.LockService, store storage.Store, ts *tasks.TaskSet, selectors []*actor.Ref, maxRounds int, onDone chan struct{}, now func() time.Time) *Coordinator {
+func NewCoordinator(population string, lock *actor.LockService, store storage.Store, ts *tasks.TaskSet, selectors []actor.Ref, maxRounds int, onDone chan struct{}, now func() time.Time) *Coordinator {
 	if now == nil {
 		now = time.Now
 	}
@@ -321,42 +317,20 @@ func (c *Coordinator) probeRates(ctx *actor.Context) {
 }
 
 // onCheckinRate folds one Selector's arrival sample into the live
-// population estimate. Devices reconnect about once per steering MeanWait
-// (evaluated at the static estimate the Selectors steer with), so the
-// fleet-wide arrival rate λ implies population ≈ λ × MeanWait; an EWMA
-// smooths sampling noise. The result feeds TaskSet.SetPopulationEstimate,
-// which the MinDevices deployment gates check.
+// population estimate (pacing.RateTracker: population ≈ λ × MeanWait,
+// EWMA-smoothed, latest sample per selector). The result feeds
+// TaskSet.SetPopulationEstimate, which the MinDevices deployment gates
+// check.
 func (c *Coordinator) onCheckinRate(m msgCheckinRate) {
-	if c.steering == nil || m.Elapsed <= 0 {
+	if c.rates == nil {
 		return
 	}
-	if c.selRates == nil {
-		c.selRates = make(map[*actor.Ref]msgCheckinRate)
-	}
-	c.selRates[m.From] = m
-	// Fold the LATEST sample per selector: rates sum across the layer, and
-	// the demand devices were most recently steered with is the max of the
-	// current samples (a historical maximum would bias MeanWait — ~1/demand
-	// in the spread regime — low forever after one high-demand task).
-	var rate float64
-	demand := 0
-	for _, s := range c.selRates {
-		rate += float64(s.Count) / s.Elapsed.Seconds()
-		if s.Demand > demand {
-			demand = s.Demand
-		}
-	}
-	mean := c.steering.MeanWait(c.staticEstimate, demand, c.now())
-	raw := rate * mean.Seconds()
-	if raw > 1e9 {
-		raw = 1e9
-	}
-	c.estimate = 0.5*c.estimate + 0.5*raw
-	est := int(c.estimate)
-	if est < 1 {
-		est = 1
-	}
-	c.tasks.SetPopulationEstimate(est)
+	c.tasks.SetPopulationEstimate(c.rates.Fold(pacing.RateSample{
+		Source:  m.From.Name(),
+		Count:   int64(m.Count),
+		Elapsed: m.Elapsed,
+		Demand:  m.Demand,
+	}, c.now()))
 }
 
 func (c *Coordinator) onRoundComplete(ctx *actor.Context, m msgRoundComplete) {

@@ -53,7 +53,21 @@ type msgSetQuota struct {
 type msgForwardDevices struct {
 	Population string
 	N          int
-	To         *actor.Ref
+	To         actor.Ref
+}
+
+// msgQuotaTopUp replenishes a Selector's quota after an admitted device
+// turned out not to count toward the round — a duplicate check-in of a
+// device already configured, or a connection lost before its report. The
+// round's effective admit count stays constant, so quota cannot be burned
+// down below the seal target by completed devices checking in again while
+// the window is still open.
+type msgQuotaTopUp struct {
+	Population string
+	N          int
+	// To streams the replacement devices (same contract as
+	// msgForwardDevices.To).
+	To actor.Ref
 }
 
 // msgRegisterPopulation adds a population to a Selector at runtime.
@@ -81,7 +95,7 @@ type msgReleaseParked struct {
 // into the TaskSet's live population estimate (DESIGN.md §2a).
 type msgRateProbe struct {
 	Population string
-	To         *actor.Ref
+	To         actor.Ref
 }
 
 // msgCheckinRate is one Selector's arrival sample for a population: Count
@@ -89,7 +103,7 @@ type msgRateProbe struct {
 // per-selector demand Demand. A Selector only emits a sample once its
 // window is long enough to carry signal.
 type msgCheckinRate struct {
-	From       *actor.Ref
+	From       actor.Ref
 	Population string
 	Count      int64
 	Elapsed    time.Duration
@@ -162,7 +176,7 @@ type msgFinalizeGroup struct {
 
 // msgGroupResult is an Aggregator's partial aggregate for the round.
 type msgGroupResult struct {
-	From    *actor.Ref
+	From    actor.Ref
 	Sum     []float64
 	Weight  float64
 	Count   int

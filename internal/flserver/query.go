@@ -26,55 +26,93 @@ import (
 const statsTimeout = 5 * time.Second
 
 // StartCoordinator kicks a freshly spawned Coordinator's scheduling loop.
-func StartCoordinator(coord *actor.Ref) error { return coord.Send(msgTick{}) }
+func StartCoordinator(coord actor.Ref) error { return coord.Send(msgTick{}) }
 
 // StopCoordinator cleanly shuts a Coordinator down: the in-flight round is
 // abandoned, the population lock released, and watchers see a non-failure
 // termination (no respawn).
-func StopCoordinator(coord *actor.Ref) error { return coord.Send(msgStopCoordinator{}) }
+func StopCoordinator(coord actor.Ref) error { return coord.Send(msgStopCoordinator{}) }
 
 // InjectCoordinatorCrash makes a Coordinator panic on its next message.
 // Failure-injection hook for supervision tests only.
-func InjectCoordinatorCrash(coord *actor.Ref) error { return coord.Send(msgCrash{}) }
+func InjectCoordinatorCrash(coord actor.Ref) error { return coord.Send(msgCrash{}) }
 
 // ForwardCheckin hands a device's first message to a Selector, which owns
 // the accept/reject decision for the request's population.
-func ForwardCheckin(sel *actor.Ref, req protocol.CheckinRequest, conn transport.Conn) error {
+func ForwardCheckin(sel actor.Ref, req protocol.CheckinRequest, conn transport.Conn) error {
 	return sel.Send(msgCheckin{Req: req, Conn: conn})
 }
 
 // RegisterSelectorPopulation adds a population to a running Selector.
-func RegisterSelectorPopulation(sel *actor.Ref, pop SelectorPopulation) error {
+func RegisterSelectorPopulation(sel actor.Ref, pop SelectorPopulation) error {
 	return sel.Send(msgRegisterPopulation{Pop: pop})
 }
 
 // DeregisterSelectorPopulation removes a population from a running
 // Selector: parked devices are steered away, later check-ins rejected.
-func DeregisterSelectorPopulation(sel *actor.Ref, name string) error {
+func DeregisterSelectorPopulation(sel actor.Ref, name string) error {
 	return sel.Send(msgDeregisterPopulation{Name: name})
+}
+
+// ReleaseParked steers one population's parked devices away with a
+// reconnect hint and zeroes its quota, keeping the population registered.
+// The sharded tier uses this when a selector process loses its coordinator
+// link: parked devices must be told "retry later", not stranded on open
+// connections waiting for a round that cannot start.
+func ReleaseParked(sel actor.Ref, population string) error {
+	return sel.Send(msgReleaseParked{Population: population})
+}
+
+// ProbeCheckinRate asks a Selector for one population's check-in arrivals
+// since the last probe; the sample is delivered to `to` (spawn one with
+// NewRateForwarder to receive it outside this package).
+func ProbeCheckinRate(sel actor.Ref, population string, to actor.Ref) error {
+	return sel.Send(msgRateProbe{Population: population, To: to})
+}
+
+// rateForwarder converts Selector rate samples into a callback, so code
+// outside this package (the sharded selector process, which relays samples
+// to its coordinator over the wire) can consume them without seeing the
+// private message types.
+type rateForwarder struct {
+	fn func(source, population string, count int64, elapsed time.Duration, demand int)
+}
+
+// NewRateForwarder returns a behavior that invokes fn (on the actor
+// goroutine) for every check-in rate sample sent to it; source names the
+// Selector that observed the sample.
+func NewRateForwarder(fn func(source, population string, count int64, elapsed time.Duration, demand int)) actor.Behavior {
+	return &rateForwarder{fn: fn}
+}
+
+// Receive implements actor.Behavior.
+func (rf *rateForwarder) Receive(ctx *actor.Context, msg actor.Message) {
+	if m, ok := msg.(msgCheckinRate); ok {
+		rf.fn(m.From.Name(), m.Population, m.Count, m.Elapsed, m.Demand)
+	}
 }
 
 // SubmitTask deploys a new FL task (plan + scheduling policy) onto a live
 // Coordinator. The mutation is a mailbox message, so it serializes with
 // round scheduling; the round in flight is unaffected.
-func SubmitTask(coord *actor.Ref, p *plan.Plan, pol tasks.Policy) error {
+func SubmitTask(coord actor.Ref, p *plan.Plan, pol tasks.Policy) error {
 	return taskOpRequest(coord, msgTaskOp{Op: taskOpSubmit, Plan: p, Policy: pol})
 }
 
 // PauseTask stops scheduling a task on a live Coordinator; an in-flight
 // round completes normally.
-func PauseTask(coord *actor.Ref, id string) error {
+func PauseTask(coord actor.Ref, id string) error {
 	return taskOpRequest(coord, msgTaskOp{Op: taskOpPause, ID: id})
 }
 
 // ResumeTask reactivates a paused task on a live Coordinator.
-func ResumeTask(coord *actor.Ref, id string) error {
+func ResumeTask(coord actor.Ref, id string) error {
 	return taskOpRequest(coord, msgTaskOp{Op: taskOpResume, ID: id})
 }
 
 // RetireTask permanently stops scheduling a task on a live Coordinator. A
 // round already in flight completes rather than being aborted.
-func RetireTask(coord *actor.Ref, id string) error {
+func RetireTask(coord actor.Ref, id string) error {
 	return taskOpRequest(coord, msgTaskOp{Op: taskOpRetire, ID: id})
 }
 
@@ -82,7 +120,7 @@ func RetireTask(coord *actor.Ref, id string) error {
 // mailbox and waits for its verdict. The error is the mutation's own
 // (unknown task, duplicate ID, bad transition) or a transport-level one
 // when the Coordinator is stopped or unresponsive.
-func taskOpRequest(coord *actor.Ref, m msgTaskOp) error {
+func taskOpRequest(coord actor.Ref, m msgTaskOp) error {
 	m.Reply = make(chan error, 1)
 	if err := coord.Send(m); err != nil {
 		return fmt.Errorf("flserver: task op: %w", err)
@@ -98,7 +136,7 @@ func taskOpRequest(coord *actor.Ref, m msgTaskOp) error {
 // QueryTaskStats asks a Coordinator for every task's lifecycle record, in
 // submission order. Routed through the mailbox so the snapshot can never
 // interleave with a mid-commit round.
-func QueryTaskStats(coord *actor.Ref) ([]tasks.Stats, error) {
+func QueryTaskStats(coord actor.Ref) ([]tasks.Stats, error) {
 	reply := make(chan []tasks.Stats, 1)
 	if err := coord.Send(msgTaskStats{Reply: reply}); err != nil {
 		return nil, fmt.Errorf("flserver: task stats: %w", err)
@@ -114,7 +152,7 @@ func QueryTaskStats(coord *actor.Ref) ([]tasks.Stats, error) {
 // QueryCoordinatorStats asks a Coordinator for its round progress. The
 // error is non-nil when the Coordinator is stopped or unresponsive —
 // callers must not mistake a dead Coordinator for zero progress.
-func QueryCoordinatorStats(coord *actor.Ref) (CoordinatorStats, error) {
+func QueryCoordinatorStats(coord actor.Ref) (CoordinatorStats, error) {
 	reply := make(chan CoordinatorStats, 1)
 	if err := coord.Send(msgCoordinatorStats{Reply: reply}); err != nil {
 		return CoordinatorStats{}, fmt.Errorf("flserver: coordinator stats: %w", err)
@@ -130,7 +168,7 @@ func QueryCoordinatorStats(coord *actor.Ref) (CoordinatorStats, error) {
 // QuerySelectorStats asks one Selector for its counts; population "" sums
 // across every population the Selector serves. The error is non-nil when
 // the Selector is stopped or unresponsive.
-func QuerySelectorStats(sel *actor.Ref, population string) (SelectorStats, error) {
+func QuerySelectorStats(sel actor.Ref, population string) (SelectorStats, error) {
 	reply := make(chan SelectorStats, 1)
 	if err := sel.Send(msgSelectorStats{Population: population, Reply: reply}); err != nil {
 		return SelectorStats{}, fmt.Errorf("flserver: selector stats: %w", err)
@@ -193,14 +231,14 @@ func (h *Hinter) RejectConn(conn transport.Conn, reason string) {
 // geographic affinity). Malformed first messages get a protocol-level
 // rejection with a pace-steering hint instead of a dropped connection.
 type CheckinRouter struct {
-	selectors []*actor.Ref
+	selectors []actor.Ref
 	hinter    *Hinter
 	nextSel   uint64
 	handlers  sync.WaitGroup
 }
 
 // NewCheckinRouter builds the accept path over a Selector layer.
-func NewCheckinRouter(selectors []*actor.Ref, hinter *Hinter) *CheckinRouter {
+func NewCheckinRouter(selectors []actor.Ref, hinter *Hinter) *CheckinRouter {
 	return &CheckinRouter{selectors: selectors, hinter: hinter}
 }
 

@@ -40,7 +40,7 @@ type selPop struct {
 	// pendingTo/pendingN track an outstanding forward request from a
 	// Master Aggregator, so devices checking in after the request still
 	// flow to the round as they arrive.
-	pendingTo *actor.Ref
+	pendingTo actor.Ref
 	pendingN  int
 
 	// arrivals counts this population's check-ins since rateStart; the
@@ -134,10 +134,17 @@ func (s *Selector) Receive(ctx *actor.Context, msg actor.Message) {
 			p.seen = 0
 			if m.Accept > 0 {
 				p.demand = m.Accept
+			} else {
+				// Revocation (the round sealed or was abandoned): cancel the
+				// forward stream too, so a stale destination can never receive
+				// devices accepted under a later round's quota.
+				p.pendingTo, p.pendingN = nil, 0
 			}
 		}
 	case msgForwardDevices:
 		s.onForward(m)
+	case msgQuotaTopUp:
+		s.onTopUp(m)
 	case msgRateProbe:
 		s.onRateProbe(ctx, m)
 	case msgReleaseParked:
@@ -410,6 +417,24 @@ func (s *Selector) onForward(m msgForwardDevices) {
 	if p.pendingN <= 0 {
 		p.pendingTo, p.pendingN = nil, 0
 	}
+}
+
+// onTopUp re-opens quota a round handed back (duplicate or lost device)
+// and extends — or re-establishes — the streaming forward toward the
+// round, so a replacement device flows to it as soon as one checks in.
+func (s *Selector) onTopUp(m msgQuotaTopUp) {
+	p, ok := s.pops[m.Population]
+	if !ok || m.N <= 0 {
+		return
+	}
+	p.quota += m.N
+	if p.pendingTo == m.To {
+		p.pendingN += m.N
+		return
+	}
+	// The round's original forward request has drained (or belonged to an
+	// earlier, finished round): start a fresh stream to the requester.
+	s.onForward(msgForwardDevices{Population: m.Population, N: m.N, To: m.To})
 }
 
 // stats reports one population's counters, or — for population "" — the

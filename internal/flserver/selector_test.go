@@ -14,7 +14,7 @@ import (
 
 // spawnSelector spawns a Selector serving the named populations with the
 // given parked-pool capacity.
-func spawnSelector(sys *actor.System, name string, capacity int, seed uint64, pops ...string) *actor.Ref {
+func spawnSelector(sys *actor.System, name string, capacity int, seed uint64, pops ...string) actor.Ref {
 	var sp []SelectorPopulation
 	for _, p := range pops {
 		sp = append(sp, SelectorPopulation{Name: p, Steering: pacing.New(time.Second), PopulationEstimate: 100})
@@ -24,7 +24,7 @@ func spawnSelector(sys *actor.System, name string, capacity int, seed uint64, po
 
 // checkin sends one device check-in; the device side is drained so
 // rejection responses never block, and the last response is recorded.
-func checkin(sel *actor.Ref, pop, id string, responses func(protocol.CheckinResponse)) {
+func checkin(sel actor.Ref, pop, id string, responses func(protocol.CheckinResponse)) {
 	client, server := transport.Pipe()
 	go func() {
 		for {
@@ -44,7 +44,7 @@ func checkin(sel *actor.Ref, pop, id string, responses func(protocol.CheckinResp
 }
 
 // popStats queries one population's counters synchronously.
-func popStats(t *testing.T, sel *actor.Ref, pop string) SelectorStats {
+func popStats(t *testing.T, sel actor.Ref, pop string) SelectorStats {
 	t.Helper()
 	st, err := QuerySelectorStats(sel, pop)
 	if err != nil {

@@ -59,9 +59,9 @@ type Server struct {
 	// live Coordinator's mailbox so they serialize with round scheduling.
 	tasks *tasks.TaskSet
 
-	selectors []*actor.Ref
+	selectors []actor.Ref
 	mu        sync.Mutex
-	coord     *actor.Ref
+	coord     actor.Ref
 	done      chan struct{}
 
 	closed atomic.Bool
@@ -147,7 +147,7 @@ func (s *Server) spawnCoordinator() {
 }
 
 // Coordinator returns the current coordinator ref (tests).
-func (s *Server) Coordinator() *actor.Ref {
+func (s *Server) Coordinator() actor.Ref {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.coord
@@ -175,6 +175,22 @@ func (s *Server) SelectorStats() (SelectorStats, error) {
 		total.Add(st)
 	}
 	return total, nil
+}
+
+// PerSelectorStats reports each Selector's counts keyed by its actor name
+// — the per-shard/per-selector breakdown behind SelectorStats' totals. The
+// error is non-nil when any Selector is dead or unresponsive: a dead
+// selector must read as an explicit failure, never as zeros.
+func (s *Server) PerSelectorStats() (map[string]SelectorStats, error) {
+	out := make(map[string]SelectorStats, len(s.selectors))
+	for _, sel := range s.selectors {
+		st, err := QuerySelectorStats(sel, "")
+		if err != nil {
+			return nil, err
+		}
+		out[sel.Name()] = st
+	}
+	return out, nil
 }
 
 // SubmitTask deploys a new FL task — plan plus scheduling policy — onto
@@ -210,7 +226,7 @@ func (s *Server) Serve(l transport.Listener) { s.router.Serve(l) }
 // Close stops the actor system.
 func (s *Server) Close() {
 	s.closed.Store(true)
-	refs := append([]*actor.Ref{}, s.selectors...)
+	refs := append([]actor.Ref{}, s.selectors...)
 	refs = append(refs, s.Coordinator())
 	s.sys.Shutdown(refs...)
 	s.router.Wait()

@@ -29,6 +29,17 @@ const (
 	CodeReportRequest
 	CodeReportResponse
 	CodeAbort
+	// Sharded-deployment messages (shard.go, codec in shardcodec.go).
+	CodeStripeSeal
+	CodeRoundConfig
+	CodeRoundFinalize
+	CodeRoundAbort
+	CodeShardHello
+	CodeCheckinRate
+	CodeActorEnvelope
+	CodeLockRequest
+	CodeLockResponse
+	CodeHeartbeat
 )
 
 // MarshalBinaryParts encodes one of the five protocol messages as an
@@ -86,7 +97,7 @@ func MarshalBinaryParts(msg interface{}) (code byte, parts [][]byte, ok bool) {
 		buf = appendStr(buf, m.Reason)
 		return CodeAbort, [][]byte{buf}, true
 	}
-	return 0, nil, false
+	return marshalShardParts(msg)
 }
 
 // MarshalBinary encodes one of the five protocol messages into a single
@@ -159,7 +170,11 @@ func UnmarshalBinary(code byte, payload []byte) (interface{}, error) {
 		m.Reason = r.str()
 		msg = m
 	default:
-		return nil, fmt.Errorf("protocol: unknown type code %d", code)
+		m, handled := unmarshalShard(code, r)
+		if !handled {
+			return nil, fmt.Errorf("protocol: unknown type code %d", code)
+		}
+		msg = m
 	}
 	if r.err != nil {
 		return nil, r.err

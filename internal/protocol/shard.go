@@ -1,0 +1,175 @@
+package protocol
+
+import (
+	"encoding/gob"
+	"time"
+)
+
+// Sharded-deployment wire messages (Sec. 4.2–4.3 scaled out across
+// processes): a fleet of flselector processes terminates device
+// connections and runs the edge decode-and-accumulate stripes; one
+// coordinator process owns round state, task sets, pacing, and the lock
+// service. The messages below flow on the selector↔coordinator peer links
+// managed by internal/remote. Like the device messages, they ride the
+// length-prefixed binary codec — see codec.go.
+
+// ShardHello is the first message on a fresh selector→coordinator
+// connection: it announces the shard's identity so the coordinator can
+// (re)attach round state to the link.
+type ShardHello struct {
+	// Shard is the stable shard index (0-based).
+	Shard uint32
+	// Name is a human-readable shard label for logs and stats.
+	Name string
+}
+
+// Heartbeat keeps a peer link's liveness fresh in both directions. The
+// sender picks a sequence number; the receiver echoes it with Ack set.
+// Missed echoes mark the peer dead (internal/remote).
+type Heartbeat struct {
+	Seq uint64
+	Ack bool
+}
+
+// ActorEnvelope carries a message addressed to a named actor on the peer
+// process — the wire form behind remote actor refs. The payload is a
+// gob-encoded envelope (control-plane messages only; bulk payloads get
+// their own binary-codec message types).
+type ActorEnvelope struct {
+	// Target names the destination actor in the peer's registry.
+	Target  string
+	Payload []byte
+}
+
+// Lock RPC opcodes.
+const (
+	// LockAcquire attempts to take the lease for Key on behalf of Owner.
+	LockAcquire uint8 = iota
+	// LockRelease frees the lease if Owner holds it.
+	LockRelease
+	// LockOwner queries the current live owner.
+	LockOwner
+)
+
+// LockRequest is one lock-service RPC (the Sec. 4.2 lock service served
+// over the wire). Seq correlates the response on a shared peer link.
+type LockRequest struct {
+	Seq   uint64
+	Op    uint8
+	Key   string
+	Owner string
+}
+
+// LockResponse answers a LockRequest. OK reports acquire success (or, for
+// LockOwner, whether a live owner exists); Owner echoes the current
+// holder's name.
+type LockResponse struct {
+	Seq   uint64
+	OK    bool
+	Owner string
+}
+
+// RoundConfig opens a round on a selector shard (coordinator→shard): the
+// shard should select Target devices for the task, serve them the plan and
+// checkpoint, and fold their reports into its stripes. Plan and Checkpoint
+// are multi-MB payloads marshaled once by the coordinator and fanned out to
+// every shard via vectored writes (the segments are aliased, never copied
+// into the frame).
+type RoundConfig struct {
+	Population string
+	TaskID     string
+	Round      int64
+	// Target is the number of device reports this shard should collect.
+	Target int
+	// Admit is how many devices the shard should select (over-selection,
+	// Sec. 2.2); 0 defaults to Target.
+	Admit int
+	// Estimate is the coordinator's live population estimate, used by the
+	// shard's pace steering.
+	Estimate int
+	// EvalOnly marks an evaluation task: devices report metrics only.
+	EvalOnly bool
+	// ReportDeadline is forwarded to devices; ReportTimeout bounds the
+	// shard's local reporting window.
+	ReportDeadline time.Duration
+	ReportTimeout  time.Duration
+	Plan           []byte
+	Checkpoint     []byte
+}
+
+// RoundFinalize tells a shard to seal its stripes NOW and ship whatever it
+// holds (coordinator→shard, sent when the round's global report window
+// closes before every shard met its local target).
+type RoundFinalize struct {
+	Population string
+	TaskID     string
+	Round      int64
+}
+
+// RoundAbort abandons a round. Coordinator→shard when the round failed
+// globally; shard→coordinator when the shard cannot run it.
+type RoundAbort struct {
+	Population string
+	TaskID     string
+	Round      int64
+	Reason     string
+}
+
+// StripeSeal ships a shard's sealed accumulator stripe upstream
+// (shard→coordinator) at round finalize: the raw delta sum over every
+// update the shard folded at the edge, plus the weight/count bookkeeping
+// and metric samples. This is the aggregation tree crossing the process
+// boundary — device updates never do. Sum is the fedavg.MarshalSum wire
+// form and is aliased into the frame by the codec, so a multi-MB partial
+// is written straight from the seal buffer.
+type StripeSeal struct {
+	Population string
+	TaskID     string
+	Round      int64
+	Shard      uint32
+	// Reports counts device updates folded into Sum; EvalReports counts
+	// metrics-only reports; Lost counts devices that vanished mid-round.
+	Reports     int64
+	EvalReports int64
+	Lost        int64
+	Weight      float64
+	// Sum is the marshaled raw delta sum (fedavg.MarshalSum); empty when
+	// Reports is zero.
+	Sum []byte
+	// Metrics are the device-reported metric samples collected by the
+	// shard's stripes.
+	Metrics map[string][]float64
+}
+
+// CheckinRate reports a shard's observed device check-in rate
+// (shard→coordinator), the raw material for cross-shard live population
+// estimation (pacing.RateTracker aggregates one sample stream per shard).
+type CheckinRate struct {
+	Population string
+	Shard      uint32
+	// Source names the Selector actor within the shard that observed the
+	// sample, so a shard running several Selectors contributes one
+	// distinguishable sample stream per Selector.
+	Source string
+	// Count check-ins were observed over Elapsed.
+	Count   int64
+	Elapsed time.Duration
+	// Demand is the shard's current selection demand, used to invert the
+	// steering policy's mean wait.
+	Demand int64
+}
+
+func init() {
+	// Registered for the gob fallback path, though all of these normally
+	// ride the binary codec.
+	gob.Register(ShardHello{})
+	gob.Register(Heartbeat{})
+	gob.Register(ActorEnvelope{})
+	gob.Register(LockRequest{})
+	gob.Register(LockResponse{})
+	gob.Register(RoundConfig{})
+	gob.Register(RoundFinalize{})
+	gob.Register(RoundAbort{})
+	gob.Register(StripeSeal{})
+	gob.Register(CheckinRate{})
+}

@@ -1,0 +1,266 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"math"
+	"time"
+)
+
+// Binary codec for the sharded-deployment messages of shard.go, following
+// codec.go's conventions exactly: fixed-order big-endian fields, u32-length
+// prefixes, i64-nanosecond durations, and count-vs-remaining-bytes
+// validation before any count-sized allocation. The bulk fields — a
+// StripeSeal's Sum, a RoundConfig's Plan and Checkpoint — are returned as
+// their own ALIASED segments so the transport's vectored writes ship a
+// multi-MB sealed partial without ever copying it into a contiguous frame.
+
+// marshalShardParts extends MarshalBinaryParts with the shard messages.
+func marshalShardParts(msg interface{}) (code byte, parts [][]byte, ok bool) {
+	switch m := msg.(type) {
+	case StripeSeal:
+		head := make([]byte, 0, sizeStr(m.Population)+sizeStr(m.TaskID)+8+4+8+8+8+8+4)
+		head = appendStr(head, m.Population)
+		head = appendStr(head, m.TaskID)
+		head = binary.BigEndian.AppendUint64(head, uint64(m.Round))
+		head = binary.BigEndian.AppendUint32(head, m.Shard)
+		head = binary.BigEndian.AppendUint64(head, uint64(m.Reports))
+		head = binary.BigEndian.AppendUint64(head, uint64(m.EvalReports))
+		head = binary.BigEndian.AppendUint64(head, uint64(m.Lost))
+		head = binary.BigEndian.AppendUint64(head, math.Float64bits(m.Weight))
+		head = binary.BigEndian.AppendUint32(head, uint32(len(m.Sum)))
+		tail := make([]byte, 0, sizeMetricSamples(m.Metrics))
+		tail = appendMetricSamples(tail, m.Metrics)
+		return CodeStripeSeal, [][]byte{head, m.Sum, tail}, true
+	case RoundConfig:
+		head := make([]byte, 0, sizeStr(m.Population)+sizeStr(m.TaskID)+8+8+8+8+1+8+8+4)
+		head = appendStr(head, m.Population)
+		head = appendStr(head, m.TaskID)
+		head = binary.BigEndian.AppendUint64(head, uint64(m.Round))
+		head = binary.BigEndian.AppendUint64(head, uint64(int64(m.Target)))
+		head = binary.BigEndian.AppendUint64(head, uint64(int64(m.Admit)))
+		head = binary.BigEndian.AppendUint64(head, uint64(int64(m.Estimate)))
+		head = appendBool(head, m.EvalOnly)
+		head = binary.BigEndian.AppendUint64(head, uint64(int64(m.ReportDeadline)))
+		head = binary.BigEndian.AppendUint64(head, uint64(int64(m.ReportTimeout)))
+		head = binary.BigEndian.AppendUint32(head, uint32(len(m.Plan)))
+		mid := make([]byte, 0, 4)
+		mid = binary.BigEndian.AppendUint32(mid, uint32(len(m.Checkpoint)))
+		return CodeRoundConfig, [][]byte{head, m.Plan, mid, m.Checkpoint}, true
+	case RoundFinalize:
+		buf := make([]byte, 0, sizeStr(m.Population)+sizeStr(m.TaskID)+8)
+		buf = appendStr(buf, m.Population)
+		buf = appendStr(buf, m.TaskID)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(m.Round))
+		return CodeRoundFinalize, [][]byte{buf}, true
+	case RoundAbort:
+		buf := make([]byte, 0, sizeStr(m.Population)+sizeStr(m.TaskID)+8+sizeStr(m.Reason))
+		buf = appendStr(buf, m.Population)
+		buf = appendStr(buf, m.TaskID)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(m.Round))
+		buf = appendStr(buf, m.Reason)
+		return CodeRoundAbort, [][]byte{buf}, true
+	case ShardHello:
+		buf := make([]byte, 0, 4+sizeStr(m.Name))
+		buf = binary.BigEndian.AppendUint32(buf, m.Shard)
+		buf = appendStr(buf, m.Name)
+		return CodeShardHello, [][]byte{buf}, true
+	case CheckinRate:
+		buf := make([]byte, 0, sizeStr(m.Population)+4+sizeStr(m.Source)+8+8+8)
+		buf = appendStr(buf, m.Population)
+		buf = binary.BigEndian.AppendUint32(buf, m.Shard)
+		buf = appendStr(buf, m.Source)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(m.Count))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(int64(m.Elapsed)))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(m.Demand))
+		return CodeCheckinRate, [][]byte{buf}, true
+	case ActorEnvelope:
+		head := make([]byte, 0, sizeStr(m.Target)+4)
+		head = appendStr(head, m.Target)
+		head = binary.BigEndian.AppendUint32(head, uint32(len(m.Payload)))
+		return CodeActorEnvelope, [][]byte{head, m.Payload}, true
+	case LockRequest:
+		buf := make([]byte, 0, 8+1+sizeStr(m.Key)+sizeStr(m.Owner))
+		buf = binary.BigEndian.AppendUint64(buf, m.Seq)
+		buf = append(buf, m.Op)
+		buf = appendStr(buf, m.Key)
+		buf = appendStr(buf, m.Owner)
+		return CodeLockRequest, [][]byte{buf}, true
+	case LockResponse:
+		buf := make([]byte, 0, 8+1+sizeStr(m.Owner))
+		buf = binary.BigEndian.AppendUint64(buf, m.Seq)
+		buf = appendBool(buf, m.OK)
+		buf = appendStr(buf, m.Owner)
+		return CodeLockResponse, [][]byte{buf}, true
+	case Heartbeat:
+		buf := make([]byte, 0, 8+1)
+		buf = binary.BigEndian.AppendUint64(buf, m.Seq)
+		buf = appendBool(buf, m.Ack)
+		return CodeHeartbeat, [][]byte{buf}, true
+	}
+	return 0, nil, false
+}
+
+// unmarshalShard extends UnmarshalBinary with the shard messages. handled
+// is false for codes this file does not know; decode errors latch in r and
+// are reported by the caller, which also enforces the trailing-bytes check.
+func unmarshalShard(code byte, r *reader) (msg interface{}, handled bool) {
+	switch code {
+	case CodeStripeSeal:
+		m := StripeSeal{}
+		m.Population = r.str()
+		m.TaskID = r.str()
+		m.Round = r.i64()
+		m.Shard = r.u32c("shard")
+		m.Reports = r.i64()
+		m.EvalReports = r.i64()
+		m.Lost = r.i64()
+		m.Weight = r.f64()
+		m.Sum = r.bytes()
+		m.Metrics = r.metricSamples()
+		return m, true
+	case CodeRoundConfig:
+		m := RoundConfig{}
+		m.Population = r.str()
+		m.TaskID = r.str()
+		m.Round = r.i64()
+		m.Target = int(r.i64())
+		m.Admit = int(r.i64())
+		m.Estimate = int(r.i64())
+		m.EvalOnly = r.bool()
+		m.ReportDeadline = time.Duration(r.i64())
+		m.ReportTimeout = time.Duration(r.i64())
+		m.Plan = r.bytes()
+		m.Checkpoint = r.bytes()
+		return m, true
+	case CodeRoundFinalize:
+		m := RoundFinalize{}
+		m.Population = r.str()
+		m.TaskID = r.str()
+		m.Round = r.i64()
+		return m, true
+	case CodeRoundAbort:
+		m := RoundAbort{}
+		m.Population = r.str()
+		m.TaskID = r.str()
+		m.Round = r.i64()
+		m.Reason = r.str()
+		return m, true
+	case CodeShardHello:
+		m := ShardHello{}
+		m.Shard = r.u32c("shard")
+		m.Name = r.str()
+		return m, true
+	case CodeCheckinRate:
+		m := CheckinRate{}
+		m.Population = r.str()
+		m.Shard = r.u32c("shard")
+		m.Source = r.str()
+		m.Count = r.i64()
+		m.Elapsed = time.Duration(r.i64())
+		m.Demand = r.i64()
+		return m, true
+	case CodeActorEnvelope:
+		m := ActorEnvelope{}
+		m.Target = r.str()
+		m.Payload = r.bytes()
+		return m, true
+	case CodeLockRequest:
+		m := LockRequest{}
+		m.Seq = uint64(r.i64())
+		m.Op = r.u8("lock op")
+		m.Key = r.str()
+		m.Owner = r.str()
+		return m, true
+	case CodeLockResponse:
+		m := LockResponse{}
+		m.Seq = uint64(r.i64())
+		m.OK = r.bool()
+		m.Owner = r.str()
+		return m, true
+	case CodeHeartbeat:
+		m := Heartbeat{}
+		m.Seq = uint64(r.i64())
+		m.Ack = r.bool()
+		return m, true
+	}
+	return nil, false
+}
+
+// --- codec helpers for the shard messages ---
+
+func sizeMetricSamples(m map[string][]float64) int {
+	n := 4
+	for k, vs := range m {
+		n += sizeStr(k) + 4 + 8*len(vs)
+	}
+	return n
+}
+
+func appendMetricSamples(buf []byte, m map[string][]float64) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m)))
+	for k, vs := range m {
+		buf = appendStr(buf, k)
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(vs)))
+		for _, v := range vs {
+			buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	return buf
+}
+
+func (r *reader) u32c(what string) uint32 {
+	b := r.take(4, what)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *reader) u8(what string) uint8 {
+	b := r.take(1, what)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *reader) f64() float64 {
+	return math.Float64frombits(uint64(r.i64()))
+}
+
+// metricSamples decodes a map of per-metric value slices. Both the entry
+// count and every per-metric value count are validated against the bytes
+// actually remaining before allocating, so a hostile count cannot commit
+// memory proportional to its claim.
+func (r *reader) metricSamples() map[string][]float64 {
+	n := r.u32("metric sample count")
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	// Each entry is ≥ 8 bytes (name length prefix + value count).
+	if n > len(r.b)/8 {
+		r.fail("metric sample entries")
+		return nil
+	}
+	m := make(map[string][]float64, n)
+	for i := 0; i < n; i++ {
+		k := r.str()
+		c := r.u32("metric value count")
+		if r.err != nil {
+			return nil
+		}
+		if c > len(r.b)/8 {
+			r.fail("metric values")
+			return nil
+		}
+		vs := make([]float64, c)
+		for j := range vs {
+			vs[j] = r.f64()
+		}
+		if r.err != nil {
+			return nil
+		}
+		m[k] = vs
+	}
+	return m
+}

@@ -1,0 +1,174 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// shardMessages returns one populated and one zero-valued instance of every
+// sharded-deployment wire message.
+func shardMessages() []interface{} {
+	return []interface{}{
+		StripeSeal{Population: "pop", TaskID: "task", Round: 7, Shard: 2,
+			Reports: 100, EvalReports: 3, Lost: 4, Weight: 41.5,
+			Sum:     []byte{1, 2, 3, 4, 5, 6, 7, 8},
+			Metrics: map[string][]float64{"train_loss": {0.5, 0.25}, "train_acc": {1}}},
+		StripeSeal{},
+		RoundConfig{Population: "pop", TaskID: "task", Round: 9, Target: 100,
+			Admit: 130, Estimate: 5000, EvalOnly: true,
+			ReportDeadline: 2 * time.Minute, ReportTimeout: time.Minute,
+			Plan: []byte{9, 9}, Checkpoint: []byte{7}},
+		RoundConfig{},
+		RoundFinalize{Population: "pop", TaskID: "task", Round: 3},
+		RoundFinalize{},
+		RoundAbort{Population: "pop", TaskID: "task", Round: 3, Reason: "drained"},
+		RoundAbort{},
+		ShardHello{Shard: 4, Name: "shard-4"},
+		ShardHello{},
+		CheckinRate{Population: "pop", Shard: 1, Source: "shard-1/selector-0",
+			Count: 42, Elapsed: time.Second, Demand: 7},
+		CheckinRate{},
+		ActorEnvelope{Target: "coordinator/gboard", Payload: []byte{1, 2, 3}},
+		ActorEnvelope{},
+		LockRequest{Seq: 11, Op: 2, Key: "coordinator/pop", Owner: "shard-0"},
+		LockRequest{},
+		LockResponse{Seq: 11, OK: true, Owner: "shard-0"},
+		LockResponse{},
+		Heartbeat{Seq: 99, Ack: true},
+		Heartbeat{},
+	}
+}
+
+func TestShardCodecRoundTripsAllMessages(t *testing.T) {
+	for _, in := range shardMessages() {
+		out := binRoundTrip(t, in)
+		if !reflect.DeepEqual(in, out) {
+			t.Errorf("round trip changed %T:\n in  %+v\n out %+v", in, in, out)
+		}
+	}
+}
+
+// TestShardCodecTruncationSafe chops every prefix of every shard message's
+// encoding: decode must error, never panic, and trailing garbage after a
+// complete message must be rejected.
+func TestShardCodecTruncationSafe(t *testing.T) {
+	for _, in := range shardMessages() {
+		code, payload, ok := MarshalBinary(in)
+		if !ok {
+			t.Fatalf("MarshalBinary rejected %T", in)
+		}
+		for n := 0; n < len(payload); n++ {
+			if _, err := UnmarshalBinary(code, payload[:n]); err == nil {
+				t.Errorf("%T truncated to %d/%d bytes decoded cleanly", in, n, len(payload))
+			}
+		}
+		if _, err := UnmarshalBinary(code, append(append([]byte{}, payload...), 0xFF)); err == nil {
+			t.Errorf("%T with trailing garbage decoded cleanly", in)
+		}
+	}
+}
+
+// u32 / u64 / str build hostile payloads field by field.
+func hU32(buf []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(buf, v) }
+func hU64(buf []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(buf, v) }
+func hStr(buf []byte, s string) []byte { return append(hU32(buf, uint32(len(s))), s...) }
+
+// hostileShardPayloads are hand-built frames whose length fields promise far
+// more data than the payload holds — the claims range from 4 GiB strings to
+// billion-entry metric maps. Every one must be rejected.
+func hostileShardPayloads() map[string][2]interface{} {
+	sealHead := func(sumLen uint32) []byte {
+		b := hStr(nil, "")               // Population
+		b = hStr(b, "")                  // TaskID
+		b = hU64(b, 1)                   // Round
+		b = hU32(b, 0)                   // Shard
+		b = hU64(b, 0)                   // Reports
+		b = hU64(b, 0)                   // EvalReports
+		b = hU64(b, 0)                   // Lost
+		b = hU64(b, math.Float64bits(1)) // Weight
+		return hU32(b, sumLen)           // Sum length
+	}
+	rcHead := func() []byte {
+		b := hStr(nil, "")
+		b = hStr(b, "")
+		b = hU64(b, 1) // Round
+		b = hU64(b, 1) // Target
+		b = hU64(b, 1) // Admit
+		b = hU64(b, 1) // Estimate
+		b = append(b, 0)
+		b = hU64(b, 0) // ReportDeadline
+		b = hU64(b, 0) // ReportTimeout
+		return b
+	}
+	return map[string][2]interface{}{
+		"stripe-seal sum 4GiB":          {CodeStripeSeal, sealHead(0xFFFFFFFF)},
+		"stripe-seal 1B metric entries": {CodeStripeSeal, hU32(append(sealHead(0), []byte{}...), 0x40000000)},
+		"stripe-seal 1B metric values": {CodeStripeSeal,
+			hU32(hStr(hU32(sealHead(0), 1), "k"), 0x40000000)},
+		"round-config plan 4GiB":       {CodeRoundConfig, hU32(rcHead(), 0xFFFFFFFF)},
+		"round-config checkpoint 4GiB": {CodeRoundConfig, hU32(hU32(rcHead(), 0), 0xFFFFFFF0)},
+		"round-abort reason 4GiB":      {CodeRoundAbort, hU32(hU64(hStr(hStr(nil, ""), ""), 1), 0xFFFFFFFF)},
+		"shard-hello name 4GiB":        {CodeShardHello, hU32(hU32(nil, 1), 0xFFFFFFFF)},
+		"checkin-rate source 4GiB":     {CodeCheckinRate, hU32(hU32(hStr(nil, "pop"), 0), 0xFFFFFFFF)},
+		"actor-envelope payload 2GiB":  {CodeActorEnvelope, hU32(hStr(nil, "t"), 0x7FFFFFFF)},
+		"lock-request key 4GiB":        {CodeLockRequest, hU32(append(hU64(nil, 1), 2), 0xFFFFFFFF)},
+		"lock-response owner 4GiB":     {CodeLockResponse, hU32(append(hU64(nil, 1), 1), 0xFFFFFFFF)},
+	}
+}
+
+func TestShardCodecHostileLengths(t *testing.T) {
+	for name, h := range hostileShardPayloads() {
+		if _, err := UnmarshalBinary(h[0].(byte), h[1].([]byte)); err == nil {
+			t.Errorf("%s decoded cleanly", name)
+		}
+	}
+}
+
+// TestShardCodecUnknownTypeCodes walks every unassigned code: decode must
+// reject it without touching the payload.
+func TestShardCodecUnknownTypeCodes(t *testing.T) {
+	known := map[byte]bool{
+		CodeGob: true, CodeCheckinRequest: true, CodeCheckinResponse: true,
+		CodeReportRequest: true, CodeReportResponse: true, CodeAbort: true,
+		CodeStripeSeal: true, CodeRoundConfig: true, CodeRoundFinalize: true,
+		CodeRoundAbort: true, CodeShardHello: true, CodeCheckinRate: true,
+		CodeActorEnvelope: true, CodeLockRequest: true, CodeLockResponse: true,
+		CodeHeartbeat: true,
+	}
+	payload := make([]byte, 64)
+	for c := 0; c < 256; c++ {
+		if known[byte(c)] {
+			continue
+		}
+		if _, err := UnmarshalBinary(byte(c), payload); err == nil {
+			t.Fatalf("unknown type code %d decoded cleanly", c)
+		}
+	}
+}
+
+// TestShardCodecHostileAllocationBounded decodes every hostile payload many
+// times and asserts the heap growth stays far below the multi-GiB claims:
+// rejection must happen before any claim-sized allocation.
+func TestShardCodecHostileAllocationBounded(t *testing.T) {
+	hostile := hostileShardPayloads()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	const iters = 100
+	for i := 0; i < iters; i++ {
+		for _, h := range hostile {
+			_, _ = UnmarshalBinary(h[0].(byte), h[1].([]byte))
+		}
+	}
+	runtime.ReadMemStats(&after)
+	grew := after.TotalAlloc - before.TotalAlloc
+	// ~1100 rejected decodes of payloads claiming GiBs must stay under a
+	// few MiB of cumulative allocation (error values and small headers).
+	if grew > 8<<20 {
+		t.Fatalf("hostile decodes allocated %d bytes total over %d iterations", grew, iters*len(hostile))
+	}
+}

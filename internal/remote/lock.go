@@ -1,0 +1,44 @@
+package remote
+
+import (
+	"repro/internal/protocol"
+)
+
+// LockClient speaks the Sec. 4.2 lock service over a peer link: the
+// coordinator process owns the actor.LockService, and other processes
+// acquire and release leases through these RPCs. The serving side binds
+// each remote owner to the connection it arrived on, so a peer that
+// vanishes loses its leases the way a crashed local actor does.
+type LockClient struct {
+	peer *Peer
+}
+
+// Locks returns a lock-service client over this peer.
+func (p *Peer) Locks() *LockClient { return &LockClient{peer: p} }
+
+// Acquire attempts to take the lease for key on behalf of the named owner.
+func (c *LockClient) Acquire(key, owner string) (bool, error) {
+	resp, err := c.peer.call(protocol.LockRequest{Op: protocol.LockAcquire, Key: key, Owner: owner})
+	if err != nil {
+		return false, err
+	}
+	return resp.OK, nil
+}
+
+// Release frees the lease if the named owner holds it through this link.
+func (c *LockClient) Release(key, owner string) error {
+	_, err := c.peer.call(protocol.LockRequest{Op: protocol.LockRelease, Key: key, Owner: owner})
+	return err
+}
+
+// Owner returns the current live owner of key ("" when free).
+func (c *LockClient) Owner(key string) (string, error) {
+	resp, err := c.peer.call(protocol.LockRequest{Op: protocol.LockOwner, Key: key})
+	if err != nil {
+		return "", err
+	}
+	if !resp.OK {
+		return "", nil
+	}
+	return resp.Owner, nil
+}

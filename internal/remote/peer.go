@@ -1,0 +1,321 @@
+// Package remote makes actor references and the lock service
+// location-transparent across processes (Sec. 4.1: actor instances "may be
+// co-located on the same process or distributed across multiple data
+// centers"). A Peer manages one outbound connection to another process —
+// dial, reconnect with exponential backoff, heartbeat liveness — over
+// internal/transport's length-prefixed codec. On top of it, Ref implements
+// actor.Ref by marshaling messages into protocol.ActorEnvelope frames, and
+// LockClient speaks the lock-service RPCs. The serving side (session.go)
+// routes inbound envelopes to a local actor registry and serves the lock
+// service, with per-connection owner refs whose liveness IS the connection,
+// so a lease held by a dead peer is stealable exactly like one held by a
+// dead local actor.
+package remote
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/protocol"
+	"repro/internal/transport"
+)
+
+// Dialer opens one connection to the peer (TCP or in-memory).
+type Dialer func() (transport.Conn, error)
+
+// Options tunes a Peer's connection management.
+type Options struct {
+	// Hello, if non-nil, is sent first on every (re)established connection
+	// (e.g. a protocol.ShardHello announcing the shard's identity).
+	Hello interface{}
+	// HeartbeatInterval paces liveness probes (default 500ms).
+	HeartbeatInterval time.Duration
+	// HeartbeatMiss is how many consecutive unacknowledged probes declare
+	// the peer dead (default 4).
+	HeartbeatMiss int
+	// BackoffMin/BackoffMax bound the reconnect backoff (defaults 50ms, 5s).
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+	// CallTimeout bounds a Call round-trip (default 5s).
+	CallTimeout time.Duration
+	// OnUp/OnDown are invoked from the peer's management goroutine when the
+	// connection (re)establishes or drops. They must not block.
+	OnUp   func()
+	OnDown func(err error)
+}
+
+func (o *Options) defaults() {
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if o.HeartbeatMiss <= 0 {
+		o.HeartbeatMiss = 4
+	}
+	if o.BackoffMin <= 0 {
+		o.BackoffMin = 50 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 5 * time.Second
+	}
+	if o.CallTimeout <= 0 {
+		o.CallTimeout = 5 * time.Second
+	}
+}
+
+// Peer is one managed outbound connection to another process. It dials
+// lazily, reconnects with exponential backoff after any failure, and
+// declares the link dead when heartbeats go unacknowledged. Send fails fast
+// while the link is down — callers own their retry semantics (an FL round
+// tolerates a lost shard; it must never block on one).
+type Peer struct {
+	name    string
+	dial    Dialer
+	opts    Options
+	handler func(msg interface{})
+
+	mu     sync.Mutex
+	conn   transport.Conn
+	up     bool
+	closed bool
+
+	// sent/acked are heartbeat counters: sent increments per probe, acked
+	// latches the highest echoed sequence.
+	sent  atomic.Uint64
+	acked atomic.Uint64
+
+	callMu  sync.Mutex
+	callSeq uint64
+	calls   map[uint64]chan protocol.LockResponse
+
+	done chan struct{}
+}
+
+// NewPeer starts managing a connection to the named peer. handler receives
+// every inbound message that is not connection infrastructure (heartbeats,
+// lock responses); it runs on the peer's reader goroutine and must not
+// block indefinitely. The first dial happens immediately in the background.
+func NewPeer(name string, dial Dialer, handler func(msg interface{}), opts Options) *Peer {
+	opts.defaults()
+	if handler == nil {
+		handler = func(interface{}) {}
+	}
+	p := &Peer{
+		name:    name,
+		dial:    dial,
+		opts:    opts,
+		handler: handler,
+		calls:   make(map[uint64]chan protocol.LockResponse),
+		done:    make(chan struct{}),
+	}
+	go p.run()
+	return p
+}
+
+// Name returns the peer's label.
+func (p *Peer) Name() string { return p.name }
+
+// Alive reports whether the link is currently up.
+func (p *Peer) Alive() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.up && !p.closed
+}
+
+// Send transmits one message, failing immediately when the link is down
+// (the management goroutine keeps redialing in the background).
+func (p *Peer) Send(msg interface{}) error {
+	p.mu.Lock()
+	conn, up := p.conn, p.up
+	p.mu.Unlock()
+	if !up || conn == nil {
+		return fmt.Errorf("remote: peer %s is down", p.name)
+	}
+	return conn.Send(msg)
+}
+
+// Close tears the peer down permanently.
+func (p *Peer) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	conn := p.conn
+	p.mu.Unlock()
+	close(p.done)
+	if conn != nil {
+		conn.Close()
+	}
+	p.failCalls()
+}
+
+// run is the management loop: dial, pump, backoff, repeat.
+func (p *Peer) run() {
+	backoff := p.opts.BackoffMin
+	for {
+		select {
+		case <-p.done:
+			return
+		default:
+		}
+		conn, err := p.dial()
+		if err != nil {
+			select {
+			case <-p.done:
+				return
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			if backoff > p.opts.BackoffMax {
+				backoff = p.opts.BackoffMax
+			}
+			continue
+		}
+		if p.opts.Hello != nil {
+			if err := conn.Send(p.opts.Hello); err != nil {
+				conn.Close()
+				continue
+			}
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			return
+		}
+		p.conn = conn
+		p.up = true
+		p.sent.Store(0)
+		p.acked.Store(0)
+		p.mu.Unlock()
+		backoff = p.opts.BackoffMin
+		if p.opts.OnUp != nil {
+			p.opts.OnUp()
+		}
+
+		err = p.pump(conn)
+
+		p.mu.Lock()
+		p.up = false
+		p.conn = nil
+		closed := p.closed
+		p.mu.Unlock()
+		conn.Close()
+		p.failCalls()
+		if p.opts.OnDown != nil && !closed {
+			p.opts.OnDown(err)
+		}
+		if closed {
+			return
+		}
+	}
+}
+
+// pump services one live connection: a reader goroutine dispatches inbound
+// messages while this goroutine drives the heartbeat clock. Returns when
+// the connection dies or heartbeats lapse.
+func (p *Peer) pump(conn transport.Conn) error {
+	readErr := make(chan error, 1)
+	go func() {
+		for {
+			msg, err := conn.Recv()
+			if err != nil {
+				readErr <- err
+				return
+			}
+			p.dispatch(conn, msg)
+		}
+	}()
+
+	tick := time.NewTicker(p.opts.HeartbeatInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.done:
+			return fmt.Errorf("remote: peer %s closed", p.name)
+		case err := <-readErr:
+			return err
+		case <-tick.C:
+			seq := p.sent.Add(1)
+			if seq-p.acked.Load() > uint64(p.opts.HeartbeatMiss) {
+				return fmt.Errorf("remote: peer %s missed %d heartbeats", p.name, p.opts.HeartbeatMiss)
+			}
+			if err := conn.Send(protocol.Heartbeat{Seq: seq}); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// dispatch routes one inbound message: heartbeat echoes and lock responses
+// are infrastructure, everything else goes to the handler.
+func (p *Peer) dispatch(conn transport.Conn, msg interface{}) {
+	switch m := msg.(type) {
+	case protocol.Heartbeat:
+		if m.Ack {
+			// Latch the highest acked sequence.
+			for {
+				cur := p.acked.Load()
+				if m.Seq <= cur || p.acked.CompareAndSwap(cur, m.Seq) {
+					break
+				}
+			}
+		} else {
+			_ = conn.Send(protocol.Heartbeat{Seq: m.Seq, Ack: true})
+		}
+	case protocol.LockResponse:
+		p.callMu.Lock()
+		ch, ok := p.calls[m.Seq]
+		if ok {
+			delete(p.calls, m.Seq)
+		}
+		p.callMu.Unlock()
+		if ok {
+			ch <- m
+		}
+	default:
+		p.handler(msg)
+	}
+}
+
+// call performs one seq-correlated lock RPC over the shared link.
+func (p *Peer) call(req protocol.LockRequest) (protocol.LockResponse, error) {
+	ch := make(chan protocol.LockResponse, 1)
+	p.callMu.Lock()
+	p.callSeq++
+	req.Seq = p.callSeq
+	p.calls[req.Seq] = ch
+	p.callMu.Unlock()
+	if err := p.Send(req); err != nil {
+		p.callMu.Lock()
+		delete(p.calls, req.Seq)
+		p.callMu.Unlock()
+		return protocol.LockResponse{}, err
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return protocol.LockResponse{}, fmt.Errorf("remote: peer %s dropped while call in flight", p.name)
+		}
+		return resp, nil
+	case <-time.After(p.opts.CallTimeout):
+		p.callMu.Lock()
+		delete(p.calls, req.Seq)
+		p.callMu.Unlock()
+		return protocol.LockResponse{}, fmt.Errorf("remote: call to peer %s timed out", p.name)
+	}
+}
+
+// failCalls aborts every in-flight call (connection dropped).
+func (p *Peer) failCalls() {
+	p.callMu.Lock()
+	calls := p.calls
+	p.calls = make(map[uint64]chan protocol.LockResponse)
+	p.callMu.Unlock()
+	for _, ch := range calls {
+		close(ch)
+	}
+}

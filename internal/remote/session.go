@@ -1,0 +1,213 @@
+package remote
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/actor"
+	"repro/internal/protocol"
+	"repro/internal/transport"
+)
+
+// Registry names the local actors a peer process may address through
+// ActorEnvelope frames. Only registered actors are reachable — a remote
+// peer cannot send to arbitrary mailboxes.
+type Registry struct {
+	mu   sync.Mutex
+	refs map[string]actor.Ref
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{refs: make(map[string]actor.Ref)}
+}
+
+// Register exposes ref to remote peers under name (latest wins).
+func (g *Registry) Register(name string, ref actor.Ref) {
+	g.mu.Lock()
+	g.refs[name] = ref
+	g.mu.Unlock()
+}
+
+// Deregister removes a name.
+func (g *Registry) Deregister(name string) {
+	g.mu.Lock()
+	delete(g.refs, name)
+	g.mu.Unlock()
+}
+
+// Lookup resolves a name.
+func (g *Registry) Lookup(name string) (actor.Ref, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	r, ok := g.refs[name]
+	return r, ok
+}
+
+// SessionOptions configures the serving side of one accepted peer
+// connection.
+type SessionOptions struct {
+	// Registry resolves ActorEnvelope targets; nil rejects all envelopes.
+	Registry *Registry
+	// Locks, if non-nil, serves the lock service over this connection: the
+	// Sec. 4.2 shared locking service, with remote owners represented by
+	// per-connection refs whose liveness is the connection itself.
+	Locks *actor.LockService
+	// Handle receives every message that is not connection infrastructure
+	// (heartbeats, envelopes, lock RPCs). It runs on the session goroutine.
+	Handle func(msg interface{})
+}
+
+// Session is one accepted peer connection being served.
+type Session struct {
+	conn transport.Conn
+	opts SessionOptions
+
+	mu     sync.Mutex
+	owners map[string]*connRef
+	closed bool
+	done   chan struct{}
+}
+
+// connRef is the serving side's stand-in for a remote lock owner: its
+// liveness is the connection's. When the peer's connection dies, every
+// lease its owners hold becomes stealable — the wire analogue of a local
+// actor being stopped.
+type connRef struct {
+	name string
+	s    *Session
+}
+
+func (r *connRef) Name() string { return r.name }
+func (r *connRef) Send(msg actor.Message) error {
+	return fmt.Errorf("remote: %s is a lock owner stub", r.name)
+}
+func (r *connRef) Stop()         {}
+func (r *connRef) Stopped() bool { return r.s.Closed() }
+
+var _ actor.Ref = (*connRef)(nil)
+
+// NewSession wraps an accepted connection. Run must be called to serve it.
+func NewSession(conn transport.Conn, opts SessionOptions) *Session {
+	if opts.Handle == nil {
+		opts.Handle = func(interface{}) {}
+	}
+	return &Session{
+		conn:   conn,
+		opts:   opts,
+		owners: make(map[string]*connRef),
+		done:   make(chan struct{}),
+	}
+}
+
+// Closed reports whether the session's connection has ended.
+func (s *Session) Closed() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close tears the session down; leases held through it become stealable.
+func (s *Session) Close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.done)
+	}
+	s.mu.Unlock()
+	s.conn.Close()
+}
+
+// Send transmits on the underlying connection (round configs, finalizes —
+// the server side talks back on the same link).
+func (s *Session) Send(msg interface{}) error {
+	if s.Closed() {
+		return fmt.Errorf("remote: session closed")
+	}
+	return s.conn.Send(msg)
+}
+
+// Run serves the connection until it dies, answering heartbeats, routing
+// envelopes, and serving lock RPCs. It always returns the terminal receive
+// error and leaves the session Closed.
+func (s *Session) Run() error {
+	defer s.Close()
+	for {
+		msg, err := s.conn.Recv()
+		if err != nil {
+			return err
+		}
+		switch m := msg.(type) {
+		case protocol.Heartbeat:
+			if !m.Ack {
+				if err := s.conn.Send(protocol.Heartbeat{Seq: m.Seq, Ack: true}); err != nil {
+					return err
+				}
+			}
+		case protocol.ActorEnvelope:
+			s.deliver(m)
+		case protocol.LockRequest:
+			if err := s.conn.Send(s.serveLock(m)); err != nil {
+				return err
+			}
+		default:
+			s.opts.Handle(msg)
+		}
+	}
+}
+
+// deliver routes one envelope to the registered local actor; unknown
+// targets and dead actors are dropped (the sender's liveness signal is the
+// heartbeat, not per-message acks).
+func (s *Session) deliver(e protocol.ActorEnvelope) {
+	if s.opts.Registry == nil {
+		return
+	}
+	ref, ok := s.opts.Registry.Lookup(e.Target)
+	if !ok {
+		return
+	}
+	msg, err := DecodeEnvelope(e)
+	if err != nil {
+		return
+	}
+	_ = ref.Send(msg)
+}
+
+// serveLock executes one lock RPC against the local LockService on behalf
+// of this connection's named owner.
+func (s *Session) serveLock(req protocol.LockRequest) protocol.LockResponse {
+	resp := protocol.LockResponse{Seq: req.Seq}
+	if s.opts.Locks == nil {
+		return resp
+	}
+	switch req.Op {
+	case protocol.LockAcquire:
+		resp.OK = s.opts.Locks.Acquire(req.Key, s.ownerRef(req.Owner))
+	case protocol.LockRelease:
+		s.opts.Locks.Release(req.Key, s.ownerRef(req.Owner))
+		resp.OK = true
+	case protocol.LockOwner:
+		if cur := s.opts.Locks.Owner(req.Key); cur != nil {
+			resp.OK = true
+			resp.Owner = cur.Name()
+		}
+	}
+	return resp
+}
+
+// ownerRef returns this session's stable ref for an owner name, so a
+// re-acquire by the same owner over the same connection compares equal.
+func (s *Session) ownerRef(name string) actor.Ref {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.owners[name]; ok {
+		return r
+	}
+	r := &connRef{name: name, s: s}
+	s.owners[name] = r
+	return r
+}

@@ -1,0 +1,716 @@
+package shard
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/actor"
+	"repro/internal/checkpoint"
+	"repro/internal/fedavg"
+	"repro/internal/metrics"
+	"repro/internal/pacing"
+	"repro/internal/plan"
+	"repro/internal/protocol"
+	"repro/internal/remote"
+	"repro/internal/storage"
+	"repro/internal/tasks"
+	"repro/internal/tensor"
+	"repro/internal/transport"
+)
+
+// CoordinatorConfig configures the coordinator process of a sharded
+// deployment: the single owner of one population's round state, task set,
+// pacing, and lock service.
+type CoordinatorConfig struct {
+	Population string
+	// Plans seeds the task set (sugar, like flserver.Config.Plans).
+	Plans              []*plan.Plan
+	Store              storage.Store
+	Steering           *pacing.Steering
+	PopulationEstimate int
+	// MaxRounds stops after that many committed rounds (0 = forever).
+	MaxRounds int
+	// MinShards is how many connected shards a round needs to start
+	// (default 1).
+	MinShards int
+	// SealGrace is the extra wait, past the round's ReportTimeout, for
+	// straggler seals before the round settles with what arrived
+	// (default 2s).
+	SealGrace time.Duration
+	// TickEvery paces the scheduling loop (default 250ms).
+	TickEvery time.Duration
+	Now       func() time.Time
+}
+
+// --- coordinator actor messages ---
+
+type msgShardUp struct {
+	Sess  *remote.Session
+	Hello protocol.ShardHello
+}
+type msgShardDown struct{ Sess *remote.Session }
+type msgSeal struct {
+	Sess *remote.Session
+	M    protocol.StripeSeal
+}
+type msgRate struct{ M protocol.CheckinRate }
+type msgShardAbort struct {
+	Sess *remote.Session
+	M    protocol.RoundAbort
+}
+type msgCoordTick struct{}
+type msgRoundDeadline struct{ Round int64 }
+type msgRoundGrace struct{ Round int64 }
+type msgCoordStats struct{ Reply chan CoordStats }
+type msgPerShard struct {
+	Reply chan map[uint32]ShardContribution
+}
+
+// CoordStats reports the sharded coordinator's progress.
+type CoordStats struct {
+	RoundsCompleted int
+	RoundsFailed    int
+	CurrentRound    int64
+	// Shards is the number of currently connected selector shards.
+	Shards int
+	// SealsReceived / BytesUpstream count sealed stripes (and their wire
+	// bytes) received from shards — the only aggregation traffic that
+	// crosses the process boundary.
+	SealsReceived int64
+	BytesUpstream int64
+}
+
+// ShardContribution is one shard's cumulative contribution as seen by the
+// coordinator. It survives reconnects (keyed by shard index, not link).
+type ShardContribution struct {
+	Name      string
+	Connected bool
+	Seals     int64
+	Bytes     int64
+	Reports   int64
+	Lost      int64
+}
+
+// shardRound is the coordinator's state for the round in flight.
+type shardRound struct {
+	p        *plan.Plan
+	task     tasks.Task
+	global   *checkpoint.Checkpoint
+	round    int64
+	evalOnly bool
+	acc      *fedavg.Accumulator
+	metrics  map[string][]float64
+	reports  int
+	evalRep  int
+	lost     int
+	pending  map[*remote.Session]bool
+	// enc is the round's RoundConfig pre-framed once and fanned out to
+	// every shard (and re-sent to reconnecting shards).
+	enc    *transport.Encoded
+	cfgMsg protocol.RoundConfig
+	// finalizing is set once RoundFinalize went out to stragglers.
+	finalizing bool
+}
+
+// shardCoordinator is the coordinator actor: the analogue of
+// flserver.Coordinator plus Master Aggregator for the sharded deployment —
+// shards run the device-facing round at the edge, so what remains here is
+// task scheduling, RoundConfig fan-out, seal merging, and the commit.
+type shardCoordinator struct {
+	cfg   CoordinatorConfig
+	locks *actor.LockService
+	tasks *tasks.TaskSet
+	now   func() time.Time
+
+	acquired bool
+	shards   map[*remote.Session]protocol.ShardHello
+	contrib  map[uint32]*ShardContribution
+	global   map[string]*checkpoint.Checkpoint
+	rates    *pacing.RateTracker
+
+	cur       *shardRound
+	completed int
+	failed    int
+	drained   bool
+	onDone    chan struct{}
+
+	sealsRecv int64
+	bytesUp   int64
+}
+
+// Receive implements actor.Behavior.
+func (sc *shardCoordinator) Receive(ctx *actor.Context, msg actor.Message) {
+	switch m := msg.(type) {
+	case msgCoordTick:
+		sc.onTick(ctx)
+	case msgShardUp:
+		sc.onShardUp(ctx, m)
+	case msgShardDown:
+		sc.onShardDown(ctx, m.Sess)
+	case msgSeal:
+		sc.onSeal(ctx, m)
+	case msgRate:
+		sc.onRate(m.M)
+	case msgShardAbort:
+		// A shard refused the round (e.g. undecodable checkpoint). Its seal
+		// will never come; drop it from the round like a disconnect.
+		if sc.cur != nil && m.M.TaskID == sc.cur.p.ID && m.M.Round == sc.cur.round && sc.cur.pending[m.Sess] {
+			delete(sc.cur.pending, m.Sess)
+			if len(sc.cur.pending) == 0 {
+				sc.finish(ctx)
+			}
+		}
+	case msgRoundDeadline:
+		sc.onDeadline(ctx, m.Round)
+	case msgRoundGrace:
+		if sc.cur != nil && sc.cur.round == m.Round {
+			sc.finish(ctx)
+		}
+	case msgCoordStats:
+		round := int64(0)
+		if sc.cur != nil {
+			round = sc.cur.round
+		} else if id, ok := sc.tasks.PrimaryID(); ok {
+			if g, ok := sc.global[id]; ok {
+				round = g.Round
+			}
+		}
+		m.Reply <- CoordStats{
+			RoundsCompleted: sc.completed,
+			RoundsFailed:    sc.failed,
+			CurrentRound:    round,
+			Shards:          len(sc.shards),
+			SealsReceived:   sc.sealsRecv,
+			BytesUpstream:   sc.bytesUp,
+		}
+	case msgPerShard:
+		out := make(map[uint32]ShardContribution, len(sc.contrib))
+		for id, c := range sc.contrib {
+			cc := *c
+			cc.Connected = sc.connected(id)
+			out[id] = cc
+		}
+		m.Reply <- out
+	}
+}
+
+func (sc *shardCoordinator) connected(id uint32) bool {
+	for _, h := range sc.shards {
+		if h.Shard == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (sc *shardCoordinator) onShardUp(ctx *actor.Context, m msgShardUp) {
+	sc.shards[m.Sess] = m.Hello
+	if _, ok := sc.contrib[m.Hello.Shard]; !ok {
+		sc.contrib[m.Hello.Shard] = &ShardContribution{Name: m.Hello.Name}
+	} else {
+		sc.contrib[m.Hello.Shard].Name = m.Hello.Name
+	}
+	if sc.drained {
+		// The population already finished its rounds; tell the newcomer to
+		// steer its devices away rather than park them forever.
+		_ = m.Sess.Send(protocol.RoundAbort{Population: sc.cfg.Population, Reason: "population drained"})
+		return
+	}
+	if sc.cur != nil {
+		// Reconnect mid-round: re-send the round's config so the shard
+		// starts a fresh edge round for the same global round, and expect
+		// its seal (reconnect-then-resume).
+		if err := m.Sess.Send(sc.cur.enc); err == nil {
+			sc.cur.pending[m.Sess] = true
+		}
+		return
+	}
+	sc.onTick(ctx)
+}
+
+func (sc *shardCoordinator) onShardDown(ctx *actor.Context, sess *remote.Session) {
+	delete(sc.shards, sess)
+	if sc.cur != nil && sc.cur.pending[sess] {
+		// The shard's devices (and its seal) are lost to this round —
+		// Sec. 4.4: "only the devices connected to that actor will be
+		// lost". The round settles with the remaining shards.
+		delete(sc.cur.pending, sess)
+		if len(sc.cur.pending) == 0 {
+			sc.finish(ctx)
+		}
+	}
+}
+
+func (sc *shardCoordinator) onRate(m protocol.CheckinRate) {
+	if sc.rates == nil {
+		return
+	}
+	sc.tasks.SetPopulationEstimate(sc.rates.Fold(pacing.RateSample{
+		Source:  fmt.Sprintf("shard-%d/%s", m.Shard, m.Source),
+		Count:   m.Count,
+		Elapsed: m.Elapsed,
+		Demand:  int(m.Demand),
+	}, sc.now()))
+}
+
+func (sc *shardCoordinator) onTick(ctx *actor.Context) {
+	// Registration in the locking service: the coordinator process owns the
+	// population. The same LockService is served to the shards over their
+	// peer links (remote.Session), so cross-process owners coexist with
+	// this local one.
+	if !sc.acquired {
+		if !sc.locks.Acquire(sc.cfg.Population, ctx.Self) {
+			return // another live owner (e.g. mid-failover)
+		}
+		sc.acquired = true
+	}
+	if sc.cur != nil {
+		return
+	}
+	if sc.cfg.MaxRounds > 0 && sc.completed >= sc.cfg.MaxRounds {
+		if !sc.drained {
+			sc.drained = true
+			// No further round: shards steer their parked devices away.
+			for sess := range sc.shards {
+				_ = sess.Send(protocol.RoundAbort{Population: sc.cfg.Population, Reason: "population drained"})
+			}
+			if sc.onDone != nil {
+				select {
+				case <-sc.onDone:
+				default:
+					close(sc.onDone)
+				}
+			}
+		}
+		return
+	}
+	if len(sc.shards) < sc.cfg.MinShards {
+		return
+	}
+
+	t, ok := sc.tasks.Next()
+	if !ok {
+		return
+	}
+	p := t.Plan
+	if p.Server.Aggregation == plan.AggregationSecure {
+		// Sharded mode limitation (documented in DESIGN.md): secure
+		// aggregation needs the per-device vectors inside one process.
+		sc.failed++
+		sc.tasks.NoteFailed(p.ID)
+		return
+	}
+	global, err := sc.loadGlobal(t)
+	if err != nil {
+		sc.failed++
+		sc.tasks.NoteFailed(p.ID)
+		return
+	}
+
+	planBytes, err := p.Marshal()
+	if err != nil {
+		sc.failed++
+		sc.tasks.NoteFailed(p.ID)
+		return
+	}
+	ckptBytes, err := global.Marshal(checkpoint.EncodingFloat64)
+	if err != nil {
+		sc.failed++
+		sc.tasks.NoteFailed(p.ID)
+		return
+	}
+
+	// Per-shard targets: every shard gets the same ceil share, so the
+	// whole RoundConfig — plan and checkpoint included — is marshaled and
+	// framed ONCE (transport.Encoded) and fanned out to every shard link.
+	n := len(sc.shards)
+	perTarget := (p.Server.TargetDevices + n - 1) / n
+	perAdmit := (p.Server.SelectTarget() + n - 1) / n
+	cfgMsg := protocol.RoundConfig{
+		Population:     sc.cfg.Population,
+		TaskID:         p.ID,
+		Round:          global.Round,
+		Target:         perTarget,
+		Admit:          perAdmit,
+		Estimate:       sc.tasks.PopulationEstimate(),
+		EvalOnly:       p.Type == plan.TaskEval,
+		ReportDeadline: p.Server.ParticipationCap,
+		ReportTimeout:  p.Server.ReportTimeout,
+		Plan:           planBytes,
+		Checkpoint:     ckptBytes,
+	}
+	enc := transport.Encode(cfgMsg)
+	cur := &shardRound{
+		p:        p,
+		task:     t,
+		global:   global,
+		round:    global.Round,
+		evalOnly: p.Type == plan.TaskEval,
+		acc:      fedavg.NewAccumulator(len(global.Params)),
+		metrics:  make(map[string][]float64),
+		pending:  make(map[*remote.Session]bool),
+		enc:      enc,
+		cfgMsg:   cfgMsg,
+	}
+	for sess := range sc.shards {
+		if err := sess.Send(enc); err == nil {
+			cur.pending[sess] = true
+		}
+	}
+	if len(cur.pending) == 0 {
+		// No shard took the round; retry on the next tick.
+		sc.failed++
+		sc.tasks.NoteFailed(p.ID)
+		return
+	}
+	sc.cur = cur
+
+	grace := sc.cfg.SealGrace
+	round := cur.round
+	self := ctx.Self
+	time.AfterFunc(p.Server.ReportTimeout+grace, func() { _ = self.Send(msgRoundDeadline{Round: round}) })
+}
+
+// onDeadline fires when the round's report window (plus grace) has passed
+// and stragglers still owe seals: order them to seal NOW, then settle after
+// one more grace period regardless.
+func (sc *shardCoordinator) onDeadline(ctx *actor.Context, round int64) {
+	if sc.cur == nil || sc.cur.round != round || sc.cur.finalizing {
+		return
+	}
+	if len(sc.cur.pending) == 0 {
+		return
+	}
+	sc.cur.finalizing = true
+	fin := protocol.RoundFinalize{Population: sc.cfg.Population, TaskID: sc.cur.p.ID, Round: round}
+	for sess := range sc.cur.pending {
+		_ = sess.Send(fin)
+	}
+	self := ctx.Self
+	time.AfterFunc(sc.cfg.SealGrace, func() { _ = self.Send(msgRoundGrace{Round: round}) })
+}
+
+// onSeal folds one shard's sealed stripe into the round: the aggregation
+// tree's top level, merging per-shard sums instead of per-device updates.
+func (sc *shardCoordinator) onSeal(ctx *actor.Context, m msgSeal) {
+	seal := m.M
+	sc.sealsRecv++
+	wire := sealWireBytes(seal)
+	sc.bytesUp += wire
+	if c, ok := sc.contrib[seal.Shard]; ok {
+		c.Seals++
+		c.Bytes += wire
+		c.Reports += seal.Reports + seal.EvalReports
+		c.Lost += seal.Lost
+	}
+	cur := sc.cur
+	if cur == nil || seal.TaskID != cur.p.ID || seal.Round != cur.round || !cur.pending[m.Sess] {
+		return // late or duplicate seal: the round already settled it
+	}
+	delete(cur.pending, m.Sess)
+
+	cur.lost += int(seal.Lost)
+	for name, vs := range seal.Metrics {
+		cur.metrics[name] = append(cur.metrics[name], vs...)
+	}
+	sum, err := fedavg.UnmarshalSum(seal.Sum)
+	if err == nil {
+		s := fedavg.SealedStripe{Sum: sum, Weight: seal.Weight, Count: int(seal.Reports)}
+		if cur.evalOnly || cur.acc.AddSealed(s) == nil {
+			cur.reports += int(seal.Reports)
+			cur.evalRep += int(seal.EvalReports)
+		} else {
+			cur.lost += int(seal.Reports)
+		}
+	} else {
+		cur.lost += int(seal.Reports)
+	}
+
+	if len(cur.pending) == 0 {
+		sc.finish(ctx)
+	}
+}
+
+// finish settles the round in flight: commit when enough reports survived,
+// fail otherwise. Mirrors the Master Aggregator's commit path with sealed
+// shards in place of group partials.
+func (sc *shardCoordinator) finish(ctx *actor.Context) {
+	cur := sc.cur
+	sc.cur = nil
+	if cur == nil {
+		return
+	}
+	reports := cur.reports + cur.evalRep
+	if reports < cur.p.Server.MinReports() {
+		sc.failed++
+		sc.tasks.NoteFailed(cur.p.ID)
+		return
+	}
+
+	newGlobal := cur.global
+	if !cur.evalOnly {
+		avg, err := cur.acc.Average()
+		if err != nil {
+			sc.failed++
+			sc.tasks.NoteFailed(cur.p.ID)
+			return
+		}
+		newGlobal = cur.global.Clone()
+		newGlobal.Round++
+		newGlobal.Weight = cur.acc.Weight()
+		if err := fedavg.Apply(newGlobal.Params, avg); err != nil {
+			sc.failed++
+			sc.tasks.NoteFailed(cur.p.ID)
+			return
+		}
+		// The single write to persistent storage for this round.
+		if err := sc.cfg.Store.PutCheckpoint(newGlobal); err != nil {
+			sc.failed++
+			sc.tasks.NoteFailed(cur.p.ID)
+			return
+		}
+	}
+	mat := &metrics.Materialized{TaskName: cur.p.ID, Round: newGlobal.Round, Stats: map[string]metrics.Snapshot{}}
+	for name, vs := range cur.metrics {
+		s := metrics.NewSummary()
+		for _, v := range vs {
+			s.Add(v)
+		}
+		mat.Stats[name] = s.Snapshot()
+	}
+	_ = sc.cfg.Store.PutMetrics(mat)
+
+	// Only train rounds advance a checkpoint lineage (see
+	// flserver.Coordinator.onRoundComplete).
+	if !cur.evalOnly {
+		sc.global[cur.p.ID] = newGlobal
+	}
+	sc.tasks.NoteCommitted(cur.p.ID, newGlobal.Round, reports, sc.now())
+	sc.completed++
+	sc.onTick(ctx)
+}
+
+// loadGlobal fetches the checkpoint the task's next round serves — the
+// same lineage rules as flserver.Coordinator.loadGlobal: eval tasks with a
+// base serve (and cache under) the BASE task's lineage read-only.
+func (sc *shardCoordinator) loadGlobal(t tasks.Task) (*checkpoint.Checkpoint, error) {
+	p := t.Plan
+	if p.Type == plan.TaskEval && t.Policy.EvalOf != "" {
+		if g, ok := sc.global[t.Policy.EvalOf]; ok {
+			return g, nil
+		}
+		g, err := sc.cfg.Store.LatestCheckpoint(t.Policy.EvalOf)
+		if err != nil {
+			return nil, fmt.Errorf("eval task %q: base task %q has no committed checkpoint: %w", p.ID, t.Policy.EvalOf, err)
+		}
+		sc.global[t.Policy.EvalOf] = g
+		return g, nil
+	}
+	if g, ok := sc.global[p.ID]; ok {
+		return g, nil
+	}
+	if g, err := sc.cfg.Store.LatestCheckpoint(p.ID); err == nil {
+		sc.global[p.ID] = g
+		return g, nil
+	}
+	m, err := p.Device.Model.Build()
+	if err != nil {
+		return nil, err
+	}
+	params := make(tensor.Vector, m.NumParams())
+	m.ReadParams(params)
+	g := &checkpoint.Checkpoint{TaskName: p.ID, Round: 0, Params: params}
+	sc.global[p.ID] = g
+	return g, nil
+}
+
+// CoordinatorProc is the coordinator process: it accepts shard links,
+// serves the lock service and actor registry over them, and runs the
+// shardCoordinator actor that owns all round state.
+type CoordinatorProc struct {
+	cfg      CoordinatorConfig
+	sys      *actor.System
+	locks    *actor.LockService
+	tasks    *tasks.TaskSet
+	registry *remote.Registry
+	coord    actor.Ref
+	done     chan struct{}
+	stop     chan struct{}
+	closed   atomic.Bool
+}
+
+// NewCoordinatorProc builds the coordinator process and starts its
+// scheduling loop (rounds begin once MinShards shards connect).
+func NewCoordinatorProc(cfg CoordinatorConfig) (*CoordinatorProc, error) {
+	if cfg.Population == "" || cfg.Store == nil {
+		return nil, fmt.Errorf("shard: Population and Store are required")
+	}
+	if cfg.MinShards <= 0 {
+		cfg.MinShards = 1
+	}
+	if cfg.SealGrace <= 0 {
+		cfg.SealGrace = 2 * time.Second
+	}
+	if cfg.TickEvery <= 0 {
+		cfg.TickEvery = 250 * time.Millisecond
+	}
+	if cfg.Steering == nil {
+		cfg.Steering = pacing.New(time.Minute)
+	}
+	if cfg.PopulationEstimate <= 0 {
+		cfg.PopulationEstimate = 1000
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	ts, err := tasks.New(cfg.Population, cfg.Store, cfg.Now)
+	if err != nil {
+		return nil, err
+	}
+	if err := ts.Seed(cfg.Plans); err != nil {
+		return nil, err
+	}
+	ts.SetPopulationEstimate(cfg.PopulationEstimate)
+
+	cp := &CoordinatorProc{
+		cfg:      cfg,
+		sys:      actor.NewSystem(),
+		locks:    actor.NewLockService(),
+		tasks:    ts,
+		registry: remote.NewRegistry(),
+		done:     make(chan struct{}),
+		stop:     make(chan struct{}),
+	}
+	sc := &shardCoordinator{
+		cfg:     cfg,
+		locks:   cp.locks,
+		tasks:   ts,
+		now:     cfg.Now,
+		shards:  make(map[*remote.Session]protocol.ShardHello),
+		contrib: make(map[uint32]*ShardContribution),
+		global:  make(map[string]*checkpoint.Checkpoint),
+		rates:   pacing.NewRateTracker(cfg.Steering, cfg.PopulationEstimate),
+		onDone:  cp.done,
+	}
+	cp.coord = cp.sys.Spawn("coordinator/"+cfg.Population, sc)
+	// Location transparency: the coordinator actor is addressable from
+	// shard processes through ActorEnvelope frames as well.
+	cp.registry.Register("coordinator/"+cfg.Population, cp.coord)
+
+	go func() {
+		tick := time.NewTicker(cfg.TickEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-cp.stop:
+				return
+			case <-tick.C:
+				_ = cp.coord.Send(msgCoordTick{})
+			}
+		}
+	}()
+	return cp, nil
+}
+
+// Locks exposes the population's lock service (served to shards over their
+// links; local callers use it directly).
+func (cp *CoordinatorProc) Locks() *actor.LockService { return cp.locks }
+
+// Registry exposes the actor registry remote peers can address.
+func (cp *CoordinatorProc) Registry() *remote.Registry { return cp.registry }
+
+// Done is closed when MaxRounds rounds have committed.
+func (cp *CoordinatorProc) Done() <-chan struct{} { return cp.done }
+
+// Serve accepts shard connections from l until l closes. Each connection
+// becomes a remote.Session serving heartbeats, the lock service, and actor
+// envelopes; shard control messages route to the coordinator actor.
+func (cp *CoordinatorProc) Serve(l transport.Listener) {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go cp.serveConn(conn)
+	}
+}
+
+func (cp *CoordinatorProc) serveConn(conn transport.Conn) {
+	var sess *remote.Session
+	sess = remote.NewSession(conn, remote.SessionOptions{
+		Registry: cp.registry,
+		Locks:    cp.locks,
+		Handle: func(msg interface{}) {
+			switch m := msg.(type) {
+			case protocol.ShardHello:
+				_ = cp.coord.Send(msgShardUp{Sess: sess, Hello: m})
+			case protocol.StripeSeal:
+				_ = cp.coord.Send(msgSeal{Sess: sess, M: m})
+			case protocol.CheckinRate:
+				_ = cp.coord.Send(msgRate{M: m})
+			case protocol.RoundAbort:
+				_ = cp.coord.Send(msgShardAbort{Sess: sess, M: m})
+			}
+		},
+	})
+	_ = sess.Run()
+	_ = cp.coord.Send(msgShardDown{Sess: sess})
+}
+
+// Stats snapshots coordinator progress. The error is non-nil when the
+// coordinator actor is dead or unresponsive.
+func (cp *CoordinatorProc) Stats() (CoordStats, error) {
+	reply := make(chan CoordStats, 1)
+	if err := cp.coord.Send(msgCoordStats{Reply: reply}); err != nil {
+		return CoordStats{}, fmt.Errorf("shard: coordinator stats: %w", err)
+	}
+	select {
+	case st := <-reply:
+		return st, nil
+	case <-time.After(5 * time.Second):
+		return CoordStats{}, fmt.Errorf("shard: coordinator did not answer stats")
+	}
+}
+
+// PerShardStats breaks the upstream traffic down by shard index,
+// cumulative across reconnects.
+func (cp *CoordinatorProc) PerShardStats() (map[uint32]ShardContribution, error) {
+	reply := make(chan map[uint32]ShardContribution, 1)
+	if err := cp.coord.Send(msgPerShard{Reply: reply}); err != nil {
+		return nil, fmt.Errorf("shard: per-shard stats: %w", err)
+	}
+	select {
+	case st := <-reply:
+		return st, nil
+	case <-time.After(5 * time.Second):
+		return nil, fmt.Errorf("shard: coordinator did not answer per-shard stats")
+	}
+}
+
+// ShardStats reports one shard's contribution. A shard that is not
+// currently connected returns an explicit error — a dead peer must never
+// read as zeros (the PR 3 stats contract, extended across the wire).
+func (cp *CoordinatorProc) ShardStats(id uint32) (ShardContribution, error) {
+	all, err := cp.PerShardStats()
+	if err != nil {
+		return ShardContribution{}, err
+	}
+	c, ok := all[id]
+	if !ok {
+		return ShardContribution{}, fmt.Errorf("shard: shard %d has never connected", id)
+	}
+	if !c.Connected {
+		return ShardContribution{}, fmt.Errorf("shard: shard %d (%s) is not connected", id, c.Name)
+	}
+	return c, nil
+}
+
+// Close stops the coordinator process.
+func (cp *CoordinatorProc) Close() {
+	if cp.closed.Swap(true) {
+		return
+	}
+	close(cp.stop)
+	cp.sys.Shutdown(cp.coord)
+}

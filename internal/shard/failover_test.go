@@ -1,0 +1,445 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/device"
+	"repro/internal/flserver"
+	"repro/internal/nn"
+	"repro/internal/pacing"
+	"repro/internal/plan"
+	"repro/internal/protocol"
+	"repro/internal/remote"
+	"repro/internal/storage"
+	"repro/internal/transport"
+)
+
+const failoverPop = "pop-failover"
+
+// failoverHarness wires one coordinator and one selector shard over the mem
+// network with a severable shard→coordinator link and a controllable device
+// swarm — the rig for the coordinator-loss, reconnect-then-resume, and
+// crash-respawn tests.
+type failoverHarness struct {
+	t     *testing.T
+	net   *transport.MemNetwork
+	plan  *plan.Plan
+	store storage.Store
+
+	coord  *CoordinatorProc
+	coordL transport.Listener
+	shard  *SelectorProc
+	shardL transport.Listener
+
+	// linkUp gates the shard's dial; conns records live shard→coordinator
+	// connections so a partition can sever them mid-flight.
+	linkUp atomic.Bool
+	mu     sync.Mutex
+	conns  []transport.Conn
+
+	stopDevices chan struct{}
+	devices     sync.WaitGroup
+}
+
+func fastPeerOpts() remote.Options {
+	return remote.Options{
+		HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatMiss:     3,
+		BackoffMin:        5 * time.Millisecond,
+		BackoffMax:        50 * time.Millisecond,
+	}
+}
+
+func newFailoverHarness(t *testing.T, k, maxRounds int) *failoverHarness {
+	t.Helper()
+	p, err := plan.Generate(plan.Config{
+		TaskID: failoverPop + "/train", Population: failoverPop,
+		Model:     nn.Spec{Kind: nn.KindLogistic, Features: 4, Classes: 3, Seed: 1},
+		StoreName: failoverPop + "-store", BatchSize: 5, Epochs: 1, LearningRate: 0.1,
+		TargetDevices: k, MinReportFraction: 0.5,
+		SelectionTimeout: 30 * time.Second, ReportTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &failoverHarness{
+		t: t, net: transport.NewMemNetwork(), plan: p,
+		store:       storage.NewMem(),
+		stopDevices: make(chan struct{}),
+	}
+	h.linkUp.Store(true)
+	h.startCoordinator(maxRounds)
+
+	h.shard = NewSelectorProc(SelectorConfig{
+		Shard:              0,
+		Steering:           pacing.New(time.Second),
+		PopulationEstimate: 32,
+		Seed:               17,
+		Peer:               fastPeerOpts(),
+		RateProbeInterval:  100 * time.Millisecond,
+	}, h.dialCoordinator)
+	t.Cleanup(h.shard.Close)
+	l, err := h.net.Listen("shard-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.shardL = l
+	t.Cleanup(func() { l.Close() })
+	go h.shard.Serve(l)
+	return h
+}
+
+// startCoordinator (re)spawns the coordinator process on the same mem
+// address and backing store — also the respawn half of the crash test.
+func (h *failoverHarness) startCoordinator(maxRounds int) {
+	coord, err := NewCoordinatorProc(CoordinatorConfig{
+		Population: failoverPop,
+		Plans:      []*plan.Plan{h.plan},
+		Store:      h.store,
+		Steering:   pacing.New(time.Second),
+		MaxRounds:  maxRounds,
+		MinShards:  1,
+		SealGrace:  500 * time.Millisecond,
+		TickEvery:  50 * time.Millisecond,
+	})
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	h.coord = coord
+	h.t.Cleanup(coord.Close)
+	l, err := h.net.Listen("coord")
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	h.coordL = l
+	h.t.Cleanup(func() { l.Close() })
+	go coord.Serve(l)
+}
+
+func (h *failoverHarness) dialCoordinator() (transport.Conn, error) {
+	if !h.linkUp.Load() {
+		return nil, fmt.Errorf("failover test: link partitioned")
+	}
+	c, err := h.net.Dial("coord")
+	if err != nil {
+		return nil, err
+	}
+	h.mu.Lock()
+	h.conns = append(h.conns, c)
+	h.mu.Unlock()
+	return c, nil
+}
+
+// partition severs the shard→coordinator link and keeps it down.
+func (h *failoverHarness) partition() {
+	h.linkUp.Store(false)
+	h.mu.Lock()
+	conns := h.conns
+	h.conns = nil
+	h.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// heal lets the shard's redial loop through again.
+func (h *failoverHarness) heal() { h.linkUp.Store(true) }
+
+// crashCoordinator kills the coordinator process (listener included), as a
+// process crash would.
+func (h *failoverHarness) crashCoordinator() {
+	h.coordL.Close()
+	h.coord.Close()
+	h.partition()
+}
+
+// runDevices starts n simulated devices continuously checking in against the
+// shard until the harness stops them.
+func (h *failoverHarness) runDevices(n int) {
+	fed, err := data.Blobs(data.BlobsConfig{
+		Users: n, ExamplesPer: 20, Features: 4, Classes: 3, TestSize: 10, Seed: 5,
+	})
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("failover-dev-%d", i)
+		rt := device.NewRuntime(id, 3, nil, uint64(i)+900)
+		st, err := device.NewMemStore(failoverPop+"-store", 1000, 0)
+		if err != nil {
+			h.t.Fatal(err)
+		}
+		now := time.Now()
+		for _, ex := range fed.Users[i] {
+			st.Add(ex, now)
+		}
+		if err := rt.RegisterStore(st); err != nil {
+			h.t.Fatal(err)
+		}
+		client := &flserver.DeviceClient{ID: id, Population: failoverPop, Runtime: rt}
+		h.devices.Add(1)
+		go func() {
+			defer h.devices.Done()
+			for {
+				select {
+				case <-h.stopDevices:
+					return
+				default:
+				}
+				if conn, err := h.net.Dial("shard-0"); err == nil {
+					_, _ = client.RunOnce(conn)
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+	}
+	h.t.Cleanup(func() {
+		select {
+		case <-h.stopDevices:
+		default:
+			close(h.stopDevices)
+		}
+		done := make(chan struct{})
+		go func() { h.devices.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			h.t.Error("device goroutines leaked at harness teardown")
+		}
+	})
+}
+
+func (h *failoverHarness) waitRounds(want int, within time.Duration) {
+	h.t.Helper()
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		st, err := h.coord.Stats()
+		if err == nil && st.RoundsCompleted >= want {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	st, _ := h.coord.Stats()
+	h.t.Fatalf("coordinator committed %d rounds, want >= %d within %v", st.RoundsCompleted, want, within)
+}
+
+// rawCheckin opens a bare device connection and checks in, returning the
+// conn and the response. retries until the shard accepts (a round must be
+// open) or the deadline passes.
+func (h *failoverHarness) rawAcceptedCheckin(id string, within time.Duration) transport.Conn {
+	h.t.Helper()
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		conn, err := h.net.Dial("shard-0")
+		if err != nil {
+			h.t.Fatal(err)
+		}
+		if err := conn.Send(protocol.CheckinRequest{DeviceID: id, Population: failoverPop, RuntimeVersion: 3}); err != nil {
+			conn.Close()
+			continue
+		}
+		msg, err := conn.Recv()
+		if err == nil {
+			if resp, ok := msg.(protocol.CheckinResponse); ok && resp.Accepted {
+				return conn
+			}
+		}
+		conn.Close()
+		time.Sleep(10 * time.Millisecond)
+	}
+	h.t.Fatalf("device %s was never admitted to a round", id)
+	return nil
+}
+
+// TestCoordinatorLossFreesDevices severs the shard's coordinator link
+// mid-round: a device already configured into the round must be answered
+// (aborted) promptly, and fresh check-ins must be steered away with a
+// retry-later hint — never parked on a half-open connection (ISSUE: the
+// selector shard reuses pacing.Steering when the link drops).
+func TestCoordinatorLossFreesDevices(t *testing.T) {
+	h := newFailoverHarness(t, 8, 5)
+	h.runDevices(3) // too few to seal K=8: the round stays open
+
+	// A raw device gets admitted into the open round and then sits on its
+	// configuration without reporting.
+	conn := h.rawAcceptedCheckin("raw-straggler", 15*time.Second)
+	defer conn.Close()
+
+	h.partition()
+
+	// The shard's heartbeat declares the coordinator dead; the edge round is
+	// abandoned and must answer the straggler instead of stranding it.
+	type recvResult struct {
+		msg interface{}
+		err error
+	}
+	got := make(chan recvResult, 1)
+	go func() {
+		msg, err := conn.Recv()
+		got <- recvResult{msg, err}
+	}()
+	select {
+	case r := <-got:
+		if r.err == nil {
+			if _, ok := r.msg.(protocol.Abort); !ok {
+				t.Fatalf("straggler got %T, want Abort or closed conn", r.msg)
+			}
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("device stranded: no abort after coordinator loss")
+	}
+
+	// Fresh check-ins are steered to retry later, not accepted into a round
+	// the shard cannot run and not left unanswered.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("check-in after coordinator loss was never steered away")
+		}
+		c2, err := h.net.Dial("shard-0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = c2.Send(protocol.CheckinRequest{DeviceID: "post-loss", Population: failoverPop, RuntimeVersion: 3})
+		msg, err := c2.Recv()
+		c2.Close()
+		if err != nil {
+			continue // racing the abandon; try again
+		}
+		resp, ok := msg.(protocol.CheckinResponse)
+		if !ok {
+			t.Fatalf("check-in answered with %T", msg)
+		}
+		if resp.Accepted {
+			continue // the in-flight round was still open; retry until abandoned
+		}
+		if resp.RetryAfter <= 0 {
+			t.Fatalf("steered rejection carries no retry hint: %+v", resp)
+		}
+		return
+	}
+}
+
+// TestDeadShardStatsReadAsError pins the PR 3 stats contract across the
+// wire: a connected shard's contribution is readable; a disconnected one is
+// an explicit error, never zeros.
+func TestDeadShardStatsReadAsError(t *testing.T) {
+	h := newFailoverHarness(t, 2, 1)
+	h.runDevices(6)
+
+	// While connected, the per-shard read works.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if _, err := h.coord.ShardStats(0); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("shard 0 never became readable")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := h.coord.ShardStats(7); err == nil {
+		t.Fatal("never-connected shard 7 read as data, want error")
+	}
+
+	h.partition()
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		_, err := h.coord.ShardStats(0)
+		if err != nil {
+			break // dead peer is an explicit error
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("dead shard 0 still reads as live data, want error")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The cumulative breakdown survives the disconnect, flagged as such.
+	all, err := h.coord.PerShardStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, ok := all[0]; !ok || c.Connected {
+		t.Fatalf("per-shard map after disconnect: %+v", all)
+	}
+}
+
+// TestReconnectThenResume is the regression test for the reconnect path: the
+// link drops mid-task, comes back, and the next rounds must commit on the
+// resumed link (coordinator re-sends the live round's config on hello).
+func TestReconnectThenResume(t *testing.T) {
+	h := newFailoverHarness(t, 2, 3)
+	h.runDevices(6)
+
+	h.waitRounds(1, 30*time.Second)
+	h.partition()
+	// Let the heartbeat declare the link dead before healing.
+	time.Sleep(200 * time.Millisecond)
+	h.heal()
+
+	// All 3 rounds commit: the shard redialed, re-announced itself, got the
+	// round config again, and resumed shipping seals.
+	select {
+	case <-h.coord.Done():
+	case <-time.After(60 * time.Second):
+		st, _ := h.coord.Stats()
+		t.Fatalf("rounds did not resume after reconnect: %+v", st)
+	}
+	st, err := h.coord.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RoundsCompleted < 3 {
+		t.Fatalf("completed %d rounds, want 3", st.RoundsCompleted)
+	}
+	if st.SealsReceived < 3 {
+		t.Fatalf("received %d seals, want >= 3", st.SealsReceived)
+	}
+}
+
+// TestCoordinatorCrashRespawn kills the coordinator process outright while
+// the shard holds live device check-ins, then respawns it on the same
+// address and backing store: the shard must reconnect and rounds must resume
+// from the committed checkpoint lineage (satellite: lock service + round
+// state over the wire under -race).
+func TestCoordinatorCrashRespawn(t *testing.T) {
+	h := newFailoverHarness(t, 2, 1)
+	h.runDevices(6)
+
+	// Round 1 commits, then the coordinator dies.
+	select {
+	case <-h.coord.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("first coordinator never committed its round")
+	}
+	first, err := h.store.LatestCheckpoint(h.plan.ID)
+	if err != nil {
+		t.Fatalf("no checkpoint after round 1: %v", err)
+	}
+	h.crashCoordinator()
+
+	// Devices keep checking in against the shard throughout the outage; the
+	// respawned coordinator picks the lineage up from the shared store.
+	time.Sleep(200 * time.Millisecond)
+	h.startCoordinator(1)
+	h.heal()
+
+	select {
+	case <-h.coord.Done():
+	case <-time.After(60 * time.Second):
+		st, _ := h.coord.Stats()
+		t.Fatalf("respawned coordinator never committed: %+v", st)
+	}
+	second, err := h.store.LatestCheckpoint(h.plan.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Round <= first.Round {
+		t.Fatalf("lineage did not advance across the crash: round %d -> %d", first.Round, second.Round)
+	}
+}

@@ -1,0 +1,416 @@
+// Package shard splits the FL server across processes (Sec. 4.1: actors
+// "may be co-located on the same process or distributed across multiple
+// data centers"): N selector processes (SelectorProc, the flselector
+// binary) terminate device connections and run the edge
+// decode-and-accumulate stripes, while one coordinator process
+// (CoordinatorProc, flserver -shard-listen) owns round state, task sets,
+// pacing, and the lock service. Per round, each shard ships exactly one
+// sealed stripe upstream — device updates never cross the
+// selector→coordinator wire, only their merged sum does.
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/actor"
+	"repro/internal/checkpoint"
+	"repro/internal/fedavg"
+	"repro/internal/flserver"
+	"repro/internal/pacing"
+	"repro/internal/protocol"
+	"repro/internal/remote"
+	"repro/internal/transport"
+)
+
+// SelectorConfig configures one selector process (shard).
+type SelectorConfig struct {
+	// Shard is this process's stable 0-based index.
+	Shard uint32
+	// Name labels the shard in stats and the coordinator's hello log
+	// (default "shard-<N>").
+	Name string
+	// NumSelectors is how many Selector actors terminate device connections
+	// in this process (default 1).
+	NumSelectors int
+	// SelectorCapacity bounds parked devices per Selector (0 = unbounded).
+	SelectorCapacity int
+	Steering         *pacing.Steering
+	// PopulationEstimate seeds pace steering until RoundConfigs carry the
+	// coordinator's live estimate.
+	PopulationEstimate int
+	Seed               uint64
+	// Peer tunes the coordinator link (heartbeat cadence, backoff); its
+	// Hello is overwritten with this shard's ShardHello.
+	Peer remote.Options
+	// RateProbeInterval paces check-in rate sampling toward the coordinator
+	// (default 1s).
+	RateProbeInterval time.Duration
+	Now               func() time.Time
+}
+
+// edgeHandle tracks one population's in-flight edge round.
+type edgeHandle struct {
+	taskID string
+	round  int64
+	ref    actor.Ref
+}
+
+// SelectorProc is one selector process: a device-facing listener feeding
+// Selector actors, a managed peer link to the coordinator, and one
+// ephemeral EdgeRound actor per (population, round) the coordinator opens.
+// Device connections live and die inside this process; what goes upstream
+// is a single protocol.StripeSeal per round.
+type SelectorProc struct {
+	cfg       SelectorConfig
+	sys       *actor.System
+	selectors []actor.Ref
+	router    *flserver.CheckinRouter
+	peer      *remote.Peer
+	rateFwd   actor.Ref
+
+	mu     sync.Mutex
+	pops   map[string]bool
+	rounds map[string]*edgeHandle // population → in-flight round
+	closed bool
+
+	sealsShipped  atomic.Int64
+	bytesShipped  atomic.Int64
+	roundsDropped atomic.Int64
+	stopRate      chan struct{}
+}
+
+// NewSelectorProc builds the shard and starts dialing the coordinator.
+func NewSelectorProc(cfg SelectorConfig, dial remote.Dialer) *SelectorProc {
+	if cfg.Name == "" {
+		cfg.Name = fmt.Sprintf("shard-%d", cfg.Shard)
+	}
+	if cfg.NumSelectors <= 0 {
+		cfg.NumSelectors = 1
+	}
+	if cfg.Steering == nil {
+		cfg.Steering = pacing.New(time.Minute)
+	}
+	if cfg.PopulationEstimate <= 0 {
+		cfg.PopulationEstimate = 1000
+	}
+	if cfg.RateProbeInterval <= 0 {
+		cfg.RateProbeInterval = time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	p := &SelectorProc{
+		cfg:      cfg,
+		sys:      actor.NewSystem(),
+		pops:     make(map[string]bool),
+		rounds:   make(map[string]*edgeHandle),
+		stopRate: make(chan struct{}),
+	}
+	for i := 0; i < cfg.NumSelectors; i++ {
+		sel := p.sys.Spawn(fmt.Sprintf("%s/selector-%d", cfg.Name, i),
+			flserver.NewSelector(nil, cfg.Steering, cfg.SelectorCapacity, cfg.Seed+uint64(i), cfg.Now))
+		p.selectors = append(p.selectors, sel)
+	}
+	p.router = flserver.NewCheckinRouter(p.selectors,
+		flserver.NewHinter(cfg.Steering, cfg.PopulationEstimate, cfg.Seed+7919, cfg.Now))
+	p.rateFwd = p.sys.Spawn(cfg.Name+"/rate-fwd", flserver.NewRateForwarder(p.relayRate))
+
+	opts := cfg.Peer
+	opts.Hello = protocol.ShardHello{Shard: cfg.Shard, Name: cfg.Name}
+	userDown := opts.OnDown
+	opts.OnDown = func(err error) {
+		p.onCoordinatorDown()
+		if userDown != nil {
+			userDown(err)
+		}
+	}
+	p.peer = remote.NewPeer("coordinator", dial, p.onPeerMsg, opts)
+	go p.rateLoop()
+	return p
+}
+
+// Serve accepts device connections from l until l closes.
+func (p *SelectorProc) Serve(l transport.Listener) { p.router.Serve(l) }
+
+// CoordinatorAlive reports whether the coordinator link is up.
+func (p *SelectorProc) CoordinatorAlive() bool { return p.peer.Alive() }
+
+// onPeerMsg handles coordinator→shard control messages. It runs on the
+// peer's reader goroutine; all work it does is non-blocking actor sends.
+func (p *SelectorProc) onPeerMsg(msg interface{}) {
+	switch m := msg.(type) {
+	case protocol.RoundConfig:
+		p.onRoundConfig(m)
+	case protocol.RoundFinalize:
+		if h := p.lookupRound(m.Population, m.TaskID, m.Round); h != nil {
+			flserver.FinalizeEdgeRound(h.ref)
+		}
+	case protocol.RoundAbort:
+		p.onRoundAbort(m)
+	}
+}
+
+// onRoundConfig opens one edge round: register the population on the local
+// Selectors on first sight, then spawn the ephemeral EdgeRound actor that
+// selects devices, folds their reports into stripes, and ships the seal.
+func (p *SelectorProc) onRoundConfig(m protocol.RoundConfig) {
+	meta, err := checkpoint.ParseMeta(m.Checkpoint)
+	if err != nil {
+		_ = p.peer.Send(protocol.RoundAbort{Population: m.Population, TaskID: m.TaskID,
+			Round: m.Round, Reason: "bad checkpoint: " + err.Error()})
+		return
+	}
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	if !p.pops[m.Population] {
+		p.pops[m.Population] = true
+		est := m.Estimate
+		if est <= 0 {
+			est = p.cfg.PopulationEstimate
+		}
+		for _, sel := range p.selectors {
+			_ = flserver.RegisterSelectorPopulation(sel, flserver.SelectorPopulation{
+				Name: m.Population, Steering: p.cfg.Steering, PopulationEstimate: est,
+			})
+		}
+	}
+	if h := p.rounds[m.Population]; h != nil {
+		if h.taskID == m.TaskID && h.round == m.Round {
+			// Duplicate (coordinator re-sent after a reconnect it noticed
+			// before we noticed the drop): the round is already running.
+			p.mu.Unlock()
+			return
+		}
+		// A different round supersedes the old one.
+		flserver.AbandonEdgeRound(h.ref, "superseded by a newer round")
+	}
+	ref := flserver.StartEdgeRound(p.sys,
+		fmt.Sprintf("%s/edge/%s/r%d", p.cfg.Name, m.TaskID, m.Round),
+		flserver.EdgeRoundConfig{
+			Population:     m.Population,
+			TaskID:         m.TaskID,
+			Round:          m.Round,
+			PlanBytes:      m.Plan,
+			Checkpoint:     m.Checkpoint,
+			Dim:            meta.NumParams,
+			Target:         m.Target,
+			Admit:          m.Admit,
+			EvalOnly:       m.EvalOnly,
+			ReportDeadline: m.ReportDeadline,
+			ReportTimeout:  m.ReportTimeout,
+		}, p.selectors, p.ship)
+	p.rounds[m.Population] = &edgeHandle{taskID: m.TaskID, round: m.Round, ref: ref}
+	p.mu.Unlock()
+}
+
+// onRoundAbort abandons a matching in-flight round; an abort for no
+// specific round (the coordinator drained the population) steers the
+// population's parked devices away instead.
+func (p *SelectorProc) onRoundAbort(m protocol.RoundAbort) {
+	if h := p.lookupRound(m.Population, m.TaskID, m.Round); h != nil {
+		flserver.AbandonEdgeRound(h.ref, m.Reason)
+		p.clearRound(m.Population, m.Round)
+		return
+	}
+	p.mu.Lock()
+	known := p.pops[m.Population]
+	p.mu.Unlock()
+	if known {
+		for _, sel := range p.selectors {
+			_ = flserver.ReleaseParked(sel, m.Population)
+		}
+	}
+}
+
+// lookupRound returns the in-flight handle matching (population, task,
+// round), or nil.
+func (p *SelectorProc) lookupRound(population, taskID string, round int64) *edgeHandle {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	h := p.rounds[population]
+	if h == nil || h.taskID != taskID || h.round != round {
+		return nil
+	}
+	return h
+}
+
+// clearRound forgets a finished round (only if it is still the current one).
+func (p *SelectorProc) clearRound(population string, round int64) {
+	p.mu.Lock()
+	if h := p.rounds[population]; h != nil && h.round == round {
+		delete(p.rounds, population)
+	}
+	p.mu.Unlock()
+}
+
+// ship sends one sealed stripe upstream. It is called on the EdgeRound's
+// actor goroutine, so the marshal and the (possibly blocking) peer write
+// run on their own goroutine. A seal that cannot be delivered is dropped —
+// the coordinator's straggler timeout settles the round without it, and
+// this shard's devices count as lost.
+func (p *SelectorProc) ship(seal flserver.EdgeSeal) {
+	p.clearRound(seal.Population, seal.Round)
+	go func() {
+		msg := protocol.StripeSeal{
+			Population:  seal.Population,
+			TaskID:      seal.TaskID,
+			Round:       seal.Round,
+			Shard:       p.cfg.Shard,
+			Reports:     int64(seal.Seal.Count),
+			EvalReports: int64(seal.Seal.EvalCount),
+			Lost:        int64(seal.Lost),
+			Weight:      seal.Seal.Weight,
+			Sum:         fedavg.MarshalSum(seal.Seal.Sum),
+			Metrics:     seal.Seal.Metrics,
+		}
+		if err := p.peer.Send(msg); err != nil {
+			p.roundsDropped.Add(1)
+			return
+		}
+		p.sealsShipped.Add(1)
+		p.bytesShipped.Add(sealWireBytes(msg))
+	}()
+}
+
+// sealWireBytes is the binary-codec frame size of one StripeSeal — the
+// bytes this shard shipped upstream for a round.
+func sealWireBytes(m protocol.StripeSeal) int64 {
+	_, parts, ok := protocol.MarshalBinaryParts(m)
+	if !ok {
+		return 0
+	}
+	n := int64(6) // u32 length prefix + version + type code
+	for _, part := range parts {
+		n += int64(len(part))
+	}
+	return n
+}
+
+// onCoordinatorDown reacts to a lost coordinator link: every in-flight
+// round is abandoned (its seal could not be delivered anyway) and every
+// population's parked devices are steered away with a pace-steering retry
+// hint — a device must never sit on a half-open connection waiting for a
+// round the shard cannot start (the coordinator owns round state).
+func (p *SelectorProc) onCoordinatorDown() {
+	p.mu.Lock()
+	for pop, h := range p.rounds {
+		flserver.AbandonEdgeRound(h.ref, "coordinator link lost")
+		delete(p.rounds, pop)
+		p.roundsDropped.Add(1)
+	}
+	pops := make([]string, 0, len(p.pops))
+	for pop := range p.pops {
+		pops = append(pops, pop)
+	}
+	p.mu.Unlock()
+	for _, pop := range pops {
+		for _, sel := range p.selectors {
+			_ = flserver.ReleaseParked(sel, pop)
+		}
+	}
+}
+
+// rateLoop probes the local Selectors for observed check-in rates; samples
+// relay to the coordinator as protocol.CheckinRate for cross-shard live
+// population estimation.
+func (p *SelectorProc) rateLoop() {
+	tick := time.NewTicker(p.cfg.RateProbeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.stopRate:
+			return
+		case <-tick.C:
+		}
+		p.mu.Lock()
+		pops := make([]string, 0, len(p.pops))
+		for pop := range p.pops {
+			pops = append(pops, pop)
+		}
+		p.mu.Unlock()
+		for _, pop := range pops {
+			for _, sel := range p.selectors {
+				_ = flserver.ProbeCheckinRate(sel, pop, p.rateFwd)
+			}
+		}
+	}
+}
+
+// relayRate forwards one Selector's rate sample upstream (dropped while
+// the link is down — rate samples are advisory).
+func (p *SelectorProc) relayRate(source, population string, count int64, elapsed time.Duration, demand int) {
+	_ = p.peer.Send(protocol.CheckinRate{
+		Population: population,
+		Shard:      p.cfg.Shard,
+		Source:     source,
+		Count:      count,
+		Elapsed:    elapsed,
+		Demand:     int64(demand),
+	})
+}
+
+// SelectorProcStats describes one shard's device-facing and upstream
+// activity.
+type SelectorProcStats struct {
+	// Selector sums the local Selector actors' counters.
+	Selector flserver.SelectorStats
+	// PerSelector breaks them down by Selector actor name.
+	PerSelector map[string]flserver.SelectorStats
+	// SealsShipped / BytesShipped count sealed stripes (and their wire
+	// bytes) delivered upstream; RoundsDropped counts rounds lost to a dead
+	// coordinator link.
+	SealsShipped  int64
+	BytesShipped  int64
+	RoundsDropped int64
+	// CoordinatorUp is the link's current liveness.
+	CoordinatorUp bool
+}
+
+// Stats snapshots the shard. The error is non-nil when a local Selector is
+// dead or unresponsive — an explicit failure, never zeros.
+func (p *SelectorProc) Stats() (SelectorProcStats, error) {
+	st := SelectorProcStats{
+		PerSelector:   make(map[string]flserver.SelectorStats, len(p.selectors)),
+		SealsShipped:  p.sealsShipped.Load(),
+		BytesShipped:  p.bytesShipped.Load(),
+		RoundsDropped: p.roundsDropped.Load(),
+		CoordinatorUp: p.peer.Alive(),
+	}
+	for _, sel := range p.selectors {
+		s, err := flserver.QuerySelectorStats(sel, "")
+		if err != nil {
+			return SelectorProcStats{}, err
+		}
+		st.PerSelector[sel.Name()] = s
+		st.Selector.Add(s)
+	}
+	return st, nil
+}
+
+// Close tears the shard down: in-flight rounds are abandoned, the
+// coordinator link closed, and the actor system shut down.
+func (p *SelectorProc) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	for pop, h := range p.rounds {
+		flserver.AbandonEdgeRound(h.ref, "shard shutting down")
+		delete(p.rounds, pop)
+	}
+	p.mu.Unlock()
+	close(p.stopRate)
+	p.peer.Close()
+	refs := append([]actor.Ref{p.rateFwd}, p.selectors...)
+	p.sys.Shutdown(refs...)
+	p.router.Wait()
+}

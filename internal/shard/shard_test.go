@@ -1,0 +1,53 @@
+package shard
+
+import (
+	"testing"
+	"time"
+)
+
+// TestShardedRoundMem drives 3 selector processes + 1 coordinator over the
+// in-memory transport to two committed rounds: sealed stripes — not raw
+// device updates — cross the selector→coordinator boundary.
+func TestShardedRoundMem(t *testing.T) {
+	st, err := RunBenchSharded(BenchShardedConfig{
+		Shards: 3, Devices: 12, TargetDevices: 6, Rounds: 2, Seed: 7,
+		Timeout: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds < 2 {
+		t.Fatalf("committed %d rounds, want >= 2", st.Rounds)
+	}
+	if st.SealsReceived < 2 {
+		t.Fatalf("coordinator received %d seals, want >= 2", st.SealsReceived)
+	}
+	if st.BytesUpstream <= 0 {
+		t.Fatalf("no upstream bytes tracked")
+	}
+	// Every shard that contributed must appear in the breakdown.
+	if len(st.PerShard) == 0 {
+		t.Fatalf("no per-shard breakdown")
+	}
+}
+
+// TestShardedRoundTCP is the same topology over real loopback sockets: the
+// 3-binary deployment's wire path, in-process.
+func TestShardedRoundTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP sharded round in -short mode")
+	}
+	st, err := RunBenchSharded(BenchShardedConfig{
+		Shards: 3, Devices: 12, TargetDevices: 6, Rounds: 2, TCP: true, Seed: 11,
+		Timeout: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds < 2 {
+		t.Fatalf("committed %d rounds, want >= 2", st.Rounds)
+	}
+	if st.BytesUpstream <= 0 {
+		t.Fatalf("no upstream bytes tracked")
+	}
+}

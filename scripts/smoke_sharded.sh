@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Multi-process sharded smoke: one flserver coordinator, three flselector
+# shards, and an fldevices swarm over real loopback TCP must commit at
+# least two rounds end-to-end. CI runs this; it also works locally:
+#
+#	./scripts/smoke_sharded.sh
+#
+# The coordinator exits by itself once -rounds rounds commit, so "the
+# coordinator process finished and printed the committed-round summary"
+# IS the assertion; everything else is torn down afterwards.
+set -eu
+
+ROUNDS=2
+COORD=127.0.0.1:8760
+LOGS=$(mktemp -d)
+BIN=$(mktemp -d)
+
+go build -o "$BIN" ./cmd/flserver ./cmd/flselector ./cmd/fldevices
+
+cleanup() {
+	# shellcheck disable=SC2046
+	kill $(jobs -p) 2>/dev/null || true
+	wait 2>/dev/null || true
+}
+fail() {
+	echo "SMOKE FAILED: $1"
+	for f in "$LOGS"/*.log; do
+		echo "---- $f ----"
+		tail -n 30 "$f"
+	done
+	exit 1
+}
+trap cleanup EXIT
+
+"$BIN/flserver" -shard-listen "$COORD" -population gboard -rounds "$ROUNDS" \
+	-target 16 -min-shards 3 >"$LOGS/coord.log" 2>&1 &
+COORD_PID=$!
+sleep 1
+
+for i in 0 1 2; do
+	"$BIN/flselector" -coordinator "$COORD" -addr 127.0.0.1:$((8751 + i)) \
+		-shard "$i" -estimate 16 >"$LOGS/shard$i.log" 2>&1 &
+done
+sleep 1
+
+"$BIN/fldevices" -addr 127.0.0.1:8751,127.0.0.1:8752,127.0.0.1:8753 \
+	-population gboard -devices 48 -duration 3m >"$LOGS/devices.log" 2>&1 &
+
+for _ in $(seq 120); do
+	kill -0 "$COORD_PID" 2>/dev/null || break
+	sleep 1
+done
+kill -0 "$COORD_PID" 2>/dev/null && fail "coordinator still running after 120s"
+wait "$COORD_PID" || fail "coordinator exited non-zero"
+
+grep -q "done: $ROUNDS rounds committed" "$LOGS/coord.log" ||
+	fail "coordinator summary missing '$ROUNDS rounds committed'"
+echo "SMOKE OK:"
+grep "done:" "$LOGS/coord.log"
