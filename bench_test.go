@@ -24,6 +24,7 @@ import (
 	"repro/internal/pacing"
 	"repro/internal/secagg"
 	"repro/internal/shard"
+	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/tensor"
 )
@@ -153,17 +154,29 @@ func BenchmarkOverSelection(b *testing.B) {
 }
 
 func BenchmarkSecAggQuadratic(b *testing.B) {
-	cases := []struct{ n, dim int }{
-		{4, 128}, {8, 128}, {16, 128}, {32, 128}, {64, 128}, {128, 128},
+	cases := []struct {
+		n, dim   int
+		dropRate float64
+	}{
+		{4, 128, 0}, {8, 128, 0}, {16, 128, 0}, {32, 128, 0}, {64, 128, 0}, {128, 128, 0},
 		// Large vectors stress the mask-expansion path: the streaming PRG
 		// must hold per-mask transients at O(chunk), not O(dim).
-		{32, 4096}, {128, 4096},
+		{32, 4096, 0}, {128, 4096, 0},
+		// The dropout axis: each dropped device forces a Shamir
+		// reconstruction of its pairwise masking key at unmask time, so
+		// recovery cost scales with dropRate × n.
+		{32, 128, 0.1}, {32, 128, 0.25},
+		{64, 128, 0.1}, {64, 128, 0.25},
+		{128, 128, 0.1}, {128, 128, 0.25},
 	}
 	for _, bc := range cases {
 		bc := bc
 		name := fmt.Sprintf("group-%d", bc.n)
 		if bc.dim != 128 {
 			name = fmt.Sprintf("group-%d-dim-%d", bc.n, bc.dim)
+		}
+		if bc.dropRate > 0 {
+			name = fmt.Sprintf("%s-drop-%d%%", name, int(bc.dropRate*100))
 		}
 		b.Run(name, func(b *testing.B) {
 			cfg := secagg.Config{N: bc.n, T: bc.n/2 + 1, VectorLen: bc.dim}
@@ -175,14 +188,17 @@ func BenchmarkSecAggQuadratic(b *testing.B) {
 				}
 				inputs[id] = v
 			}
-			var drop []int
-			if bc.n >= 3 {
-				drop = []int{1}
+			var sched secagg.Schedule
+			switch {
+			case bc.dropRate > 0:
+				sched = sim.SecAggChurn(bc.n, cfg.T, sim.ChurnConfig{DropRate: bc.dropRate}, tensor.NewRNG(uint64(bc.n)))
+			case bc.n >= 3:
+				sched.DropAfterShare = []int{1}
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := secagg.Run(cfg, inputs, drop, nil); err != nil {
+				if _, err := secagg.RunSchedule(cfg, inputs, sched); err != nil {
 					b.Fatal(err)
 				}
 			}

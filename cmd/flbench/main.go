@@ -364,7 +364,7 @@ func run(exp string, seed uint64, days, pop, target int, asJSON bool) error {
 				[]float64{0.06, 0.08, 0.10}, target, 2000, seed)
 		},
 		"secagg": func() (formatter, error) {
-			return experiments.SecAggCost([]int{4, 8, 16, 32, 64}, 256, 256)
+			return experiments.SecAggCost([]int{4, 8, 16, 32, 64}, 256, 256, []float64{0, 0.1, 0.25})
 		},
 		"pacing":    func() (formatter, error) { return experiments.Pacing(10000, seed) },
 		"adaptive":  func() (formatter, error) { return experiments.Adaptive(seed) },

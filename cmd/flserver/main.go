@@ -107,6 +107,11 @@ func runCoordinator(shardListen, population string, p *repro.Plan, store storage
 			log.Printf("%s: round %d, %d completed, %d failed; %d shard(s) connected, %d seals / %d bytes upstream",
 				population, st.CurrentRound, st.RoundsCompleted, st.RoundsFailed,
 				st.Shards, st.SealsReceived, st.BytesUpstream)
+			for _, t := range coord.TaskStats() {
+				if t.Note != "" {
+					log.Printf("  task %s [%s %s]: %s", t.ID, t.Type, t.State, t.Note)
+				}
+			}
 		}
 	}
 }
@@ -313,8 +318,12 @@ func main() {
 					st.Selector.Accepted, st.Selector.Rejected, st.Selector.Held)
 				if ts, err := fleet.TaskStats(ps.name); err == nil {
 					for _, t := range ts {
-						log.Printf("  task %s [%s %s]: %d committed, %d failed, %d devices",
-							t.ID, t.Type, t.State, t.RoundsCommitted, t.RoundsFailed, t.Devices)
+						note := ""
+						if t.Note != "" {
+							note = " — " + t.Note
+						}
+						log.Printf("  task %s [%s %s]: %d committed, %d failed, %d devices%s",
+							t.ID, t.Type, t.State, t.RoundsCommitted, t.RoundsFailed, t.Devices, note)
 					}
 				}
 			}

@@ -170,9 +170,19 @@ func TestOverSelectMatrix(t *testing.T) {
 }
 
 func TestSecAggCostSuperlinear(t *testing.T) {
-	r, err := SecAggCost([]int{4, 8, 16, 32}, 64, 128)
+	r, err := SecAggCost([]int{4, 8, 16, 32}, 64, 128, []float64{0, 0.25})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(r.RecoveryTime) != 4 || len(r.RecoveryTime[0]) != 2 {
+		t.Fatalf("recovery axis shape: %+v", r.RecoveryTime)
+	}
+	for si := range r.RecoveryTime {
+		for ri, d := range r.RecoveryTime[si] {
+			if d <= 0 {
+				t.Fatalf("RecoveryTime[%d][%d] = %v, want > 0", si, ri, d)
+			}
+		}
 	}
 	// Quadratic server cost: time per device grows with group size.
 	perDeviceFirst := float64(r.ServerTime[0]) / 4

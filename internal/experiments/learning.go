@@ -9,6 +9,7 @@ import (
 	"repro/internal/fedavg"
 	"repro/internal/nn"
 	"repro/internal/secagg"
+	"repro/internal/sim"
 	"repro/internal/tensor"
 )
 
@@ -267,20 +268,30 @@ func (r *OverSelectResult) Format() string {
 
 // SecAggCostResult reproduces the Sec. 6 cost analysis: the server-side
 // cost of Secure Aggregation grows quadratically with group size, which is
-// why updates are aggregated in groups of size ≥ k per Aggregator.
+// why updates are aggregated in groups of size ≥ k per Aggregator — plus
+// the robustness axis: what recovering from fleet churn costs, per dropout
+// rate, as dropped devices force t-of-n reconstruction of their masking
+// keys.
 type SecAggCostResult struct {
 	GroupSizes []int
-	ServerTime []time.Duration // full-protocol server time per group size
+	ServerTime []time.Duration // churn-free full-protocol time per group size
 	// GroupedTime is the time to aggregate TotalDevices devices as
 	// ceil(N/k) groups of size k — near-linear in N.
 	TotalDevices int
 	GroupedTime  []time.Duration
+	// DropRates is the injected churn axis; RecoveryTime[si][ri] is the
+	// full-protocol time for GroupSizes[si] under DropRates[ri], with
+	// dropouts drawn across every phase boundary (sim.SecAggChurn). The
+	// difference against ServerTime[si] is the recovery cost of that much
+	// churn.
+	DropRates    []float64
+	RecoveryTime [][]time.Duration
 }
 
-// SecAggCost measures protocol cost vs. group size.
-func SecAggCost(groupSizes []int, vectorLen, totalDevices int) (*SecAggCostResult, error) {
-	out := &SecAggCostResult{GroupSizes: groupSizes, TotalDevices: totalDevices}
-	for _, n := range groupSizes {
+// SecAggCost measures protocol cost vs. group size and dropout rate.
+func SecAggCost(groupSizes []int, vectorLen, totalDevices int, dropRates []float64) (*SecAggCostResult, error) {
+	out := &SecAggCostResult{GroupSizes: groupSizes, TotalDevices: totalDevices, DropRates: dropRates}
+	for si, n := range groupSizes {
 		cfg := secagg.Config{N: n, T: n/2 + 1, VectorLen: vectorLen}
 		inputs := make(map[int][]float64, n)
 		for id := 1; id <= n; id++ {
@@ -290,13 +301,8 @@ func SecAggCost(groupSizes []int, vectorLen, totalDevices int) (*SecAggCostResul
 			}
 			inputs[id] = v
 		}
-		// One device drops after sharing: the expensive recovery path.
-		drop := []int{1}
-		if n < 3 {
-			drop = nil
-		}
 		start := time.Now()
-		if _, _, err := secagg.Run(cfg, inputs, drop, nil); err != nil {
+		if _, err := secagg.RunSchedule(cfg, inputs, secagg.Schedule{}); err != nil {
 			return nil, err
 		}
 		out.ServerTime = append(out.ServerTime, time.Since(start))
@@ -304,6 +310,19 @@ func SecAggCost(groupSizes []int, vectorLen, totalDevices int) (*SecAggCostResul
 		// Aggregating totalDevices devices in groups of size n.
 		groups := (totalDevices + n - 1) / n
 		out.GroupedTime = append(out.GroupedTime, time.Duration(groups)*out.ServerTime[len(out.ServerTime)-1])
+
+		// The churn axis: same group, dropouts injected at every phase
+		// boundary at the given rate (deterministic draw per cell).
+		out.RecoveryTime = append(out.RecoveryTime, make([]time.Duration, len(dropRates)))
+		for ri, rate := range dropRates {
+			rng := tensor.NewRNG(uint64(1000*si + ri + 1))
+			sched := sim.SecAggChurn(n, cfg.T, sim.ChurnConfig{DropRate: rate}, rng)
+			start := time.Now()
+			if _, err := secagg.RunSchedule(cfg, inputs, sched); err != nil {
+				return nil, err
+			}
+			out.RecoveryTime[si][ri] = time.Since(start)
+		}
 	}
 	return out, nil
 }
@@ -311,12 +330,21 @@ func SecAggCost(groupSizes []int, vectorLen, totalDevices int) (*SecAggCostResul
 // Format renders the cost table.
 func (r *SecAggCostResult) Format() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Sec. 6 — Secure Aggregation cost vs. group size\n")
-	fmt.Fprintf(&b, "%8s %14s %12s %22s\n", "group n", "protocol time", "time/device", fmt.Sprintf("%d dev in n-groups", r.TotalDevices))
+	fmt.Fprintf(&b, "Sec. 6 — Secure Aggregation cost vs. group size and dropout rate\n")
+	fmt.Fprintf(&b, "%8s %14s %12s %22s", "group n", "protocol time", "time/device", fmt.Sprintf("%d dev in n-groups", r.TotalDevices))
+	for _, rate := range r.DropRates {
+		fmt.Fprintf(&b, " %11s", fmt.Sprintf("drop %.0f%%", 100*rate))
+	}
+	fmt.Fprintf(&b, "\n")
 	for i, n := range r.GroupSizes {
 		per := time.Duration(int64(r.ServerTime[i]) / int64(n))
-		fmt.Fprintf(&b, "%8d %14v %12v %22v\n", n, r.ServerTime[i].Round(time.Millisecond), per.Round(time.Microsecond), r.GroupedTime[i].Round(time.Millisecond))
+		fmt.Fprintf(&b, "%8d %14v %12v %22v", n, r.ServerTime[i].Round(time.Millisecond), per.Round(time.Microsecond), r.GroupedTime[i].Round(time.Millisecond))
+		for ri := range r.DropRates {
+			fmt.Fprintf(&b, " %11v", r.RecoveryTime[i][ri].Round(time.Millisecond))
+		}
+		fmt.Fprintf(&b, "\n")
 	}
-	fmt.Fprintf(&b, "(paper: quadratic cost limits groups to hundreds of users; per-Aggregator groups bound it)\n")
+	fmt.Fprintf(&b, "(paper: quadratic cost limits groups to hundreds of users; per-Aggregator groups bound it;\n")
+	fmt.Fprintf(&b, " dropout columns show t-of-n recovery cost under churn at every phase boundary)\n")
 	return b.String()
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -30,20 +31,41 @@ import (
 type Aggregator struct {
 	dim    int
 	secure bool
-	// threshold for the secagg instance, derived from group size.
 	master actor.Ref
+
+	// threshold maps group size n to the secagg Shamir threshold t; nil
+	// defaults to the majority n/2 + 1. Set by the Master Aggregator from
+	// the plan before spawn (same-package field injection).
+	threshold func(n int) int
+	// finalizeTimeout bounds the async secagg run; 0 defaults to
+	// plan.ServerPlan's 2-minute fallback. A run that exceeds it is
+	// abandoned with an attributed group error instead of stalling the
+	// round.
+	finalizeTimeout time.Duration
+	// churn, when set (tests, simulation), injects additional mid-protocol
+	// churn into the group's secagg schedule on top of the real losses.
+	churn func(n, t int) secagg.Schedule
 
 	acc     *fedavg.Accumulator
 	metrics map[string][]float64
 	// evalCount counts metrics-only reports (evaluation tasks).
 	evalCount int
 
-	// secure-mode buffer: device inputs awaiting the secagg run.
+	// secure-mode buffer: device inputs awaiting the secagg run, keyed by
+	// 1-based secagg participant id; secDevice maps those ids back to
+	// device identity for blame attribution.
 	secInputs map[int][]float64
+	secDevice map[int]string
 	secNext   int
+	// secBlamed carries the secagg run's attributed exclusions into the
+	// group result.
+	secBlamed []string
 	// finalizing is set once msgFinalizeGroup arrives; the actor may stay
-	// alive awaiting msgSecAggDone and must reject any late adds.
+	// alive awaiting msgSecAggDone and must reject any late adds. done is
+	// set once the group result has been reported, so a late secagg result
+	// racing the finalization watchdog cannot double-report.
 	finalizing bool
+	done       bool
 }
 
 // NewAggregator returns the behavior for a group aggregator.
@@ -55,6 +77,7 @@ func NewAggregator(dim int, secure bool, master actor.Ref) *Aggregator {
 		acc:       fedavg.NewAccumulator(dim),
 		metrics:   make(map[string][]float64),
 		secInputs: make(map[int][]float64),
+		secDevice: make(map[int]string),
 		secNext:   1,
 	}
 }
@@ -89,8 +112,16 @@ type msgAddResult struct {
 type msgSecAggDone struct {
 	Sum       []float64
 	Survivors int
-	Err       error
+	// Blamed lists devices the run excluded with attribution
+	// ("deviceID: reason"); populated on success and on abort.
+	Blamed []string
+	Err    error
 }
+
+// msgSecAggTimeout fires when a group's secagg finalization exceeds its
+// deadline; the group reports an attributed failure instead of stalling
+// the round.
+type msgSecAggTimeout struct{}
 
 // planMarshals counts plan.Marshal calls made during Configuration,
 // process-wide. Tests and BenchmarkRoundThroughput read the delta across a
@@ -112,6 +143,8 @@ func (a *Aggregator) Receive(ctx *actor.Context, msg actor.Message) {
 		a.onFinalize(ctx, m)
 	case msgSecAggDone:
 		a.onSecAggDone(ctx, m)
+	case msgSecAggTimeout:
+		a.onSecAggTimeout(ctx)
 	}
 }
 
@@ -142,6 +175,7 @@ func (a *Aggregator) onAdd(m msgAddUpdate) {
 			return
 		}
 		a.secInputs[a.secNext] = m.Input
+		a.secDevice[a.secNext] = m.DeviceID
 		a.secNext++
 		for name, v := range m.Metrics {
 			a.metrics[name] = append(a.metrics[name], v)
@@ -173,6 +207,7 @@ func (a *Aggregator) onAdd(m msgAddUpdate) {
 		copy(input, m.Update.Params)
 		input[a.dim] = m.Update.Weight
 		a.secInputs[a.secNext] = input
+		a.secDevice[a.secNext] = m.DeviceID
 		a.secNext++
 	} else {
 		if err := a.acc.Add(&fedavg.Update{Delta: m.Update.Params, Weight: m.Update.Weight}); err != nil {
@@ -206,20 +241,67 @@ func (a *Aggregator) onFinalize(ctx *actor.Context, m msgFinalizeGroup) {
 		}
 	}
 	if a.secure && len(a.secInputs) > 0 {
-		n := len(a.secInputs)
-		if n < 2 {
+		delivered := len(a.secInputs)
+		if delivered < 2 {
 			// A singleton "group sum" IS the individual update, so a
 			// direct-sum fallback would hand the server exactly what Secure
 			// Aggregation exists to hide. Refuse and drop the update; the
 			// Master Aggregator partitions groups so this cannot happen
 			// short of a bug or an adversarial configuration.
-			a.finish(ctx, fmt.Sprintf("secagg: group of %d below minimum 2; update dropped", n))
+			a.finish(ctx, fmt.Sprintf("secagg: group of %d below minimum 2; update dropped", delivered))
 			return
 		}
-		cfg := secagg.Config{N: n, T: n/2 + 1, VectorLen: a.dim + 1}
+		// The instance is sized by the devices assigned to the group, not
+		// by what happened to arrive: a configured device whose connection
+		// died or timed out is a real protocol dropout, entered into the
+		// churn schedule at the share-keys boundary (it checked in —
+		// advertised — but never dealt shares, so it is excluded from the
+		// mask set and its loss costs nothing at unmask time).
+		n := delivered
+		var lostNames []string
+		if len(m.Assigned) > 0 && len(m.Assigned) > delivered {
+			n = len(m.Assigned)
+			deliveredNames := make(map[string]bool, delivered)
+			for _, name := range a.secDevice {
+				deliveredNames[name] = true
+			}
+			for _, name := range m.Assigned {
+				if !deliveredNames[name] {
+					lostNames = append(lostNames, name)
+				}
+			}
+		}
+		t := n/2 + 1
+		if a.threshold != nil {
+			t = a.threshold(n)
+		}
+		if delivered < t {
+			// Below-threshold churn: a clean, attributed abort that still
+			// carries the group's metrics — never a stall, and never a
+			// degraded run that would weaken the privacy threshold.
+			a.finish(ctx, fmt.Sprintf("secagg: only %d of %d group devices delivered (< threshold %d); lost: %s",
+				delivered, n, t, strings.Join(lostNames, ", ")))
+			return
+		}
+		sched := secagg.Schedule{}
+		if a.churn != nil {
+			sched = a.churn(n, t)
+		}
 		inputs := a.secInputs
+		for id := delivered + 1; id <= n; id++ {
+			// Lost devices participate up to the phase where their loss
+			// signal places them: present at check-in, gone before dealing
+			// shares. Their nil input is never read.
+			inputs[id] = nil
+			sched.DropShareKeys = append(sched.DropShareKeys, id)
+		}
+		cfg := secagg.Config{N: n, T: t, VectorLen: a.dim + 1}
+		secDevice := a.secDevice
 		a.secInputs = nil
 		self := ctx.Self
+		if a.finalizeTimeout > 0 {
+			time.AfterFunc(a.finalizeTimeout, func() { _ = self.Send(msgSecAggTimeout{}) })
+		}
 		// Run the protocol off the actor goroutine so multiple group
 		// Aggregators finalize concurrently; the result comes back as a
 		// message and the actor stays alive until it lands.
@@ -234,14 +316,29 @@ func (a *Aggregator) onFinalize(ctx *actor.Context, m msgFinalizeGroup) {
 			}()
 			secaggGate <- struct{}{}
 			defer func() { <-secaggGate }()
-			sum, survivors, err := secagg.Run(cfg, inputs, nil, nil)
+			res, err := secagg.RunSchedule(cfg, inputs, sched)
 			// The protocol consumed the inputs (Encode copies them into
 			// field elements); hand the buffers back so the next round's
 			// readers reuse them instead of allocating O(group × dim).
 			for _, in := range inputs {
-				putParamBuf(in)
+				if in != nil {
+					putParamBuf(in)
+				}
 			}
-			_ = self.Send(msgSecAggDone{Sum: sum, Survivors: len(survivors), Err: err})
+			done := msgSecAggDone{Err: err}
+			if res != nil {
+				done.Sum = res.Sum
+				done.Survivors = len(res.Survivors)
+				for id, why := range res.Blamed {
+					name := secDevice[id]
+					if name == "" {
+						name = fmt.Sprintf("participant-%d", id)
+					}
+					done.Blamed = append(done.Blamed, name+": "+why)
+				}
+				sort.Strings(done.Blamed)
+			}
+			_ = self.Send(done)
 		}()
 		return
 	}
@@ -249,6 +346,10 @@ func (a *Aggregator) onFinalize(ctx *actor.Context, m msgFinalizeGroup) {
 }
 
 func (a *Aggregator) onSecAggDone(ctx *actor.Context, m msgSecAggDone) {
+	if a.done {
+		return
+	}
+	a.secBlamed = m.Blamed
 	if m.Err != nil {
 		a.finish(ctx, m.Err.Error())
 		return
@@ -260,13 +361,21 @@ func (a *Aggregator) onSecAggDone(ctx *actor.Context, m msgSecAggDone) {
 	a.finish(ctx, "")
 }
 
+func (a *Aggregator) onSecAggTimeout(ctx *actor.Context) {
+	if a.done || !a.finalizing {
+		return
+	}
+	a.finish(ctx, fmt.Sprintf("secagg: finalization exceeded %v; group abandoned", a.finalizeTimeout))
+}
+
 // finish reports the group partial and stops the actor. On a finalization
 // error the model updates are gone, but eval-only counts and metrics never
 // went through the secure path — report them rather than swallowing, and
 // surface the error to the Master Aggregator.
 func (a *Aggregator) finish(ctx *actor.Context, errStr string) {
 	defer ctx.Stop()
-	res := msgGroupResult{From: ctx.Self, Count: a.acc.Count() + a.evalCount, Metrics: a.metrics, Err: errStr}
+	a.done = true
+	res := msgGroupResult{From: ctx.Self, Count: a.acc.Count() + a.evalCount, Metrics: a.metrics, Err: errStr, Blamed: a.secBlamed}
 	if a.acc.Count() > 0 {
 		res.Weight = a.acc.Weight()
 		sum := make(tensor.Vector, a.dim)
@@ -288,6 +397,11 @@ type deviceState struct {
 	reported bool
 	lost     bool
 	aborted  bool
+	// configured is set once the device has been sent (or queued) its
+	// Configuration payload: from then on it counts toward its secure
+	// group's instance size, and not delivering makes it a protocol
+	// dropout rather than a no-show.
+	configured bool
 }
 
 // MasterAggregator manages one round of one FL task (Sec. 4.2): selection
@@ -506,7 +620,10 @@ func (ma *MasterAggregator) beginReporting(ctx *actor.Context) {
 	numGroups := len(secagg.GroupSpans(len(ma.order), ma.groupSize))
 	ma.aggs = make([]actor.Ref, numGroups)
 	for g := range ma.aggs {
-		ma.aggs[g] = ctx.Spawn(fmt.Sprintf("%s/agg-%d", ctx.Self.Name(), g), NewAggregator(dim, secure, ctx.Self))
+		agg := NewAggregator(dim, secure, ctx.Self)
+		agg.threshold = ma.plan.Server.SecAggThreshold
+		agg.finalizeTimeout = ma.plan.Server.FinalizeTimeout()
+		ma.aggs[g] = ctx.Spawn(fmt.Sprintf("%s/agg-%d", ctx.Self.Name(), g), agg)
 	}
 	if !secure {
 		ma.ingest = newRoundIngest(dim)
@@ -583,6 +700,7 @@ func (ma *MasterAggregator) beginReporting(ctx *actor.Context) {
 			ma.lost++
 			continue
 		}
+		ds.configured = true
 		jobs = append(jobs, configJob{deviceID: id, conn: ds.held.Conn, resp: vr.enc, group: ds.group})
 	}
 
@@ -809,8 +927,23 @@ func (ma *MasterAggregator) finalize(ctx *actor.Context) {
 		ma.ingest.close()
 		stripes = ma.ingest.stripes
 	}
+	// Hand every group its configured-device list: secure groups size their
+	// secagg instance by assignment, so devices that never delivered —
+	// dead connections, stragglers about to be aborted below — enter the
+	// protocol as real dropouts instead of silently shrinking the group.
+	assigned := make([][]string, len(ma.aggs))
+	for i, id := range ma.order {
+		if !ma.devices[id].configured {
+			continue
+		}
+		g := i / ma.groupSize
+		if g >= len(ma.aggs) {
+			g = len(ma.aggs) - 1
+		}
+		assigned[g] = append(assigned[g], id)
+	}
 	for i, agg := range ma.aggs {
-		fin := msgFinalizeGroup{}
+		fin := msgFinalizeGroup{Assigned: assigned[i]}
 		for j := i; j < len(stripes); j += len(ma.aggs) {
 			fin.Stripes = append(fin.Stripes, stripes[j])
 		}
@@ -849,11 +982,12 @@ func (ma *MasterAggregator) onGroupResult(ctx *actor.Context, m msgGroupResult) 
 	metricVals := make(map[string][]float64)
 	evalOnly := ma.plan.Type == plan.TaskEval
 	reports := 0
-	var groupErrs []string
+	var groupErrs, blamed []string
 	for _, p := range ma.partials {
 		if p.Err != "" {
 			groupErrs = append(groupErrs, p.Err)
 		}
+		blamed = append(blamed, p.Blamed...)
 		// Metrics flow regardless of finalization errors: they never went
 		// through the secure path and describe reports that did complete.
 		for name, vs := range p.Metrics {
@@ -917,13 +1051,14 @@ func (ma *MasterAggregator) onGroupResult(ctx *actor.Context, m msgGroupResult) 
 	}
 	ma.state = "done"
 	_ = ma.coord.Send(msgRoundComplete{
-		TaskID:      ma.plan.ID,
-		Round:       newGlobal.Round,
-		Committed:   newGlobal,
-		Completed:   reports,
-		Aborted:     aborted,
-		Lost:        ma.lost,
-		GroupErrors: groupErrs,
+		TaskID:        ma.plan.ID,
+		Round:         newGlobal.Round,
+		Committed:     newGlobal,
+		Completed:     reports,
+		Aborted:       aborted,
+		Lost:          ma.lost,
+		GroupErrors:   groupErrs,
+		BlamedDevices: blamed,
 	})
 	ctx.Stop()
 }

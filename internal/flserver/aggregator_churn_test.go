@@ -1,0 +1,272 @@
+package flserver
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/actor"
+	"repro/internal/checkpoint"
+	"repro/internal/secagg"
+	"repro/internal/storage"
+	"repro/internal/tensor"
+)
+
+// feedSecureGroup sends count updates with distinct device names prefixed
+// by prefix, each Params {1,2} Weight 1.
+func feedSecureGroup(t *testing.T, agg actor.Ref, sig chan struct{}, prefix string, count int) {
+	t.Helper()
+	for i := 0; i < count; i++ {
+		_ = agg.Send(msgAddUpdate{DeviceID: fmt.Sprintf("%s%d", prefix, i),
+			Update: &checkpoint.Checkpoint{Params: tensor.Vector{1, 2}, Weight: 1}})
+	}
+	waitSignals(t, sig, count)
+}
+
+// assignedNames builds an Assigned list: the prefix-numbered devices that
+// delivered plus extra lost-device names.
+func assignedNames(prefix string, delivered int, lost ...string) []string {
+	out := make([]string, 0, delivered+len(lost))
+	for i := 0; i < delivered; i++ {
+		out = append(out, fmt.Sprintf("%s%d", prefix, i))
+	}
+	return append(out, lost...)
+}
+
+func lastGroupResults(t *testing.T, got func() []actor.Message, want int) []msgGroupResult {
+	t.Helper()
+	var out []msgGroupResult
+	for _, m := range got() {
+		if res, ok := m.(msgGroupResult); ok {
+			out = append(out, res)
+		}
+	}
+	if len(out) != want {
+		t.Fatalf("got %d group results, want %d", len(out), want)
+	}
+	return out
+}
+
+// TestTwoSecureGroupsFinalizeConcurrentlyUnderChurn extends the plain
+// concurrent-finalization test with live churn: both groups carry a
+// configured-but-lost device, one group's dealer poisons its shares, the
+// other's responder forges its unmask reveal — all while the two secagg
+// runs execute concurrently off the actor goroutines. Run under -race (CI
+// does). Both groups must still commit, with the misbehaving devices
+// blamed by name.
+func TestTwoSecureGroupsFinalizeConcurrentlyUnderChurn(t *testing.T) {
+	sys := actor.NewSystem()
+	master, got, sig := collectMaster(sys)
+
+	aggA := NewAggregator(2, true, master)
+	// Participant 2 (device a1) deals poisoned shares: excluded before
+	// masking, blamed via holder complaints.
+	aggA.churn = func(n, tt int) secagg.Schedule { return secagg.Schedule{PoisonShare: []int{2}} }
+	aggB := NewAggregator(2, true, master)
+	// Participant 1 (device b0) forges its unmask response: rejected at
+	// the commitment check, blamed, sum reconstructed from the rest.
+	aggB.churn = func(n, tt int) secagg.Schedule { return secagg.Schedule{ForgeUnmask: []int{1}} }
+	refA := sys.Spawn("agg-a", aggA)
+	refB := sys.Spawn("agg-b", aggB)
+	defer sys.Shutdown(master, refA, refB)
+
+	feedSecureGroup(t, refA, sig, "a", 5)
+	feedSecureGroup(t, refB, sig, "b", 5)
+	// Each group was configured with 6 devices; the 6th never delivered
+	// and enters the protocol as a real share-keys dropout.
+	_ = refA.Send(msgFinalizeGroup{Assigned: assignedNames("a", 5, "a-lost")})
+	_ = refB.Send(msgFinalizeGroup{Assigned: assignedNames("b", 5, "b-lost")})
+	waitSignals(t, sig, 2)
+
+	byBlame := map[string]msgGroupResult{}
+	for _, res := range lastGroupResults(t, got, 2) {
+		if res.Err != "" {
+			t.Fatalf("group must commit under churn: %+v", res)
+		}
+		if len(res.Blamed) != 1 {
+			t.Fatalf("want exactly one blamed device: %+v", res)
+		}
+		byBlame[res.Blamed[0][:2]] = res
+	}
+	resA, ok := byBlame["a1"]
+	if !ok || !strings.Contains(resA.Blamed[0], "complaint") {
+		t.Fatalf("poisoned dealer a1 not blamed via complaint: %+v", byBlame)
+	}
+	// Group A: 6 assigned, 1 lost, 1 poisoned-and-excluded → 4 survivors.
+	if resA.Count != 4 || resA.Sum[0] != 4 || resA.Sum[1] != 8 {
+		t.Fatalf("group A result: %+v", resA)
+	}
+	resB, ok := byBlame["b0"]
+	if !ok || !strings.Contains(resB.Blamed[0], "forged") {
+		t.Fatalf("forging responder b0 not blamed: %+v", byBlame)
+	}
+	// Group B: the forger's masked input was already in the online sum —
+	// it survives as data even though its response was rejected.
+	if resB.Count != 5 || resB.Sum[0] != 5 || resB.Sum[1] != 10 {
+		t.Fatalf("group B result: %+v", resB)
+	}
+}
+
+// TestSecureGroupLostDevicesBecomeDropouts: a configured device that never
+// delivered shrinks the survivor set through the real dropout path (t-of-n
+// reconstruction), not by silently resizing the instance.
+func TestSecureGroupLostDevicesBecomeDropouts(t *testing.T) {
+	sys := actor.NewSystem()
+	master, got, sig := collectMaster(sys)
+	agg := sys.Spawn("agg", NewAggregator(2, true, master))
+	defer sys.Shutdown(master, agg)
+
+	feedSecureGroup(t, agg, sig, "d", 4)
+	_ = agg.Send(msgFinalizeGroup{Assigned: assignedNames("d", 4, "d-lost")})
+	waitSignals(t, sig, 1)
+
+	res := lastGroupResults(t, got, 1)[0]
+	if res.Err != "" {
+		t.Fatalf("group must commit: %+v", res)
+	}
+	if res.Count != 4 || res.Weight != 4 || res.Sum[0] != 4 || res.Sum[1] != 8 {
+		t.Fatalf("result: %+v", res)
+	}
+	if len(res.Blamed) != 0 {
+		t.Fatalf("an honest dropout is lost, not blamed: %+v", res.Blamed)
+	}
+}
+
+// TestSecureGroupBelowThresholdAbortsWithMetrics: when too few assigned
+// devices deliver, the group degrades to a clean abort that names the lost
+// devices and still carries the delivered reports' metrics.
+func TestSecureGroupBelowThresholdAbortsWithMetrics(t *testing.T) {
+	sys := actor.NewSystem()
+	master, got, sig := collectMaster(sys)
+	agg := sys.Spawn("agg", NewAggregator(2, true, master))
+	defer sys.Shutdown(master, agg)
+
+	for i := 0; i < 3; i++ {
+		_ = agg.Send(msgAddUpdate{DeviceID: fmt.Sprintf("d%d", i),
+			Update:  &checkpoint.Checkpoint{Params: tensor.Vector{1, 2}, Weight: 1},
+			Metrics: map[string]float64{"train_loss": 0.5}})
+	}
+	waitSignals(t, sig, 3)
+	// 8 assigned, 3 delivered: below the majority threshold 5.
+	_ = agg.Send(msgFinalizeGroup{Assigned: assignedNames("d", 3, "l1", "l2", "l3", "l4", "l5")})
+	waitSignals(t, sig, 1)
+
+	res := lastGroupResults(t, got, 1)[0]
+	if res.Err == "" || !strings.Contains(res.Err, "3 of 8") || !strings.Contains(res.Err, "l5") {
+		t.Fatalf("abort must attribute the lost devices: %+v", res)
+	}
+	if res.Sum != nil || res.Count != 0 {
+		t.Fatalf("aborted group must not report a sum: %+v", res)
+	}
+	if len(res.Metrics["train_loss"]) != 3 {
+		t.Fatalf("metrics swallowed on abort: %+v", res.Metrics)
+	}
+}
+
+// TestSecureThresholdFractionOverride: the plan's SecAggThresholdFraction
+// reaches the group through the injected threshold hook.
+func TestSecureThresholdFractionOverride(t *testing.T) {
+	sys := actor.NewSystem()
+	master, got, sig := collectMaster(sys)
+	agg := NewAggregator(2, true, master)
+	// Tolerate up to half the group: t = ⌈0.5 n⌉.
+	agg.threshold = func(n int) int { return (n + 1) / 2 }
+	ref := sys.Spawn("agg", agg)
+	defer sys.Shutdown(master, ref)
+
+	feedSecureGroup(t, ref, sig, "d", 4)
+	// 8 assigned, 4 delivered: the majority default (5) would abort, the
+	// relaxed threshold (4) commits through 4-of-8 reconstruction.
+	_ = ref.Send(msgFinalizeGroup{Assigned: assignedNames("d", 4, "l1", "l2", "l3", "l4")})
+	waitSignals(t, sig, 1)
+
+	res := lastGroupResults(t, got, 1)[0]
+	if res.Err != "" {
+		t.Fatalf("relaxed threshold must commit: %+v", res)
+	}
+	if res.Count != 4 || res.Sum[0] != 4 {
+		t.Fatalf("result: %+v", res)
+	}
+}
+
+// TestSecureFinalizeWatchdogUnstallsGroup: a secagg run that cannot make
+// progress (here: wedged behind a saturated finalization gate) is
+// abandoned by the per-group watchdog with an attributed error — the
+// round gets its group result instead of hanging forever.
+func TestSecureFinalizeWatchdogUnstallsGroup(t *testing.T) {
+	slots := cap(secaggGate)
+	for i := 0; i < slots; i++ {
+		secaggGate <- struct{}{}
+	}
+	released := false
+	release := func() {
+		if !released {
+			released = true
+			for i := 0; i < slots; i++ {
+				<-secaggGate
+			}
+		}
+	}
+	defer release()
+
+	sys := actor.NewSystem()
+	master, got, sig := collectMaster(sys)
+	agg := NewAggregator(2, true, master)
+	agg.finalizeTimeout = 100 * time.Millisecond
+	ref := sys.Spawn("agg", agg)
+	defer sys.Shutdown(master, ref)
+
+	feedSecureGroup(t, ref, sig, "d", 3)
+	_ = ref.Send(msgFinalizeGroup{Assigned: assignedNames("d", 3)})
+	waitSignals(t, sig, 1)
+
+	res := lastGroupResults(t, got, 1)[0]
+	if res.Err == "" || !strings.Contains(res.Err, "exceeded") {
+		t.Fatalf("stalled finalization must time out with attribution: %+v", res)
+	}
+	if res.Sum != nil {
+		t.Fatalf("timed-out group must not report a sum: %+v", res)
+	}
+	// Unblock the wedged run; its late result lands on a stopped actor and
+	// is dropped — the double-report guard is exercised every run under
+	// -race via the done flag.
+	release()
+	runtime.Gosched()
+}
+
+// TestRoundCompleteCarriesBlamedDevices: per-group blame survives the
+// master merge into the round completion record.
+func TestRoundCompleteCarriesBlamedDevices(t *testing.T) {
+	sys := actor.NewSystem()
+	coord, got, sig := collectMaster(sys)
+	store := storage.NewMem()
+	p := testPlan(t, 4, true)
+	m, err := p.Device.Model.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim := m.NumParams()
+	global := &checkpoint.Checkpoint{TaskName: p.ID, Params: make(tensor.Vector, dim)}
+	ma := NewMasterAggregator(p, global, store, coord, nil, 0, nil)
+	ma.state = "collecting"
+	ma.aggs = make([]actor.Ref, 2)
+	ref := sys.Spawn("ma", ma)
+	defer sys.Shutdown(coord, ref)
+
+	_ = ref.Send(msgGroupResult{Sum: make(tensor.Vector, dim), Weight: 4, Count: 4,
+		Blamed: []string{"dev-7: forged share"}})
+	_ = ref.Send(msgGroupResult{Sum: make(tensor.Vector, dim), Weight: 4, Count: 4,
+		Blamed: []string{"dev-9: complaint from holder"}})
+	waitSignals(t, sig, 1)
+
+	msgs := got()
+	done, ok := msgs[len(msgs)-1].(msgRoundComplete)
+	if !ok {
+		t.Fatalf("coordinator got %T", msgs[len(msgs)-1])
+	}
+	if len(done.BlamedDevices) != 2 {
+		t.Fatalf("blamed devices not merged: %+v", done.BlamedDevices)
+	}
+}

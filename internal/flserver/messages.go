@@ -172,6 +172,14 @@ type msgDeviceLost struct {
 // the Master Aggregator merges group partials.
 type msgFinalizeGroup struct {
 	Stripes []*fedavg.PartialAccumulator
+	// Assigned lists the device ids configured into this group, in
+	// assignment order. Secure groups derive their secagg instance size
+	// from it: devices that were configured but never delivered an update
+	// (connection died, timed out, aborted) become real dropouts in the
+	// protocol's churn schedule rather than silently shrinking the group.
+	// Empty means "size the instance by what was delivered" (legacy/test
+	// paths).
+	Assigned []string
 }
 
 // msgGroupResult is an Aggregator's partial aggregate for the round.
@@ -185,6 +193,10 @@ type msgGroupResult struct {
 	// The group's model updates are lost, but Count and Metrics still
 	// describe the reports that never depended on the secure path.
 	Err string
+	// Blamed lists devices the secagg run excluded or rejected with an
+	// attributed reason ("deviceID: reason") — poisoned share dealers,
+	// forged unmask responders. Populated on success and on abort.
+	Blamed []string
 }
 
 // --- Coordinator messages ---
@@ -200,6 +212,10 @@ type msgRoundComplete struct {
 	// GroupErrors lists per-group finalization failures in an otherwise
 	// successful round (the failed groups' updates are simply absent).
 	GroupErrors []string
+	// BlamedDevices lists devices blamed by Secure Aggregation across the
+	// round's groups, each as "deviceID: reason" — operator-visible
+	// attribution for misbehaving (not merely lost) devices.
+	BlamedDevices []string
 }
 
 // msgRoundFailed reports an abandoned round.

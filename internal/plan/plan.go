@@ -13,6 +13,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/checkpoint"
@@ -129,6 +130,18 @@ type ServerPlan struct {
 	// SecAggGroupSize is the parameter k of Sec. 6: updates are securely
 	// aggregated over groups of at least this size.
 	SecAggGroupSize int
+	// SecAggThresholdFraction sets the Shamir threshold t of a secure
+	// group as a fraction of the group size n (t = ⌈fraction × n⌉, clamped
+	// to [2, n]). It trades dropout tolerance against collusion resistance:
+	// a group survives up to n − t mid-protocol dropouts, while any t
+	// colluding participants could reconstruct a dropped device's masking
+	// key. 0 defaults to the majority threshold n/2 + 1.
+	SecAggThresholdFraction float64
+	// SecAggFinalizeTimeout bounds one group's Secure Aggregation
+	// finalization. A run that exceeds it is abandoned with an attributed,
+	// metric-carrying group error instead of stalling the round. 0 defaults
+	// to 2 minutes.
+	SecAggFinalizeTimeout time.Duration
 	// TargetDevices is K, the number of reports needed to commit a round.
 	TargetDevices int
 	// OverSelectFactor is how many devices to admit relative to K
@@ -159,6 +172,34 @@ func (s ServerPlan) SelectTarget() int {
 		n = s.TargetDevices
 	}
 	return n
+}
+
+// SecAggThreshold resolves the Shamir threshold for a secure group of n
+// devices: ⌈SecAggThresholdFraction × n⌉ clamped to [2, n], or the
+// majority n/2 + 1 when the fraction is unset.
+func (s ServerPlan) SecAggThreshold(n int) int {
+	if n < 2 {
+		return n
+	}
+	t := n/2 + 1
+	if f := s.SecAggThresholdFraction; f > 0 {
+		t = int(math.Ceil(f * float64(n)))
+	}
+	if t < 2 {
+		t = 2
+	}
+	if t > n {
+		t = n
+	}
+	return t
+}
+
+// FinalizeTimeout resolves the per-group secagg finalization deadline.
+func (s ServerPlan) FinalizeTimeout() time.Duration {
+	if s.SecAggFinalizeTimeout > 0 {
+		return s.SecAggFinalizeTimeout
+	}
+	return 2 * time.Minute
 }
 
 // MinReports returns the minimum number of reports to commit a round.
@@ -218,6 +259,12 @@ func (p *Plan) Validate() error {
 	}
 	if p.Server.Aggregation == AggregationSecure && p.Server.SecAggGroupSize < 2 {
 		return fmt.Errorf("plan %q: secure aggregation needs SecAggGroupSize ≥ 2", p.ID)
+	}
+	if f := p.Server.SecAggThresholdFraction; f < 0 || f > 1 {
+		return fmt.Errorf("plan %q: SecAggThresholdFraction must be in [0,1]", p.ID)
+	}
+	if p.Server.SecAggFinalizeTimeout < 0 {
+		return fmt.Errorf("plan %q: SecAggFinalizeTimeout must be non-negative", p.ID)
 	}
 	if e := p.Server.ReportEncoding; e != 0 && e != checkpoint.EncodingFloat64 && e != checkpoint.EncodingQuant8 {
 		return fmt.Errorf("plan %q: unknown report encoding %d", p.ID, e)
@@ -304,7 +351,11 @@ type Config struct {
 	ParticipationCap  time.Duration
 	SecureAggregation bool
 	SecAggGroupSize   int // default 16 when secure aggregation is on
-	ReportEncoding    checkpoint.Encoding
+	// SecAggThresholdFraction and SecAggFinalizeTimeout mirror the
+	// ServerPlan fields of the same names (0 = default).
+	SecAggThresholdFraction float64
+	SecAggFinalizeTimeout   time.Duration
+	ReportEncoding          checkpoint.Encoding
 	// UseFusedOps emits the newer fused train+metrics op, exercising the
 	// versioned-plan transformation for older runtimes.
 	UseFusedOps bool
@@ -374,9 +425,11 @@ func Generate(cfg Config) (*Plan, error) {
 			MinRuntimeVersion: requiredVersion(ops),
 		},
 		Server: ServerPlan{
-			Aggregation:       agg,
-			SecAggGroupSize:   cfg.SecAggGroupSize,
-			TargetDevices:     cfg.TargetDevices,
+			Aggregation:             agg,
+			SecAggGroupSize:         cfg.SecAggGroupSize,
+			SecAggThresholdFraction: cfg.SecAggThresholdFraction,
+			SecAggFinalizeTimeout:   cfg.SecAggFinalizeTimeout,
+			TargetDevices:           cfg.TargetDevices,
 			OverSelectFactor:  cfg.OverSelectFactor,
 			MinReportFraction: cfg.MinReportFraction,
 			SelectionTimeout:  cfg.SelectionTimeout,

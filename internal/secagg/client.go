@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"repro/internal/field"
 )
 
 // KeyAdvert is a device's Round-0 message: its identity and two X25519
@@ -24,10 +26,13 @@ type RoutedShare struct {
 	CT     []byte
 }
 
-// OwnerShare is one revealed share in a Round-3 unmask response.
+// OwnerShare is one revealed share in a Round-3 unmask response. Blinder
+// opens the owner's broadcast commitment to this share, letting the
+// server verify the revelation before it enters reconstruction.
 type OwnerShare struct {
-	Owner int
-	Share chunkedShare
+	Owner   int
+	Share   chunkedShare
+	Blinder []byte
 }
 
 // UnmaskResponse is a device's Round-3 message: shares of the personal mask
@@ -53,6 +58,27 @@ type Client struct {
 	rosterIDs []int
 
 	held map[int]*shareBundle // shares I hold, keyed by owner
+
+	// commits holds every owner's broadcast share commitments (installed
+	// by ReceiveCommitments); own is this client's outgoing set.
+	commits map[int]ShareCommitments
+	own     *ShareCommitments
+
+	// maskSet is the server's broadcast of the devices still in the
+	// protocol after the share round (shares delivered, not blamed).
+	// Pairwise masks cover exactly this set, so a device that vanished or
+	// was excluded before masking leaves no residual mask to reconstruct.
+	// Nil means the full roster (instances run without the complaint
+	// round, e.g. the legacy driver path).
+	maskSet map[int]bool
+
+	// poison and forge are adversary injection hooks for the churn driver
+	// and tests: poison corrupts the Round-1 share bundles after the
+	// commitments are computed (holders detect the mismatch and complain);
+	// forge corrupts the shares revealed in the Round-3 unmask response
+	// (the server detects the mismatch and blames this responder).
+	poison bool
+	forge  bool
 
 	// cShared caches the share-encryption ECDH secret per peer: the secret
 	// is symmetric, so the value derived to encrypt an outgoing bundle in
@@ -122,7 +148,8 @@ func (c *Client) ReceiveRoster(roster []KeyAdvert) error {
 }
 
 // ShareKeys produces the Round-1 encrypted share bundles, one per roster
-// member (including one to self, which the server routes back).
+// member (including one to self, which the server routes back), and the
+// matching commitment broadcast (Commitments).
 func (c *Client) ShareKeys() ([]RoutedShare, error) {
 	if c.roster == nil {
 		return nil, fmt.Errorf("secagg: ShareKeys before roster")
@@ -136,6 +163,7 @@ func (c *Client) ShareKeys() ([]RoutedShare, error) {
 	if err != nil {
 		return nil, err
 	}
+	own := &ShareCommitments{Owner: c.id, B: make([][]byte, n), SK: make([][]byte, n)}
 	out := make([]RoutedShare, n)
 	secrets := make([][]byte, n)
 	// One ECDH + AES-GCM seal per roster member: independent work, fanned
@@ -148,6 +176,25 @@ func (c *Client) ShareKeys() ([]RoutedShare, error) {
 		// consistent evaluation points across owners.
 		bundle.BShare.X = uint64(i + 1)
 		bundle.SKShare.X = uint64(i + 1)
+		bBlind, err := field.NewBlinder(rand.Reader)
+		if err != nil {
+			return err
+		}
+		skBlind, err := field.NewBlinder(rand.Reader)
+		if err != nil {
+			return err
+		}
+		bundle.BBlind, bundle.SKBlind = bBlind, skBlind
+		bc := commitChunked(c.id, kindB, bundle.BShare, bundle.BBlind)
+		kc := commitChunked(c.id, kindSK, bundle.SKShare, bundle.SKBlind)
+		own.B[i] = bc[:]
+		own.SK[i] = kc[:]
+		if c.poison {
+			// Adversary hook: commit honestly, then ship a share that does
+			// not open the commitment — the holder must detect and complain.
+			bundle.BShare.Ys[0] = field.Add(bundle.BShare.Ys[0], 1)
+			bundle.SKShare.Ys[0] = field.Add(bundle.SKShare.Ys[0], 1)
+		}
 		shared, err := c.deriveC(holder)
 		if err != nil {
 			return err
@@ -166,30 +213,141 @@ func (c *Client) ShareKeys() ([]RoutedShare, error) {
 	for i, holder := range c.rosterIDs {
 		c.cShared[holder] = secrets[i]
 	}
+	c.own = own
 	return out, nil
 }
 
-// ReceiveShares decrypts and stores the Round-1 bundles routed to this
-// client. Bundles that fail authentication are rejected.
-func (c *Client) ReceiveShares(shares []RoutedShare) error {
+// Commitments returns the commitment broadcast matching the last
+// ShareKeys call.
+func (c *Client) Commitments() (ShareCommitments, error) {
+	if c.own == nil {
+		return ShareCommitments{}, fmt.Errorf("secagg: Commitments before ShareKeys")
+	}
+	return *c.own, nil
+}
+
+// ReceiveCommitments installs the server's relay of every owner's share
+// commitments. Structurally invalid sets are dropped (their owners' later
+// bundles will draw complaints for missing commitments).
+func (c *Client) ReceiveCommitments(all []ShareCommitments) error {
+	if c.roster == nil {
+		return fmt.Errorf("secagg: ReceiveCommitments before roster")
+	}
+	if c.commits == nil {
+		c.commits = make(map[int]ShareCommitments, len(all))
+	}
+	for _, sc := range all {
+		if _, ok := c.roster[sc.Owner]; !ok {
+			continue
+		}
+		if err := sc.validate(len(c.rosterIDs)); err != nil {
+			continue
+		}
+		c.commits[sc.Owner] = sc
+	}
+	return nil
+}
+
+// rosterIndex returns this client's 0-based position in the sorted roster
+// (its shares' evaluation point is position+1).
+func (c *Client) rosterIndex() int {
+	for i, id := range c.rosterIDs {
+		if id == c.id {
+			return i
+		}
+	}
+	return -1
+}
+
+// ReceiveShares decrypts, verifies, and stores the Round-1 bundles routed
+// to this client. A bundle that fails decryption, is mis-addressed, or
+// does not open its owner's broadcast commitments is NOT an error: it
+// yields a Complaint attributing the bad share to its owner, and the
+// protocol continues without that owner. Only a server-side routing bug
+// (a bundle for a different holder) is a hard error.
+func (c *Client) ReceiveShares(shares []RoutedShare) ([]Complaint, error) {
+	idx := c.rosterIndex()
+	if idx < 0 {
+		return nil, fmt.Errorf("secagg: ReceiveShares before roster")
+	}
+	wantX := uint64(idx + 1)
+	var complaints []Complaint
+	complain := func(owner int, reason string) {
+		complaints = append(complaints, Complaint{By: c.id, Against: owner, Reason: reason})
+	}
 	for _, rs := range shares {
 		if rs.Holder != c.id {
-			return fmt.Errorf("secagg: share for holder %d routed to %d", rs.Holder, c.id)
+			return nil, fmt.Errorf("secagg: share for holder %d routed to %d", rs.Holder, c.id)
 		}
 		shared, err := c.pairwiseC(rs.Owner)
 		if err != nil {
-			return err
+			complain(rs.Owner, "unknown owner: "+err.Error())
+			continue
 		}
 		bundle, err := decryptBundle(shared, rs.CT)
 		if err != nil {
-			return fmt.Errorf("secagg: share from %d: %w", rs.Owner, err)
+			complain(rs.Owner, "undecryptable bundle: "+err.Error())
+			continue
 		}
 		if bundle.Owner != rs.Owner || bundle.Holder != c.id {
-			return fmt.Errorf("secagg: bundle metadata mismatch (owner %d/%d)", bundle.Owner, rs.Owner)
+			complain(rs.Owner, fmt.Sprintf("bundle metadata mismatch (owner %d/%d, holder %d)",
+				bundle.Owner, rs.Owner, bundle.Holder))
+			continue
+		}
+		if bundle.BShare.X != wantX || bundle.SKShare.X != wantX {
+			complain(rs.Owner, fmt.Sprintf("share evaluation point %d/%d, want %d",
+				bundle.BShare.X, bundle.SKShare.X, wantX))
+			continue
+		}
+		if com, ok := c.commits[rs.Owner]; ok {
+			if !verifyChunked(rs.Owner, kindB, bundle.BShare, bundle.BBlind, com.B[idx]) ||
+				!verifyChunked(rs.Owner, kindSK, bundle.SKShare, bundle.SKBlind, com.SK[idx]) {
+				complain(rs.Owner, "share does not open broadcast commitment")
+				continue
+			}
+		} else if c.commits != nil {
+			// Commitments were broadcast but this owner's are missing or
+			// malformed: its shares are unverifiable, so it cannot be
+			// allowed to reach reconstruction.
+			complain(rs.Owner, "no valid commitments broadcast")
+			continue
 		}
 		c.held[bundle.Owner] = bundle
 	}
+	return complaints, nil
+}
+
+// ReceiveMaskSet installs the server's broadcast of the devices still in
+// the protocol after the share round (the set U1.5: shares delivered and
+// unblamed). Pairwise masks are computed over exactly this set.
+func (c *Client) ReceiveMaskSet(ids []int) error {
+	if c.roster == nil {
+		return fmt.Errorf("secagg: ReceiveMaskSet before roster")
+	}
+	if len(ids) < c.cfg.T {
+		return fmt.Errorf("secagg: mask set of %d below threshold %d", len(ids), c.cfg.T)
+	}
+	set := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		if _, ok := c.roster[id]; !ok {
+			return fmt.Errorf("secagg: mask set member %d not in roster", id)
+		}
+		set[id] = true
+	}
+	if !set[c.id] {
+		return fmt.Errorf("secagg: excluded from mask set (%d)", c.id)
+	}
+	c.maskSet = set
 	return nil
+}
+
+// inMaskSet reports whether id participates in masking (full roster when
+// no mask set was broadcast).
+func (c *Client) inMaskSet(id int) bool {
+	if c.maskSet == nil {
+		return true
+	}
+	return c.maskSet[id]
 }
 
 // MaskedInput computes the Round-2 masked vector for input x:
@@ -204,13 +362,15 @@ func (c *Client) MaskedInput(x []float64) ([]uint64, error) {
 	y := Encode(x)
 	// Personal mask, streamed straight into the output.
 	prgApply(seedKey(c.seed), y, false)
-	// Pairwise masks over the full roster U1. The N−1 ECDH + PRG
-	// expansions dominate device-side cost; fan them across the worker
-	// pool, each worker folding masks into a private accumulator. ECDH on
-	// the (immutable) s-key and roster reads are safe concurrently.
+	// Pairwise masks over the mask set (the full roster U1 when none was
+	// broadcast): a device excluded before this round leaves no residual
+	// mask for the server to reconstruct. The ECDH + PRG expansions
+	// dominate device-side cost; fan them across the worker pool, each
+	// worker folding masks into a private accumulator. ECDH on the
+	// (immutable) s-key and roster reads are safe concurrently.
 	peers := make([]int, 0, len(c.rosterIDs)-1)
 	for _, v := range c.rosterIDs {
-		if v != c.id {
+		if v != c.id && c.inMaskSet(v) {
 			peers = append(peers, v)
 		}
 	}
@@ -245,18 +405,36 @@ func (c *Client) Unmask(survivors []int) (*UnmaskResponse, error) {
 		if _, ok := c.roster[id]; !ok {
 			return nil, fmt.Errorf("secagg: survivor %d not in roster", id)
 		}
+		if !c.inMaskSet(id) {
+			return nil, fmt.Errorf("secagg: claimed survivor %d is not in the mask set", id)
+		}
 		surv[id] = true
 	}
 	resp := &UnmaskResponse{From: c.id}
 	for _, owner := range c.rosterIDs {
+		if !c.inMaskSet(owner) {
+			// Excluded before masking: it contributed no masks, so neither
+			// of its secrets is needed — and revealing its masking key
+			// gratuitously would erode the privacy margin.
+			continue
+		}
 		bundle, ok := c.held[owner]
 		if !ok {
 			continue // never received a share from this owner
 		}
+		os := OwnerShare{Owner: owner}
 		if surv[owner] {
-			resp.BShares = append(resp.BShares, OwnerShare{Owner: owner, Share: bundle.BShare})
+			os.Share, os.Blinder = bundle.BShare, bundle.BBlind
+			if c.forge {
+				os.Share.Ys[0] = field.Add(os.Share.Ys[0], 1)
+			}
+			resp.BShares = append(resp.BShares, os)
 		} else {
-			resp.SKShares = append(resp.SKShares, OwnerShare{Owner: owner, Share: bundle.SKShare})
+			os.Share, os.Blinder = bundle.SKShare, bundle.SKBlind
+			if c.forge {
+				os.Share.Ys[0] = field.Add(os.Share.Ys[0], 1)
+			}
+			resp.SKShares = append(resp.SKShares, os)
 		}
 	}
 	return resp, nil

@@ -1,0 +1,84 @@
+package secagg
+
+import (
+	"fmt"
+
+	"repro/internal/field"
+)
+
+// Verifiable sharing (the Feldman-VSS role, adapted — see
+// internal/field/commit.go for why exponent commitments are unsound for
+// 48-bit chunked secrets): alongside its Round-1 share bundles, every
+// owner broadcasts one hiding commitment per (holder, secret kind)
+// evaluation point. Holders verify the shares they receive on receipt and
+// complain about mismatches; the server verifies every share revealed at
+// unmask time before it enters reconstruction. Failures are attributed:
+// a bad bundle blames its owner (excluded before the masked-input round,
+// so the group still commits without it), a forged unmask share blames
+// the responder (its shares are skipped; reconstruction proceeds from the
+// other ≥ T valid ones).
+
+// Share kinds, used for commitment domain separation.
+const (
+	kindB  = byte('b') // personal mask seed b_u
+	kindSK = byte('k') // masking secret key
+)
+
+// commitContext builds the domain-separation context for one owner's
+// shares of one secret kind. The holder's evaluation point x is bound
+// separately by field.CommitShare.
+func commitContext(owner int, kind byte) []byte {
+	return []byte(fmt.Sprintf("sagg/vss/%d/%c", owner, kind))
+}
+
+// commitChunked commits to one chunked share.
+func commitChunked(owner int, kind byte, s chunkedShare, blinder []byte) [field.CommitmentLen]byte {
+	return field.CommitShare(commitContext(owner, kind), s.X, s.Ys[:], blinder)
+}
+
+// verifyChunked checks a chunked share and its blinder against a
+// broadcast commitment.
+func verifyChunked(owner int, kind byte, s chunkedShare, blinder, commitment []byte) bool {
+	if len(blinder) != field.BlinderLen {
+		return false
+	}
+	return field.VerifyShare(commitContext(owner, kind), s.X, s.Ys[:], blinder, commitment)
+}
+
+// ShareCommitments is one owner's Round-1 commitment broadcast: for every
+// holder index i (evaluation point x = i+1 over the sorted roster), the
+// commitments to the b-seed share and the masking-key share sent to that
+// holder. The server relays the full set to every participant with the
+// routed shares.
+type ShareCommitments struct {
+	Owner int
+	// B[i] and SK[i] are field.CommitmentLen-byte digests for holder
+	// index i.
+	B  [][]byte
+	SK [][]byte
+}
+
+// validate checks structural integrity for a roster of n holders.
+func (sc *ShareCommitments) validate(n int) error {
+	if len(sc.B) != n || len(sc.SK) != n {
+		return fmt.Errorf("secagg: commitments from %d cover %d/%d holders, want %d",
+			sc.Owner, len(sc.B), len(sc.SK), n)
+	}
+	for i := 0; i < n; i++ {
+		if len(sc.B[i]) != field.CommitmentLen || len(sc.SK[i]) != field.CommitmentLen {
+			return fmt.Errorf("secagg: malformed commitment from %d for holder index %d", sc.Owner, i)
+		}
+	}
+	return nil
+}
+
+// Complaint is a holder's Round-1.5 report that an owner's share bundle
+// failed verification (undecryptable, mis-addressed, or inconsistent with
+// the owner's broadcast commitments). The server excludes blamed owners
+// from the mask set before the masked-input round — a survivor cannot be
+// evicted after its masked input has joined the online sum.
+type Complaint struct {
+	By      int
+	Against int
+	Reason  string
+}

@@ -1,0 +1,292 @@
+package secagg
+
+import (
+	"strings"
+	"testing"
+)
+
+// hostileHarness runs an honest instance — commitments, complaints, mask
+// set and all — up to the survivor announcement, with dropAfterShare
+// devices vanishing before the masked-input round. It returns the live
+// server, the clients, and the survivor set, leaving the unmask round to
+// the test so it can tamper with responses.
+func hostileHarness(t *testing.T, cfg Config, n int, dropAfterShare []int) (*Server, map[int]*Client, []int) {
+	t.Helper()
+	dropped := toSet(dropAfterShare)
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clients := make(map[int]*Client, n)
+	for id := 1; id <= n; id++ {
+		c, err := NewClient(id, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[id] = c
+		if err := srv.RegisterAdvert(c.Advertise()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	roster, err := srv.Roster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []RoutedShare
+	for _, c := range clients {
+		if err := c.ReceiveRoster(roster); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range clients {
+		rs, err := c.ShareKeys()
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, rs...)
+		sc, err := c.Commitments()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.RegisterCommitments(sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	commits := srv.Commitments()
+	for _, c := range clients {
+		if err := c.ReceiveCommitments(commits); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for holder, rs := range srv.RouteShares(all) {
+		complaints, err := clients[holder].ReceiveShares(rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(complaints) != 0 {
+			t.Fatalf("honest shares drew complaints: %v", complaints)
+		}
+	}
+	maskIDs, err := srv.MaskSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range maskIDs {
+		if err := clients[id].ReceiveMaskSet(maskIDs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range maskIDs {
+		if dropped[id] {
+			continue
+		}
+		in := make([]float64, cfg.VectorLen)
+		for i := range in {
+			in[i] = float64(id)
+		}
+		y, err := clients[id].MaskedInput(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.AddMasked(id, y); err != nil {
+			t.Fatal(err)
+		}
+	}
+	survivors, err := srv.Survivors()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, clients, survivors
+}
+
+// TestServerRejectsHostileUnmaskResponses throws every forgery the Round-3
+// surface admits at the server: each is rejected with an error naming the
+// offending device, and after the dust settles the honest responders'
+// shares still reconstruct the correct sum — hostile input can force an
+// attributed rejection but never a wrong aggregate.
+func TestServerRejectsHostileUnmaskResponses(t *testing.T) {
+	cfg := Config{N: 6, T: 3, VectorLen: 2}
+	srv, clients, survivors := hostileHarness(t, cfg, 6, []int{2})
+
+	honest := func(id int) *UnmaskResponse {
+		r, err := clients[id].Unmask(survivors)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	cases := []struct {
+		name string
+		resp func() *UnmaskResponse
+		want string // substring the attributed error must carry
+	}{
+		{"unknown responder", func() *UnmaskResponse {
+			r := honest(1)
+			r.From = 99
+			return r
+		}, "unknown device 99"},
+		{"duplicate owner in response", func() *UnmaskResponse {
+			r := honest(1)
+			r.BShares = append(r.BShares, r.BShares[0])
+			return r
+		}, "duplicate share for owner"},
+		{"share for non-roster device", func() *UnmaskResponse {
+			r := honest(1)
+			r.BShares[0].Owner = 42
+			return r
+		}, "non-roster device 42"},
+		{"stolen response (wrong evaluation point)", func() *UnmaskResponse {
+			// Device 3 replays device 1's shares as its own: every share
+			// sits at evaluation point 1, not 3.
+			r := honest(1)
+			r.From = 3
+			return r
+		}, "evaluation point"},
+		{"forged share value", func() *UnmaskResponse {
+			r := honest(1)
+			r.BShares[0].Share.Ys[0]++
+			return r
+		}, "forged share"},
+		{"forged blinder", func() *UnmaskResponse {
+			r := honest(1)
+			r.BShares[0].Blinder = make([]byte, len(r.BShares[0].Blinder))
+			return r
+		}, "forged share"},
+		{"masking-key share for a survivor", func() *UnmaskResponse {
+			r := honest(1)
+			os := r.SKShares[0] // dropped device 2's key share
+			os.Owner = 4       // relabeled as survivor 4
+			r.SKShares[0] = os
+			r.BShares = nil // avoid tripping the duplicate-owner check first
+			return r
+		}, "refusing to unmask"},
+		{"personal-seed share for a dropped device", func() *UnmaskResponse {
+			r := honest(1)
+			os := r.BShares[0]
+			os.Owner = 2 // device 2 dropped; its seed must stay sealed
+			r.BShares = append(r.BShares, os)
+			return r
+		}, "dropped device 2"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := srv.AddUnmaskResponse(tc.resp())
+			if err == nil {
+				t.Fatal("hostile response must be rejected")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q must attribute via %q", err, tc.want)
+			}
+		})
+	}
+	if srv.Responses() != 0 {
+		t.Fatalf("%d hostile responses admitted", srv.Responses())
+	}
+
+	// Sub-threshold reconstruction attempt: two honest responses < T.
+	for _, id := range []int{1, 3} {
+		if err := srv.AddUnmaskResponse(honest(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.AddUnmaskResponse(honest(1)); err == nil ||
+		!strings.Contains(err.Error(), "duplicate unmask response") {
+		t.Fatalf("duplicate response must be rejected, got %v", err)
+	}
+	if _, err := srv.Sum(); err == nil {
+		t.Fatal("sub-threshold reconstruction must fail")
+	}
+
+	// One more honest responder reaches T and the sum comes out right —
+	// none of the rejected forgeries above left a trace in the aggregate.
+	if err := srv.AddUnmaskResponse(honest(4)); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := srv.Sum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Decode(sum)
+	want := 0.0
+	for _, id := range survivors {
+		want += float64(id)
+	}
+	for i, v := range got {
+		if v < want-1e-4 || v > want+1e-4 {
+			t.Fatalf("sum[%d] = %v, want %v", i, v, want)
+		}
+	}
+}
+
+// TestServerRejectsHostileCommitmentsAndComplaints hardens the Round-1
+// broadcast surface: malformed or mistimed commitment sets and complaints
+// naming strangers are rejected with attributed errors.
+func TestServerRejectsHostileCommitmentsAndComplaints(t *testing.T) {
+	cfg := Config{N: 3, T: 2, VectorLen: 1}
+	srv, _ := NewServer(cfg)
+	var clients []*Client
+	for id := 1; id <= 3; id++ {
+		c, _ := NewClient(id, cfg)
+		clients = append(clients, c)
+		if err := srv.RegisterAdvert(c.Advertise()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.RegisterCommitments(ShareCommitments{Owner: 1}); err == nil {
+		t.Fatal("commitments before roster freeze must be rejected")
+	}
+	roster, err := srv.Roster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range clients {
+		if err := c.ReceiveRoster(roster); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.RegisterCommitments(ShareCommitments{Owner: 99}); err == nil {
+		t.Fatal("commitments from unknown device must be rejected")
+	}
+	if err := srv.RegisterCommitments(ShareCommitments{Owner: 1}); err == nil {
+		t.Fatal("short commitment set must be rejected")
+	}
+	if why, ok := srv.Blamed()[1]; !ok || !strings.Contains(why, "cover") {
+		t.Fatalf("malformed commitments must blame the owner: %v", srv.Blamed())
+	}
+	if err := srv.RegisterComplaint(Complaint{By: 99, Against: 2}); err == nil {
+		t.Fatal("complaint from unknown device must be rejected")
+	}
+	if err := srv.RegisterComplaint(Complaint{By: 2, Against: 99}); err == nil {
+		t.Fatal("complaint against unknown device must be rejected")
+	}
+
+	// Devices 2 and 3 register honestly; blamed device 1 is excluded and
+	// the mask set still freezes at T.
+	for _, c := range clients[1:] {
+		if _, err := c.ShareKeys(); err != nil {
+			t.Fatal(err)
+		}
+		sc, err := c.Commitments()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.RegisterCommitments(sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	maskIDs, err := srv.MaskSet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(maskIDs) != 2 || maskIDs[0] != 2 || maskIDs[1] != 3 {
+		t.Fatalf("mask set = %v, want [2 3]", maskIDs)
+	}
+	if err := srv.RegisterComplaint(Complaint{By: 2, Against: 3}); err == nil {
+		t.Fatal("complaint after mask-set freeze must be rejected")
+	}
+	if err := srv.AddMasked(1, make([]uint64, 1)); err == nil ||
+		!strings.Contains(err.Error(), "not in the mask set") {
+		t.Fatalf("masked input from excluded device must be rejected: %v", err)
+	}
+}

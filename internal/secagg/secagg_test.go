@@ -564,7 +564,7 @@ func TestClientStateMachineErrors(t *testing.T) {
 	if _, err := c.Unmask([]int{1, 99}); err == nil {
 		t.Fatal("survivor outside roster must fail")
 	}
-	if err := c.ReceiveShares([]RoutedShare{{Owner: 2, Holder: 99}}); err == nil {
+	if _, err := c.ReceiveShares([]RoutedShare{{Owner: 2, Holder: 99}}); err == nil {
 		t.Fatal("misrouted share must fail")
 	}
 }
@@ -602,7 +602,7 @@ func TestUnmaskResponderNeverRevealsBothShares(t *testing.T) {
 		byHolder[rs.Holder] = append(byHolder[rs.Holder], rs)
 	}
 	for id, c := range clients {
-		if err := c.ReceiveShares(byHolder[id]); err != nil {
+		if _, err := c.ReceiveShares(byHolder[id]); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -77,15 +77,21 @@ func reconstructBytes(shares []chunkedShare, t int) ([]byte, error) {
 }
 
 // shareBundle is what device owner sends to device holder in Round 1: the
-// holder's shares of the owner's mask seed b and masking secret key.
+// holder's shares of the owner's mask seed b and masking secret key, plus
+// the blinders that open the owner's broadcast commitments to those
+// shares. The blinders ride inside the AES-GCM envelope: only the holder
+// can open the commitment, so the broadcast stays hiding, yet the holder
+// (and, at unmask time, the server) can verify exactly what it reveals.
 type shareBundle struct {
 	Owner   int
 	Holder  int
 	BShare  chunkedShare
 	SKShare chunkedShare
+	BBlind  []byte
+	SKBlind []byte
 }
 
-const bundleWireLen = 8 + 8 + 2*(8+secretChunks*8)
+const bundleWireLen = 8 + 8 + 2*(8+secretChunks*8) + 2*field.BlinderLen
 
 func (b *shareBundle) marshal() []byte {
 	buf := make([]byte, 0, bundleWireLen)
@@ -96,6 +102,11 @@ func (b *shareBundle) marshal() []byte {
 		for _, y := range cs.Ys {
 			buf = binary.BigEndian.AppendUint64(buf, y)
 		}
+	}
+	for _, bl := range [][]byte{b.BBlind, b.SKBlind} {
+		var fixed [field.BlinderLen]byte
+		copy(fixed[:], bl)
+		buf = append(buf, fixed[:]...)
 	}
 	return buf
 }
@@ -117,6 +128,9 @@ func unmarshalBundle(buf []byte) (*shareBundle, error) {
 			off += 8
 		}
 	}
+	b.BBlind = append([]byte(nil), buf[off:off+field.BlinderLen]...)
+	off += field.BlinderLen
+	b.SKBlind = append([]byte(nil), buf[off:off+field.BlinderLen]...)
 	return b, nil
 }
 

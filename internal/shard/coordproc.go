@@ -297,8 +297,12 @@ func (sc *shardCoordinator) onTick(ctx *actor.Context) {
 	if p.Server.Aggregation == plan.AggregationSecure {
 		// Sharded mode limitation (documented in DESIGN.md): secure
 		// aggregation needs the per-device vectors inside one process.
+		// Auto-pause with an operator-visible reason rather than burning a
+		// failed round every tick with no hint in the stats why.
 		sc.failed++
 		sc.tasks.NoteFailed(p.ID)
+		_ = sc.tasks.AutoPause(p.ID,
+			"secure aggregation is unavailable in sharded mode; run this task on a single-process coordinator or resume after removing the secure-aggregation requirement")
 		return
 	}
 	global, err := sc.loadGlobal(t)
@@ -622,6 +626,14 @@ func (cp *CoordinatorProc) Registry() *remote.Registry { return cp.registry }
 
 // Done is closed when MaxRounds rounds have committed.
 func (cp *CoordinatorProc) Done() <-chan struct{} { return cp.done }
+
+// TaskStats reports every task's lifecycle record, in submission order —
+// the operator surface that carries auto-pause notes (e.g. a secure-
+// aggregation task the sharded scheduler refused to run).
+func (cp *CoordinatorProc) TaskStats() []tasks.Stats { return cp.tasks.Stats() }
+
+// ResumeTask reactivates a paused task (clearing any auto-pause note).
+func (cp *CoordinatorProc) ResumeTask(id string) error { return cp.tasks.Resume(id) }
 
 // Serve accepts shard connections from l until l closes. Each connection
 // becomes a remote.Session serving heartbeats, the lock service, and actor

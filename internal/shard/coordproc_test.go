@@ -1,0 +1,94 @@
+package shard
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/actor"
+	"repro/internal/checkpoint"
+	"repro/internal/nn"
+	"repro/internal/pacing"
+	"repro/internal/plan"
+	"repro/internal/protocol"
+	"repro/internal/remote"
+	"repro/internal/tasks"
+)
+
+// TestSecureTaskAutoPausedInShardedMode pins the scheduler's handling of a
+// task the sharded deployment cannot run: secure aggregation needs the
+// per-device vectors inside one process, so instead of burning a failed
+// round every tick with no explanation (the old behaviour), the
+// coordinator pauses the task once and records an operator-visible reason
+// in its stats. Resuming without removing the requirement re-pauses on the
+// next tick, again with the note.
+func TestSecureTaskAutoPausedInShardedMode(t *testing.T) {
+	p, err := plan.Generate(plan.Config{
+		TaskID: "pop/secure", Population: "pop",
+		Model:     nn.Spec{Kind: nn.KindLogistic, Features: 4, Classes: 3, Seed: 1},
+		StoreName: "clicks", BatchSize: 5, Epochs: 1, LearningRate: 0.1,
+		TargetDevices: 4, SecureAggregation: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := tasks.New("pop", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Seed([]*plan.Plan{p}); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := &shardCoordinator{
+		cfg:     CoordinatorConfig{Population: "pop"},
+		locks:   actor.NewLockService(),
+		tasks:   ts,
+		now:     time.Now,
+		shards:  make(map[*remote.Session]protocol.ShardHello),
+		contrib: make(map[uint32]*ShardContribution),
+		global:  make(map[string]*checkpoint.Checkpoint),
+		rates:   pacing.NewRateTracker(pacing.New(time.Minute), 100),
+	}
+	sys := actor.NewSystem()
+	coord := sys.Spawn("coordinator/pop", sc)
+
+	tick := func() tasks.Stats {
+		t.Helper()
+		if err := coord.Send(msgCoordTick{}); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			st, ok := ts.StatsFor("pop/secure")
+			if !ok {
+				t.Fatal("task vanished")
+			}
+			if st.State == tasks.Paused {
+				return st
+			}
+			time.Sleep(time.Millisecond)
+		}
+		st, _ := ts.StatsFor("pop/secure")
+		t.Fatalf("secure task not auto-paused after tick: %+v", st)
+		return tasks.Stats{}
+	}
+
+	st := tick()
+	if !strings.Contains(st.Note, "secure aggregation") || !strings.Contains(st.Note, "sharded") {
+		t.Fatalf("auto-pause note not operator-readable: %q", st.Note)
+	}
+	if st.RoundsFailed != 1 {
+		t.Fatalf("one failed round recorded, got %d", st.RoundsFailed)
+	}
+
+	// An operator resume without removing the requirement re-pauses with
+	// the same note — one failed round per resume, not one per tick.
+	if err := ts.Resume("pop/secure"); err != nil {
+		t.Fatal(err)
+	}
+	st = tick()
+	if st.Note == "" || st.RoundsFailed != 2 {
+		t.Fatalf("re-pause after resume: %+v", st)
+	}
+}

@@ -114,6 +114,10 @@ type Stats struct {
 	// LastRoundAt is when that round committed.
 	LastRoundAt time.Time
 	SubmittedAt time.Time
+	// Note is the operator-visible reason for the task's current state —
+	// set when the system pauses a task on its own initiative (AutoPause),
+	// cleared when the task is resumed. Empty for operator-driven states.
+	Note string
 }
 
 // Task is an immutable scheduling snapshot: the plan to run and the policy
@@ -297,7 +301,34 @@ func (ts *TaskSet) Pause(id string) error {
 	return ts.setState(id, Paused, "pause", Active)
 }
 
-// Resume reactivates a paused task.
+// AutoPause pauses the task on the system's own initiative and records the
+// reason in Stats.Note, so operators see WHY the scheduler stopped running
+// it instead of a silent failure loop. Resume clears the note. Pausing a
+// task that is already paused or retired is an error, same as Pause.
+func (ts *TaskSet) AutoPause(id, reason string) error {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	r, ok := ts.tasks[id]
+	if !ok {
+		return fmt.Errorf("tasks: no task %q in population %q", id, ts.population)
+	}
+	if r.state != Active {
+		return fmt.Errorf("tasks: cannot auto-pause task %q: it is %s", id, r.state)
+	}
+	prevNote := r.stats.Note
+	r.state = Paused
+	r.stats.State = Paused
+	r.stats.Note = reason
+	if err := ts.persistLocked(); err != nil {
+		r.state = Active
+		r.stats.State = Active
+		r.stats.Note = prevNote
+		return err
+	}
+	return nil
+}
+
+// Resume reactivates a paused task and clears any auto-pause note.
 func (ts *TaskSet) Resume(id string) error {
 	return ts.setState(id, Active, "resume", Paused)
 }
@@ -328,12 +359,17 @@ func (ts *TaskSet) setState(id string, next State, verb string, from ...State) e
 		return fmt.Errorf("tasks: cannot %s task %q: it is %s", verb, id, r.state)
 	}
 	prev := r.state
+	prevNote := r.stats.Note
 	r.state = next
 	r.stats.State = next
+	if next == Active {
+		r.stats.Note = ""
+	}
 	if err := ts.persistLocked(); err != nil {
 		// An errored transition must not silently take effect.
 		r.state = prev
 		r.stats.State = prev
+		r.stats.Note = prevNote
 		return err
 	}
 	return nil

@@ -300,6 +300,62 @@ func TestPauseResumeRetire(t *testing.T) {
 	}
 }
 
+func TestAutoPauseRecordsReasonUntilResume(t *testing.T) {
+	ts := newSet(t)
+	if err := ts.Submit(trainPlan(t, "a"), Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	const reason = "secure aggregation is unavailable in sharded mode"
+	if err := ts.AutoPause("a", reason); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := ts.StatsFor("a")
+	if st.State != Paused || st.Note != reason {
+		t.Fatalf("auto-paused stats = %+v, want Paused with note", st)
+	}
+	if _, ok := ts.Next(); ok {
+		t.Fatal("auto-paused task must not schedule")
+	}
+	if err := ts.AutoPause("a", "again"); err == nil {
+		t.Fatal("auto-pausing a paused task must fail")
+	}
+	if err := ts.AutoPause("missing", "x"); err == nil {
+		t.Fatal("auto-pausing an unknown task must fail")
+	}
+	if err := ts.Resume("a"); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = ts.StatsFor("a")
+	if st.State != Active || st.Note != "" {
+		t.Fatalf("resume must clear the note: %+v", st)
+	}
+	if _, ok := ts.Next(); !ok {
+		t.Fatal("resumed task must schedule again")
+	}
+}
+
+func TestAutoPauseNoteSurvivesRestart(t *testing.T) {
+	store := storage.NewMem()
+	ts, err := New("pop", store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Submit(trainPlan(t, "a"), Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.AutoPause("a", "why it stopped"); err != nil {
+		t.Fatal(err)
+	}
+	ts2, err := New("pop", store, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, ok := ts2.StatsFor("a")
+	if !ok || st.State != Paused || st.Note != "why it stopped" {
+		t.Fatalf("restored stats = %+v, want paused with note", st)
+	}
+}
+
 func TestAllPausedMeansNothingSchedulable(t *testing.T) {
 	ts := newSet(t)
 	if err := ts.Submit(trainPlan(t, "a"), Policy{}); err != nil {
