@@ -21,6 +21,7 @@ import (
 	"log"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pacing"
 	"repro/internal/shard"
 	"repro/internal/transport"
@@ -34,6 +35,7 @@ func main() {
 	selectors := flag.Int("selectors", 1, "Selector actors terminating device connections")
 	estimate := flag.Int("estimate", 1000, "population estimate seeding pace steering")
 	seed := flag.Uint64("seed", 1, "random seed")
+	obsListen := flag.String("obs-listen", "", "serve /metrics, /debug/vars, /debug/pprof and /dashboard on this address (empty = off)")
 	flag.Parse()
 
 	sp := shard.NewSelectorProc(shard.SelectorConfig{
@@ -52,6 +54,13 @@ func main() {
 	}
 	defer l.Close()
 	log.Printf("selector shard %d serving devices on %s, coordinator %s", *shardID, l.Addr(), *coordAddr)
+
+	if srv, err := obs.Default.Serve(*obsListen, obs.WithTitle(fmt.Sprintf("fl selector shard %d", *shardID))); err != nil {
+		log.Fatal(err)
+	} else if srv != nil {
+		defer srv.Close()
+		log.Printf("observability surface on http://%s (/metrics, /debug/vars, /debug/pprof, /dashboard)", srv.Addr())
+	}
 
 	go func() {
 		ticker := time.NewTicker(2 * time.Second)

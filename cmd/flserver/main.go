@@ -42,11 +42,13 @@ import (
 	"fmt"
 	"log"
 	"path/filepath"
+	"strings"
 	"time"
 
 	repro "repro"
 
 	"repro/internal/cliutil"
+	"repro/internal/obs"
 	"repro/internal/pacing"
 	"repro/internal/plan"
 	"repro/internal/shard"
@@ -55,10 +57,96 @@ import (
 	"repro/internal/transport"
 )
 
+// taskProgress converts task lifecycle stats into the shared progress rows.
+func taskProgress(ts []tasks.Stats) []obs.TaskProgress {
+	out := make([]obs.TaskProgress, len(ts))
+	for i, t := range ts {
+		out[i] = obs.TaskProgress{
+			ID: t.ID, Type: fmt.Sprint(t.Type), State: fmt.Sprint(t.State),
+			RoundsCommitted: t.RoundsCommitted, RoundsFailed: t.RoundsFailed,
+			Devices: t.Devices, Note: t.Note,
+		}
+	}
+	return out
+}
+
+// coordProgress snapshots coordinator-mode progress as the shared
+// per-population progress block — the one renderer behind the status
+// ticker, the finish line, and /dashboard.
+func coordProgress(population string, coord *shard.CoordinatorProc) []obs.PopulationProgress {
+	st, err := coord.Stats()
+	if err != nil {
+		return nil
+	}
+	return []obs.PopulationProgress{{
+		Name:      population,
+		Round:     st.CurrentRound,
+		Completed: st.RoundsCompleted,
+		Failed:    st.RoundsFailed,
+
+		Sharded:       true,
+		Shards:        st.Shards,
+		Seals:         st.SealsReceived,
+		BytesUpstream: st.BytesUpstream,
+
+		Tasks: taskProgress(coord.TaskStats()),
+	}}
+}
+
+// fleetProgress snapshots every registered population of the in-process
+// fleet as the shared progress blocks.
+func fleetProgress(fleet *repro.Fleet, names []string) []obs.PopulationProgress {
+	out := make([]obs.PopulationProgress, 0, len(names))
+	for _, name := range names {
+		st, err := fleet.PopulationStats(name)
+		if err != nil {
+			continue
+		}
+		p := obs.PopulationProgress{
+			Name:      name,
+			Round:     st.Coordinator.CurrentRound,
+			Completed: st.Coordinator.RoundsCompleted,
+			Failed:    st.Coordinator.RoundsFailed,
+
+			Accepted: st.Selector.Accepted,
+			Rejected: st.Selector.Rejected,
+			Held:     int64(st.Selector.Held),
+		}
+		if ts, err := fleet.TaskStats(name); err == nil {
+			p.Tasks = taskProgress(ts)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// logProgress prints progress blocks through the standard logger, one log
+// line per rendered line (so every line keeps its timestamp prefix).
+func logProgress(pops []obs.PopulationProgress) {
+	for _, p := range pops {
+		for _, line := range strings.Split(p.String(), "\n") {
+			log.Print(line)
+		}
+	}
+}
+
+// serveObs starts the observability HTTP surface when -obs-listen is set
+// (empty addr = no-op) and logs where it landed.
+func serveObs(addr, title string, progress func() []obs.PopulationProgress) *obs.Server {
+	srv, err := obs.Default.Serve(addr, obs.WithTitle(title), obs.WithProgress(progress))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if srv != nil {
+		log.Printf("observability surface on http://%s (/metrics, /debug/vars, /debug/pprof, /dashboard)", srv.Addr())
+	}
+	return srv
+}
+
 // runCoordinator is flserver's coordinator mode: one population, round
 // state and the lock service owned here, device traffic terminated by the
 // flselector shards that dial in.
-func runCoordinator(shardListen, population string, p *repro.Plan, store storage.Store, rounds, minShards int) {
+func runCoordinator(shardListen, obsListen, population string, p *repro.Plan, store storage.Store, rounds, minShards int) {
 	coord, err := shard.NewCoordinatorProc(shard.CoordinatorConfig{
 		Population: population,
 		Plans:      []*repro.Plan{p},
@@ -81,6 +169,11 @@ func runCoordinator(shardListen, population string, p *repro.Plan, store storage
 		population, l.Addr(), rounds, minShards)
 	go coord.Serve(l)
 
+	if srv := serveObs(obsListen, "fl coordinator: "+population,
+		func() []obs.PopulationProgress { return coordProgress(population, coord) }); srv != nil {
+		defer srv.Close()
+	}
+
 	ticker := time.NewTicker(2 * time.Second)
 	defer ticker.Stop()
 	for {
@@ -99,19 +192,12 @@ func runCoordinator(shardListen, population string, p *repro.Plan, store storage
 				st.SealsReceived, st.BytesUpstream)
 			return
 		case <-ticker.C:
-			st, err := coord.Stats()
-			if err != nil {
-				log.Printf("%s: stats unavailable: %v", population, err)
+			pops := coordProgress(population, coord)
+			if len(pops) == 0 {
+				log.Printf("%s: stats unavailable", population)
 				continue
 			}
-			log.Printf("%s: round %d, %d completed, %d failed; %d shard(s) connected, %d seals / %d bytes upstream",
-				population, st.CurrentRound, st.RoundsCompleted, st.RoundsFailed,
-				st.Shards, st.SealsReceived, st.BytesUpstream)
-			for _, t := range coord.TaskStats() {
-				if t.Note != "" {
-					log.Printf("  task %s [%s %s]: %s", t.ID, t.Type, t.State, t.Note)
-				}
-			}
+			logProgress(pops)
 		}
 	}
 }
@@ -176,6 +262,7 @@ func main() {
 	tasksDir := flag.String("tasks-dir", "", "directory watched for task op files (JSON); submit/pause/resume/retire tasks on the live process")
 	shardListen := flag.String("shard-listen", "", "coordinator mode: listen for flselector shard links on this address instead of serving devices")
 	minShards := flag.Int("min-shards", 1, "coordinator mode: shards required before a round starts")
+	obsListen := flag.String("obs-listen", "", "serve /metrics, /debug/vars, /debug/pprof and /dashboard on this address (empty = off)")
 	flag.Parse()
 	if len(populations) == 0 {
 		populations = cliutil.ListFlag{"gboard"}
@@ -209,7 +296,7 @@ func main() {
 				log.Fatal(err)
 			}
 		}
-		runCoordinator(*shardListen, name, p, store, *rounds, *minShards)
+		runCoordinator(*shardListen, *obsListen, name, p, store, *rounds, *minShards)
 		return
 	}
 
@@ -272,6 +359,11 @@ func main() {
 
 	go fleet.Serve(l)
 
+	if srv := serveObs(*obsListen, "fl fleet gateway",
+		func() []obs.PopulationProgress { return fleetProgress(fleet, populations) }); srv != nil {
+		defer srv.Close()
+	}
+
 	if *tasksDir != "" {
 		go watchTasksDir(fleet, *tasksDir)
 	}
@@ -307,26 +399,7 @@ func main() {
 			}
 			return
 		case <-ticker.C:
-			for _, ps := range states {
-				st, err := fleet.PopulationStats(ps.name)
-				if err != nil {
-					log.Printf("%s: stats unavailable: %v", ps.name, err)
-					continue
-				}
-				log.Printf("%s: round %d, %d completed, %d failed; selector accepted=%d rejected=%d held=%d",
-					ps.name, st.Coordinator.CurrentRound, st.Coordinator.RoundsCompleted, st.Coordinator.RoundsFailed,
-					st.Selector.Accepted, st.Selector.Rejected, st.Selector.Held)
-				if ts, err := fleet.TaskStats(ps.name); err == nil {
-					for _, t := range ts {
-						note := ""
-						if t.Note != "" {
-							note = " — " + t.Note
-						}
-						log.Printf("  task %s [%s %s]: %d committed, %d failed, %d devices%s",
-							t.ID, t.Type, t.State, t.RoundsCommitted, t.RoundsFailed, t.Devices, note)
-					}
-				}
-			}
+			logProgress(fleetProgress(fleet, populations))
 		}
 	}
 }

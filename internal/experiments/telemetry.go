@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TelemetryRow is one instrument's measured hot-path cost.
+type TelemetryRow struct {
+	Instrument string
+	Ops        int
+	NsPerOp    float64
+}
+
+// TelemetryResult is the telemetry-overhead experiment (DESIGN.md §4): the
+// per-event cost of every obs instrument class on the paths the round hot
+// loop touches, measured on a private registry so the numbers are not
+// polluted by (and do not pollute) the process-wide Default registry. The
+// companion macro check is the A/B of BenchmarkRoundThroughput against the
+// pre-telemetry baseline: B/op on the report hot loop must be unchanged,
+// since the loop only ever executes atomic counter increments.
+type TelemetryResult struct {
+	Rows []TelemetryRow
+}
+
+// Format implements the flbench formatter.
+func (r *TelemetryResult) Format() string {
+	var b strings.Builder
+	b.WriteString("Telemetry overhead (per-event instrument cost, private registry)\n")
+	b.WriteString("  instrument                     ops      ns/op\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-28s %8d %10.1f\n", row.Instrument, row.Ops, row.NsPerOp)
+	}
+	return b.String()
+}
+
+// timeOp measures fn over ops iterations and returns ns/op.
+func timeOp(ops int, fn func(i int)) float64 {
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		fn(i)
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(ops)
+}
+
+// TelemetryOverhead measures the obs instruments' per-event costs.
+func TelemetryOverhead() (*TelemetryResult, error) {
+	reg := obs.NewRegistry()
+	out := &TelemetryResult{}
+	add := func(name string, ops int, ns float64) {
+		out.Rows = append(out.Rows, TelemetryRow{Instrument: name, Ops: ops, NsPerOp: ns})
+	}
+
+	// The three hot-loop-eligible operations: cached-pointer atomic ops.
+	c := reg.Counter("exp_counter")
+	add("counter.Inc (cached)", 10_000_000, timeOp(10_000_000, func(int) { c.Inc() }))
+	g := reg.Gauge("exp_gauge")
+	add("gauge.Set (cached)", 10_000_000, timeOp(10_000_000, func(i int) { g.Set(float64(i)) }))
+	s := reg.Summary("exp_summary")
+	add("summary.Observe (P2)", 1_000_000, timeOp(1_000_000, func(i int) { s.Observe(float64(i % 1000)) }))
+
+	// Registry-mediated lookup: what a call site pays when it does NOT
+	// cache the instrument pointer (mutex + map hit). Never on hot loops.
+	add("registry Counter lookup", 1_000_000, timeOp(1_000_000, func(int) { reg.Counter("exp_counter").Inc() }))
+
+	// Control-plane operations, paid once per round or per scrape.
+	for i := 0; i < 64; i++ {
+		reg.Counter(obs.Label("exp_fan", "i", fmt.Sprint(i))).Add(int64(i))
+		reg.Summary(obs.Label("exp_fan_s", "i", fmt.Sprint(i))).Observe(float64(i))
+	}
+	add("registry.Export (128 series)", 10_000, timeOp(10_000, func(int) { reg.Export() }))
+	add("WritePrometheus (128 series)", 10_000, timeOp(10_000, func(int) {
+		var b strings.Builder
+		reg.WritePrometheus(&b)
+	}))
+	trace := obs.RoundTrace{
+		TaskID: "exp/train", Round: 1, TotalNanos: int64(time.Second),
+		Phases: map[string]int64{
+			obs.PhaseCheckin: 1e6, obs.PhaseConfigure: 2e6, obs.PhaseReportWindow: 3e6,
+			obs.PhaseEdgeAccumulate: 4e6, obs.PhaseCommit: 5e6,
+		},
+		Committed: true, Reports: 100,
+	}
+	add("RecordTrace (5 phases)", 100_000, timeOp(100_000, func(int) { _ = reg.RecordTrace(trace, nil) }))
+	add("RoundTrace JSONL marshal", 100_000, timeOp(100_000, func(int) { _ = trace.MarshalJSONL() }))
+	return out, nil
+}

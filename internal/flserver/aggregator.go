@@ -14,6 +14,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/fedavg"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/protocol"
 	"repro/internal/secagg"
@@ -60,6 +61,9 @@ type Aggregator struct {
 	// secBlamed carries the secagg run's attributed exclusions into the
 	// group result.
 	secBlamed []string
+	// secPhases carries the secagg run's per-phase wall times into the
+	// group result for the round tracer.
+	secPhases map[string]time.Duration
 	// finalizing is set once msgFinalizeGroup arrives; the actor may stay
 	// alive awaiting msgSecAggDone and must reject any late adds. done is
 	// set once the group result has been reported, so a late secagg result
@@ -115,6 +119,8 @@ type msgSecAggDone struct {
 	// Blamed lists devices the run excluded with attribution
 	// ("deviceID: reason"); populated on success and on abort.
 	Blamed []string
+	// Phases is the run's per-phase wall time (secagg.Result.Phases).
+	Phases map[string]time.Duration
 	Err    error
 }
 
@@ -153,6 +159,11 @@ func (a *Aggregator) onAdd(m msgAddUpdate) {
 	// a stalled socket must never block the group) and to the Master
 	// Aggregator for round accounting.
 	resolve := func(ok bool, reason string) {
+		if ok {
+			obsReportsOK.Inc()
+		} else {
+			obsReportsRejected.Inc()
+		}
 		if m.Conn != nil {
 			sendThenClose(m.Conn, protocol.ReportResponse{Accepted: ok, Reason: reason})
 		}
@@ -329,6 +340,7 @@ func (a *Aggregator) onFinalize(ctx *actor.Context, m msgFinalizeGroup) {
 			if res != nil {
 				done.Sum = res.Sum
 				done.Survivors = len(res.Survivors)
+				done.Phases = res.Phases
 				for id, why := range res.Blamed {
 					name := secDevice[id]
 					if name == "" {
@@ -350,6 +362,7 @@ func (a *Aggregator) onSecAggDone(ctx *actor.Context, m msgSecAggDone) {
 		return
 	}
 	a.secBlamed = m.Blamed
+	a.secPhases = m.Phases
 	if m.Err != nil {
 		a.finish(ctx, m.Err.Error())
 		return
@@ -375,7 +388,7 @@ func (a *Aggregator) onSecAggTimeout(ctx *actor.Context) {
 func (a *Aggregator) finish(ctx *actor.Context, errStr string) {
 	defer ctx.Stop()
 	a.done = true
-	res := msgGroupResult{From: ctx.Self, Count: a.acc.Count() + a.evalCount, Metrics: a.metrics, Err: errStr, Blamed: a.secBlamed}
+	res := msgGroupResult{From: ctx.Self, Count: a.acc.Count() + a.evalCount, Metrics: a.metrics, Err: errStr, Blamed: a.secBlamed, Phases: a.secPhases}
 	if a.acc.Count() > 0 {
 		res.Weight = a.acc.Weight()
 		sum := make(tensor.Vector, a.dim)
@@ -434,6 +447,16 @@ type MasterAggregator struct {
 	partials   []msgGroupResult
 	startedAt  time.Time
 	reportOpen time.Time
+
+	// Round tracer state (obs): per-phase durations recorded at the phase
+	// boundaries and materialized as one RoundTrace on commit or failure.
+	// configNanos is written by the fan-out completion goroutine, hence
+	// atomic; everything else is actor-goroutine-only.
+	checkinNanos int64
+	configNanos  atomic.Int64
+	windowNanos  int64
+	finalizeAt   time.Time
+	secPhases    map[string]time.Duration
 }
 
 // msgStartRound kicks the Master Aggregator off.
@@ -464,6 +487,7 @@ func NewMasterAggregator(p *plan.Plan, global *checkpoint.Checkpoint, store stor
 		now:        now,
 		state:      "selecting",
 		devices:    make(map[string]*deviceState),
+		secPhases:  make(map[string]time.Duration),
 	}
 }
 
@@ -601,6 +625,7 @@ func fanoutWorkers(jobs int) int {
 func (ma *MasterAggregator) beginReporting(ctx *actor.Context) {
 	ma.state = "reporting"
 	ma.reportOpen = ma.now()
+	ma.checkinNanos = ma.reportOpen.Sub(ma.startedAt).Nanoseconds()
 
 	ckptBytes, err := ma.global.Marshal(checkpoint.EncodingFloat64)
 	if err != nil {
@@ -675,6 +700,7 @@ func (ma *MasterAggregator) beginReporting(ctx *actor.Context) {
 			} else {
 				planBytes, err := vp.Marshal()
 				planMarshals.Add(1)
+				obsPlanMarshals.Inc()
 				if err != nil {
 					ma.fail(ctx, "marshal plan: "+err.Error())
 					return
@@ -747,6 +773,7 @@ func (ma *MasterAggregator) beginReporting(ctx *actor.Context) {
 	// deadline), and the round must still time out rather than hang; the
 	// eventual fail()/finalize() closes that conn, unblocking the worker.
 	reportTimeout := ma.plan.Server.ReportTimeout
+	cfgStart := time.Now()
 	go func() {
 		sent := make(chan struct{})
 		go func() {
@@ -757,6 +784,10 @@ func (ma *MasterAggregator) beginReporting(ctx *actor.Context) {
 		case <-sent:
 		case <-time.After(reportTimeout):
 		}
+		// Configure span: fan-out start → every device's plan/checkpoint
+		// send done (or the wait cap). Wall clock, not ma.now — the span
+		// measures real socket time and is read only by the tracer.
+		ma.configNanos.Store(time.Since(cfgStart).Nanoseconds())
 		time.AfterFunc(reportTimeout, func() { _ = self.Send(msgReportTimeout{}) })
 	}()
 }
@@ -772,12 +803,14 @@ func (r reportReader) read(deviceID string, conn transport.Conn, group actor.Ref
 	msg, err := conn.Recv()
 	if err != nil {
 		_ = conn.Close()
+		obsDevicesLost.Inc()
 		_ = r.self.Send(msgDeviceLost{DeviceID: deviceID})
 		return
 	}
 	req, ok := msg.(protocol.ReportRequest)
 	if !ok {
 		_ = conn.Close()
+		obsDevicesLost.Inc()
 		_ = r.self.Send(msgDeviceLost{DeviceID: deviceID})
 		return
 	}
@@ -785,6 +818,7 @@ func (r reportReader) read(deviceID string, conn transport.Conn, group actor.Ref
 	// then answers the device from this goroutine — a stalled peer stalls
 	// only its own reader, for at most abortGrace.
 	reject := func(reason string) {
+		obsReportsRejected.Inc()
 		_ = r.self.Send(msgReportDone{DeviceID: deviceID})
 		sendWithGrace(conn, protocol.ReportResponse{Accepted: false, Reason: reason})
 	}
@@ -792,6 +826,7 @@ func (r reportReader) read(deviceID string, conn transport.Conn, group actor.Ref
 	// reporting window (the '#' outcome of Table 1) — no accounting: the
 	// round already settled this device's fate.
 	late := func() {
+		obsReportsLate.Inc()
 		sendWithGrace(conn, protocol.ReportResponse{Accepted: false, Reason: "reporting window closed"})
 	}
 	if req.Aborted {
@@ -813,6 +848,7 @@ func (r reportReader) read(deviceID string, conn transport.Conn, group actor.Ref
 			late()
 			return
 		}
+		obsReportsOK.Inc()
 		_ = r.self.Send(msgReportDone{DeviceID: deviceID, OK: true})
 		sendWithGrace(conn, protocol.ReportResponse{Accepted: true})
 		return
@@ -856,6 +892,8 @@ func (r reportReader) read(deviceID string, conn transport.Conn, group actor.Ref
 	case err != nil:
 		reject(err.Error())
 	default:
+		obsReportsOK.Inc()
+		obsEdgeFolds.Inc()
 		_ = r.self.Send(msgReportDone{DeviceID: deviceID, OK: true})
 		sendWithGrace(conn, protocol.ReportResponse{Accepted: true})
 	}
@@ -919,6 +957,8 @@ const abortGrace = 5 * time.Second
 // aborts devices that are no longer needed.
 func (ma *MasterAggregator) finalize(ctx *actor.Context) {
 	ma.state = "collecting"
+	ma.finalizeAt = ma.now()
+	ma.windowNanos = ma.finalizeAt.Sub(ma.reportOpen).Nanoseconds()
 	// Seal the stripes BEFORE handing them to the Aggregators: a reader
 	// racing the window close gets ErrPartialClosed and answers its device
 	// "window closed" instead of folding into a stripe mid-merge.
@@ -974,6 +1014,10 @@ func (ma *MasterAggregator) onGroupResult(ctx *actor.Context, m msgGroupResult) 
 	if len(ma.partials) < len(ma.aggs) {
 		return
 	}
+	// Edge-accumulate span: window close → last group partial collected
+	// (stripe drain + merge + any secagg runs; the secagg sub-spans below
+	// break the secure part out).
+	edgeNanos := ma.now().Sub(ma.finalizeAt).Nanoseconds()
 
 	// All partials in: merge (the Master Aggregator's final, non-secure
 	// combination of intermediate sums, Sec. 6).
@@ -988,6 +1032,13 @@ func (ma *MasterAggregator) onGroupResult(ctx *actor.Context, m msgGroupResult) 
 			groupErrs = append(groupErrs, p.Err)
 		}
 		blamed = append(blamed, p.Blamed...)
+		// Groups finalize concurrently, so the round's secagg phase cost is
+		// the slowest group's — max-merge, don't sum.
+		for name, d := range p.Phases {
+			if d > ma.secPhases[name] {
+				ma.secPhases[name] = d
+			}
+		}
 		// Metrics flow regardless of finalization errors: they never went
 		// through the secure path and describe reports that did complete.
 		for name, vs := range p.Metrics {
@@ -1013,6 +1064,7 @@ func (ma *MasterAggregator) onGroupResult(ctx *actor.Context, m msgGroupResult) 
 		ma.fail(ctx, reason)
 		return
 	}
+	commitStart := ma.now()
 	newGlobal := ma.global
 	if !evalOnly {
 		avg, err := acc.Average()
@@ -1042,6 +1094,7 @@ func (ma *MasterAggregator) onGroupResult(ctx *actor.Context, m msgGroupResult) 
 		mat.Stats[name] = s.Snapshot()
 	}
 	_ = ma.store.PutMetrics(mat)
+	commitNanos := ma.now().Sub(commitStart).Nanoseconds()
 
 	aborted := 0
 	for _, ds := range ma.devices {
@@ -1050,6 +1103,7 @@ func (ma *MasterAggregator) onGroupResult(ctx *actor.Context, m msgGroupResult) 
 		}
 	}
 	ma.state = "done"
+	ma.recordTrace(true, newGlobal.Round, reports, aborted, len(blamed), edgeNanos, commitNanos, "")
 	_ = ma.coord.Send(msgRoundComplete{
 		TaskID:        ma.plan.ID,
 		Round:         newGlobal.Round,
@@ -1063,8 +1117,44 @@ func (ma *MasterAggregator) onGroupResult(ctx *actor.Context, m msgGroupResult) 
 	ctx.Stop()
 }
 
+// recordTrace materializes this round's phase trace through the process
+// registry (fl_round_phase_seconds series, committed/failed counters) and
+// persists one JSONL record when the store supports obs.TraceStore.
+func (ma *MasterAggregator) recordTrace(committed bool, round int64, reports, aborted, blamed int, edgeNanos, commitNanos int64, failReason string) {
+	phases := make(map[string]int64, 8)
+	put := func(name string, ns int64) {
+		if ns > 0 {
+			phases[name] = ns
+		}
+	}
+	put(obs.PhaseCheckin, ma.checkinNanos)
+	put(obs.PhaseConfigure, ma.configNanos.Load())
+	put(obs.PhaseReportWindow, ma.windowNanos)
+	put(obs.PhaseEdgeAccumulate, edgeNanos)
+	for name, d := range ma.secPhases {
+		put("secagg_"+name, d.Nanoseconds())
+	}
+	put(obs.PhaseCommit, commitNanos)
+	ts, _ := ma.store.(obs.TraceStore)
+	_ = obs.Default.RecordTrace(obs.RoundTrace{
+		Population: ma.plan.Population,
+		TaskID:     ma.plan.ID,
+		Round:      round,
+		Start:      ma.startedAt,
+		TotalNanos: ma.now().Sub(ma.startedAt).Nanoseconds(),
+		Phases:     phases,
+		Committed:  committed,
+		Reports:    reports,
+		Lost:       ma.lost,
+		Aborted:    aborted,
+		Blamed:     blamed,
+		FailReason: failReason,
+	}, ts)
+}
+
 func (ma *MasterAggregator) fail(ctx *actor.Context, reason string) {
 	ma.state = "done"
+	ma.recordTrace(false, ma.global.Round, ma.completed, 0, 0, 0, 0, reason)
 	if ma.ingest != nil {
 		// Seal the stripes: readers still in flight get ErrPartialClosed
 		// rather than folding into an abandoned round.

@@ -2,10 +2,12 @@ package flserver
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/actor"
 	"repro/internal/fedavg"
+	"repro/internal/obs"
 	"repro/internal/protocol"
 	"repro/internal/transport"
 )
@@ -52,6 +54,11 @@ type EdgeSeal struct {
 	Seal       fedavg.SealedStripe
 	Lost       int
 	Aborted    int
+	// Phases maps round-lifecycle phase name (obs.PhaseConfigure etc.) to
+	// wall nanoseconds this shard spent in it. The coordinator max-merges
+	// the per-shard maps into the round trace: the fleet-wide cost of a
+	// phase is its slowest shard.
+	Phases map[string]int64
 }
 
 // msgEdgeStart kicks off a spawned edge round.
@@ -100,6 +107,15 @@ type EdgeRound struct {
 	sealed    bool
 	// topUpAt round-robins replacement-quota requests across Selectors.
 	topUpAt int
+
+	// startAt anchors the report-window span; checkinNanos is the wait for
+	// the first device batch (round start → the Selectors delivering);
+	// configNanos accumulates the configuration fan-out wall time across
+	// device batches (written by the fan-out completion goroutines, read at
+	// seal time).
+	startAt      time.Time
+	checkinNanos int64
+	configNanos  atomic.Int64
 }
 
 // NewEdgeRound returns the behavior for one shard-local round. ship runs on
@@ -147,6 +163,7 @@ func (er *EdgeRound) Receive(ctx *actor.Context, msg actor.Message) {
 // window. The device-facing response frame is encoded once here and shared
 // by every configuration send.
 func (er *EdgeRound) start(ctx *actor.Context) {
+	er.startAt = time.Now()
 	er.ingest = newRoundIngest(er.cfg.Dim)
 	er.resp = transport.Encode(protocol.CheckinResponse{
 		Accepted:       true,
@@ -192,6 +209,9 @@ func (er *EdgeRound) onDevices(ctx *actor.Context, m msgDevices) {
 			sendThenClose(d.Conn, protocol.Abort{TaskID: er.cfg.TaskID, Round: er.cfg.Round, Reason: "round sealed"})
 		}
 		return
+	}
+	if er.checkinNanos == 0 && len(m.Devices) > 0 {
+		er.checkinNanos = time.Since(er.startAt).Nanoseconds()
 	}
 	jobs := make([]configJob, 0, len(m.Devices))
 	dups := 0
@@ -243,6 +263,11 @@ func (er *EdgeRound) onDevices(ctx *actor.Context, m msgDevices) {
 			}
 		}()
 	}
+	batchStart := time.Now()
+	go func() {
+		sends.Wait()
+		er.configNanos.Add(time.Since(batchStart).Nanoseconds())
+	}()
 }
 
 func (er *EdgeRound) noteOutcome(ctx *actor.Context, deviceID string, ok bool) {
@@ -296,6 +321,8 @@ func (er *EdgeRound) seal(ctx *actor.Context) {
 		return
 	}
 	er.sealed = true
+	windowNanos := time.Since(er.startAt).Nanoseconds()
+	mergeStart := time.Now()
 	er.ingest.close()
 	sealed, err := fedavg.SealStripes(er.ingest.stripes)
 	if err != nil {
@@ -317,6 +344,16 @@ func (er *EdgeRound) seal(ctx *actor.Context) {
 		_ = sel.Send(msgSetQuota{Population: er.cfg.Population, Accept: 0})
 	}
 	if er.ship != nil {
+		phases := map[string]int64{
+			obs.PhaseReportWindow:   windowNanos,
+			obs.PhaseEdgeAccumulate: time.Since(mergeStart).Nanoseconds(),
+		}
+		if er.checkinNanos > 0 {
+			phases[obs.PhaseCheckin] = er.checkinNanos
+		}
+		if cfgNs := er.configNanos.Load(); cfgNs > 0 {
+			phases[obs.PhaseConfigure] = cfgNs
+		}
 		er.ship(EdgeSeal{
 			Population: er.cfg.Population,
 			TaskID:     er.cfg.TaskID,
@@ -324,6 +361,7 @@ func (er *EdgeRound) seal(ctx *actor.Context) {
 			Seal:       sealed,
 			Lost:       er.lost,
 			Aborted:    aborted,
+			Phases:     phases,
 		})
 	}
 	er.lingerThenStop(ctx)

@@ -197,6 +197,10 @@ type msgGroupResult struct {
 	// attributed reason ("deviceID: reason") — poisoned share dealers,
 	// forged unmask responders. Populated on success and on abort.
 	Blamed []string
+	// Phases maps secagg phase name (advertise, share, commit, unmask) to
+	// the wall time this group spent in it, for the round tracer. Nil for
+	// insecure groups.
+	Phases map[string]time.Duration
 }
 
 // --- Coordinator messages ---

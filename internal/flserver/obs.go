@@ -1,0 +1,18 @@
+package flserver
+
+import "repro/internal/obs"
+
+// Process-wide flserver instruments, registered once and cached as package
+// vars so the report hot loop and the check-in path pay exactly one atomic
+// add per event — no map lookups, no locks, no allocation.
+var (
+	obsCheckins        = obs.Default.Counter("fl_checkins_total")
+	obsCheckinAccepted = obs.Default.Counter("fl_checkin_accepted_total")
+	obsCheckinRejected = obs.Default.Counter("fl_checkin_rejected_total")
+	obsReportsOK       = obs.Default.Counter("fl_reports_total")
+	obsReportsRejected = obs.Default.Counter("fl_reports_rejected_total")
+	obsReportsLate     = obs.Default.Counter("fl_reports_late_total")
+	obsDevicesLost     = obs.Default.Counter("fl_devices_lost_total")
+	obsEdgeFolds       = obs.Default.Counter("fl_edge_stripe_folds_total")
+	obsPlanMarshals    = obs.Default.Counter("fl_plan_marshals_total")
+)

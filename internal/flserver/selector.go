@@ -245,6 +245,7 @@ func (s *Selector) releaseParked(name string) {
 // rejectConn answers a check-in with a steering-backed rejection and closes
 // the connection.
 func (s *Selector) rejectConn(conn transport.Conn, reason string, st *pacing.Steering, estimate, demand int, now time.Time) {
+	obsCheckinRejected.Inc()
 	_ = conn.Send(protocol.CheckinResponse{
 		Accepted:   false,
 		Reason:     reason,
@@ -254,6 +255,7 @@ func (s *Selector) rejectConn(conn transport.Conn, reason string, st *pacing.Ste
 }
 
 func (s *Selector) onCheckin(m msgCheckin) {
+	obsCheckins.Inc()
 	now := s.now()
 	p, ok := s.pops[m.Req.Population]
 	if !ok {
@@ -310,6 +312,7 @@ func (s *Selector) onCheckin(m msgCheckin) {
 	}
 	p.quota--
 	p.accepted++
+	obsCheckinAccepted.Inc()
 	d := heldDevice{
 		ID:             m.Req.DeviceID,
 		RuntimeVersion: m.Req.RuntimeVersion,

@@ -123,6 +123,15 @@ func (q *Quantile) Value() float64 {
 // Count returns the number of observations.
 func (q *Quantile) Count() int { return q.n }
 
+// Reset returns the estimator to its empty state, keeping the target
+// quantile. Pooled summaries reuse their estimators across rounds instead
+// of reallocating five-marker state per round.
+func (q *Quantile) Reset() {
+	q.n = 0
+	q.initial = q.initial[:0]
+	q.q, q.pos, q.want, q.inc = [5]float64{}, [5]float64{}, [5]float64{}, [5]float64{}
+}
+
 // Summary condenses a stream of observations into moments and the standard
 // quantile set (P50/P90/P99). Safe for concurrent use.
 type Summary struct {
@@ -168,16 +177,30 @@ type Snapshot struct {
 	P50, P90, P99 float64
 }
 
-// Snapshot returns the current state.
+// Reset returns the summary to its empty state so it can be pooled and
+// reused across rounds (the obs round tracer keeps per-phase summaries
+// alive for the process lifetime and resets them per materialization).
+func (s *Summary) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n = 0
+	s.sum, s.sumSq = 0, 0
+	s.min, s.max = math.Inf(1), math.Inf(-1)
+	s.p50.Reset()
+	s.p90.Reset()
+	s.p99.Reset()
+}
+
+// Snapshot returns the current state. An empty summary snapshots as all
+// zeros — NOT the internal ±Inf min/max sentinels and NOT NaN, so a
+// snapshot is always JSON-encodable (encoding/json rejects NaN/Inf) and a
+// pooled-but-unused summary cannot leak ±Inf into a materialized record.
 func (s *Summary) Snapshot() Snapshot {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	snap := Snapshot{Count: s.n, Min: s.min, Max: s.max}
 	if s.n == 0 {
-		snap.Mean, snap.Std = math.NaN(), math.NaN()
-		snap.Min, snap.Max = math.NaN(), math.NaN()
-		snap.P50, snap.P90, snap.P99 = math.NaN(), math.NaN(), math.NaN()
-		return snap
+		return Snapshot{}
 	}
 	snap.Mean = s.sum / float64(s.n)
 	variance := s.sumSq/float64(s.n) - snap.Mean*snap.Mean

@@ -91,9 +91,31 @@ func TestSummaryMoments(t *testing.T) {
 }
 
 func TestSummaryEmpty(t *testing.T) {
+	// An empty summary snapshots as all zeros: the internal ±Inf min/max
+	// sentinels must not leak (they would poison JSON encoding of pooled
+	// round-trace summaries).
 	snap := NewSummary().Snapshot()
-	if snap.Count != 0 || !math.IsNaN(snap.Mean) || !math.IsNaN(snap.P50) {
-		t.Fatalf("empty snapshot: %+v", snap)
+	if snap != (Snapshot{}) {
+		t.Fatalf("empty snapshot: %+v, want zero value", snap)
+	}
+}
+
+func TestSummaryReset(t *testing.T) {
+	s := NewSummary()
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i))
+	}
+	s.Reset()
+	if snap := s.Snapshot(); snap != (Snapshot{}) {
+		t.Fatalf("snapshot after Reset: %+v, want zero value", snap)
+	}
+	// A reset summary must behave exactly like a fresh one.
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	snap := s.Snapshot()
+	if snap.Count != 8 || snap.Mean != 5 || snap.Min != 2 || snap.Max != 9 {
+		t.Fatalf("snapshot after Reset+Add: %+v", snap)
 	}
 }
 

@@ -23,8 +23,13 @@ package pacing
 import (
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/tensor"
 )
+
+// obsSuggestions counts pace-steering reconnect hints handed to devices —
+// one per rejected or steered check-in across the whole process.
+var obsSuggestions = obs.Default.Counter("fl_pace_suggestions_total")
 
 // Steering computes reconnect windows. The zero value is not usable; use
 // New for defaults.
@@ -69,6 +74,7 @@ func (s *Steering) Suggest(population, demand int, now time.Time, rng *tensor.RN
 	if demand < 1 {
 		demand = 1
 	}
+	obsSuggestions.Inc()
 	var d time.Duration
 	if population <= s.SmallThreshold {
 		d = s.suggestSync(now, rng)

@@ -1,6 +1,13 @@
 package pacing
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// obsEstimate mirrors the live population estimate on /metrics.
+var obsEstimate = obs.Default.Gauge("fl_population_estimate")
 
 // RateSample is one source's observed check-in arrivals since its previous
 // sample. A source is one Selector actor in the single-process deployment,
@@ -72,7 +79,9 @@ func (t *RateTracker) Fold(s RateSample, now time.Time) int {
 		raw = 1e9
 	}
 	t.estimate = 0.5*t.estimate + 0.5*raw
-	return t.Estimate()
+	est := t.Estimate()
+	obsEstimate.Set(float64(est))
+	return est
 }
 
 // Forget drops a source's sample (a shard that disconnected stops counting

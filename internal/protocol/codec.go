@@ -40,6 +40,7 @@ const (
 	CodeLockRequest
 	CodeLockResponse
 	CodeHeartbeat
+	CodeTelemetrySnapshot
 )
 
 // MarshalBinaryParts encodes one of the five protocol messages as an

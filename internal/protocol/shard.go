@@ -139,6 +139,24 @@ type StripeSeal struct {
 	// Metrics are the device-reported metric samples collected by the
 	// shard's stripes.
 	Metrics map[string][]float64
+	// Phases carries the shard's per-phase durations (nanoseconds, keyed
+	// by obs phase name) for this round's edge work, so the coordinator's
+	// round trace covers the whole deployment, not just its own process.
+	Phases map[string]int64
+}
+
+// TelemetrySnapshot ships one process's obs registry export upstream
+// (shard→coordinator) on a periodic timer, so the coordinator's /metrics
+// surface aggregates the fleet: selector check-in counters, per-shard seal
+// latency summaries, secagg blame/dropout counts. Summaries are vectors in
+// obs summaryFields order [count, mean, std, min, max, p50, p90, p99].
+type TelemetrySnapshot struct {
+	Shard uint32
+	// Name is the shard's human-readable label (mirrors ShardHello.Name).
+	Name      string
+	Counters  map[string]int64
+	Gauges    map[string]float64
+	Summaries map[string][]float64
 }
 
 // CheckinRate reports a shard's observed device check-in rate
@@ -172,4 +190,5 @@ func init() {
 	gob.Register(RoundAbort{})
 	gob.Register(StripeSeal{})
 	gob.Register(CheckinRate{})
+	gob.Register(TelemetrySnapshot{})
 }

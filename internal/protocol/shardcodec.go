@@ -28,8 +28,9 @@ func marshalShardParts(msg interface{}) (code byte, parts [][]byte, ok bool) {
 		head = binary.BigEndian.AppendUint64(head, uint64(m.Lost))
 		head = binary.BigEndian.AppendUint64(head, math.Float64bits(m.Weight))
 		head = binary.BigEndian.AppendUint32(head, uint32(len(m.Sum)))
-		tail := make([]byte, 0, sizeMetricSamples(m.Metrics))
+		tail := make([]byte, 0, sizeMetricSamples(m.Metrics)+sizeNamedI64s(m.Phases))
 		tail = appendMetricSamples(tail, m.Metrics)
+		tail = appendNamedI64s(tail, m.Phases)
 		return CodeStripeSeal, [][]byte{head, m.Sum, tail}, true
 	case RoundConfig:
 		head := make([]byte, 0, sizeStr(m.Population)+sizeStr(m.TaskID)+8+8+8+8+1+8+8+4)
@@ -96,6 +97,15 @@ func marshalShardParts(msg interface{}) (code byte, parts [][]byte, ok bool) {
 		buf = binary.BigEndian.AppendUint64(buf, m.Seq)
 		buf = appendBool(buf, m.Ack)
 		return CodeHeartbeat, [][]byte{buf}, true
+	case TelemetrySnapshot:
+		buf := make([]byte, 0, 4+sizeStr(m.Name)+sizeNamedI64s(m.Counters)+
+			sizeMetrics(m.Gauges)+sizeMetricSamples(m.Summaries))
+		buf = binary.BigEndian.AppendUint32(buf, m.Shard)
+		buf = appendStr(buf, m.Name)
+		buf = appendNamedI64s(buf, m.Counters)
+		buf = appendMetrics(buf, m.Gauges)
+		buf = appendMetricSamples(buf, m.Summaries)
+		return CodeTelemetrySnapshot, [][]byte{buf}, true
 	}
 	return 0, nil, false
 }
@@ -117,6 +127,7 @@ func unmarshalShard(code byte, r *reader) (msg interface{}, handled bool) {
 		m.Weight = r.f64()
 		m.Sum = r.bytes()
 		m.Metrics = r.metricSamples()
+		m.Phases = r.namedI64s("seal phases")
 		return m, true
 	case CodeRoundConfig:
 		m := RoundConfig{}
@@ -182,6 +193,14 @@ func unmarshalShard(code byte, r *reader) (msg interface{}, handled bool) {
 		m.Seq = uint64(r.i64())
 		m.Ack = r.bool()
 		return m, true
+	case CodeTelemetrySnapshot:
+		m := TelemetrySnapshot{}
+		m.Shard = r.u32c("shard")
+		m.Name = r.str()
+		m.Counters = r.namedI64s("telemetry counters")
+		m.Gauges = r.metrics()
+		m.Summaries = r.metricSamples()
+		return m, true
 	}
 	return nil, false
 }
@@ -206,6 +225,48 @@ func appendMetricSamples(buf []byte, m map[string][]float64) []byte {
 		}
 	}
 	return buf
+}
+
+func sizeNamedI64s(m map[string]int64) int {
+	n := 4
+	for k := range m {
+		n += sizeStr(k) + 8
+	}
+	return n
+}
+
+func appendNamedI64s(buf []byte, m map[string]int64) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m)))
+	for k, v := range m {
+		buf = appendStr(buf, k)
+		buf = binary.BigEndian.AppendUint64(buf, uint64(v))
+	}
+	return buf
+}
+
+// namedI64s decodes a name→int64 map (telemetry counters, seal phase
+// durations). The entry count is validated against the bytes actually
+// remaining — each entry is ≥ 12 bytes (name length prefix + value) — so a
+// hostile count cannot commit memory proportional to its claim.
+func (r *reader) namedI64s(what string) map[string]int64 {
+	n := r.u32(what + " count")
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if n > len(r.b)/12 {
+		r.fail(what + " entries")
+		return nil
+	}
+	m := make(map[string]int64, n)
+	for i := 0; i < n; i++ {
+		k := r.str()
+		v := r.i64()
+		if r.err != nil {
+			return nil
+		}
+		m[k] = v
+	}
+	return m
 }
 
 func (r *reader) u32c(what string) uint32 {

@@ -16,7 +16,8 @@ func shardMessages() []interface{} {
 		StripeSeal{Population: "pop", TaskID: "task", Round: 7, Shard: 2,
 			Reports: 100, EvalReports: 3, Lost: 4, Weight: 41.5,
 			Sum:     []byte{1, 2, 3, 4, 5, 6, 7, 8},
-			Metrics: map[string][]float64{"train_loss": {0.5, 0.25}, "train_acc": {1}}},
+			Metrics: map[string][]float64{"train_loss": {0.5, 0.25}, "train_acc": {1}},
+			Phases:  map[string]int64{"configure": 12_000_000, "edge_accumulate": 34_000_000}},
 		StripeSeal{},
 		RoundConfig{Population: "pop", TaskID: "task", Round: 9, Target: 100,
 			Admit: 130, Estimate: 5000, EvalOnly: true,
@@ -40,6 +41,11 @@ func shardMessages() []interface{} {
 		LockResponse{},
 		Heartbeat{Seq: 99, Ack: true},
 		Heartbeat{},
+		TelemetrySnapshot{Shard: 3, Name: "shard-3",
+			Counters:  map[string]int64{"fl_checkins_total": 512, "fl_reports_total": 40},
+			Gauges:    map[string]float64{"fl_checkin_rate": 12.5},
+			Summaries: map[string][]float64{"fl_seal_seconds": {4, 0.5, 0.1, 0.2, 0.9, 0.5, 0.8, 0.9}}},
+		TelemetrySnapshot{},
 	}
 }
 
@@ -109,6 +115,8 @@ func hostileShardPayloads() map[string][2]interface{} {
 		"stripe-seal 1B metric entries": {CodeStripeSeal, hU32(append(sealHead(0), []byte{}...), 0x40000000)},
 		"stripe-seal 1B metric values": {CodeStripeSeal,
 			hU32(hStr(hU32(sealHead(0), 1), "k"), 0x40000000)},
+		"stripe-seal 1B phase entries": {CodeStripeSeal,
+			hU32(hU32(sealHead(0), 0), 0x40000000)},
 		"round-config plan 4GiB":       {CodeRoundConfig, hU32(rcHead(), 0xFFFFFFFF)},
 		"round-config checkpoint 4GiB": {CodeRoundConfig, hU32(hU32(rcHead(), 0), 0xFFFFFFF0)},
 		"round-abort reason 4GiB":      {CodeRoundAbort, hU32(hU64(hStr(hStr(nil, ""), ""), 1), 0xFFFFFFFF)},
@@ -117,6 +125,12 @@ func hostileShardPayloads() map[string][2]interface{} {
 		"actor-envelope payload 2GiB":  {CodeActorEnvelope, hU32(hStr(nil, "t"), 0x7FFFFFFF)},
 		"lock-request key 4GiB":        {CodeLockRequest, hU32(append(hU64(nil, 1), 2), 0xFFFFFFFF)},
 		"lock-response owner 4GiB":     {CodeLockResponse, hU32(append(hU64(nil, 1), 1), 0xFFFFFFFF)},
+		"telemetry name 4GiB":          {CodeTelemetrySnapshot, hU32(hU32(nil, 1), 0xFFFFFFFF)},
+		"telemetry 1B counters":        {CodeTelemetrySnapshot, hU32(hStr(hU32(nil, 1), "s"), 0x40000000)},
+		"telemetry 1B gauges": {CodeTelemetrySnapshot,
+			hU32(hU32(hStr(hU32(nil, 1), "s"), 0), 0x40000000)},
+		"telemetry 1B summary values": {CodeTelemetrySnapshot,
+			hU32(hStr(hU32(hU32(hU32(hStr(hU32(nil, 1), "s"), 0), 0), 1), "k"), 0x40000000)},
 	}
 }
 
@@ -137,7 +151,7 @@ func TestShardCodecUnknownTypeCodes(t *testing.T) {
 		CodeStripeSeal: true, CodeRoundConfig: true, CodeRoundFinalize: true,
 		CodeRoundAbort: true, CodeShardHello: true, CodeCheckinRate: true,
 		CodeActorEnvelope: true, CodeLockRequest: true, CodeLockResponse: true,
-		CodeHeartbeat: true,
+		CodeHeartbeat: true, CodeTelemetrySnapshot: true,
 	}
 	payload := make([]byte, 64)
 	for c := 0; c < 256; c++ {

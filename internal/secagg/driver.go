@@ -1,6 +1,9 @@
 package secagg
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Schedule injects fleet churn and adversarial behaviour into an in-process
 // Secure Aggregation run, one knob per protocol phase boundary. Device ids
@@ -49,7 +52,20 @@ type Result struct {
 	Blamed map[int]string
 	// Responded is the number of admitted unmask responses.
 	Responded int
+	// Phases maps protocol phase name (advertise, share, commit, unmask)
+	// to wall time spent in it, for the round tracer. On abort it holds
+	// the phases that completed before the failure.
+	Phases map[string]time.Duration
 }
+
+// Secure Aggregation phase names as recorded in Result.Phases. They match
+// the obs round-trace secagg span names minus the "secagg_" prefix.
+const (
+	phaseAdvertise = "advertise"
+	phaseShare     = "share"
+	phaseCommit    = "commit"
+	phaseUnmask    = "unmask"
+)
 
 // Run executes a complete honest-but-churning instance: the legacy
 // two-knob entry point kept for the benchmarks and older callers. See
@@ -89,7 +105,13 @@ func RunSchedule(cfg Config, inputs map[int][]float64, sched Schedule) (*Result,
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Blamed: map[int]string{}}
+	res := &Result{Blamed: map[int]string{}, Phases: map[string]time.Duration{}}
+	last := time.Now()
+	mark := func(phase string) {
+		now := time.Now()
+		res.Phases[phase] = now.Sub(last)
+		last = now
+	}
 	fail := func(err error) (*Result, error) {
 		res.Blamed = srv.Blamed()
 		res.Responded = srv.Responses()
@@ -120,6 +142,7 @@ func RunSchedule(cfg Config, inputs map[int][]float64, sched Schedule) (*Result,
 			return nil, err
 		}
 	}
+	mark(phaseAdvertise)
 
 	// Round 1: share keys + broadcast commitments. DropShareKeys devices
 	// vanish here; PoisonShare devices deal corrupted bundles.
@@ -179,6 +202,7 @@ func RunSchedule(cfg Config, inputs map[int][]float64, sched Schedule) (*Result,
 			return nil, err
 		}
 	}
+	mark(phaseShare)
 
 	// Round 2: masked inputs. DropAfterShare devices — and devices whose
 	// input is missing or malformed — vanish here rather than stalling or
@@ -204,6 +228,7 @@ func RunSchedule(cfg Config, inputs map[int][]float64, sched Schedule) (*Result,
 	if err != nil {
 		return fail(fmt.Errorf("secagg: abort before unmask round: %w", err))
 	}
+	mark(phaseCommit)
 
 	// Round 3: unmask. DropAfterMask devices vanish; ForgeUnmask devices
 	// send forged shares, get blamed, and are skipped — the sum still
@@ -233,5 +258,6 @@ func RunSchedule(cfg Config, inputs map[int][]float64, sched Schedule) (*Result,
 	res.Survivors = survivors
 	res.Blamed = srv.Blamed()
 	res.Responded = srv.Responses()
+	mark(phaseUnmask)
 	return res, nil
 }

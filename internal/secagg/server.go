@@ -6,6 +6,15 @@ import (
 	"sort"
 
 	"repro/internal/field"
+	"repro/internal/obs"
+)
+
+// Process-wide secagg counters (cached pointers; the instruments live in
+// obs.Default and surface on /metrics as blame/dropout attribution).
+var (
+	obsComplaints = obs.Default.Counter("fl_secagg_complaints_total")
+	obsBlamed     = obs.Default.Counter("fl_secagg_blamed_total")
+	obsDropouts   = obs.Default.Counter("fl_secagg_dropouts_total")
 )
 
 // Server is the aggregator side of one Secure Aggregation instance. It only
@@ -135,6 +144,7 @@ func (s *Server) RegisterCommitments(sc ShareCommitments) error {
 	}
 	if err := sc.validate(len(s.rosterIDs)); err != nil {
 		s.blamed[sc.Owner] = err.Error()
+		obsBlamed.Inc()
 		return err
 	}
 	s.commits[sc.Owner] = sc
@@ -183,8 +193,10 @@ func (s *Server) RegisterComplaint(c Complaint) error {
 	if _, ok := s.roster[c.Against]; !ok {
 		return fmt.Errorf("secagg: complaint against unknown device %d", c.Against)
 	}
+	obsComplaints.Inc()
 	if _, done := s.blamed[c.Against]; !done {
 		s.blamed[c.Against] = fmt.Sprintf("complaint from %d: %s", c.By, c.Reason)
+		obsBlamed.Inc()
 	}
 	return nil
 }
@@ -213,6 +225,7 @@ func (s *Server) MaskSet() ([]int, error) {
 		if len(ids) < s.cfg.T {
 			return nil, fmt.Errorf("secagg: only %d unblamed share-complete devices, need ≥ %d", len(ids), s.cfg.T)
 		}
+		obsDropouts.Add(int64(len(s.rosterIDs) - len(ids)))
 		s.maskIDs, s.maskSet = ids, set
 	}
 	return append([]int(nil), s.maskIDs...), nil
@@ -308,6 +321,7 @@ func (s *Server) AddUnmaskResponse(r *UnmaskResponse) error {
 	blame := func(format string, args ...any) error {
 		err := fmt.Errorf("secagg: unmask response from %d: "+format, append([]any{r.From}, args...)...)
 		s.blamed[r.From] = err.Error()
+		obsBlamed.Inc()
 		return err
 	}
 	seen := make(map[int]bool, len(r.BShares)+len(r.SKShares))

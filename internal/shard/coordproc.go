@@ -9,6 +9,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/fedavg"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/pacing"
 	"repro/internal/plan"
 	"repro/internal/protocol"
@@ -111,6 +112,11 @@ type shardRound struct {
 	cfgMsg protocol.RoundConfig
 	// finalizing is set once RoundFinalize went out to stragglers.
 	finalizing bool
+	// started anchors the round trace; phases max-merges the per-shard
+	// lifecycle spans shipped inside the seals (the fleet-wide cost of a
+	// phase is its slowest shard's).
+	started time.Time
+	phases  map[string]int64
 }
 
 // shardCoordinator is the coordinator actor: the analogue of
@@ -243,6 +249,10 @@ func (sc *shardCoordinator) onShardDown(ctx *actor.Context, sess *remote.Session
 }
 
 func (sc *shardCoordinator) onRate(m protocol.CheckinRate) {
+	if m.Elapsed > 0 {
+		obs.Default.Gauge(obs.Label("fl_shard_checkin_rate", "shard", fmt.Sprint(m.Shard))).
+			Set(float64(m.Count) / m.Elapsed.Seconds())
+	}
 	if sc.rates == nil {
 		return
 	}
@@ -356,6 +366,8 @@ func (sc *shardCoordinator) onTick(ctx *actor.Context) {
 		pending:  make(map[*remote.Session]bool),
 		enc:      enc,
 		cfgMsg:   cfgMsg,
+		started:  sc.now(),
+		phases:   make(map[string]int64),
 	}
 	for sess := range sc.shards {
 		if err := sess.Send(enc); err == nil {
@@ -402,6 +414,10 @@ func (sc *shardCoordinator) onSeal(ctx *actor.Context, m msgSeal) {
 	sc.sealsRecv++
 	wire := sealWireBytes(seal)
 	sc.bytesUp += wire
+	obsSealsReceived.Inc()
+	obsBytesUpstream.Add(wire)
+	shardLabel := fmt.Sprint(seal.Shard)
+	obs.Default.Counter(obs.Label("fl_shard_seals_total", "shard", shardLabel)).Inc()
 	if c, ok := sc.contrib[seal.Shard]; ok {
 		c.Seals++
 		c.Bytes += wire
@@ -413,6 +429,15 @@ func (sc *shardCoordinator) onSeal(ctx *actor.Context, m msgSeal) {
 		return // late or duplicate seal: the round already settled it
 	}
 	delete(cur.pending, m.Sess)
+
+	// Per-shard seal latency: round open → this shard's seal arriving.
+	obs.Default.Summary(obs.Label("fl_shard_seal_seconds", "shard", shardLabel)).
+		Observe(sc.now().Sub(cur.started).Seconds())
+	for phase, ns := range seal.Phases {
+		if ns > cur.phases[phase] {
+			cur.phases[phase] = ns
+		}
+	}
 
 	cur.lost += int(seal.Lost)
 	for name, vs := range seal.Metrics {
@@ -445,33 +470,35 @@ func (sc *shardCoordinator) finish(ctx *actor.Context) {
 	if cur == nil {
 		return
 	}
-	reports := cur.reports + cur.evalRep
-	if reports < cur.p.Server.MinReports() {
+	fail := func(reason string) {
 		sc.failed++
 		sc.tasks.NoteFailed(cur.p.ID)
+		sc.recordTrace(cur, false, cur.round, cur.reports+cur.evalRep, 0, reason)
+	}
+	reports := cur.reports + cur.evalRep
+	if reports < cur.p.Server.MinReports() {
+		fail(fmt.Sprintf("%d reports below minimum", reports))
 		return
 	}
 
+	commitStart := sc.now()
 	newGlobal := cur.global
 	if !cur.evalOnly {
 		avg, err := cur.acc.Average()
 		if err != nil {
-			sc.failed++
-			sc.tasks.NoteFailed(cur.p.ID)
+			fail(err.Error())
 			return
 		}
 		newGlobal = cur.global.Clone()
 		newGlobal.Round++
 		newGlobal.Weight = cur.acc.Weight()
 		if err := fedavg.Apply(newGlobal.Params, avg); err != nil {
-			sc.failed++
-			sc.tasks.NoteFailed(cur.p.ID)
+			fail(err.Error())
 			return
 		}
 		// The single write to persistent storage for this round.
 		if err := sc.cfg.Store.PutCheckpoint(newGlobal); err != nil {
-			sc.failed++
-			sc.tasks.NoteFailed(cur.p.ID)
+			fail(err.Error())
 			return
 		}
 	}
@@ -492,7 +519,36 @@ func (sc *shardCoordinator) finish(ctx *actor.Context) {
 	}
 	sc.tasks.NoteCommitted(cur.p.ID, newGlobal.Round, reports, sc.now())
 	sc.completed++
+	sc.recordTrace(cur, true, newGlobal.Round, reports, sc.now().Sub(commitStart).Nanoseconds(), "")
 	sc.onTick(ctx)
+}
+
+// recordTrace emits the round's trace record: the max-merged per-shard
+// lifecycle spans plus the coordinator's own commit span, persisted as one
+// JSONL line when the store supports it.
+func (sc *shardCoordinator) recordTrace(cur *shardRound, committed bool, round int64, reports int, commitNanos int64, failReason string) {
+	phases := make(map[string]int64, len(cur.phases)+1)
+	for name, ns := range cur.phases {
+		if ns > 0 {
+			phases[name] = ns
+		}
+	}
+	if commitNanos > 0 {
+		phases[obs.PhaseCommit] = commitNanos
+	}
+	ts, _ := sc.cfg.Store.(obs.TraceStore)
+	_ = obs.Default.RecordTrace(obs.RoundTrace{
+		Population: sc.cfg.Population,
+		TaskID:     cur.p.ID,
+		Round:      round,
+		Start:      cur.started,
+		TotalNanos: sc.now().Sub(cur.started).Nanoseconds(),
+		Phases:     phases,
+		Committed:  committed,
+		Reports:    reports,
+		Lost:       cur.lost,
+		FailReason: failReason,
+	}, ts)
 }
 
 // loadGlobal fetches the checkpoint the task's next round serves — the
@@ -661,6 +717,16 @@ func (cp *CoordinatorProc) serveConn(conn transport.Conn) {
 				_ = cp.coord.Send(msgSeal{Sess: sess, M: m})
 			case protocol.CheckinRate:
 				_ = cp.coord.Send(msgRate{M: m})
+			case protocol.TelemetrySnapshot:
+				// Fold the shard's registry export into the local one under
+				// a shard label, so this process's /metrics aggregates the
+				// whole deployment. No actor hop: SetExternal is a bounded
+				// map store, safe on the session reader goroutine.
+				obs.Default.SetExternal(fmt.Sprintf("shard=%q", fmt.Sprint(m.Shard)), obs.Export{
+					Counters:  m.Counters,
+					Gauges:    m.Gauges,
+					Summaries: m.Summaries,
+				})
 			case protocol.RoundAbort:
 				_ = cp.coord.Send(msgShardAbort{Sess: sess, M: m})
 			}

@@ -1,0 +1,20 @@
+package shard
+
+import "repro/internal/obs"
+
+// Process-wide shard instruments. The selector-side ones travel to the
+// coordinator inside TelemetrySnapshot frames, where they reappear on the
+// aggregated /metrics with a shard="N" label; the coordinator-side ones
+// are per-shard series the coordinator derives itself from seal and rate
+// traffic.
+var (
+	// Selector side.
+	obsSealsShipped  = obs.Default.Counter("fl_seals_shipped_total")
+	obsSealsDropped  = obs.Default.Counter("fl_seals_dropped_total")
+	obsSealSeconds   = obs.Default.Summary("fl_seal_seconds")
+	obsSnapshotsSent = obs.Default.Counter("fl_telemetry_snapshots_total")
+	obsCoordinatorUp = obs.Default.Gauge("fl_coordinator_link_up")
+	// Coordinator side.
+	obsSealsReceived = obs.Default.Counter("fl_seals_received_total")
+	obsBytesUpstream = obs.Default.Counter("fl_seal_bytes_upstream_total")
+)

@@ -19,6 +19,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/fedavg"
 	"repro/internal/flserver"
+	"repro/internal/obs"
 	"repro/internal/pacing"
 	"repro/internal/protocol"
 	"repro/internal/remote"
@@ -48,6 +49,10 @@ type SelectorConfig struct {
 	// RateProbeInterval paces check-in rate sampling toward the coordinator
 	// (default 1s).
 	RateProbeInterval time.Duration
+	// TelemetryInterval paces TelemetrySnapshot shipping toward the
+	// coordinator, which folds this shard's counters into its aggregated
+	// /metrics under a shard="N" label (default 2s).
+	TelemetryInterval time.Duration
 	Now               func() time.Time
 }
 
@@ -99,6 +104,9 @@ func NewSelectorProc(cfg SelectorConfig, dial remote.Dialer) *SelectorProc {
 	if cfg.RateProbeInterval <= 0 {
 		cfg.RateProbeInterval = time.Second
 	}
+	if cfg.TelemetryInterval <= 0 {
+		cfg.TelemetryInterval = 2 * time.Second
+	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
@@ -129,6 +137,7 @@ func NewSelectorProc(cfg SelectorConfig, dial remote.Dialer) *SelectorProc {
 	}
 	p.peer = remote.NewPeer("coordinator", dial, p.onPeerMsg, opts)
 	go p.rateLoop()
+	go p.telemetryLoop()
 	return p
 }
 
@@ -258,6 +267,7 @@ func (p *SelectorProc) clearRound(population string, round int64) {
 func (p *SelectorProc) ship(seal flserver.EdgeSeal) {
 	p.clearRound(seal.Population, seal.Round)
 	go func() {
+		start := time.Now()
 		msg := protocol.StripeSeal{
 			Population:  seal.Population,
 			TaskID:      seal.TaskID,
@@ -269,13 +279,17 @@ func (p *SelectorProc) ship(seal flserver.EdgeSeal) {
 			Weight:      seal.Seal.Weight,
 			Sum:         fedavg.MarshalSum(seal.Seal.Sum),
 			Metrics:     seal.Seal.Metrics,
+			Phases:      seal.Phases,
 		}
 		if err := p.peer.Send(msg); err != nil {
 			p.roundsDropped.Add(1)
+			obsSealsDropped.Inc()
 			return
 		}
 		p.sealsShipped.Add(1)
 		p.bytesShipped.Add(sealWireBytes(msg))
+		obsSealsShipped.Inc()
+		obsSealSeconds.ObserveDuration(time.Since(start))
 	}()
 }
 
@@ -339,6 +353,38 @@ func (p *SelectorProc) rateLoop() {
 			for _, sel := range p.selectors {
 				_ = flserver.ProbeCheckinRate(sel, pop, p.rateFwd)
 			}
+		}
+	}
+}
+
+// telemetryLoop periodically ships this process's whole obs registry to
+// the coordinator as a protocol.TelemetrySnapshot. Snapshots are advisory
+// like rate samples: a send on a down link is simply dropped, and the
+// coordinator ages out shards that stop shipping.
+func (p *SelectorProc) telemetryLoop() {
+	tick := time.NewTicker(p.cfg.TelemetryInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.stopRate:
+			return
+		case <-tick.C:
+		}
+		if p.peer.Alive() {
+			obsCoordinatorUp.Set(1)
+		} else {
+			obsCoordinatorUp.Set(0)
+			continue
+		}
+		ex := obs.Default.Export()
+		if err := p.peer.Send(protocol.TelemetrySnapshot{
+			Shard:     p.cfg.Shard,
+			Name:      p.cfg.Name,
+			Counters:  ex.Counters,
+			Gauges:    ex.Gauges,
+			Summaries: ex.Summaries,
+		}); err == nil {
+			obsSnapshotsSent.Inc()
 		}
 	}
 }

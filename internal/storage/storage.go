@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/checkpoint"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // Store persists committed round results.
@@ -37,12 +38,18 @@ type Store interface {
 	TaskSet() ([]byte, error)
 }
 
+// Both built-in stores also implement obs.TraceStore, persisting one
+// round-trace record per round alongside the checkpoints. Trace storage is
+// deliberately NOT part of the Store interface — callers type-assert — so
+// custom Store implementations (tests, adapters) keep compiling.
+
 // Mem is an in-memory Store for simulation and tests.
 type Mem struct {
 	mu          sync.Mutex
 	checkpoints map[string][]*checkpoint.Checkpoint
 	metrics     map[string][]*metrics.Materialized
 	taskSet     []byte
+	traces      []obs.RoundTrace
 }
 
 // NewMem returns an empty in-memory store.
@@ -104,6 +111,21 @@ func (s *Mem) TaskSet() ([]byte, error) {
 	return append([]byte(nil), s.taskSet...), nil
 }
 
+// PutRoundTrace implements obs.TraceStore.
+func (s *Mem) PutRoundTrace(t obs.RoundTrace) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.traces = append(s.traces, t)
+	return nil
+}
+
+// RoundTraces returns every stored round trace in arrival order.
+func (s *Mem) RoundTraces() []obs.RoundTrace {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]obs.RoundTrace(nil), s.traces...)
+}
+
 // Metrics implements Store.
 func (s *Mem) Metrics(task string) ([]*metrics.Materialized, error) {
 	s.mu.Lock()
@@ -117,8 +139,9 @@ func (s *Mem) Metrics(task string) ([]*metrics.Materialized, error) {
 // under dir/<task>/round-<n>.ckpt. Metrics stay in memory (they are cheap
 // and regenerable); checkpoints are the durable artifact.
 type File struct {
-	dir string
-	mem *Mem // metrics + latest-lookup cache
+	dir     string
+	mem     *Mem // metrics + latest-lookup cache
+	traceMu sync.Mutex
 }
 
 // NewFile creates (if needed) and opens a file-backed store rooted at dir.
@@ -199,6 +222,33 @@ func (s *File) PutMetrics(m *metrics.Materialized) error { return s.mem.PutMetri
 
 // Metrics implements Store.
 func (s *File) Metrics(task string) ([]*metrics.Materialized, error) { return s.mem.Metrics(task) }
+
+// tracesFile is the append-only JSONL round-trace log, one line per round.
+const tracesFile = "traces.jsonl"
+
+// PutRoundTrace implements obs.TraceStore: the record is appended as one
+// JSONL line to dir/traces.jsonl (and mirrored in the memory cache).
+func (s *File) PutRoundTrace(t obs.RoundTrace) error {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	f, err := os.OpenFile(filepath.Join(s.dir, tracesFile),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: %w", err)
+	}
+	_, werr := f.Write(t.MarshalJSONL())
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("storage: %w", werr)
+	}
+	return s.mem.PutRoundTrace(t)
+}
+
+// RoundTraces returns the traces recorded by THIS process (the in-memory
+// mirror; dir/traces.jsonl is the durable artifact across restarts).
+func (s *File) RoundTraces() []obs.RoundTrace { return s.mem.RoundTraces() }
 
 // taskSetFile is where a File store keeps the task registry snapshot.
 const taskSetFile = "tasks.gob"

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/storage"
 )
@@ -293,6 +294,7 @@ func (ts *TaskSet) Submit(p *plan.Plan, pol Policy) error {
 		ts.order = ts.order[:len(ts.order)-1]
 		return err
 	}
+	ts.gaugeStatesLocked()
 	return nil
 }
 
@@ -325,6 +327,7 @@ func (ts *TaskSet) AutoPause(id, reason string) error {
 		r.stats.Note = prevNote
 		return err
 	}
+	ts.gaugeStatesLocked()
 	return nil
 }
 
@@ -372,7 +375,32 @@ func (ts *TaskSet) setState(id string, next State, verb string, from ...State) e
 		r.stats.Note = prevNote
 		return err
 	}
+	ts.gaugeStatesLocked()
 	return nil
+}
+
+// gaugeStatesLocked refreshes the fl_tasks{state=...} gauges from the
+// registry. Called (with ts.mu held) on every mutation that can change a
+// task's lifecycle state, so the gauges are event-driven rather than
+// polled and never lag a transition.
+func (ts *TaskSet) gaugeStatesLocked() {
+	var active, paused, retired int
+	for _, r := range ts.tasks {
+		switch r.state {
+		case Active:
+			active++
+		case Paused:
+			paused++
+		case Retired:
+			retired++
+		}
+	}
+	// Labeled by population: a fleet gateway runs one TaskSet per
+	// population in the same process, and unlabeled gauges would have
+	// each set overwrite the others' counts.
+	obs.Default.Gauge(obs.Label("fl_tasks", "population", ts.population, "state", "active")).Set(float64(active))
+	obs.Default.Gauge(obs.Label("fl_tasks", "population", ts.population, "state", "paused")).Set(float64(paused))
+	obs.Default.Gauge(obs.Label("fl_tasks", "population", ts.population, "state", "retired")).Set(float64(retired))
 }
 
 // SetPopulationEstimate updates the estimate the MinDevices gates check.
@@ -653,5 +681,6 @@ func (ts *TaskSet) restore(b []byte) error {
 		}
 		ts.order = append(ts.order, st.Plan.ID)
 	}
+	ts.gaugeStatesLocked()
 	return nil
 }

@@ -19,7 +19,17 @@ import (
 	"net"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/protocol"
+)
+
+// Process-wide TCP frame byte counters (headers included). Plain atomic
+// adds on the send/recv paths — the accounting must not add allocations to
+// the report hot loop. The in-memory transport never frames, so it counts
+// nothing; /dashboard traffic totals reflect real wire bytes only.
+var (
+	obsTxBytes = obs.Default.Counter("fl_net_tx_bytes_total")
+	obsRxBytes = obs.Default.Counter("fl_net_rx_bytes_total")
 )
 
 // Conn is a bidirectional message stream.
@@ -296,7 +306,8 @@ func (t *tcpConn) Send(msg interface{}) error {
 			bufs = append(bufs, p)
 		}
 	}
-	_, err = bufs.WriteTo(t.c)
+	wrote, err := bufs.WriteTo(t.c)
+	obsTxBytes.Add(wrote)
 	return err
 }
 
@@ -318,6 +329,7 @@ func (t *tcpConn) Recv() (interface{}, error) {
 	if err != nil {
 		return nil, err
 	}
+	obsRxBytes.Add(int64(len(hdr) + len(payload)))
 	if code == protocol.CodeGob {
 		var e envelope
 		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&e); err != nil {
