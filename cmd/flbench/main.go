@@ -10,6 +10,7 @@
 //	flbench -exp ksweep     # Sec. 9 devices-per-round sweep
 //	flbench -exp overselect # Sec. 9 over-selection vs drop-out
 //	flbench -exp secagg     # Sec. 6 Secure Aggregation cost
+//	flbench -exp robust     # robust aggregation: attack fraction × policy grid
 //	flbench -exp pacing     # Sec. 2.3 pace steering regimes
 //	flbench -exp roundtput  # round fan-out/ingest pipeline throughput
 //	flbench -exp multipop   # Sec. 4.2 fleet gateway: 3 populations, one Selector layer
@@ -38,7 +39,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig6, fig7, fig8, fig9, table1, nextword, ksweep, overselect, secagg, pacing, roundtput, multipop, multitask, shardtput, obs, all)")
+	exp := flag.String("exp", "all", "experiment to run (fig6, fig7, fig8, fig9, table1, nextword, ksweep, overselect, secagg, robust, pacing, roundtput, multipop, multitask, shardtput, obs, all)")
 	days := flag.Int("days", 3, "simulated days for the operational figures")
 	pop := flag.Int("pop", 20000, "fleet size for the operational figures")
 	target := flag.Int("target", 100, "devices per round (K)")
@@ -367,6 +368,9 @@ func run(exp string, seed uint64, days, pop, target int, asJSON bool) error {
 		"secagg": func() (formatter, error) {
 			return experiments.SecAggCost([]int{4, 8, 16, 32, 64}, 256, 256, []float64{0, 0.1, 0.25})
 		},
+		"robust": func() (formatter, error) {
+			return experiments.RobustCost(experiments.RobustCostConfig{Seed: seed})
+		},
 		"pacing":    func() (formatter, error) { return experiments.Pacing(10000, seed) },
 		"adaptive":  func() (formatter, error) { return experiments.Adaptive(seed) },
 		"wallclock": func() (formatter, error) { return experiments.WallClock(seed) },
@@ -379,7 +383,7 @@ func run(exp string, seed uint64, days, pop, target int, asJSON bool) error {
 
 	if exp == "all" {
 		// Deterministic order matching the paper's presentation.
-		for _, name := range []string{"pacing", "secagg", "roundtput", "multipop", "multitask", "shardtput", "obs", "nextword", "wallclock", "fig6", "fig7", "fig8", "fig9", "table1", "ksweep", "overselect", "adaptive"} {
+		for _, name := range []string{"pacing", "secagg", "robust", "roundtput", "multipop", "multitask", "shardtput", "obs", "nextword", "wallclock", "fig6", "fig7", "fig8", "fig9", "table1", "ksweep", "overselect", "adaptive"} {
 			if err := runOne(name, all[name]); err != nil {
 				return err
 			}

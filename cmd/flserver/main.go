@@ -263,6 +263,7 @@ func main() {
 	shardListen := flag.String("shard-listen", "", "coordinator mode: listen for flselector shard links on this address instead of serving devices")
 	minShards := flag.Int("min-shards", 1, "coordinator mode: shards required before a round starts")
 	obsListen := flag.String("obs-listen", "", "serve /metrics, /debug/vars, /debug/pprof and /dashboard on this address (empty = off)")
+	clip := flag.Float64("clip", 0, "norm-bound robust aggregation: clip each update's per-example-average L2 norm at this bound (0 = plain weighted mean)")
 	flag.Parse()
 	if len(populations) == 0 {
 		populations = cliutil.ListFlag{"gboard"}
@@ -284,6 +285,7 @@ func main() {
 			TargetDevices:    *target,
 			SelectionTimeout: *selTimeout,
 			ReportTimeout:    *repTimeout,
+			Robust:           robustPolicy(*clip),
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -324,6 +326,7 @@ func main() {
 			TargetDevices:    *target,
 			SelectionTimeout: *selTimeout,
 			ReportTimeout:    *repTimeout,
+			Robust:           robustPolicy(*clip),
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -402,4 +405,13 @@ func main() {
 			logProgress(fleetProgress(fleet, populations))
 		}
 	}
+}
+
+// robustPolicy builds the norm-bound robust policy for a positive -clip
+// (the only policy that distributes across shards; see plan.RobustPolicy).
+func robustPolicy(clip float64) plan.RobustPolicy {
+	if clip > 0 {
+		return plan.RobustPolicy{Kind: plan.RobustNormBound, ClipNorm: clip}
+	}
+	return plan.RobustPolicy{}
 }

@@ -189,6 +189,15 @@ func (m Meta) DecodeParams(b []byte, dst tensor.Vector) error {
 // NumParams elements. The fold either applies fully or (on the length
 // mismatch error) leaves sum untouched, so a guarded accumulator stripe
 // never sees a half-applied update.
+//
+// Quant8 error bound: dequantization reconstructs lo + byte·step with
+// step = (hi−lo)/255, so each folded coordinate differs from the device's
+// true value by at most step/2 = (hi−lo)/510 (Marshal rounds to the
+// nearest level). Anything consuming decoded Quant8 updates — including
+// per-update robust reduces, which sort or compare these reconstructed
+// values — inherits that per-coordinate ±step/2 bound; plan.Validate
+// therefore requires per-update robust policies over Quant8 uplinks to
+// declare themselves QuantSafe.
 func (m Meta) AccumulateParams(b []byte, sum tensor.Vector) error {
 	if len(sum) != m.NumParams {
 		return fmt.Errorf("checkpoint: accumulate dim %d, update has %d", len(sum), m.NumParams)
@@ -231,6 +240,68 @@ func (m Meta) apply(b []byte, dst tensor.Vector, add bool) {
 			}
 		}
 	}
+}
+
+// ParamNorm returns the L2 norm of the parameter section of the buffer m
+// was parsed from, dequantizing on the fly for Quant8. Like
+// AccumulateParams it materializes nothing, so the Reporting edge can
+// decide whether an update needs norm clipping — and by how much — before
+// touching an accumulator stripe.
+func (m Meta) ParamNorm(b []byte) float64 {
+	off := m.paramsOff
+	n := m.NumParams
+	var ss float64
+	switch m.Encoding {
+	case EncodingFloat64:
+		for i := 0; i < n; i++ {
+			v := math.Float64frombits(binary.BigEndian.Uint64(b[off+8*i:]))
+			ss += v * v
+		}
+	case EncodingQuant8:
+		lo := math.Float64frombits(binary.BigEndian.Uint64(b[off:]))
+		hi := math.Float64frombits(binary.BigEndian.Uint64(b[off+8:]))
+		off += 16
+		step := 0.0
+		if hi > lo {
+			step = (hi - lo) / 255
+		}
+		for i := 0; i < n; i++ {
+			v := lo + float64(b[off+i])*step
+			ss += v * v
+		}
+	}
+	return math.Sqrt(ss)
+}
+
+// AccumulateParamsScaled folds scale × params into sum:
+// sum[i] += scale·params[i], with the same guarantees as AccumulateParams.
+// Paired with ParamNorm it lets the Reporting edge clip an over-norm
+// update into a stripe in two streaming passes over the wire bytes,
+// allocating nothing.
+func (m Meta) AccumulateParamsScaled(b []byte, sum tensor.Vector, scale float64) error {
+	if len(sum) != m.NumParams {
+		return fmt.Errorf("checkpoint: accumulate dim %d, update has %d", len(sum), m.NumParams)
+	}
+	off := m.paramsOff
+	n := m.NumParams
+	switch m.Encoding {
+	case EncodingFloat64:
+		for i := 0; i < n; i++ {
+			sum[i] += scale * math.Float64frombits(binary.BigEndian.Uint64(b[off+8*i:]))
+		}
+	case EncodingQuant8:
+		lo := math.Float64frombits(binary.BigEndian.Uint64(b[off:]))
+		hi := math.Float64frombits(binary.BigEndian.Uint64(b[off+8:]))
+		off += 16
+		step := 0.0
+		if hi > lo {
+			step = (hi - lo) / 255
+		}
+		for i := 0; i < n; i++ {
+			sum[i] += scale * (lo + float64(b[off+i])*step)
+		}
+	}
+	return nil
 }
 
 // Unmarshal parses a checkpoint produced by Marshal.

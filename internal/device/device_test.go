@@ -329,3 +329,54 @@ func TestRegisterStoreDuplicate(t *testing.T) {
 		t.Fatal("duplicate store must fail")
 	}
 }
+
+// TestExecuteClipsUpdateWhenPlanAsks: a plan carrying Device.ClipNorm (the
+// norm_bound robust policy's client-side mirror) must bound the saved
+// update's per-example-average L2 norm, and the clipped update must be the
+// unclipped one scaled — same direction, bounded magnitude.
+func TestExecuteClipsUpdateWhenPlanAsks(t *testing.T) {
+	run := func(clip float64) *checkpoint.Checkpoint {
+		p := trainingPlan(t, false)
+		p.Device.ClipNorm = clip
+		r := NewRuntime("dev-1", 3, nil, 7)
+		if err := r.RegisterStore(filledStore(t)); err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Execute(p, globalCkpt(t, p), t0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Update == nil {
+			t.Fatal("no update")
+		}
+		return res.Update
+	}
+	free := run(0)
+	freeNorm := free.Params.Norm2() / free.Weight
+	if freeNorm <= 0 {
+		t.Fatal("unclipped update has zero norm; clip test needs signal")
+	}
+	clip := freeNorm / 4
+	clipped := run(clip)
+	if clipped.Weight != free.Weight {
+		t.Fatalf("clipping changed weight: %v vs %v", clipped.Weight, free.Weight)
+	}
+	gotNorm := clipped.Params.Norm2() / clipped.Weight
+	if gotNorm > clip*(1+1e-12) {
+		t.Fatalf("clipped norm %v exceeds bound %v", gotNorm, clip)
+	}
+	scale := clip / freeNorm
+	for i := range free.Params {
+		want := free.Params[i] * scale
+		if diff := want - clipped.Params[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("param %d: clipped %v, want scaled %v", i, clipped.Params[i], want)
+		}
+	}
+	// A generous bound leaves the update untouched.
+	loose := run(freeNorm * 2)
+	for i := range free.Params {
+		if loose.Params[i] != free.Params[i] {
+			t.Fatal("under-bound update must not be modified")
+		}
+	}
+}

@@ -160,6 +160,13 @@ func (r *Runtime) Execute(p *plan.Plan, global *checkpoint.Checkpoint, now time.
 				session.Log(analytics.StateError)
 				return res, fmt.Errorf("device: save_update before train")
 			}
+			if p.Device.ClipNorm > 0 {
+				// Client-side norm bounding (the plan mirrors the server's
+				// norm_bound policy): clipping before the update leaves the
+				// device is what lets the policy compose with secure
+				// aggregation, where the server never sees this vector.
+				fedavg.ClipUpdate(update, p.Device.ClipNorm)
+			}
 			res.Update = &checkpoint.Checkpoint{
 				TaskName: p.ID,
 				Round:    global.Round,

@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/data"
+	"repro/internal/fedavg"
+	"repro/internal/nn"
+	"repro/internal/plan"
+	"repro/internal/robust"
+	"repro/internal/sim"
+	"repro/internal/tensor"
+)
+
+// RobustCostConfig sizes the robust-aggregation grid: attack fraction ×
+// defense policy → converged model quality + per-round reduce overhead, on
+// the same non-IID logistic task the K-sweep uses. Zero fields take
+// defaults tuned so the undefended run visibly diverges under attack while
+// every defense stays within a few percent of the attack-free loss.
+type RobustCostConfig struct {
+	Users       int
+	ExamplesPer int
+	Features    int
+	Classes     int
+	Rounds      int
+	// DevicesPer is the cohort per round (default: every user, so the
+	// compromised fraction in each round equals the population fraction).
+	DevicesPer int
+	// Attack is the adversary model (default sim.AttackScaledUpdate).
+	Attack sim.AttackKind
+	// Fractions is the compromised-population axis (default 0, 0.2).
+	Fractions []float64
+	// Scale is the attack's update multiplier (default −50: a sign-flipped,
+	// massively amplified push away from the honest average).
+	Scale float64
+	// ClipNorm / TrimFraction / MaxCosineDistance parametrize the defenses
+	// (defaults 0.5 / 0.25 / 1.0).
+	ClipNorm          float64
+	TrimFraction      float64
+	MaxCosineDistance float64
+	Seed              uint64
+}
+
+func (c *RobustCostConfig) defaults() {
+	if c.Users == 0 {
+		c.Users = 20
+	}
+	if c.ExamplesPer == 0 {
+		c.ExamplesPer = 20
+	}
+	if c.Features == 0 {
+		c.Features = 16
+	}
+	if c.Classes == 0 {
+		c.Classes = 8
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 30
+	}
+	if c.DevicesPer == 0 {
+		c.DevicesPer = c.Users
+	}
+	if c.Attack == sim.AttackNone {
+		c.Attack = sim.AttackScaledUpdate
+	}
+	if len(c.Fractions) == 0 {
+		c.Fractions = []float64{0, 0.2}
+	}
+	if c.Scale == 0 {
+		c.Scale = -50
+	}
+	if c.ClipNorm == 0 {
+		c.ClipNorm = 0.5
+	}
+	if c.TrimFraction == 0 {
+		c.TrimFraction = 0.25
+	}
+	if c.MaxCosineDistance == 0 {
+		c.MaxCosineDistance = 1.0
+	}
+}
+
+// RobustCostResult is the grid: for each attack fraction (row) and policy
+// (column), the converged test loss/accuracy plus the robust reduce's
+// per-round cost and defense counters.
+type RobustCostResult struct {
+	Attack    string
+	Scale     float64
+	Rounds    int
+	Fractions []float64
+	Policies  []string
+	// Loss[f][p] / Accuracy[f][p] score the final global model on the held
+	// out test set.
+	Loss     [][]float64
+	Accuracy [][]float64
+	// ReduceMicros[f][p] is the mean per-round wall time of the aggregation
+	// reduce — the defense's server-side overhead against the column-0
+	// weighted-mean baseline.
+	ReduceMicros [][]float64
+	// Clipped / Rejected / Trimmed total the defense counters over the run
+	// (robust.Result semantics: clipped updates, whole-update rejections +
+	// order-stat attributions, per-coordinate trimmed values).
+	Clipped  [][]int
+	Rejected [][]int
+	Trimmed  [][]int64
+}
+
+// robustPolicies is the fixed policy axis of the grid.
+func robustPolicies(cfg RobustCostConfig) []plan.RobustPolicy {
+	return []plan.RobustPolicy{
+		{Kind: plan.RobustNone},
+		{Kind: plan.RobustNormBound, ClipNorm: cfg.ClipNorm},
+		{Kind: plan.RobustTrimmedMean, TrimFraction: cfg.TrimFraction},
+		{Kind: plan.RobustMedian},
+		{Kind: plan.RobustCosineOutlier, MaxCosineDistance: cfg.MaxCosineDistance},
+	}
+}
+
+// RobustCost runs the poisoning grid. Every cell trains the same model
+// from the same seed on the same federated split; only the compromised
+// fraction and the aggregation policy vary, so column differences are the
+// defense's doing and row differences are the attack's.
+func RobustCost(cfg RobustCostConfig) (*RobustCostResult, error) {
+	cfg.defaults()
+	for _, f := range cfg.Fractions {
+		if f < 0 || f >= 1 {
+			return nil, fmt.Errorf("experiments: attack fraction %v outside [0, 1)", f)
+		}
+	}
+	fed, err := data.Blobs(data.BlobsConfig{
+		Users: cfg.Users, ExamplesPer: cfg.ExamplesPer, Features: cfg.Features,
+		Classes: cfg.Classes, TestSize: 800, Skew: 0.5, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	spec := nn.Spec{Kind: nn.KindLogistic, Features: cfg.Features, Classes: cfg.Classes, Seed: cfg.Seed + 1}
+	policies := robustPolicies(cfg)
+	out := &RobustCostResult{
+		Attack: cfg.Attack.String(), Scale: cfg.Scale, Rounds: cfg.Rounds,
+		Fractions: cfg.Fractions,
+	}
+	for _, p := range policies {
+		out.Policies = append(out.Policies, p.Kind.String())
+	}
+	for _, frac := range cfg.Fractions {
+		adv := sim.NewAdversary(sim.AdversaryConfig{
+			Kind: cfg.Attack, Fraction: frac, Scale: cfg.Scale, Seed: cfg.Seed + 2,
+		}, cfg.Users)
+		loss := make([]float64, len(policies))
+		acc := make([]float64, len(policies))
+		reduceus := make([]float64, len(policies))
+		clipped := make([]int, len(policies))
+		rejected := make([]int, len(policies))
+		trimmed := make([]int64, len(policies))
+		for pi, pol := range policies {
+			cell, err := robustCell(cfg, spec, fed, pol, adv)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: robust cell frac=%v policy=%s: %w", frac, pol.Kind, err)
+			}
+			loss[pi], acc[pi] = cell.loss, cell.accuracy
+			reduceus[pi] = cell.reduceMicros
+			clipped[pi], rejected[pi], trimmed[pi] = cell.clipped, cell.rejected, cell.trimmed
+		}
+		out.Loss = append(out.Loss, loss)
+		out.Accuracy = append(out.Accuracy, acc)
+		out.ReduceMicros = append(out.ReduceMicros, reduceus)
+		out.Clipped = append(out.Clipped, clipped)
+		out.Rejected = append(out.Rejected, rejected)
+		out.Trimmed = append(out.Trimmed, trimmed)
+	}
+	return out, nil
+}
+
+type robustCellResult struct {
+	loss, accuracy float64
+	reduceMicros   float64
+	clipped        int
+	rejected       int
+	trimmed        int64
+}
+
+// robustCell trains one (fraction, policy) cell: the fedavg loop with the
+// adversary corrupting its devices' data and updates, and robust.Reduce —
+// the same reduce the server's Aggregator runs — replacing the plain
+// weighted mean.
+func robustCell(cfg RobustCostConfig, spec nn.Spec, fed *data.Federated, pol plan.RobustPolicy, adv *sim.Adversary) (robustCellResult, error) {
+	var cell robustCellResult
+	model, err := spec.Build()
+	if err != nil {
+		return cell, err
+	}
+	global := make(tensor.Vector, model.NumParams())
+	model.ReadParams(global)
+	client := fedavg.ClientConfig{BatchSize: 10, Epochs: 5, LR: 0.2, Shuffle: true}
+	rng := tensor.NewRNG(cfg.Seed + 3)
+	var reduceTime time.Duration
+	for round := 0; round < cfg.Rounds; round++ {
+		perm := rng.Perm(cfg.Users)
+		k := cfg.DevicesPer
+		if k > len(perm) {
+			k = len(perm)
+		}
+		updates := make([]robust.Update, 0, k)
+		for i := 0; i < k; i++ {
+			dev := perm[i]
+			examples := adv.CorruptExamples(dev, fed.Users[dev], cfg.Classes)
+			u, err := fedavg.ClientUpdate(model, global, examples, client, rng.Derive(uint64(round)<<20|uint64(dev)))
+			if err != nil {
+				return cell, err
+			}
+			adv.CorruptUpdate(dev, u)
+			updates = append(updates, robust.Update{
+				Device: fmt.Sprintf("dev-%d", dev), Weight: u.Weight, Delta: u.Delta,
+			})
+		}
+		start := time.Now()
+		res := robust.Reduce(pol, len(global), updates)
+		reduceTime += time.Since(start)
+		cell.clipped += res.Clipped
+		cell.rejected += len(res.Rejected)
+		cell.trimmed += res.Trimmed
+		if res.Weight <= 0 {
+			continue // every update rejected: the round commits nothing
+		}
+		avg := res.Sum
+		avg.Scale(1 / res.Weight)
+		if err := fedavg.Apply(global, avg); err != nil {
+			return cell, err
+		}
+	}
+	model.WriteParams(global)
+	met := model.Evaluate(fed.Test)
+	cell.loss, cell.accuracy = met.Loss, met.Accuracy
+	cell.reduceMicros = float64(reduceTime.Microseconds()) / float64(cfg.Rounds)
+	return cell, nil
+}
+
+// Format renders the grid.
+func (r *RobustCostResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Robust aggregation under %s attack (scale %g, %d rounds)\n", r.Attack, r.Scale, r.Rounds)
+	fmt.Fprintf(&b, "%9s %-14s", "attack%", "policy")
+	fmt.Fprintf(&b, " %9s %9s %12s %8s %8s %9s\n", "loss", "accuracy", "reduce-us/rd", "clipped", "rejected", "trimmed")
+	for fi, frac := range r.Fractions {
+		for pi, p := range r.Policies {
+			fmt.Fprintf(&b, "%8.0f%% %-14s %9.3f %9.3f %12.1f %8d %8d %9d\n",
+				100*frac, p, r.Loss[fi][pi], r.Accuracy[fi][pi], r.ReduceMicros[fi][pi],
+				r.Clipped[fi][pi], r.Rejected[fi][pi], r.Trimmed[fi][pi])
+		}
+	}
+	b.WriteString("(defenses should hold the attacked rows near the attack-free loss; the undefended column diverges)\n")
+	return b.String()
+}

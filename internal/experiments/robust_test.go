@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestRobustDefenseConvergence is the robust-aggregation acceptance run:
+// with 20% scaled-update attackers on the convergence task, the undefended
+// weighted mean visibly diverges while norm bounding and trimmed mean stay
+// within 5% of the attack-free loss (with a small absolute floor, since
+// the attack-free run converges to near-zero loss).
+func TestRobustDefenseConvergence(t *testing.T) {
+	r, err := RobustCost(RobustCostConfig{Seed: 11, Fractions: []float64{0, 0.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Policies) != 5 || r.Policies[0] != "none" || r.Policies[1] != "norm_bound" ||
+		r.Policies[2] != "trimmed_mean" || r.Policies[3] != "median" || r.Policies[4] != "cosine_outlier" {
+		t.Fatalf("policy axis = %v", r.Policies)
+	}
+	if len(r.Loss) != 2 || len(r.Loss[0]) != 5 {
+		t.Fatalf("grid shape: %v", r.Loss)
+	}
+
+	free := r.Loss[0][0] // attack-free, undefended: the reference loss
+	budget := free * 1.05
+	if floor := free + 0.05; budget < floor {
+		budget = floor
+	}
+
+	// Attack-free: every policy (including the order statistics, which
+	// change the estimator) still learns the task.
+	for pi, p := range r.Policies {
+		if r.Accuracy[0][pi] < 0.95 {
+			t.Fatalf("attack-free %s accuracy %v, want >= 0.95", p, r.Accuracy[0][pi])
+		}
+	}
+
+	// 20% attackers, undefended: visible divergence, accuracy at chance.
+	if r.Loss[1][0] < 10*free+1 {
+		t.Fatalf("undefended loss %v under attack should visibly diverge (attack-free %v)", r.Loss[1][0], free)
+	}
+	if chance := 2.0 / 8; r.Accuracy[1][0] > chance {
+		t.Fatalf("undefended accuracy %v under attack, want near-chance", r.Accuracy[1][0])
+	}
+
+	// The acceptance pair: norm bounding and trimmed mean hold the line.
+	for _, pi := range []int{1, 2} {
+		if r.Loss[1][pi] > budget {
+			t.Fatalf("%s loss %v under 20%% attack, want <= %v (attack-free %v)",
+				r.Policies[pi], r.Loss[1][pi], budget, free)
+		}
+		if r.Accuracy[1][pi] < 0.95 {
+			t.Fatalf("%s accuracy %v under attack, want >= 0.95", r.Policies[pi], r.Accuracy[1][pi])
+		}
+	}
+	// Median and cosine rejection are defenses too, just with looser bands.
+	for _, pi := range []int{3, 4} {
+		if r.Loss[1][pi] > free+0.1 {
+			t.Fatalf("%s loss %v under attack, want <= %v", r.Policies[pi], r.Loss[1][pi], free+0.1)
+		}
+	}
+
+	// The defenses must have actually fired, and only against the attack:
+	// clips on the norm-bound column, rejections on the cosine column.
+	if r.Clipped[1][1] == 0 {
+		t.Fatal("norm_bound clipped nothing under attack")
+	}
+	if r.Rejected[1][4] == 0 {
+		t.Fatal("cosine_outlier rejected nothing under attack")
+	}
+	if r.Rejected[0][4] != 0 {
+		t.Fatalf("cosine_outlier rejected %d honest updates attack-free", r.Rejected[0][4])
+	}
+	if r.Trimmed[1][2] == 0 {
+		t.Fatal("trimmed_mean trimmed nothing")
+	}
+	for fi := range r.Fractions {
+		for pi := range r.Policies {
+			if r.ReduceMicros[fi][pi] <= 0 {
+				t.Fatalf("ReduceMicros[%d][%d] = %v", fi, pi, r.ReduceMicros[fi][pi])
+			}
+		}
+	}
+	if !strings.Contains(r.Format(), "scaled_update") {
+		t.Fatal("Format missing attack name")
+	}
+}
+
+// TestRobustGridOtherAttacks runs the label-flip and byzantine rows at
+// reduced scale: label flipping is bounded-norm poison (norm bounding
+// cannot remove it, but the defenses must not make it worse), byzantine
+// collusion is exactly what the order statistics resist.
+func TestRobustGridOtherAttacks(t *testing.T) {
+	byz, err := RobustCost(RobustCostConfig{
+		Seed: 12, Attack: sim.AttackByzantine, Rounds: 20, Fractions: []float64{0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Colluders all push the same |Scale|-norm direction: the undefended
+	// mean is dragged, the trimmed mean holds.
+	if byz.Accuracy[0][0] > byz.Accuracy[0][2] {
+		t.Fatalf("undefended %v should not beat trimmed mean %v under byzantine collusion",
+			byz.Accuracy[0][0], byz.Accuracy[0][2])
+	}
+	if byz.Accuracy[0][2] < 0.9 {
+		t.Fatalf("trimmed mean accuracy %v under byzantine collusion, want >= 0.9", byz.Accuracy[0][2])
+	}
+
+	flip, err := RobustCost(RobustCostConfig{
+		Seed: 13, Attack: sim.AttackLabelFlip, Rounds: 20, Fractions: []float64{0.2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Label flipping at 20% is a dilution attack: every aggregate stays
+	// usable, no defense collapses the model.
+	for pi, p := range flip.Policies {
+		if flip.Accuracy[0][pi] < 0.7 {
+			t.Fatalf("%s accuracy %v under 20%% label flipping, want >= 0.7", p, flip.Accuracy[0][pi])
+		}
+	}
+
+	if _, err := RobustCost(RobustCostConfig{Fractions: []float64{1.5}}); err == nil {
+		t.Fatal("fraction >= 1 must fail")
+	}
+}

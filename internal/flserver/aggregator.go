@@ -17,6 +17,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/plan"
 	"repro/internal/protocol"
+	"repro/internal/robust"
 	"repro/internal/secagg"
 	"repro/internal/storage"
 	"repro/internal/tensor"
@@ -46,6 +47,12 @@ type Aggregator struct {
 	// churn, when set (tests, simulation), injects additional mid-protocol
 	// churn into the group's secagg schedule on top of the real losses.
 	churn func(n, t int) secagg.Schedule
+	// robustPolicy is the task's robust aggregation policy; the group that
+	// receives the round's retention buffer (msgFinalizeGroup.Robust) runs
+	// its reduce at finalization. Injected by the Master Aggregator before
+	// spawn, like threshold, along with the task-labeled defense counters.
+	robustPolicy                    plan.RobustPolicy
+	obsRejectedTask, obsTrimmedTask *obs.Counter
 
 	acc     *fedavg.Accumulator
 	metrics map[string][]float64
@@ -61,6 +68,9 @@ type Aggregator struct {
 	// secBlamed carries the secagg run's attributed exclusions into the
 	// group result.
 	secBlamed []string
+	// robustRejected carries the robust reduce's defense attributions
+	// ("deviceID: reason") into the group result.
+	robustRejected []string
 	// secPhases carries the secagg run's per-phase wall times into the
 	// group result for the round tracer.
 	secPhases map[string]time.Duration
@@ -234,6 +244,42 @@ func (a *Aggregator) onAdd(m msgAddUpdate) {
 
 func (a *Aggregator) onFinalize(ctx *actor.Context, m msgFinalizeGroup) {
 	a.finalizing = true
+	// Run the round's robust reduce (per-update retention policies): the
+	// buffer holds every decoded update of the round, and the policy's
+	// order statistic or outlier filter replaces the plain stripe merge.
+	// Result vectors never alias the pooled update buffers, so they are
+	// released immediately.
+	if m.Robust != nil {
+		updates, evalCount, metrics := m.Robust.Drain()
+		start := time.Now()
+		res := robust.Reduce(a.robustPolicy, a.dim, updates)
+		reduceTime := time.Since(start)
+		robust.Release(updates)
+		a.evalCount += evalCount
+		for name, vs := range metrics {
+			a.metrics[name] = append(a.metrics[name], vs...)
+		}
+		for _, rej := range res.Rejected {
+			a.robustRejected = append(a.robustRejected, rej.Device+": "+rej.Reason)
+		}
+		sort.Strings(a.robustRejected)
+		if a.secPhases == nil {
+			a.secPhases = make(map[string]time.Duration, 1)
+		}
+		a.secPhases["robust_reduce"] = reduceTime
+		obsRobustRejected.Add(int64(len(res.Rejected)))
+		obsRobustTrimmed.Add(res.Trimmed)
+		if a.obsRejectedTask != nil {
+			a.obsRejectedTask.Add(int64(len(res.Rejected)))
+			a.obsTrimmedTask.Add(res.Trimmed)
+		}
+		if res.Count > 0 {
+			if err := a.acc.AddRaw(res.Sum, res.Weight, res.Count); err != nil {
+				a.finish(ctx, "robust reduce: "+err.Error())
+				return
+			}
+		}
+	}
 	// Merge this group's share of the round's edge-accumulation stripes
 	// (non-secure rounds; empty otherwise). Drain seals each stripe, so a
 	// reader racing the window close gets ErrPartialClosed instead of
@@ -388,7 +434,8 @@ func (a *Aggregator) onSecAggTimeout(ctx *actor.Context) {
 func (a *Aggregator) finish(ctx *actor.Context, errStr string) {
 	defer ctx.Stop()
 	a.done = true
-	res := msgGroupResult{From: ctx.Self, Count: a.acc.Count() + a.evalCount, Metrics: a.metrics, Err: errStr, Blamed: a.secBlamed, Phases: a.secPhases}
+	res := msgGroupResult{From: ctx.Self, Count: a.acc.Count() + a.evalCount, Metrics: a.metrics, Err: errStr,
+		Blamed: a.secBlamed, Phases: a.secPhases, RobustRejected: a.robustRejected}
 	if a.acc.Count() > 0 {
 		res.Weight = a.acc.Weight()
 		sum := make(tensor.Vector, a.dim)
@@ -441,7 +488,14 @@ type MasterAggregator struct {
 	// ingest is the round's striped edge accumulator (non-secure rounds):
 	// reader goroutines fold decoded updates straight into its stripes and
 	// only fixed-size accounting messages reach this actor.
-	ingest     *roundIngest
+	ingest *roundIngest
+	// robustBuf replaces ingest for per-update robust policies: readers
+	// decode each update into a pooled vector and retain it here for the
+	// finalize reduce (trimmed mean, median, cosine outlier).
+	robustBuf *robust.Buffer
+	// clipped counts updates the norm-bound policy clipped at the edge;
+	// written by reader goroutines, hence atomic.
+	clipped    atomic.Int64
 	completed  int
 	lost       int
 	partials   []msgGroupResult
@@ -596,6 +650,21 @@ type reportReader struct {
 	secure   bool
 	evalOnly bool
 	ingest   *roundIngest
+	// clip, when positive, is the norm-bound policy's L2 bound on each
+	// update's per-example average: over-norm updates are folded through
+	// checkpoint.Meta.AccumulateParamsScaled instead of AccumulateParams —
+	// still two streaming passes over the wire bytes, still zero O(dim)
+	// allocation.
+	clip float64
+	// buf, when set, is the round's per-update retention buffer: the
+	// policy needs individual updates at finalize, so readers decode into
+	// pooled vectors instead of folding into stripes.
+	buf *robust.Buffer
+	// clipped counts edge clips for the round (the Master Aggregator's
+	// counter); obsClipped is the task-labeled series, resolved once per
+	// round.
+	clipped    *atomic.Int64
+	obsClipped *obs.Counter
 }
 
 // fanoutWorkers sizes the Configuration send pool. Sends block on socket
@@ -648,10 +717,21 @@ func (ma *MasterAggregator) beginReporting(ctx *actor.Context) {
 		agg := NewAggregator(dim, secure, ctx.Self)
 		agg.threshold = ma.plan.Server.SecAggThreshold
 		agg.finalizeTimeout = ma.plan.Server.FinalizeTimeout()
+		agg.robustPolicy = ma.plan.Server.Robust
+		if ma.plan.Server.Robust.PerUpdate() {
+			_, agg.obsRejectedTask, agg.obsTrimmedTask = robustTaskCounters(ma.plan.ID)
+		}
 		ma.aggs[g] = ctx.Spawn(fmt.Sprintf("%s/agg-%d", ctx.Self.Name(), g), agg)
 	}
 	if !secure {
-		ma.ingest = newRoundIngest(dim)
+		// Per-update robust policies retain decoded updates instead of
+		// folding into stripes; plan.Validate guarantees they never pair
+		// with secure aggregation.
+		if ma.plan.Server.Robust.PerUpdate() {
+			ma.robustBuf = robust.NewBuffer(dim)
+		} else {
+			ma.ingest = newRoundIngest(dim)
+		}
 	}
 
 	// Build every device's send on the actor goroutine, marshaling the plan
@@ -737,6 +817,12 @@ func (ma *MasterAggregator) beginReporting(ctx *actor.Context) {
 		secure:   secure,
 		evalOnly: ma.plan.Type == plan.TaskEval,
 		ingest:   ma.ingest,
+		buf:      ma.robustBuf,
+	}
+	if !secure && ma.plan.Server.Robust.Kind == plan.RobustNormBound {
+		rr.clip = ma.plan.Server.Robust.ClipNorm
+		rr.clipped = &ma.clipped
+		rr.obsClipped, _, _ = robustTaskCounters(ma.plan.ID)
 	}
 	jobCh := make(chan configJob, len(jobs))
 	for _, j := range jobs {
@@ -880,18 +966,56 @@ func (r reportReader) read(deviceID string, conn transport.Conn, group actor.Ref
 		_ = group.Send(msgAddUpdate{DeviceID: deviceID, Input: buf, Metrics: req.Metrics, Conn: conn})
 		return
 	}
+	if r.buf != nil {
+		// Per-update retention (trimmed mean / median / cosine): decode
+		// into a pooled vector the robust reduce consumes at finalize.
+		// Acceptance means "buffered" — a later defensive trim or rejection
+		// is the server's business, attributed in msgRoundComplete.
+		err = r.buf.Add(deviceID, meta.Weight, req.Metrics, func(dst tensor.Vector) error {
+			return meta.DecodeParams(req.Update, dst)
+		})
+		switch {
+		case errors.Is(err, robust.ErrBufferClosed):
+			late()
+		case err != nil:
+			reject(err.Error())
+		default:
+			obsReportsOK.Inc()
+			_ = r.self.Send(msgReportDone{DeviceID: deviceID, OK: true})
+			sendWithGrace(conn, protocol.ReportResponse{Accepted: true})
+		}
+		return
+	}
 	// Decode-and-accumulate at the edge: the wire bytes are folded
 	// (dequantized, for Quant8) straight into a stripe of the round
 	// accumulator, under that stripe's lock — no intermediate vector.
-	err = r.ingest.stripe().Accumulate(meta.Weight, req.Metrics, func(sum tensor.Vector) error {
+	// A norm-bound policy first measures the update's streaming norm; an
+	// over-norm update is folded pre-scaled (two passes over the wire
+	// bytes, still no intermediate vector).
+	fold := func(sum tensor.Vector) error {
 		return meta.AccumulateParams(req.Update, sum)
-	})
+	}
+	clipped := false
+	if r.clip > 0 {
+		if scale := robust.ClipScale(meta.ParamNorm(req.Update), meta.Weight, r.clip); scale < 1 {
+			clipped = true
+			fold = func(sum tensor.Vector) error {
+				return meta.AccumulateParamsScaled(req.Update, sum, scale)
+			}
+		}
+	}
+	err = r.ingest.stripe().Accumulate(meta.Weight, req.Metrics, fold)
 	switch {
 	case errors.Is(err, fedavg.ErrPartialClosed):
 		late()
 	case err != nil:
 		reject(err.Error())
 	default:
+		if clipped {
+			r.clipped.Add(1)
+			obsRobustClipped.Inc()
+			r.obsClipped.Inc()
+		}
 		obsReportsOK.Inc()
 		obsEdgeFolds.Inc()
 		_ = r.self.Send(msgReportDone{DeviceID: deviceID, OK: true})
@@ -940,6 +1064,11 @@ func (ma *MasterAggregator) onReportTimeout(ctx *actor.Context) {
 			reports = n
 		}
 	}
+	if ma.robustBuf != nil {
+		if n := ma.robustBuf.Reports(); n > reports {
+			reports = n
+		}
+	}
 	if reports >= ma.plan.Server.MinReports() {
 		ma.finalize(ctx)
 		return
@@ -967,6 +1096,12 @@ func (ma *MasterAggregator) finalize(ctx *actor.Context) {
 		ma.ingest.close()
 		stripes = ma.ingest.stripes
 	}
+	// Seal the retention buffer the same way: a reader racing the close
+	// gets ErrBufferClosed and answers "window closed" instead of slipping
+	// an update past the robust reduce.
+	if ma.robustBuf != nil {
+		ma.robustBuf.Close()
+	}
 	// Hand every group its configured-device list: secure groups size their
 	// secagg instance by assignment, so devices that never delivered —
 	// dead connections, stragglers about to be aborted below — enter the
@@ -984,6 +1119,12 @@ func (ma *MasterAggregator) finalize(ctx *actor.Context) {
 	}
 	for i, agg := range ma.aggs {
 		fin := msgFinalizeGroup{Assigned: assigned[i]}
+		if i == 0 {
+			// The robust reduce is an order statistic over the whole
+			// cohort — it cannot be striped — so the single retention
+			// buffer goes to one group.
+			fin.Robust = ma.robustBuf
+		}
 		for j := i; j < len(stripes); j += len(ma.aggs) {
 			fin.Stripes = append(fin.Stripes, stripes[j])
 		}
@@ -1026,12 +1167,13 @@ func (ma *MasterAggregator) onGroupResult(ctx *actor.Context, m msgGroupResult) 
 	metricVals := make(map[string][]float64)
 	evalOnly := ma.plan.Type == plan.TaskEval
 	reports := 0
-	var groupErrs, blamed []string
+	var groupErrs, blamed, robustRejected []string
 	for _, p := range ma.partials {
 		if p.Err != "" {
 			groupErrs = append(groupErrs, p.Err)
 		}
 		blamed = append(blamed, p.Blamed...)
+		robustRejected = append(robustRejected, p.RobustRejected...)
 		// Groups finalize concurrently, so the round's secagg phase cost is
 		// the slowest group's — max-merge, don't sum.
 		for name, d := range p.Phases {
@@ -1105,14 +1247,16 @@ func (ma *MasterAggregator) onGroupResult(ctx *actor.Context, m msgGroupResult) 
 	ma.state = "done"
 	ma.recordTrace(true, newGlobal.Round, reports, aborted, len(blamed), edgeNanos, commitNanos, "")
 	_ = ma.coord.Send(msgRoundComplete{
-		TaskID:        ma.plan.ID,
-		Round:         newGlobal.Round,
-		Committed:     newGlobal,
-		Completed:     reports,
-		Aborted:       aborted,
-		Lost:          ma.lost,
-		GroupErrors:   groupErrs,
-		BlamedDevices: blamed,
+		TaskID:         ma.plan.ID,
+		Round:          newGlobal.Round,
+		Committed:      newGlobal,
+		Completed:      reports,
+		Aborted:        aborted,
+		Lost:           ma.lost,
+		GroupErrors:    groupErrs,
+		BlamedDevices:  blamed,
+		RobustRejected: robustRejected,
+		Clipped:        int(ma.clipped.Load()),
 	})
 	ctx.Stop()
 }
@@ -1132,7 +1276,13 @@ func (ma *MasterAggregator) recordTrace(committed bool, round int64, reports, ab
 	put(obs.PhaseReportWindow, ma.windowNanos)
 	put(obs.PhaseEdgeAccumulate, edgeNanos)
 	for name, d := range ma.secPhases {
-		put("secagg_"+name, d.Nanoseconds())
+		key := "secagg_" + name
+		if strings.HasPrefix(name, "robust_") {
+			// The robust reduce reports through the same per-group phase
+			// channel but is not a secagg phase.
+			key = name
+		}
+		put(key, d.Nanoseconds())
 	}
 	put(obs.PhaseCommit, commitNanos)
 	ts, _ := ma.store.(obs.TraceStore)
@@ -1159,6 +1309,9 @@ func (ma *MasterAggregator) fail(ctx *actor.Context, reason string) {
 		// Seal the stripes: readers still in flight get ErrPartialClosed
 		// rather than folding into an abandoned round.
 		ma.ingest.close()
+	}
+	if ma.robustBuf != nil {
+		ma.robustBuf.Close()
 	}
 	for _, ds := range ma.devices {
 		if !ds.reported && !ds.lost {

@@ -44,6 +44,15 @@ type BenchRoundConfig struct {
 	// checkpoint discriminates mis-aggregation; used by the
 	// edge-accumulation equivalence tests.
 	DistinctUpdates bool
+	// Robust selects the task's robust aggregation policy (the
+	// plan.Server.Robust knob). Per-update policies need a float64 or
+	// QuantSafe Encoding, exactly as a real plan would.
+	Robust plan.RobustPolicy
+	// Attackers marks the first N devices as scaled-update adversaries:
+	// their reported update is AttackScale × their honest payload. Implies
+	// DistinctUpdates so defenses have per-device signal to act on.
+	Attackers   int
+	AttackScale float64
 }
 
 // BenchRoundStats describes one completed synthetic round.
@@ -58,6 +67,11 @@ type BenchRoundStats struct {
 	// apply step failed before storage); equivalence tests compare it
 	// against a serial reference fold.
 	Committed *checkpoint.Checkpoint
+	// Clipped counts updates the norm-bound policy clipped at the edge;
+	// RobustRejected carries the round's defense attributions
+	// ("deviceID: reason").
+	Clipped        int
+	RobustRejected []string
 }
 
 // RunBenchRound drives one round through a real Master Aggregator and real
@@ -97,6 +111,7 @@ func RunBenchRound(cfg BenchRoundConfig) (BenchRoundStats, error) {
 		ReportEncoding:    enc,
 		SecureAggregation: cfg.Secure,
 		SecAggGroupSize:   groupSize,
+		Robust:            cfg.Robust,
 		// Fused ops force version-1 devices onto a distinct lowered plan.
 		UseFusedOps: cfg.MixedVersions,
 	})
@@ -117,8 +132,9 @@ func RunBenchRound(cfg BenchRoundConfig) (BenchRoundStats, error) {
 	if err != nil {
 		return stats, err
 	}
+	distinct := cfg.DistinctUpdates || cfg.Attackers > 0
 	for i := range updBytes {
-		if !cfg.DistinctUpdates {
+		if !distinct {
 			updBytes[i] = shared
 			continue
 		}
@@ -126,6 +142,9 @@ func RunBenchRound(cfg BenchRoundConfig) (BenchRoundStats, error) {
 			Params: make(tensor.Vector, cfg.Dim)}
 		for j := range u.Params {
 			u.Params[j] = float64(i+1) * (float64(j%7)*0.25 - 0.5)
+		}
+		if i < cfg.Attackers {
+			u.Params.Scale(cfg.AttackScale)
 		}
 		if updBytes[i], err = u.Marshal(enc); err != nil {
 			return stats, err
@@ -252,6 +271,8 @@ func RunBenchRound(cfg BenchRoundConfig) (BenchRoundStats, error) {
 		stats.Completed = out.complete.Completed
 		stats.Lost = out.complete.Lost
 		stats.Committed = out.complete.Committed
+		stats.Clipped = out.complete.Clipped
+		stats.RobustRejected = out.complete.RobustRejected
 	case <-time.After(5 * time.Minute):
 		return stats, fmt.Errorf("benchround: round timed out")
 	}

@@ -42,6 +42,11 @@ type EdgeRoundConfig struct {
 	// with whatever reports it holds (the coordinator enforces the global
 	// minimum across shards).
 	ReportTimeout time.Duration
+	// ClipNorm, when positive, applies the norm-bound robust policy at this
+	// shard's edge: each report's per-example-average L2 norm is bounded
+	// before it folds into a stripe. Clipping is per-update, so it
+	// distributes across shards; the seal carries the clip count upstream.
+	ClipNorm float64
 }
 
 // EdgeSeal is an edge round's result: the shard's merged stripe plus the
@@ -54,6 +59,8 @@ type EdgeSeal struct {
 	Seal       fedavg.SealedStripe
 	Lost       int
 	Aborted    int
+	// Clipped counts reports the norm-bound policy clipped at this shard.
+	Clipped int64
 	// Phases maps round-lifecycle phase name (obs.PhaseConfigure etc.) to
 	// wall nanoseconds this shard spent in it. The coordinator max-merges
 	// the per-shard maps into the round trace: the fleet-wide cost of a
@@ -116,6 +123,11 @@ type EdgeRound struct {
 	startAt      time.Time
 	checkinNanos int64
 	configNanos  atomic.Int64
+
+	// clipped counts norm-bound edge clips (written by reader goroutines);
+	// obsClipped is the task-labeled series, resolved once at start.
+	clipped    atomic.Int64
+	obsClipped *obs.Counter
 }
 
 // NewEdgeRound returns the behavior for one shard-local round. ship runs on
@@ -165,6 +177,9 @@ func (er *EdgeRound) Receive(ctx *actor.Context, msg actor.Message) {
 func (er *EdgeRound) start(ctx *actor.Context) {
 	er.startAt = time.Now()
 	er.ingest = newRoundIngest(er.cfg.Dim)
+	if er.cfg.ClipNorm > 0 {
+		er.obsClipped, _, _ = robustTaskCounters(er.cfg.TaskID)
+	}
 	er.resp = transport.Encode(protocol.CheckinResponse{
 		Accepted:       true,
 		TaskID:         er.cfg.TaskID,
@@ -242,6 +257,11 @@ func (er *EdgeRound) onDevices(ctx *actor.Context, m msgDevices) {
 		dim:      er.cfg.Dim,
 		evalOnly: er.cfg.EvalOnly,
 		ingest:   er.ingest,
+	}
+	if er.cfg.ClipNorm > 0 {
+		rr.clip = er.cfg.ClipNorm
+		rr.clipped = &er.clipped
+		rr.obsClipped = er.obsClipped
 	}
 	jobCh := make(chan configJob, len(jobs))
 	for _, j := range jobs {
@@ -361,6 +381,7 @@ func (er *EdgeRound) seal(ctx *actor.Context) {
 			Seal:       sealed,
 			Lost:       er.lost,
 			Aborted:    aborted,
+			Clipped:    er.clipped.Load(),
 			Phases:     phases,
 		})
 	}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/fedavg"
 	"repro/internal/plan"
 	"repro/internal/protocol"
+	"repro/internal/robust"
 	"repro/internal/tasks"
 	"repro/internal/transport"
 )
@@ -180,6 +181,11 @@ type msgFinalizeGroup struct {
 	// Empty means "size the instance by what was delivered" (legacy/test
 	// paths).
 	Assigned []string
+	// Robust is the round's per-update retention buffer (trimmed mean /
+	// median / cosine policies); the receiving Aggregator drains it and
+	// runs the robust reduce in place of a stripe merge. Handed to exactly
+	// one group per round, already sealed by the Master Aggregator.
+	Robust *robust.Buffer
 }
 
 // msgGroupResult is an Aggregator's partial aggregate for the round.
@@ -199,8 +205,13 @@ type msgGroupResult struct {
 	Blamed []string
 	// Phases maps secagg phase name (advertise, share, commit, unmask) to
 	// the wall time this group spent in it, for the round tracer. Nil for
-	// insecure groups.
+	// insecure groups (a robust reduce reports its cost under
+	// "robust_reduce").
 	Phases map[string]time.Duration
+	// RobustRejected lists devices the round's robust policy rejected or
+	// attributed, each as "deviceID: reason" — the defense-hit counterpart
+	// of Blamed.
+	RobustRejected []string
 }
 
 // --- Coordinator messages ---
@@ -220,6 +231,15 @@ type msgRoundComplete struct {
 	// round's groups, each as "deviceID: reason" — operator-visible
 	// attribution for misbehaving (not merely lost) devices.
 	BlamedDevices []string
+	// RobustRejected lists devices the task's robust aggregation policy
+	// rejected (cosine outliers, non-finite updates) or attributed as
+	// dominating the trimmed tails, each as "deviceID: reason" — so
+	// operators can tell defense hits from churn (BlamedDevices covers
+	// secagg misbehavior, Lost covers churn).
+	RobustRejected []string
+	// Clipped counts updates whose norm the round's norm-bound policy
+	// clipped at the edge.
+	Clipped int
 }
 
 // msgRoundFailed reports an abandoned round.

@@ -103,6 +103,14 @@ type DevicePlan struct {
 	// MinRuntimeVersion is the oldest device runtime that can execute this
 	// op sequence.
 	MinRuntimeVersion int
+	// ClipNorm, when positive, makes the device clip its update so the
+	// per-example-average delta has L2 norm at most ClipNorm before
+	// reporting (fedavg.ClipUpdate semantics). Generate mirrors
+	// Server.Robust.ClipNorm here for norm_bound tasks: under secure
+	// aggregation the server never sees individual updates, so client-side
+	// clipping is the only place the bound can be enforced for honest
+	// devices.
+	ClipNorm float64
 }
 
 // AggregationKind selects the server-side aggregation mechanism
@@ -163,6 +171,10 @@ type ServerPlan struct {
 	// defers to Device.ReportEncoding (plans marshaled before this field
 	// existed).
 	ReportEncoding checkpoint.Encoding
+	// Robust selects the robust aggregation policy applied to this task's
+	// updates before they reach the committed checkpoint (see RobustKind).
+	// The zero value is the plain weighted mean.
+	Robust RobustPolicy
 }
 
 // SelectTarget returns the number of devices to admit into a round.
@@ -274,6 +286,9 @@ func (p *Plan) Validate() error {
 		return fmt.Errorf("plan %q: server requests report encoding %d but device plan carries %d",
 			p.ID, p.Server.ReportEncoding, p.Device.ReportEncoding)
 	}
+	if err := p.validateRobust(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -356,6 +371,11 @@ type Config struct {
 	SecAggThresholdFraction float64
 	SecAggFinalizeTimeout   time.Duration
 	ReportEncoding          checkpoint.Encoding
+	// Robust selects the robust aggregation policy (see RobustKind); the
+	// zero value is the plain weighted mean. Per-update policies
+	// (trimmed_mean, median, cosine_outlier) default the uplink encoding to
+	// float64 unless QuantSafe is set or an encoding is given explicitly.
+	Robust RobustPolicy
 	// UseFusedOps emits the newer fused train+metrics op, exercising the
 	// versioned-plan transformation for older runtimes.
 	UseFusedOps bool
@@ -381,6 +401,12 @@ func Generate(cfg Config) (*Plan, error) {
 	}
 	if cfg.ReportEncoding == 0 {
 		cfg.ReportEncoding = checkpoint.EncodingQuant8
+		// A per-update robust policy decodes every update before reducing;
+		// unless the task declared dequantize-then-reduce safe, keep the
+		// defense exact by defaulting the uplink to full precision.
+		if cfg.Robust.PerUpdate() && !cfg.Robust.QuantSafe {
+			cfg.ReportEncoding = checkpoint.EncodingFloat64
+		}
 	}
 	if cfg.Type == 0 {
 		cfg.Type = TaskTrain
@@ -407,6 +433,13 @@ func Generate(cfg Config) (*Plan, error) {
 	if cfg.SecureAggregation {
 		agg = AggregationSecure
 	}
+	// Norm-bound tasks mirror the clip into the device plan so honest
+	// devices bound their own updates; under secagg that mirror is the
+	// entire enforcement mechanism.
+	var clipNorm float64
+	if cfg.Robust.Kind == RobustNormBound {
+		clipNorm = cfg.Robust.ClipNorm
+	}
 	p := &Plan{
 		ID:         cfg.TaskID,
 		Population: cfg.Population,
@@ -423,6 +456,7 @@ func Generate(cfg Config) (*Plan, error) {
 			LearningRate:      cfg.LearningRate,
 			ReportEncoding:    cfg.ReportEncoding,
 			MinRuntimeVersion: requiredVersion(ops),
+			ClipNorm:          clipNorm,
 		},
 		Server: ServerPlan{
 			Aggregation:             agg,
@@ -430,12 +464,13 @@ func Generate(cfg Config) (*Plan, error) {
 			SecAggThresholdFraction: cfg.SecAggThresholdFraction,
 			SecAggFinalizeTimeout:   cfg.SecAggFinalizeTimeout,
 			TargetDevices:           cfg.TargetDevices,
-			OverSelectFactor:  cfg.OverSelectFactor,
-			MinReportFraction: cfg.MinReportFraction,
-			SelectionTimeout:  cfg.SelectionTimeout,
-			ReportTimeout:     cfg.ReportTimeout,
-			ParticipationCap:  cfg.ParticipationCap,
-			ReportEncoding:    cfg.ReportEncoding,
+			OverSelectFactor:        cfg.OverSelectFactor,
+			MinReportFraction:       cfg.MinReportFraction,
+			SelectionTimeout:        cfg.SelectionTimeout,
+			ReportTimeout:           cfg.ReportTimeout,
+			ParticipationCap:        cfg.ParticipationCap,
+			ReportEncoding:          cfg.ReportEncoding,
+			Robust:                  cfg.Robust,
 		},
 	}
 	if err := p.Validate(); err != nil {

@@ -1,0 +1,141 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+)
+
+// RobustKind selects the server-side robust aggregation policy for a task.
+// Robust aggregation is the core defense against model poisoning in
+// cross-device FL (arXiv 1912.04977 §5; arXiv 2012.06810): the plain
+// weighted mean of Sec. 2.2 lets a single scaled update steer the global
+// model, so a task may instead bound or reject suspicious updates before
+// they reach the committed checkpoint.
+type RobustKind uint8
+
+// Robust aggregation policies.
+const (
+	// RobustNone is the plain weighted mean (the default).
+	RobustNone RobustKind = iota
+	// RobustNormBound clips each update so its per-example-average L2 norm
+	// is at most ClipNorm, bounding any single device's influence. It folds
+	// at the edge of the striped accumulator path and composes with secure
+	// aggregation via client-side clipping.
+	RobustNormBound
+	// RobustTrimmedMean replaces the weighted mean with the coordinate-wise
+	// trimmed mean of the per-example-average updates, discarding the
+	// TrimFraction largest and smallest values per coordinate. Requires
+	// per-update retention: incompatible with secure aggregation.
+	RobustTrimmedMean
+	// RobustMedian replaces the weighted mean with the coordinate-wise
+	// median of the per-example-average updates. Requires per-update
+	// retention: incompatible with secure aggregation.
+	RobustMedian
+	// RobustCosineOutlier rejects whole updates whose cosine distance to
+	// the cohort centroid exceeds MaxCosineDistance, then averages the
+	// survivors. Requires per-update retention: incompatible with secure
+	// aggregation.
+	RobustCosineOutlier
+)
+
+// String implements fmt.Stringer.
+func (k RobustKind) String() string {
+	switch k {
+	case RobustNone:
+		return "none"
+	case RobustNormBound:
+		return "norm_bound"
+	case RobustTrimmedMean:
+		return "trimmed_mean"
+	case RobustMedian:
+		return "median"
+	case RobustCosineOutlier:
+		return "cosine_outlier"
+	default:
+		return fmt.Sprintf("RobustKind(%d)", uint8(k))
+	}
+}
+
+// RobustPolicy is the per-task robust aggregation knob of ServerPlan. The
+// zero value means plain weighted-mean aggregation.
+type RobustPolicy struct {
+	Kind RobustKind
+	// ClipNorm bounds the L2 norm of each update's per-example average
+	// delta (the same quantity fedavg.ClipUpdate bounds for DP), so that a
+	// device reporting n examples contributes at most n·ClipNorm of delta
+	// mass. Required > 0 for RobustNormBound.
+	ClipNorm float64
+	// TrimFraction is the fraction of values trimmed from EACH tail per
+	// coordinate for RobustTrimmedMean; must lie in (0, 0.5). With 20%
+	// attackers, TrimFraction 0.25 removes every attacker value from every
+	// coordinate in expectation.
+	TrimFraction float64
+	// MaxCosineDistance is the rejection threshold for RobustCosineOutlier:
+	// updates with 1 − cos(update, centroid) above it are excluded. Must
+	// lie in (0, 2].
+	MaxCosineDistance float64
+	// QuantSafe declares that the policy's semantics survive Quant8 uplink
+	// encoding. Per-update policies decode (dequantize) the wire bytes
+	// before reducing, which perturbs each coordinate by up to half a
+	// quantization step (see checkpoint.Meta.AccumulateParams); a task must
+	// opt in to that error bound explicitly, otherwise Validate rejects the
+	// Quant8 × per-update-policy combination.
+	QuantSafe bool
+}
+
+// PerUpdate reports whether the policy needs access to each individual
+// update at aggregation time (retention), as opposed to folding into the
+// running stripe sums at the edge. Per-update policies are incompatible
+// with secure aggregation — secagg exists precisely so the server never
+// sees an individual update — and with cross-shard deployments, where raw
+// updates never leave the shard that terminated the device connection.
+func (r RobustPolicy) PerUpdate() bool {
+	switch r.Kind {
+	case RobustTrimmedMean, RobustMedian, RobustCosineOutlier:
+		return true
+	}
+	return false
+}
+
+// validate checks the policy parameters and its composition with the rest
+// of the plan; called from Plan.Validate.
+func (p *Plan) validateRobust() error {
+	r := p.Server.Robust
+	switch r.Kind {
+	case RobustNone:
+		return nil
+	case RobustNormBound:
+		if r.ClipNorm <= 0 {
+			return fmt.Errorf("plan %q: robust policy norm_bound needs ClipNorm > 0", p.ID)
+		}
+	case RobustTrimmedMean:
+		if r.TrimFraction <= 0 || r.TrimFraction >= 0.5 {
+			return fmt.Errorf("plan %q: robust policy trimmed_mean needs TrimFraction in (0, 0.5), got %v",
+				p.ID, r.TrimFraction)
+		}
+	case RobustMedian:
+		// No parameters.
+	case RobustCosineOutlier:
+		if r.MaxCosineDistance <= 0 || r.MaxCosineDistance > 2 {
+			return fmt.Errorf("plan %q: robust policy cosine_outlier needs MaxCosineDistance in (0, 2], got %v",
+				p.ID, r.MaxCosineDistance)
+		}
+	default:
+		return fmt.Errorf("plan %q: unknown robust policy kind %d", p.ID, r.Kind)
+	}
+	if p.Type == TaskEval {
+		return fmt.Errorf("plan %q: robust policy %s is meaningless for an eval task", p.ID, r.Kind)
+	}
+	if r.PerUpdate() {
+		if p.Server.Aggregation == AggregationSecure {
+			return fmt.Errorf("plan %q: robust policy %s needs per-update access but secure aggregation hides individual updates; use norm_bound (client-side clipping) with secagg, or turn secagg off",
+				p.ID, r.Kind)
+		}
+		if p.UplinkEncoding() == checkpoint.EncodingQuant8 && !r.QuantSafe {
+			return fmt.Errorf("plan %q: robust policy %s over quant8 uplink perturbs each coordinate by up to half a quantization step before the reduce; set Robust.QuantSafe to accept that error bound or use float64 report encoding",
+				p.ID, r.Kind)
+		}
+	}
+	return nil
+}

@@ -93,8 +93,17 @@ type RoundConfig struct {
 	// shard's local reporting window.
 	ReportDeadline time.Duration
 	ReportTimeout  time.Duration
-	Plan           []byte
-	Checkpoint     []byte
+	// RobustKind mirrors plan.RobustPolicy.Kind for the task. Only the
+	// norm-bound policy crosses shards — each shard clips reports at its
+	// own edge before folding, which distributes because clipping is
+	// per-update. Retention policies (trimmed mean, median, cosine) need
+	// every individual update in one place and are refused for sharded
+	// populations at task submission.
+	RobustKind uint8
+	// ClipNorm is the norm-bound policy's per-example-average L2 bound.
+	ClipNorm   float64
+	Plan       []byte
+	Checkpoint []byte
 }
 
 // RoundFinalize tells a shard to seal its stripes NOW and ship whatever it
@@ -132,7 +141,10 @@ type StripeSeal struct {
 	Reports     int64
 	EvalReports int64
 	Lost        int64
-	Weight      float64
+	// Clipped counts updates the round's norm-bound policy clipped at this
+	// shard's edge before folding.
+	Clipped int64
+	Weight  float64
 	// Sum is the marshaled raw delta sum (fedavg.MarshalSum); empty when
 	// Reports is zero.
 	Sum []byte

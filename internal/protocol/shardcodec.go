@@ -18,7 +18,7 @@ import (
 func marshalShardParts(msg interface{}) (code byte, parts [][]byte, ok bool) {
 	switch m := msg.(type) {
 	case StripeSeal:
-		head := make([]byte, 0, sizeStr(m.Population)+sizeStr(m.TaskID)+8+4+8+8+8+8+4)
+		head := make([]byte, 0, sizeStr(m.Population)+sizeStr(m.TaskID)+8+4+8+8+8+8+8+4)
 		head = appendStr(head, m.Population)
 		head = appendStr(head, m.TaskID)
 		head = binary.BigEndian.AppendUint64(head, uint64(m.Round))
@@ -26,6 +26,7 @@ func marshalShardParts(msg interface{}) (code byte, parts [][]byte, ok bool) {
 		head = binary.BigEndian.AppendUint64(head, uint64(m.Reports))
 		head = binary.BigEndian.AppendUint64(head, uint64(m.EvalReports))
 		head = binary.BigEndian.AppendUint64(head, uint64(m.Lost))
+		head = binary.BigEndian.AppendUint64(head, uint64(m.Clipped))
 		head = binary.BigEndian.AppendUint64(head, math.Float64bits(m.Weight))
 		head = binary.BigEndian.AppendUint32(head, uint32(len(m.Sum)))
 		tail := make([]byte, 0, sizeMetricSamples(m.Metrics)+sizeNamedI64s(m.Phases))
@@ -33,7 +34,7 @@ func marshalShardParts(msg interface{}) (code byte, parts [][]byte, ok bool) {
 		tail = appendNamedI64s(tail, m.Phases)
 		return CodeStripeSeal, [][]byte{head, m.Sum, tail}, true
 	case RoundConfig:
-		head := make([]byte, 0, sizeStr(m.Population)+sizeStr(m.TaskID)+8+8+8+8+1+8+8+4)
+		head := make([]byte, 0, sizeStr(m.Population)+sizeStr(m.TaskID)+8+8+8+8+1+8+8+1+8+4)
 		head = appendStr(head, m.Population)
 		head = appendStr(head, m.TaskID)
 		head = binary.BigEndian.AppendUint64(head, uint64(m.Round))
@@ -43,6 +44,8 @@ func marshalShardParts(msg interface{}) (code byte, parts [][]byte, ok bool) {
 		head = appendBool(head, m.EvalOnly)
 		head = binary.BigEndian.AppendUint64(head, uint64(int64(m.ReportDeadline)))
 		head = binary.BigEndian.AppendUint64(head, uint64(int64(m.ReportTimeout)))
+		head = append(head, m.RobustKind)
+		head = binary.BigEndian.AppendUint64(head, math.Float64bits(m.ClipNorm))
 		head = binary.BigEndian.AppendUint32(head, uint32(len(m.Plan)))
 		mid := make([]byte, 0, 4)
 		mid = binary.BigEndian.AppendUint32(mid, uint32(len(m.Checkpoint)))
@@ -124,6 +127,7 @@ func unmarshalShard(code byte, r *reader) (msg interface{}, handled bool) {
 		m.Reports = r.i64()
 		m.EvalReports = r.i64()
 		m.Lost = r.i64()
+		m.Clipped = r.i64()
 		m.Weight = r.f64()
 		m.Sum = r.bytes()
 		m.Metrics = r.metricSamples()
@@ -140,6 +144,8 @@ func unmarshalShard(code byte, r *reader) (msg interface{}, handled bool) {
 		m.EvalOnly = r.bool()
 		m.ReportDeadline = time.Duration(r.i64())
 		m.ReportTimeout = time.Duration(r.i64())
+		m.RobustKind = r.u8("robust kind")
+		m.ClipNorm = r.f64()
 		m.Plan = r.bytes()
 		m.Checkpoint = r.bytes()
 		return m, true

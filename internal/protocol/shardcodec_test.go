@@ -14,7 +14,7 @@ import (
 func shardMessages() []interface{} {
 	return []interface{}{
 		StripeSeal{Population: "pop", TaskID: "task", Round: 7, Shard: 2,
-			Reports: 100, EvalReports: 3, Lost: 4, Weight: 41.5,
+			Reports: 100, EvalReports: 3, Lost: 4, Clipped: 9, Weight: 41.5,
 			Sum:     []byte{1, 2, 3, 4, 5, 6, 7, 8},
 			Metrics: map[string][]float64{"train_loss": {0.5, 0.25}, "train_acc": {1}},
 			Phases:  map[string]int64{"configure": 12_000_000, "edge_accumulate": 34_000_000}},
@@ -22,6 +22,7 @@ func shardMessages() []interface{} {
 		RoundConfig{Population: "pop", TaskID: "task", Round: 9, Target: 100,
 			Admit: 130, Estimate: 5000, EvalOnly: true,
 			ReportDeadline: 2 * time.Minute, ReportTimeout: time.Minute,
+			RobustKind: 1, ClipNorm: 1.5,
 			Plan: []byte{9, 9}, Checkpoint: []byte{7}},
 		RoundConfig{},
 		RoundFinalize{Population: "pop", TaskID: "task", Round: 3},
@@ -95,6 +96,7 @@ func hostileShardPayloads() map[string][2]interface{} {
 		b = hU64(b, 0)                   // Reports
 		b = hU64(b, 0)                   // EvalReports
 		b = hU64(b, 0)                   // Lost
+		b = hU64(b, 0)                   // Clipped
 		b = hU64(b, math.Float64bits(1)) // Weight
 		return hU32(b, sumLen)           // Sum length
 	}
@@ -106,8 +108,10 @@ func hostileShardPayloads() map[string][2]interface{} {
 		b = hU64(b, 1) // Admit
 		b = hU64(b, 1) // Estimate
 		b = append(b, 0)
-		b = hU64(b, 0) // ReportDeadline
-		b = hU64(b, 0) // ReportTimeout
+		b = hU64(b, 0)   // ReportDeadline
+		b = hU64(b, 0)   // ReportTimeout
+		b = append(b, 0) // RobustKind
+		b = hU64(b, 0)   // ClipNorm
 		return b
 	}
 	return map[string][2]interface{}{

@@ -1,0 +1,260 @@
+package robust
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/plan"
+	"repro/internal/tensor"
+)
+
+func mkUpdates(k, dim int, seed int64) []Update {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Update, k)
+	for i := range out {
+		w := 1 + float64(rng.Intn(5))
+		delta := make(tensor.Vector, dim)
+		for j := range delta {
+			delta[j] = w * (rng.NormFloat64())
+		}
+		out[i] = Update{Device: fmt.Sprintf("d%d", i), Weight: w, Delta: delta}
+	}
+	return out
+}
+
+// referenceOrderStat computes the sorted-sample reference per coordinate:
+// sort the per-example-average values, trim (or take the median), and
+// average what remains.
+func referenceOrderStat(kind plan.RobustKind, trimFraction float64, updates []Update, dim int) tensor.Vector {
+	k := len(updates)
+	out := make(tensor.Vector, dim)
+	for j := 0; j < dim; j++ {
+		vals := make([]float64, k)
+		for i, u := range updates {
+			vals[i] = u.Delta[j] / u.Weight
+		}
+		sort.Float64s(vals)
+		if kind == plan.RobustMedian {
+			if k%2 == 1 {
+				out[j] = vals[k/2]
+			} else {
+				out[j] = (vals[k/2-1] + vals[k/2]) / 2
+			}
+			continue
+		}
+		t := int(trimFraction * float64(k))
+		var s float64
+		for _, v := range vals[t : k-t] {
+			s += v
+		}
+		out[j] = s / float64(k-2*t)
+	}
+	return out
+}
+
+// Property: the trimmed-mean reduce equals the sorted-sample reference per
+// coordinate — including over adversarial cohorts where a fraction of the
+// updates are arbitrarily scaled.
+func TestTrimmedMeanMatchesSortedReferenceProperty(t *testing.T) {
+	f := func(seed int64, kRaw, dimRaw uint8, attackersRaw uint8) bool {
+		k := 3 + int(kRaw)%20
+		dim := 1 + int(dimRaw)%16
+		updates := mkUpdates(k, dim, seed)
+		// Adversarial cohort: scale a minority of updates enormously.
+		attackers := int(attackersRaw) % (k/4 + 1)
+		for i := 0; i < attackers; i++ {
+			updates[i].Delta.Scale(-1e6)
+		}
+		policy := plan.RobustPolicy{Kind: plan.RobustTrimmedMean, TrimFraction: 0.25}
+		res := Reduce(policy, dim, updates)
+		if res.Count != k {
+			return false
+		}
+		want := referenceOrderStat(plan.RobustTrimmedMean, 0.25, updates, dim)
+		for j := 0; j < dim; j++ {
+			got := res.Sum[j] / res.Weight
+			if math.Abs(got-want[j]) > 1e-9*(1+math.Abs(want[j])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the median reduce equals the sorted-sample reference.
+func TestMedianMatchesSortedReferenceProperty(t *testing.T) {
+	f := func(seed int64, kRaw, dimRaw uint8) bool {
+		k := 1 + int(kRaw)%20
+		dim := 1 + int(dimRaw)%16
+		updates := mkUpdates(k, dim, seed)
+		policy := plan.RobustPolicy{Kind: plan.RobustMedian}
+		res := Reduce(policy, dim, updates)
+		want := referenceOrderStat(plan.RobustMedian, 0, updates, dim)
+		for j := 0; j < dim; j++ {
+			got := res.Sum[j] / res.Weight
+			if math.Abs(got-want[j]) > 1e-9*(1+math.Abs(want[j])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The trimmed mean with TrimFraction 0.25 must be immune to 20% of
+// devices sending arbitrarily scaled updates: the robust aggregate stays
+// within the honest values' range per coordinate.
+func TestTrimmedMeanBoundsScaledAttack(t *testing.T) {
+	updates := mkUpdates(10, 8, 7)
+	for i := 0; i < 2; i++ {
+		updates[i].Delta.Scale(1e9)
+	}
+	res := Reduce(plan.RobustPolicy{Kind: plan.RobustTrimmedMean, TrimFraction: 0.25}, 8, updates)
+	for j := 0; j < 8; j++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, u := range updates[2:] {
+			v := u.Delta[j] / u.Weight
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		got := res.Sum[j] / res.Weight
+		if got < lo || got > hi {
+			t.Fatalf("coordinate %d: trimmed mean %v outside honest range [%v, %v]", j, got, lo, hi)
+		}
+	}
+	// The two attackers dominate the tails and must be attributed.
+	names := map[string]bool{}
+	for _, r := range res.Rejected {
+		names[r.Device] = true
+	}
+	if !names["d0"] || !names["d1"] {
+		t.Fatalf("scaled attackers not attributed: %v", res.Rejected)
+	}
+}
+
+func TestClipScale(t *testing.T) {
+	// Per-example average norm = deltaNorm/weight = 10/2 = 5 > clip 1 →
+	// scale 1·2/10.
+	if got := ClipScale(10, 2, 1); got != 0.2 {
+		t.Fatalf("ClipScale(10,2,1) = %v, want 0.2", got)
+	}
+	if got := ClipScale(1.9, 2, 1); got != 1 {
+		t.Fatalf("ClipScale under bound = %v, want 1", got)
+	}
+	if got := ClipScale(10, 0, 1); got != 1 {
+		t.Fatalf("ClipScale zero weight = %v, want 1", got)
+	}
+}
+
+// ClipScale must agree with fedavg.ClipUpdate's arithmetic: clipping via
+// the streaming scale gives the same vector as clipping the materialized
+// update.
+func TestClipScaleMatchesClipUpdateProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		updates := mkUpdates(1, 6, seed)
+		u := updates[0]
+		clip := 0.5
+		scale := ClipScale(u.Delta.Norm2(), u.Weight, clip)
+		scaled := u.Delta.Clone()
+		scaled.Scale(scale)
+		if norm := scaled.Norm2() / u.Weight; norm > clip*(1+1e-12) {
+			return false
+		}
+		// Unclipped updates pass through untouched.
+		if scale == 1 && u.Delta.Norm2()/u.Weight > clip {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormBoundReduceClipsOnlyOverNorm(t *testing.T) {
+	dim := 4
+	honest := Update{Device: "h", Weight: 2, Delta: tensor.Vector{0.2, 0, 0, 0}}   // avg norm 0.1
+	attacker := Update{Device: "a", Weight: 1, Delta: tensor.Vector{100, 0, 0, 0}} // avg norm 100
+	res := Reduce(plan.RobustPolicy{Kind: plan.RobustNormBound, ClipNorm: 1}, dim, []Update{honest, attacker})
+	if res.Clipped != 1 {
+		t.Fatalf("Clipped = %d, want 1", res.Clipped)
+	}
+	// Attacker contributes exactly clip×weight of delta mass.
+	want := 0.2 + 1.0
+	if math.Abs(res.Sum[0]-want) > 1e-12 {
+		t.Fatalf("Sum[0] = %v, want %v", res.Sum[0], want)
+	}
+}
+
+func TestCosineOutlierRejectsOppositeUpdate(t *testing.T) {
+	dim := 3
+	updates := []Update{
+		{Device: "h1", Weight: 1, Delta: tensor.Vector{1, 1, 0}},
+		{Device: "h2", Weight: 1, Delta: tensor.Vector{1, 0.9, 0.1}},
+		{Device: "h3", Weight: 1, Delta: tensor.Vector{0.9, 1, -0.1}},
+		{Device: "evil", Weight: 1, Delta: tensor.Vector{-5, -5, 0}},
+	}
+	res := Reduce(plan.RobustPolicy{Kind: plan.RobustCosineOutlier, MaxCosineDistance: 0.5}, dim, updates)
+	if res.Count != 3 {
+		t.Fatalf("Count = %d, want 3", res.Count)
+	}
+	if len(res.Rejected) != 1 || res.Rejected[0].Device != "evil" {
+		t.Fatalf("Rejected = %v, want evil", res.Rejected)
+	}
+	if res.Weight != 3 {
+		t.Fatalf("Weight = %v, want 3 (rejected update's weight excluded)", res.Weight)
+	}
+}
+
+func TestReduceScreensNonFinite(t *testing.T) {
+	updates := []Update{
+		{Device: "ok", Weight: 1, Delta: tensor.Vector{1, 2}},
+		{Device: "nan", Weight: 1, Delta: tensor.Vector{math.NaN(), 0}},
+		{Device: "inf", Weight: 1, Delta: tensor.Vector{math.Inf(1), 0}},
+	}
+	for _, kind := range []plan.RobustKind{plan.RobustNone, plan.RobustTrimmedMean, plan.RobustMedian, plan.RobustCosineOutlier} {
+		policy := plan.RobustPolicy{Kind: kind, TrimFraction: 0.25, MaxCosineDistance: 1}
+		res := Reduce(policy, 2, updates)
+		if res.Count != 1 || len(res.Rejected) != 2 {
+			t.Fatalf("%s: Count=%d Rejected=%v, want 1 kept, 2 screened", kind, res.Count, res.Rejected)
+		}
+		if !finite(res.Sum) {
+			t.Fatalf("%s: non-finite sum %v", kind, res.Sum)
+		}
+	}
+}
+
+func TestReduceEmptyAndAllRejected(t *testing.T) {
+	res := Reduce(plan.RobustPolicy{Kind: plan.RobustMedian}, 3, nil)
+	if res.Count != 0 || res.Weight != 0 {
+		t.Fatalf("empty reduce: %+v", res)
+	}
+	res = Reduce(plan.RobustPolicy{Kind: plan.RobustMedian}, 2,
+		[]Update{{Device: "nan", Weight: 1, Delta: tensor.Vector{math.NaN(), 0}}})
+	if res.Count != 0 || len(res.Rejected) != 1 {
+		t.Fatalf("all-rejected reduce: %+v", res)
+	}
+}
+
+// Reduce results must not alias input vectors (inputs are pooled).
+func TestReduceResultDoesNotAliasInputs(t *testing.T) {
+	updates := mkUpdates(5, 4, 3)
+	res := Reduce(plan.RobustPolicy{Kind: plan.RobustCosineOutlier, MaxCosineDistance: 2}, 4, updates)
+	before := res.Sum.Clone()
+	for i := range updates {
+		updates[i].Delta.Zero()
+	}
+	for j := range before {
+		if res.Sum[j] != before[j] {
+			t.Fatal("Result.Sum aliases an input update vector")
+		}
+	}
+}

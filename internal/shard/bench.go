@@ -34,8 +34,12 @@ type BenchShardedConfig struct {
 	Features int
 	// TCP moves every link — device→shard and shard→coordinator — over
 	// real loopback sockets.
-	TCP  bool
-	Seed uint64
+	TCP bool
+	// ClipNorm, when positive, runs the task under the norm-bound robust
+	// policy: every shard clips reports at its own edge and the seals carry
+	// the clip counts upstream.
+	ClipNorm float64
+	Seed     uint64
 	// Timeout bounds the whole run (default 2 minutes).
 	Timeout time.Duration
 }
@@ -50,6 +54,8 @@ type BenchShardedStats struct {
 	BytesUpstream int64
 	// Accepted sums device check-ins accepted across every shard.
 	Accepted int64
+	// Clipped totals norm-bound edge clips across every shard and round.
+	Clipped int64
 	// PerShard is each shard's cumulative contribution.
 	PerShard map[uint32]ShardContribution
 }
@@ -88,6 +94,7 @@ func RunBenchSharded(cfg BenchShardedConfig) (BenchShardedStats, error) {
 		StoreName: pop + "-store", BatchSize: 5, Epochs: 1, LearningRate: 0.1,
 		TargetDevices: cfg.TargetDevices, MinReportFraction: 0.5,
 		SelectionTimeout: 30 * time.Second, ReportTimeout: 20 * time.Second,
+		Robust: robustCfg(cfg.ClipNorm),
 	})
 	if err != nil {
 		return stats, err
@@ -230,6 +237,7 @@ func RunBenchSharded(cfg BenchShardedConfig) (BenchShardedStats, error) {
 	stats.Rounds = cs.RoundsCompleted
 	stats.SealsReceived = cs.SealsReceived
 	stats.BytesUpstream = cs.BytesUpstream
+	stats.Clipped = cs.Clipped
 	stats.PerShard, err = coord.PerShardStats()
 	if err != nil {
 		return stats, err
@@ -245,4 +253,12 @@ func RunBenchSharded(cfg BenchShardedConfig) (BenchShardedStats, error) {
 		return stats, fmt.Errorf("shard bench: no committed checkpoint: %w", err)
 	}
 	return stats, nil
+}
+
+// robustCfg builds the norm-bound policy for a positive clip, or none.
+func robustCfg(clip float64) plan.RobustPolicy {
+	if clip > 0 {
+		return plan.RobustPolicy{Kind: plan.RobustNormBound, ClipNorm: clip}
+	}
+	return plan.RobustPolicy{}
 }

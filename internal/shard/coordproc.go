@@ -80,6 +80,9 @@ type CoordStats struct {
 	// crosses the process boundary.
 	SealsReceived int64
 	BytesUpstream int64
+	// Clipped totals norm-bound edge clips reported in seals across every
+	// round so far.
+	Clipped int64
 }
 
 // ShardContribution is one shard's cumulative contribution as seen by the
@@ -105,7 +108,9 @@ type shardRound struct {
 	reports  int
 	evalRep  int
 	lost     int
-	pending  map[*remote.Session]bool
+	// clipped totals the shards' norm-bound edge clips for the round.
+	clipped int64
+	pending map[*remote.Session]bool
 	// enc is the round's RoundConfig pre-framed once and fanned out to
 	// every shard (and re-sent to reconnecting shards).
 	enc    *transport.Encoded
@@ -141,8 +146,9 @@ type shardCoordinator struct {
 	drained   bool
 	onDone    chan struct{}
 
-	sealsRecv int64
-	bytesUp   int64
+	sealsRecv  int64
+	bytesUp    int64
+	clippedTot int64
 }
 
 // Receive implements actor.Behavior.
@@ -189,6 +195,7 @@ func (sc *shardCoordinator) Receive(ctx *actor.Context, msg actor.Message) {
 			Shards:          len(sc.shards),
 			SealsReceived:   sc.sealsRecv,
 			BytesUpstream:   sc.bytesUp,
+			Clipped:         sc.clippedTot,
 		}
 	case msgPerShard:
 		out := make(map[uint32]ShardContribution, len(sc.contrib))
@@ -315,6 +322,17 @@ func (sc *shardCoordinator) onTick(ctx *actor.Context) {
 			"secure aggregation is unavailable in sharded mode; run this task on a single-process coordinator or resume after removing the secure-aggregation requirement")
 		return
 	}
+	if p.Server.Robust.PerUpdate() {
+		// Same shape of limitation: retention policies (trimmed mean,
+		// median, cosine outlier) need every individual update in one
+		// process, but shards only ship merged sums upstream. Norm bounding
+		// distributes (each shard clips at its own edge) and is allowed.
+		sc.failed++
+		sc.tasks.NoteFailed(p.ID)
+		_ = sc.tasks.AutoPause(p.ID,
+			"per-update robust policies are unavailable in sharded mode (shards ship merged sums, not individual updates); use the norm_bound policy or run this task on a single-process coordinator")
+		return
+	}
 	global, err := sc.loadGlobal(t)
 	if err != nil {
 		sc.failed++
@@ -353,6 +371,10 @@ func (sc *shardCoordinator) onTick(ctx *actor.Context) {
 		ReportTimeout:  p.Server.ReportTimeout,
 		Plan:           planBytes,
 		Checkpoint:     ckptBytes,
+	}
+	if p.Server.Robust.Kind == plan.RobustNormBound {
+		cfgMsg.RobustKind = uint8(plan.RobustNormBound)
+		cfgMsg.ClipNorm = p.Server.Robust.ClipNorm
 	}
 	enc := transport.Encode(cfgMsg)
 	cur := &shardRound{
@@ -439,6 +461,13 @@ func (sc *shardCoordinator) onSeal(ctx *actor.Context, m msgSeal) {
 		}
 	}
 
+	if seal.Clipped > 0 {
+		// Per-shard defense visibility on the coordinator's aggregated
+		// /metrics, mirroring the seal counters above.
+		obs.Default.Counter(obs.Label("fl_robust_clipped_total", "shard", shardLabel)).Add(seal.Clipped)
+		cur.clipped += seal.Clipped
+		sc.clippedTot += seal.Clipped
+	}
 	cur.lost += int(seal.Lost)
 	for name, vs := range seal.Metrics {
 		cur.metrics[name] = append(cur.metrics[name], vs...)

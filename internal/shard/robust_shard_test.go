@@ -1,0 +1,100 @@
+package shard
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/actor"
+	"repro/internal/checkpoint"
+	"repro/internal/nn"
+	"repro/internal/pacing"
+	"repro/internal/plan"
+	"repro/internal/protocol"
+	"repro/internal/remote"
+	"repro/internal/tasks"
+)
+
+// TestRetentionPolicyAutoPausedInShardedMode: per-update robust policies
+// (trimmed mean, median, cosine) need every individual update in one
+// process, but shards ship merged sums. Like secure aggregation, such a
+// task must be paused once with an operator-readable note instead of
+// burning a failed round every tick.
+func TestRetentionPolicyAutoPausedInShardedMode(t *testing.T) {
+	p, err := plan.Generate(plan.Config{
+		TaskID: "pop/trimmed", Population: "pop",
+		Model:     nn.Spec{Kind: nn.KindLogistic, Features: 4, Classes: 3, Seed: 1},
+		StoreName: "clicks", BatchSize: 5, Epochs: 1, LearningRate: 0.1,
+		TargetDevices: 4,
+		Robust:        plan.RobustPolicy{Kind: plan.RobustTrimmedMean, TrimFraction: 0.25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := tasks.New("pop", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Seed([]*plan.Plan{p}); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := &shardCoordinator{
+		cfg:     CoordinatorConfig{Population: "pop"},
+		locks:   actor.NewLockService(),
+		tasks:   ts,
+		now:     time.Now,
+		shards:  make(map[*remote.Session]protocol.ShardHello),
+		contrib: make(map[uint32]*ShardContribution),
+		global:  make(map[string]*checkpoint.Checkpoint),
+		rates:   pacing.NewRateTracker(pacing.New(time.Minute), 100),
+	}
+	sys := actor.NewSystem()
+	defer sys.Shutdown()
+	coord := sys.Spawn("coordinator/pop", sc)
+
+	if err := coord.Send(msgCoordTick{}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, ok := ts.StatsFor("pop/trimmed")
+		if !ok {
+			t.Fatal("task vanished")
+		}
+		if st.State == tasks.Paused {
+			if !strings.Contains(st.Note, "robust") || !strings.Contains(st.Note, "norm_bound") {
+				t.Fatalf("auto-pause note not operator-readable: %q", st.Note)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("retention-policy task not auto-paused: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestShardedNormBoundRound drives the 3-shard deployment with a clip
+// bound tight enough that real training updates exceed it: rounds must
+// still commit, and the clip counts must survive the seal wire format to
+// the coordinator's totals.
+func TestShardedNormBoundRound(t *testing.T) {
+	st, err := RunBenchSharded(BenchShardedConfig{
+		Shards: 3, Devices: 12, TargetDevices: 6, Rounds: 2, Seed: 23,
+		ClipNorm: 1e-4,
+		Timeout:  time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rounds < 2 {
+		t.Fatalf("committed %d rounds, want >= 2", st.Rounds)
+	}
+	// Every folded report was over the 1e-4 bound, so clips == folded
+	// reports; each committed round folds at least MinReportFraction (0.5)
+	// of the target's 6 reports.
+	if st.Clipped < int64(2*3) {
+		t.Fatalf("Clipped = %d, want >= 6 (every report over the bound)", st.Clipped)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/flserver"
 	"repro/internal/obs"
 	"repro/internal/pacing"
+	"repro/internal/plan"
 	"repro/internal/protocol"
 	"repro/internal/remote"
 	"repro/internal/transport"
@@ -166,6 +167,13 @@ func (p *SelectorProc) onPeerMsg(msg interface{}) {
 // Selectors on first sight, then spawn the ephemeral EdgeRound actor that
 // selects devices, folds their reports into stripes, and ships the seal.
 func (p *SelectorProc) onRoundConfig(m protocol.RoundConfig) {
+	// Only the norm-bound robust policy reaches shards (the coordinator
+	// refuses retention policies at scheduling); any other kind on the wire
+	// is ignored rather than guessed at.
+	var clipNorm float64
+	if m.RobustKind == uint8(plan.RobustNormBound) {
+		clipNorm = m.ClipNorm
+	}
 	meta, err := checkpoint.ParseMeta(m.Checkpoint)
 	if err != nil {
 		_ = p.peer.Send(protocol.RoundAbort{Population: m.Population, TaskID: m.TaskID,
@@ -214,6 +222,7 @@ func (p *SelectorProc) onRoundConfig(m protocol.RoundConfig) {
 			EvalOnly:       m.EvalOnly,
 			ReportDeadline: m.ReportDeadline,
 			ReportTimeout:  m.ReportTimeout,
+			ClipNorm:       clipNorm,
 		}, p.selectors, p.ship)
 	p.rounds[m.Population] = &edgeHandle{taskID: m.TaskID, round: m.Round, ref: ref}
 	p.mu.Unlock()
@@ -276,6 +285,7 @@ func (p *SelectorProc) ship(seal flserver.EdgeSeal) {
 			Reports:     int64(seal.Seal.Count),
 			EvalReports: int64(seal.Seal.EvalCount),
 			Lost:        int64(seal.Lost),
+			Clipped:     seal.Clipped,
 			Weight:      seal.Seal.Weight,
 			Sum:         fedavg.MarshalSum(seal.Seal.Sum),
 			Metrics:     seal.Seal.Metrics,

@@ -40,8 +40,11 @@ fail() {
 }
 trap cleanup EXIT
 
+# -clip runs the task under the norm-bound robust policy end-to-end: the
+# bound is tight enough that real training updates exceed it, so every
+# shard clips at its edge and the seals carry the counts upstream.
 "$BIN/flserver" -shard-listen "$COORD" -population gboard -rounds "$ROUNDS" \
-	-target 16 -min-shards 3 -obs-listen "$OBS_COORD" >"$LOGS/coord.log" 2>&1 &
+	-target 16 -min-shards 3 -clip 0.001 -obs-listen "$OBS_COORD" >"$LOGS/coord.log" 2>&1 &
 COORD_PID=$!
 sleep 1
 
@@ -67,7 +70,8 @@ for _ in $(seq 600); do
 		grep -q '^fl_rounds_committed_total ' "$LOGS/coord-metrics.txt" &&
 		grep -q '^fl_shard_seal_seconds{' "$LOGS/coord-metrics.txt" &&
 		grep -q '^fl_shard_checkin_rate{' "$LOGS/coord-metrics.txt" &&
-		grep -q 'fl_seals_shipped_total{shard="' "$LOGS/coord-metrics.txt"; then
+		grep -q 'fl_seals_shipped_total{shard="' "$LOGS/coord-metrics.txt" &&
+		grep -q 'fl_robust_clipped_total{shard="' "$LOGS/coord-metrics.txt"; then
 		COORD_METRICS_OK=1
 		break
 	fi
@@ -75,7 +79,7 @@ for _ in $(seq 600); do
 	sleep 0.2
 done
 [ "$COORD_METRICS_OK" = 1 ] ||
-	fail "coordinator /metrics never aggregated round, per-shard seal, check-in-rate and shipped shard series"
+	fail "coordinator /metrics never aggregated round, per-shard seal, check-in-rate, shipped and robust-clip shard series"
 
 curl -sf "http://$OBS_SHARD0/metrics" >"$LOGS/shard0-metrics.txt" ||
 	fail "shard 0 /metrics unreachable"
@@ -83,6 +87,8 @@ grep -q '^fl_checkins_total ' "$LOGS/shard0-metrics.txt" ||
 	fail "shard 0 /metrics missing fl_checkins_total"
 grep -q '^fl_seals_shipped_total ' "$LOGS/shard0-metrics.txt" ||
 	fail "shard 0 /metrics missing fl_seals_shipped_total"
+grep -q 'fl_robust_clipped_total{task="gboard/train"}' "$LOGS/shard0-metrics.txt" ||
+	fail "shard 0 /metrics missing per-task robust clip counter"
 
 for _ in $(seq 120); do
 	kill -0 "$COORD_PID" 2>/dev/null || break
