@@ -17,6 +17,7 @@
 //	flbench -exp multitask  # Sec. 7 task lifecycle: interleaved train + eval tasks on one population
 //	flbench -exp shardtput  # Sec. 4.1 sharded selector tier: 3 selector procs + 1 coordinator
 //	flbench -exp obs        # telemetry instrument overhead (per-event cost)
+//	flbench -exp chaos      # deterministic fault-injection grid with invariant-checked recovery
 //	flbench -exp all        # everything
 //
 // -json emits machine-readable results (one object keyed by experiment)
@@ -39,7 +40,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig6, fig7, fig8, fig9, table1, nextword, ksweep, overselect, secagg, robust, pacing, roundtput, multipop, multitask, shardtput, obs, all)")
+	exp := flag.String("exp", "all", "experiment to run (fig6, fig7, fig8, fig9, table1, nextword, ksweep, overselect, secagg, robust, chaos, pacing, roundtput, multipop, multitask, shardtput, obs, all)")
 	days := flag.Int("days", 3, "simulated days for the operational figures")
 	pop := flag.Int("pop", 20000, "fleet size for the operational figures")
 	target := flag.Int("target", 100, "devices per round (K)")
@@ -379,11 +380,12 @@ func run(exp string, seed uint64, days, pop, target int, asJSON bool) error {
 		"multitask": func() (formatter, error) { return multiTask(seed) },
 		"shardtput": func() (formatter, error) { return shardThroughput(seed) },
 		"obs":       func() (formatter, error) { return experiments.TelemetryOverhead() },
+		"chaos":     func() (formatter, error) { return experiments.ChaosGrid(seed) },
 	}
 
 	if exp == "all" {
 		// Deterministic order matching the paper's presentation.
-		for _, name := range []string{"pacing", "secagg", "robust", "roundtput", "multipop", "multitask", "shardtput", "obs", "nextword", "wallclock", "fig6", "fig7", "fig8", "fig9", "table1", "ksweep", "overselect", "adaptive"} {
+		for _, name := range []string{"pacing", "secagg", "robust", "chaos", "roundtput", "multipop", "multitask", "shardtput", "obs", "nextword", "wallclock", "fig6", "fig7", "fig8", "fig9", "table1", "ksweep", "overselect", "adaptive"} {
 			if err := runOne(name, all[name]); err != nil {
 				return err
 			}

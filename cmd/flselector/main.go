@@ -21,8 +21,10 @@ import (
 	"log"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/obs"
 	"repro/internal/pacing"
+	"repro/internal/remote"
 	"repro/internal/shard"
 	"repro/internal/transport"
 )
@@ -36,7 +38,40 @@ func main() {
 	estimate := flag.Int("estimate", 1000, "population estimate seeding pace steering")
 	seed := flag.Uint64("seed", 1, "random seed")
 	obsListen := flag.String("obs-listen", "", "serve /metrics, /debug/vars, /debug/pprof and /dashboard on this address (empty = off)")
+	peerHeartbeat := flag.Duration("peer-heartbeat", 0, "coordinator-link heartbeat interval (0 = default 500ms)")
+	peerMiss := flag.Int("peer-miss", 0, "consecutive missed heartbeats declaring the coordinator dead (0 = default 4)")
+	peerBackoffMin := flag.Duration("peer-backoff-min", 0, "minimum reconnect backoff (0 = default 50ms)")
+	peerBackoffMax := flag.Duration("peer-backoff-max", 0, "maximum reconnect backoff (0 = default 5s)")
+	peerCallTimeout := flag.Duration("peer-call-timeout", 0, "lock RPC round-trip timeout (0 = default 5s)")
+	peerRetryBudget := flag.Duration("peer-retry-budget", 0, "total lock RPC retry budget across link drops (0 = default 2s, negative = fail fast)")
+	edgeLinger := flag.Duration("edge-linger", 0, "how long a sealed round answers late devices with explicit aborts (0 = default 2s)")
+	chaosSpec := flag.String("chaos", "", `fault-injection spec for the coordinator link, e.g. "shard:drop=0.05,jitter=200ms;shard:partition@6s+2s" (empty = off)`)
+	chaosSeed := flag.Uint64("chaos-seed", 1, "seed making the -chaos fault schedule reproducible")
 	flag.Parse()
+
+	peer := remote.Options{
+		HeartbeatInterval: *peerHeartbeat,
+		HeartbeatMiss:     *peerMiss,
+		BackoffMin:        *peerBackoffMin,
+		BackoffMax:        *peerBackoffMax,
+		CallTimeout:       *peerCallTimeout,
+		CallRetryBudget:   *peerRetryBudget,
+	}
+	if err := peer.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	dial := func() (transport.Conn, error) { return transport.DialTCP(*coordAddr) }
+	var inj *chaos.Injector // nil wraps nothing: chaos off is the zero value
+	if *chaosSpec != "" {
+		spec, err := chaos.ParseSpec(*chaosSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inj = chaos.New(*chaosSeed, spec)
+		dial = inj.WrapDialer(chaos.Role(fmt.Sprintf("shard:%d", *shardID)), dial)
+		log.Printf("shard %d: %s", *shardID, inj.Plan())
+	}
 
 	sp := shard.NewSelectorProc(shard.SelectorConfig{
 		Shard:              uint32(*shardID),
@@ -45,7 +80,9 @@ func main() {
 		Steering:           pacing.New(time.Minute),
 		PopulationEstimate: *estimate,
 		Seed:               *seed + uint64(*shardID)*131,
-	}, func() (transport.Conn, error) { return transport.DialTCP(*coordAddr) })
+		Peer:               peer,
+		EdgeLinger:         *edgeLinger,
+	}, dial)
 	defer sp.Close()
 
 	l, err := transport.ListenTCP(*addr)
@@ -78,6 +115,9 @@ func main() {
 			log.Printf("shard %d: coordinator %s; accepted=%d rejected=%d held=%d; seals=%d up-bytes=%d dropped=%d",
 				*shardID, link, st.Selector.Accepted, st.Selector.Rejected, st.Selector.Held,
 				st.SealsShipped, st.BytesShipped, st.RoundsDropped)
+			if counts := inj.FaultCounts(); len(counts) > 0 {
+				log.Printf("shard %d: chaos faults: %v", *shardID, counts)
+			}
 		}
 	}()
 

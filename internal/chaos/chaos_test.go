@@ -1,0 +1,317 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/protocol"
+	"repro/internal/transport"
+)
+
+// drainConn keeps a pipe's far end from filling: mem pipes are buffered, but
+// heavy tests may overflow the buffer otherwise.
+func drainConn(c transport.Conn) {
+	go func() {
+		for {
+			if _, err := c.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// runScript pushes a fixed message sequence through a wrapped link and
+// returns the deterministic trace keys.
+func runScript(t *testing.T, seed uint64, n int) []string {
+	t.Helper()
+	in := New(seed, Spec{Rules: []Rule{{Role: RoleShard, Drop: 0.2, Dup: 0.1, Corrupt: 0.1}}})
+	a, b := transport.Pipe()
+	drainConn(b)
+	conn := in.WrapConn(RoleShard, a)
+	for i := 0; i < n; i++ {
+		_ = conn.Send(protocol.StripeSeal{Round: int64(i), Sum: []byte{1, 2, 3, 4}})
+	}
+	_ = conn.Close()
+	var keys []string
+	for _, e := range in.Trace().Events() {
+		keys = append(keys, e.Key())
+	}
+	return keys
+}
+
+func TestSameSeedIdenticalTrace(t *testing.T) {
+	first := runScript(t, 42, 500)
+	second := runScript(t, 42, 500)
+	if len(first) == 0 {
+		t.Fatal("no faults injected at 20% drop over 500 messages")
+	}
+	if len(first) != len(second) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("trace diverges at %d: %q vs %q", i, first[i], second[i])
+		}
+	}
+	other := runScript(t, 43, 500)
+	if len(other) == len(first) && strings.Join(other, "\n") == strings.Join(first, "\n") {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestDecisionStreamIgnoresOutcome(t *testing.T) {
+	// The decision at message index i must be a pure function of
+	// (seed, role, ordinal, i): the raw draw stream from two conns with the
+	// same link seed is identical regardless of wall time, partition state,
+	// or what Send did with earlier results.
+	inA := New(9, Spec{Rules: []Rule{{Role: RoleShard, Drop: 0.5, Jitter: time.Millisecond}}})
+	inB := New(9, Spec{
+		Rules:      []Rule{{Role: RoleShard, Drop: 0.5, Jitter: time.Millisecond}},
+		Partitions: []Window{{Role: RoleShard, At: 0, Dur: time.Hour}},
+	})
+	pa1, pa2 := transport.Pipe()
+	pb1, pb2 := transport.Pipe()
+	drainConn(pa2)
+	drainConn(pb2)
+	ca := inA.WrapConn(RoleShard, pa1).(*faultConn)
+	cb := inB.WrapConn(RoleShard, pb1).(*faultConn)
+	for i := 0; i < 200; i++ {
+		ia, da := ca.draw()
+		ib, db := cb.draw()
+		if ia != ib || da != db {
+			t.Fatalf("draw %d differs: (%d %+v) vs (%d %+v)", i, ia, da, ib, db)
+		}
+	}
+	_ = ca.Close()
+	_ = cb.Close()
+}
+
+func TestPartitionWindowBlackholes(t *testing.T) {
+	in := New(1, Spec{Partitions: []Window{{Role: RoleShard, At: 0, Dur: 200 * time.Millisecond}}})
+	a, b := transport.Pipe()
+	conn := in.WrapConn(RoleShard, a)
+	if err := conn.Send(protocol.CheckinRate{}); err != nil {
+		t.Fatalf("partitioned send should black-hole, got error: %v", err)
+	}
+	// Nothing must arrive at the far end.
+	done := make(chan struct{})
+	go func() {
+		_, _ = b.Recv()
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("message crossed an active partition")
+	case <-time.After(50 * time.Millisecond):
+	}
+	// After the window closes, traffic flows again.
+	time.Sleep(200 * time.Millisecond)
+	if err := conn.Send(protocol.CheckinRate{}); err != nil {
+		t.Fatalf("post-partition send: %v", err)
+	}
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("message did not flow after the partition healed")
+	}
+	counts := in.Trace().Counts()
+	if counts[FaultPartition] != 1 {
+		t.Fatalf("want 1 partition fault, got %v", counts)
+	}
+	_ = conn.Close()
+}
+
+func TestScheduledReset(t *testing.T) {
+	in := New(1, Spec{Resets: []Reset{{Role: RoleShard, At: 0}}})
+	a, b := transport.Pipe()
+	drainConn(b)
+	conn := in.WrapConn(RoleShard, a)
+	if err := conn.Send(protocol.CheckinRate{}); err == nil {
+		t.Fatal("send across a due reset should fail")
+	}
+	if err := conn.Send(protocol.CheckinRate{}); err == nil {
+		t.Fatal("send on a reset (closed) conn should fail")
+	}
+	if got := in.OpenConns(); got != 0 {
+		t.Fatalf("reset conn still counted open: %d", got)
+	}
+	if in.Trace().Counts()[FaultReset] != 1 {
+		t.Fatalf("want exactly 1 reset fault, got %v", in.Trace().Counts())
+	}
+}
+
+func TestResetNowTearsDownLiveConns(t *testing.T) {
+	in := New(1, Spec{})
+	a, b := transport.Pipe()
+	drainConn(b)
+	conn := in.WrapConn(Role("shard:1"), a)
+	in.ResetNow(Role("shard")) // class prefix matches shard:1
+	if err := conn.Send(protocol.CheckinRate{}); err == nil {
+		t.Fatal("send after ResetNow should fail")
+	}
+	if got := in.OpenConns(); got != 0 {
+		t.Fatalf("open conns after ResetNow: %d", got)
+	}
+}
+
+func TestRoundAddressedWindow(t *testing.T) {
+	in := New(1, Spec{Partitions: []Window{{Role: RoleShard, Round: 3, Dur: time.Hour}}})
+	if in.partitioned(RoleShard, time.Now()) {
+		t.Fatal("round window open before its round")
+	}
+	in.AdvanceRound(2)
+	if in.partitioned(RoleShard, time.Now()) {
+		t.Fatal("round window open at round 2, scheduled for 3")
+	}
+	in.AdvanceRound(3)
+	if !in.partitioned(RoleShard, time.Now()) {
+		t.Fatal("round window not open at its round")
+	}
+}
+
+func TestDelayDefersDelivery(t *testing.T) {
+	in := New(1, Spec{Rules: []Rule{{Role: RoleDevice, Delay: 120 * time.Millisecond}}})
+	a, b := transport.Pipe()
+	conn := in.WrapConn(RoleDevice, a)
+	start := time.Now()
+	if err := conn.Send(protocol.CheckinRate{}); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	if d := time.Since(start); d < 100*time.Millisecond {
+		t.Fatalf("delayed message arrived after only %v", d)
+	}
+	_ = conn.Close()
+	// The sender goroutine must wind down.
+	deadline := time.Now().Add(time.Second)
+	for in.SenderGoroutines() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("sender goroutines leaked: %d", in.SenderGoroutines())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestQueueFullDrops(t *testing.T) {
+	in := New(1, Spec{Rules: []Rule{{Role: RoleDevice, Delay: time.Hour, Queue: 2}}})
+	a, b := transport.Pipe()
+	drainConn(b)
+	conn := in.WrapConn(RoleDevice, a)
+	for i := 0; i < 10; i++ {
+		if err := conn.Send(protocol.CheckinRate{}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if in.Trace().Counts()[FaultQueueFull] == 0 {
+		t.Fatal("no queue-full faults recorded with depth 2 and an hour delay")
+	}
+	_ = conn.Close()
+}
+
+func TestCorruptStripeSealDetectable(t *testing.T) {
+	in := New(1, Spec{Rules: []Rule{{Role: RoleShard, Corrupt: 0.999999}}})
+	a, b := transport.Pipe()
+	conn := in.WrapConn(RoleShard, a)
+	orig := protocol.StripeSeal{Round: 1, Sum: []byte{9, 9, 9, 9, 9, 9, 9, 9}}
+	if err := conn.Send(orig); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	seal, ok := got.(protocol.StripeSeal)
+	if !ok {
+		t.Fatalf("got %T", got)
+	}
+	if len(seal.Sum) != 2 || seal.Sum[0] != 0xde {
+		t.Fatalf("seal not corrupted: % x", seal.Sum)
+	}
+	if len(orig.Sum) != 8 || orig.Sum[0] != 9 {
+		t.Fatal("corruption mutated the caller's message")
+	}
+	_ = conn.Close()
+}
+
+func TestNilInjectorWrapsNothing(t *testing.T) {
+	var in *Injector
+	a, _ := transport.Pipe()
+	if got := in.WrapConn(RoleDevice, a); got != a {
+		t.Fatal("nil injector should return the conn unchanged")
+	}
+	dial := func() (transport.Conn, error) { return a, nil }
+	if got := in.WrapDialer(RoleDevice, dial); fmt.Sprintf("%p", got) == "" {
+		t.Fatal("unreachable")
+	}
+	in.AdvanceRound(5)
+	in.PartitionNow(RoleDevice, time.Second)
+	in.ResetNow(RoleDevice)
+	if in.Seed() != 0 || in.OpenConns() != 0 || in.SenderGoroutines() != 0 {
+		t.Fatal("nil injector accounting not zero")
+	}
+	if in.Plan() != "chaos: disabled" {
+		t.Fatalf("nil plan: %q", in.Plan())
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	spec, err := ParseSpec("shard:drop=0.05,jitter=200ms;shard:1:partition@3s+2s;shard:2:reset@r4;rate=1024,queue=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Rules) != 2 {
+		t.Fatalf("rules: %+v", spec.Rules)
+	}
+	r := spec.Rules[0]
+	if r.Role != "shard" || r.Drop != 0.05 || r.Jitter != 200*time.Millisecond {
+		t.Fatalf("rule 0: %+v", r)
+	}
+	if spec.Rules[1].Role != "" || spec.Rules[1].Rate != 1024 || spec.Rules[1].Queue != 8 {
+		t.Fatalf("rule 1: %+v", spec.Rules[1])
+	}
+	if len(spec.Partitions) != 1 || spec.Partitions[0].Role != "shard:1" ||
+		spec.Partitions[0].At != 3*time.Second || spec.Partitions[0].Dur != 2*time.Second {
+		t.Fatalf("partitions: %+v", spec.Partitions)
+	}
+	if len(spec.Resets) != 1 || spec.Resets[0].Role != "shard:2" || spec.Resets[0].Round != 4 {
+		t.Fatalf("resets: %+v", spec.Resets)
+	}
+
+	for _, bad := range []string{
+		"drop=1.5", "drop=x", "bogus=1", "shard:partition@3s", "reset@rX", "delay=-1s", "justtext",
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%q) accepted invalid spec", bad)
+		}
+	}
+
+	// The effective profile folds matching rules with later overrides.
+	eff := spec.effective(Role("shard:7"))
+	if eff.Drop != 0.05 || eff.Rate != 1024 || eff.Queue != 8 {
+		t.Fatalf("effective: %+v", eff)
+	}
+}
+
+func TestMatchRole(t *testing.T) {
+	cases := []struct {
+		rule, link Role
+		want       bool
+	}{
+		{"", "shard:1", true},
+		{"shard", "shard", true},
+		{"shard", "shard:1", true},
+		{"shard:1", "shard:1", true},
+		{"shard:1", "shard:2", false},
+		{"shard", "device", false},
+		{"device", "shard:1", false},
+	}
+	for _, c := range cases {
+		if got := matchRole(c.rule, c.link); got != c.want {
+			t.Errorf("matchRole(%q,%q) = %v, want %v", c.rule, c.link, got, c.want)
+		}
+	}
+}

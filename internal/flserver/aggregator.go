@@ -995,12 +995,20 @@ func (r reportReader) read(deviceID string, conn transport.Conn, group actor.Ref
 	fold := func(sum tensor.Vector) error {
 		return meta.AccumulateParams(req.Update, sum)
 	}
-	clipped := false
 	if r.clip > 0 {
 		if scale := robust.ClipScale(meta.ParamNorm(req.Update), meta.Weight, r.clip); scale < 1 {
-			clipped = true
 			fold = func(sum tensor.Vector) error {
-				return meta.AccumulateParamsScaled(req.Update, sum, scale)
+				if err := meta.AccumulateParamsScaled(req.Update, sum, scale); err != nil {
+					return err
+				}
+				// Counted inside the fold, under the stripe lock: a seal
+				// drains the stripes under the same locks, so its Clipped
+				// snapshot can never miss a clip whose fold is already in
+				// the sum (clips == clipped folds, exactly).
+				r.clipped.Add(1)
+				obsRobustClipped.Inc()
+				r.obsClipped.Inc()
+				return nil
 			}
 		}
 	}
@@ -1011,11 +1019,6 @@ func (r reportReader) read(deviceID string, conn transport.Conn, group actor.Ref
 	case err != nil:
 		reject(err.Error())
 	default:
-		if clipped {
-			r.clipped.Add(1)
-			obsRobustClipped.Inc()
-			r.obsClipped.Inc()
-		}
 		obsReportsOK.Inc()
 		obsEdgeFolds.Inc()
 		_ = r.self.Send(msgReportDone{DeviceID: deviceID, OK: true})

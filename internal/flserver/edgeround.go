@@ -47,6 +47,12 @@ type EdgeRoundConfig struct {
 	// before it folds into a stripe. Clipping is per-update, so it
 	// distributes across shards; the seal carries the clip count upstream.
 	ClipNorm float64
+	// Linger is how long the sealed (or abandoned) round stays alive to
+	// answer stragglers with explicit aborts before stopping itself
+	// (default defaultEdgeRoundLinger). Devices arriving inside the window
+	// get a protocol.Abort; after it, the Selectors' quota revocation has
+	// drained and check-ins fall back to clean steering rejections.
+	Linger time.Duration
 }
 
 // EdgeSeal is an edge round's result: the shard's merged stripe plus the
@@ -71,14 +77,15 @@ type EdgeSeal struct {
 // msgEdgeStart kicks off a spawned edge round.
 type msgEdgeStart struct{}
 
-// edgeRoundLinger is how long a sealed (or abandoned) edge round stays alive
-// to answer stragglers before stopping itself. A Selector that accepted a
-// device just before processing the seal's quota revocation has already
-// enqueued it here; stopping immediately would drop that message — and with
-// it the device's connection, never answered and never closed. The linger
-// only needs to outlast the Selectors' mailbox backlog at seal time, so a
-// couple of seconds is far beyond safe.
-const edgeRoundLinger = 2 * time.Second
+// defaultEdgeRoundLinger is how long a sealed (or abandoned) edge round
+// stays alive to answer stragglers before stopping itself, when the config
+// leaves Linger zero. A Selector that accepted a device just before
+// processing the seal's quota revocation has already enqueued it here;
+// stopping immediately would drop that message — and with it the device's
+// connection, never answered and never closed. The linger only needs to
+// outlast the Selectors' mailbox backlog at seal time, so a couple of
+// seconds is far beyond safe.
+const defaultEdgeRoundLinger = 2 * time.Second
 
 // msgEdgeFinalize is the coordinator-forced window close (it saw enough
 // reports across all shards, or the round deadline passed): seal and ship
@@ -142,6 +149,9 @@ func NewEdgeRound(cfg EdgeRoundConfig, selectors []actor.Ref, ship func(EdgeSeal
 	}
 	if cfg.ReportTimeout <= 0 {
 		cfg.ReportTimeout = 30 * time.Second
+	}
+	if cfg.Linger <= 0 {
+		cfg.Linger = defaultEdgeRoundLinger
 	}
 	return &EdgeRound{
 		cfg:       cfg,
@@ -413,13 +423,13 @@ func (er *EdgeRound) abandon(ctx *actor.Context, reason string) {
 	er.lingerThenStop(ctx)
 }
 
-// lingerThenStop schedules the round's actual stop edgeRoundLinger after it
+// lingerThenStop schedules the round's actual stop cfg.Linger after it
 // sealed. In between, late msgDevices are answered with an abort by
 // onDevices' sealed branch — a device connection must never be dropped
 // unanswered with the mailbox.
 func (er *EdgeRound) lingerThenStop(ctx *actor.Context) {
 	self := ctx.Self
-	time.AfterFunc(edgeRoundLinger, self.Stop)
+	time.AfterFunc(er.cfg.Linger, self.Stop)
 }
 
 // StartEdgeRound spawns an edge round on sys under the given actor name and

@@ -118,7 +118,13 @@ type msgSelectorStats struct {
 	Reply      chan SelectorStats
 }
 
-// SelectorStats reports a Selector's connection counts.
+// SelectorStats reports a Selector's connection counts and its quota
+// ledger. The ledger is conserved: every quota slot a Coordinator grants is
+// eventually consumed by an accepted device, revoked at seal/abandon/release,
+// or still outstanding — QuotaGranted == QuotaConsumed + QuotaRevoked +
+// QuotaOutstanding at every quiescent point. chaos.Verify asserts this after
+// every fault scenario: a violation means a revoke/top-up cycle under churn
+// double-counted or leaked a slot.
 type SelectorStats struct {
 	Held     int
 	Accepted int64
@@ -126,6 +132,11 @@ type SelectorStats struct {
 	// UnknownPopulation counts check-ins rejected because no registered
 	// population matched (only reported on the all-population totals).
 	UnknownPopulation int64
+	// Quota ledger (slots, cumulative).
+	QuotaGranted     int64
+	QuotaConsumed    int64
+	QuotaRevoked     int64
+	QuotaOutstanding int64
 }
 
 // Add folds another stats sample into s (summing across Selectors).
@@ -134,6 +145,15 @@ func (s *SelectorStats) Add(o SelectorStats) {
 	s.Accepted += o.Accepted
 	s.Rejected += o.Rejected
 	s.UnknownPopulation += o.UnknownPopulation
+	s.QuotaGranted += o.QuotaGranted
+	s.QuotaConsumed += o.QuotaConsumed
+	s.QuotaRevoked += o.QuotaRevoked
+	s.QuotaOutstanding += o.QuotaOutstanding
+}
+
+// QuotaConserved reports whether the quota ledger balances.
+func (s SelectorStats) QuotaConserved() bool {
+	return s.QuotaGranted == s.QuotaConsumed+s.QuotaRevoked+s.QuotaOutstanding
 }
 
 // --- Master Aggregator messages ---

@@ -31,6 +31,13 @@ type selPop struct {
 	held     []heldDevice
 	accepted int64
 	rejected int64
+	// Quota ledger: every slot granted is consumed by an accepted device,
+	// revoked at seal/abandon/release, or still outstanding in quota —
+	// granted == consumed + revoked + quota always (chaos.Verify asserts it
+	// across fault scenarios).
+	granted  int64
+	consumed int64
+	revoked  int64
 	// seen counts eligible check-ins since the last quota grant; it drives
 	// reservoir sampling (footnote 1 of the paper: "selection is done by
 	// simple reservoir sampling"), so a device checking in late in the
@@ -92,6 +99,11 @@ type Selector struct {
 	// deregistrations.
 	retiredAccepted int64
 	retiredRejected int64
+	// retired quota ledger (keeps the conservation invariant across
+	// deregistrations).
+	retiredGranted  int64
+	retiredConsumed int64
+	retiredRevoked  int64
 }
 
 // NewSelector returns the behavior for a Selector actor serving the given
@@ -130,6 +142,10 @@ func (s *Selector) Receive(ctx *actor.Context, msg actor.Message) {
 		s.deregister(m.Name)
 	case msgSetQuota:
 		if p, ok := s.pops[m.Population]; ok {
+			// A grant replaces whatever quota remained: the old slots are
+			// revoked, the new ones granted.
+			p.revoked += int64(p.quota)
+			p.granted += int64(m.Accept)
 			p.quota = m.Accept
 			p.seen = 0
 			if m.Accept > 0 {
@@ -219,8 +235,15 @@ func (s *Selector) deregister(name string) {
 		p.rejected++
 		s.rejectConn(d.Conn, "population deregistered", p.steering, p.populationEstimate, p.demand, now)
 	}
+	// Deregistration revokes the remaining quota and retires the ledger so
+	// the all-population ledger stays conserved.
+	p.revoked += int64(p.quota)
+	p.quota = 0
 	s.retiredAccepted += p.accepted
 	s.retiredRejected += p.rejected
+	s.retiredGranted += p.granted
+	s.retiredConsumed += p.consumed
+	s.retiredRevoked += p.revoked
 	delete(s.pops, name)
 }
 
@@ -238,6 +261,7 @@ func (s *Selector) releaseParked(name string) {
 		s.rejectConn(d.Conn, "population idle", p.steering, p.populationEstimate, p.demand, now)
 	}
 	p.held = p.held[:0]
+	p.revoked += int64(p.quota)
 	p.quota = 0
 	p.pendingTo, p.pendingN = nil, 0
 }
@@ -312,6 +336,7 @@ func (s *Selector) onCheckin(m msgCheckin) {
 	}
 	p.quota--
 	p.accepted++
+	p.consumed++
 	obsCheckinAccepted.Inc()
 	d := heldDevice{
 		ID:             m.Req.DeviceID,
@@ -387,6 +412,7 @@ func (s *Selector) displaceOverShare(now time.Time) bool {
 	// back so a later check-in of its population can take the slot.
 	victim.quota++
 	victim.accepted--
+	victim.consumed--
 	s.rejectConn(d.Conn, "displaced by cross-population fair sharing", victim.steering, victim.populationEstimate, victim.demand, now)
 	return true
 }
@@ -431,6 +457,7 @@ func (s *Selector) onTopUp(m msgQuotaTopUp) {
 		return
 	}
 	p.quota += m.N
+	p.granted += int64(m.N)
 	if p.pendingTo == m.To {
 		p.pendingN += m.N
 		return
@@ -449,17 +476,28 @@ func (s *Selector) stats(population string) SelectorStats {
 		if !ok {
 			return SelectorStats{}
 		}
-		return SelectorStats{Held: len(p.held), Accepted: p.accepted, Rejected: p.rejected}
+		return SelectorStats{
+			Held: len(p.held), Accepted: p.accepted, Rejected: p.rejected,
+			QuotaGranted: p.granted, QuotaConsumed: p.consumed,
+			QuotaRevoked: p.revoked, QuotaOutstanding: int64(p.quota),
+		}
 	}
 	total := SelectorStats{
 		UnknownPopulation: s.unknownRejected,
 		Accepted:          s.retiredAccepted,
 		Rejected:          s.unknownRejected + s.retiredRejected,
+		QuotaGranted:      s.retiredGranted,
+		QuotaConsumed:     s.retiredConsumed,
+		QuotaRevoked:      s.retiredRevoked,
 	}
 	for _, p := range s.pops {
 		total.Held += len(p.held)
 		total.Accepted += p.accepted
 		total.Rejected += p.rejected
+		total.QuotaGranted += p.granted
+		total.QuotaConsumed += p.consumed
+		total.QuotaRevoked += p.revoked
+		total.QuotaOutstanding += int64(p.quota)
 	}
 	return total
 }

@@ -14,6 +14,7 @@ package remote
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,6 +41,13 @@ type Options struct {
 	BackoffMax time.Duration
 	// CallTimeout bounds a Call round-trip (default 5s).
 	CallTimeout time.Duration
+	// CallRetryBudget is the total time a lock RPC may spend retrying
+	// across link drops before failing (default 2s). Within the budget, a
+	// call issued while the link is down — or dropped mid-flight by a
+	// reconnect — is retried with jittered backoff instead of failing fast,
+	// so a sub-second redial no longer fails the caller's round. Zero or
+	// negative disables retries (legacy fail-fast behavior is Budget < 0).
+	CallRetryBudget time.Duration
 	// OnUp/OnDown are invoked from the peer's management goroutine when the
 	// connection (re)establishes or drops. They must not block.
 	OnUp   func()
@@ -62,6 +70,34 @@ func (o *Options) defaults() {
 	if o.CallTimeout <= 0 {
 		o.CallTimeout = 5 * time.Second
 	}
+	if o.CallRetryBudget == 0 {
+		o.CallRetryBudget = 2 * time.Second
+	}
+}
+
+// Validate rejects option combinations that break liveness detection. It is
+// called by flag-driven binaries before handing user-supplied values to
+// NewPeer; zero fields are fine (defaults fill them).
+func (o Options) Validate() error {
+	if o.HeartbeatInterval < 0 {
+		return fmt.Errorf("remote: heartbeat interval %v must be >= 0", o.HeartbeatInterval)
+	}
+	if o.HeartbeatInterval > 0 && o.HeartbeatInterval < time.Millisecond {
+		return fmt.Errorf("remote: heartbeat interval %v is below 1ms", o.HeartbeatInterval)
+	}
+	if o.HeartbeatMiss < 0 {
+		return fmt.Errorf("remote: heartbeat miss budget %d must be >= 0", o.HeartbeatMiss)
+	}
+	if o.BackoffMin < 0 || o.BackoffMax < 0 {
+		return fmt.Errorf("remote: backoff bounds must be >= 0")
+	}
+	if o.BackoffMin > 0 && o.BackoffMax > 0 && o.BackoffMin > o.BackoffMax {
+		return fmt.Errorf("remote: backoff min %v exceeds max %v", o.BackoffMin, o.BackoffMax)
+	}
+	if o.CallTimeout < 0 {
+		return fmt.Errorf("remote: call timeout %v must be >= 0", o.CallTimeout)
+	}
+	return nil
 }
 
 // Peer is one managed outbound connection to another process. It dials
@@ -246,6 +282,15 @@ func (p *Peer) pump(conn transport.Conn) error {
 			if err := conn.Send(protocol.Heartbeat{Seq: seq}); err != nil {
 				return err
 			}
+			// Re-announce the hello once per miss window: the connection-open
+			// hello rides an unacknowledged link, and a peer that loses it
+			// would otherwise stay connected-but-unregistered forever. The
+			// receiver treats duplicate hellos on one session as no-ops.
+			if p.opts.Hello != nil && seq%uint64(p.opts.HeartbeatMiss) == 0 {
+				if err := conn.Send(p.opts.Hello); err != nil {
+					return err
+				}
+			}
 		}
 	}
 }
@@ -281,8 +326,45 @@ func (p *Peer) dispatch(conn transport.Conn, msg interface{}) {
 	}
 }
 
-// call performs one seq-correlated lock RPC over the shared link.
+// call performs one seq-correlated lock RPC over the shared link, retrying
+// across link drops within the CallRetryBudget: a call issued during a
+// redial window — or torn mid-flight by a reconnect — re-sends with a fresh
+// sequence and jittered backoff instead of failing the caller. The lock RPCs
+// are idempotent (Acquire re-asserts the same owner, Release and Owner are
+// repeatable), so a retry after a torn-but-delivered request is safe. A
+// CallTimeout with the link up is NOT retried: the peer is reachable and
+// silent, and re-sending would only double the wait.
 func (p *Peer) call(req protocol.LockRequest) (protocol.LockResponse, error) {
+	deadline := time.Now().Add(p.opts.CallRetryBudget)
+	backoff := 10 * time.Millisecond
+	for {
+		resp, err, retryable := p.callOnce(req)
+		if err == nil || !retryable || p.opts.CallRetryBudget <= 0 {
+			return resp, err
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return resp, fmt.Errorf("%w (retry budget %v exhausted)", err, p.opts.CallRetryBudget)
+		}
+		// Jittered backoff, capped to what the budget has left.
+		wait := backoff + time.Duration(rand.Int63n(int64(backoff)))
+		if wait > remain {
+			wait = remain
+		}
+		select {
+		case <-p.done:
+			return protocol.LockResponse{}, fmt.Errorf("remote: peer %s closed", p.name)
+		case <-time.After(wait):
+		}
+		if backoff < 80*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// callOnce performs a single RPC attempt. retryable marks failures caused
+// by link churn (down at send, dropped mid-flight) rather than by the peer.
+func (p *Peer) callOnce(req protocol.LockRequest) (resp protocol.LockResponse, err error, retryable bool) {
 	ch := make(chan protocol.LockResponse, 1)
 	p.callMu.Lock()
 	p.callSeq++
@@ -293,19 +375,19 @@ func (p *Peer) call(req protocol.LockRequest) (protocol.LockResponse, error) {
 		p.callMu.Lock()
 		delete(p.calls, req.Seq)
 		p.callMu.Unlock()
-		return protocol.LockResponse{}, err
+		return protocol.LockResponse{}, err, true
 	}
 	select {
 	case resp, ok := <-ch:
 		if !ok {
-			return protocol.LockResponse{}, fmt.Errorf("remote: peer %s dropped while call in flight", p.name)
+			return protocol.LockResponse{}, fmt.Errorf("remote: peer %s dropped while call in flight", p.name), true
 		}
-		return resp, nil
+		return resp, nil, false
 	case <-time.After(p.opts.CallTimeout):
 		p.callMu.Lock()
 		delete(p.calls, req.Seq)
 		p.callMu.Unlock()
-		return protocol.LockResponse{}, fmt.Errorf("remote: call to peer %s timed out", p.name)
+		return protocol.LockResponse{}, fmt.Errorf("remote: call to peer %s timed out", p.name), false
 	}
 }
 

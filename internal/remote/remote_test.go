@@ -293,12 +293,16 @@ func TestLockServiceOverWire(t *testing.T) {
 	})
 }
 
-// TestLockCallFailsFastWhileDown asserts lock RPCs error immediately when
-// the link is down instead of hanging until timeout.
+// TestLockCallFailsFastWhileDown asserts lock RPCs with retries disabled
+// (CallRetryBudget < 0) error immediately when the link is down instead of
+// hanging until timeout — the legacy fail-fast contract callers can opt
+// back into.
 func TestLockCallFailsFastWhileDown(t *testing.T) {
+	opts := fastOpts()
+	opts.CallRetryBudget = -1
 	peer := NewPeer("nowhere", func() (transport.Conn, error) {
 		return nil, fmt.Errorf("no route")
-	}, nil, fastOpts())
+	}, nil, opts)
 	defer peer.Close()
 
 	start := time.Now()
@@ -310,5 +314,72 @@ func TestLockCallFailsFastWhileDown(t *testing.T) {
 	}
 	if !peer.Ref("x").Stopped() {
 		t.Fatal("remote ref on a dead link must read stopped")
+	}
+}
+
+// TestLockCallRetryBudgetExhausts asserts the default retry budget bounds a
+// down-link call: it fails (not hangs) once the budget is spent.
+func TestLockCallRetryBudgetExhausts(t *testing.T) {
+	opts := fastOpts()
+	opts.CallRetryBudget = 150 * time.Millisecond
+	peer := NewPeer("nowhere", func() (transport.Conn, error) {
+		return nil, fmt.Errorf("no route")
+	}, nil, opts)
+	defer peer.Close()
+
+	start := time.Now()
+	_, err := peer.Locks().Acquire("k", "o")
+	if err == nil {
+		t.Fatal("acquire succeeded with no link")
+	}
+	d := time.Since(start)
+	if d < 100*time.Millisecond {
+		t.Fatalf("call failed after %v — did not retry within the budget", d)
+	}
+	if d > 2*time.Second {
+		t.Fatalf("call took %v, far beyond the 150ms budget", d)
+	}
+}
+
+// TestLockCallSurvivesRedialWithinBudget is the satellite fix's contract: a
+// lock RPC issued while the link is down succeeds when the peer reconnects
+// within the retry budget, instead of failing the caller's round.
+func TestLockCallSurvivesRedialWithinBudget(t *testing.T) {
+	net := transport.NewMemNetwork()
+	locks := actor.NewLockService()
+	srv := newTestServer(t, net, "coord", SessionOptions{Locks: locks})
+	defer srv.close()
+
+	// The gate makes dialing fail until opened — the link starts down.
+	var linkUp atomic.Bool
+	opts := fastOpts()
+	opts.CallRetryBudget = 3 * time.Second
+	peer := NewPeer("coord", func() (transport.Conn, error) {
+		if !linkUp.Load() {
+			return nil, fmt.Errorf("link down")
+		}
+		return net.Dial("coord")
+	}, nil, opts)
+	defer peer.Close()
+
+	// Issue the call while the link is down; heal it shortly after.
+	time.AfterFunc(100*time.Millisecond, func() { linkUp.Store(true) })
+	ok, err := peer.Locks().Acquire("population/gboard", "owner-a")
+	if err != nil {
+		t.Fatalf("acquire across a sub-budget redial failed: %v", err)
+	}
+	if !ok {
+		t.Fatal("acquire across redial returned ok=false on a free lock")
+	}
+
+	// And a call issued right after a drop retries transparently too (the
+	// dropped session released the lease, so the re-acquire must win).
+	srv.dropConns()
+	ok, err = peer.Locks().Acquire("population/gboard", "owner-a")
+	if err != nil {
+		t.Fatalf("acquire across a drop failed: %v", err)
+	}
+	if !ok {
+		t.Fatal("re-acquire after the owning session died returned ok=false")
 	}
 }

@@ -56,6 +56,12 @@ type SessionOptions struct {
 	// Handle receives every message that is not connection infrastructure
 	// (heartbeats, envelopes, lock RPCs). It runs on the session goroutine.
 	Handle func(msg interface{})
+	// SendQueue bounds the asynchronous Send queue (default 64). Session.Send
+	// enqueues and returns; a writer goroutine drains to the connection, so a
+	// slow or fault-injected link cannot wedge the coordinator actor behind
+	// one blocking write. A full queue fails the Send — the caller treats it
+	// exactly like a dead link.
+	SendQueue int
 }
 
 // Session is one accepted peer connection being served.
@@ -67,6 +73,7 @@ type Session struct {
 	owners map[string]*connRef
 	closed bool
 	done   chan struct{}
+	sendQ  chan interface{}
 }
 
 // connRef is the serving side's stand-in for a remote lock owner: its
@@ -92,11 +99,33 @@ func NewSession(conn transport.Conn, opts SessionOptions) *Session {
 	if opts.Handle == nil {
 		opts.Handle = func(interface{}) {}
 	}
-	return &Session{
+	if opts.SendQueue <= 0 {
+		opts.SendQueue = 64
+	}
+	s := &Session{
 		conn:   conn,
 		opts:   opts,
 		owners: make(map[string]*connRef),
 		done:   make(chan struct{}),
+		sendQ:  make(chan interface{}, opts.SendQueue),
+	}
+	go s.writer()
+	return s
+}
+
+// writer drains the bounded send queue to the connection. A write error
+// closes the session (the reader in Run sees the close and returns).
+func (s *Session) writer() {
+	for {
+		select {
+		case <-s.done:
+			return
+		case msg := <-s.sendQ:
+			if err := s.conn.Send(msg); err != nil {
+				s.Close()
+				return
+			}
+		}
 	}
 }
 
@@ -121,13 +150,20 @@ func (s *Session) Close() {
 	s.conn.Close()
 }
 
-// Send transmits on the underlying connection (round configs, finalizes —
-// the server side talks back on the same link).
+// Send enqueues one message for the writer goroutine (round configs,
+// finalizes — the server side talks back on the same link). It never blocks:
+// a closed session or a full queue (a link wedged under injected latency)
+// fails immediately, and the caller handles it like a dead link.
 func (s *Session) Send(msg interface{}) error {
 	if s.Closed() {
 		return fmt.Errorf("remote: session closed")
 	}
-	return s.conn.Send(msg)
+	select {
+	case s.sendQ <- msg:
+		return nil
+	default:
+		return fmt.Errorf("remote: session send queue full (%d)", s.opts.SendQueue)
+	}
 }
 
 // Run serves the connection until it dies, answering heartbeats, routing

@@ -99,6 +99,13 @@ func RunBenchSharded(cfg BenchShardedConfig) (BenchShardedStats, error) {
 	if err != nil {
 		return stats, err
 	}
+	// Generate mirrors the norm bound into the device plan so honest
+	// devices pre-clip; that would put every shipped norm exactly at
+	// clip×weight and leave the edge's re-clip decision to float noise.
+	// The bench measures the server-side enforcement path, so keep the
+	// devices honest-but-unclipped: every over-bound report must then be
+	// clipped at the edge, deterministically.
+	p.Device.ClipNorm = 0
 	fed, err := data.Blobs(data.BlobsConfig{
 		Users: cfg.Devices, ExamplesPer: 20, Features: cfg.Features, Classes: 3,
 		TestSize: 10, Seed: cfg.Seed + 1,

@@ -218,11 +218,18 @@ func (sc *shardCoordinator) connected(id uint32) bool {
 }
 
 func (sc *shardCoordinator) onShardUp(ctx *actor.Context, m msgShardUp) {
+	_, known := sc.shards[m.Sess]
 	sc.shards[m.Sess] = m.Hello
 	if _, ok := sc.contrib[m.Hello.Shard]; !ok {
 		sc.contrib[m.Hello.Shard] = &ShardContribution{Name: m.Hello.Name}
 	} else {
 		sc.contrib[m.Hello.Shard].Name = m.Hello.Name
+	}
+	if known {
+		// A re-announced hello on an already-registered session (peers
+		// re-send hellos periodically in case the first was lost): nothing
+		// to resume.
+		return
 	}
 	if sc.drained {
 		// The population already finished its rounds; tell the newcomer to
@@ -423,7 +430,16 @@ func (sc *shardCoordinator) onDeadline(ctx *actor.Context, round int64) {
 	sc.cur.finalizing = true
 	fin := protocol.RoundFinalize{Population: sc.cfg.Population, TaskID: sc.cur.p.ID, Round: round}
 	for sess := range sc.cur.pending {
-		_ = sess.Send(fin)
+		if err := sess.Send(fin); err != nil {
+			// The straggler's link is already dead (or its send queue is
+			// wedged): it can never deliver a seal, so waiting the grace on
+			// it would only stall the fleet. Settle without it.
+			delete(sc.cur.pending, sess)
+		}
+	}
+	if len(sc.cur.pending) == 0 {
+		sc.finish(ctx)
+		return
 	}
 	self := ctx.Self
 	time.AfterFunc(sc.cfg.SealGrace, func() { _ = self.Send(msgRoundGrace{Round: round}) })

@@ -11,6 +11,7 @@ package shard
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,7 +55,16 @@ type SelectorConfig struct {
 	// coordinator, which folds this shard's counters into its aggregated
 	// /metrics under a shard="N" label (default 2s).
 	TelemetryInterval time.Duration
-	Now               func() time.Time
+	// EdgeLinger is how long a sealed edge round keeps answering late
+	// device arrivals with explicit aborts before stopping (default 2s —
+	// see flserver.EdgeRoundConfig.Linger).
+	EdgeLinger time.Duration
+	// SealRetryBudget is the total time ship() retries delivering a sealed
+	// stripe across coordinator-link drops before counting the round lost
+	// (default 3s). Re-shipping after a reconnect is safe: the coordinator
+	// dedups seals per (shard session, round).
+	SealRetryBudget time.Duration
+	Now             func() time.Time
 }
 
 // edgeHandle tracks one population's in-flight edge round.
@@ -85,6 +95,7 @@ type SelectorProc struct {
 	sealsShipped  atomic.Int64
 	bytesShipped  atomic.Int64
 	roundsDropped atomic.Int64
+	roundsOpened  atomic.Int64
 	stopRate      chan struct{}
 }
 
@@ -107,6 +118,9 @@ func NewSelectorProc(cfg SelectorConfig, dial remote.Dialer) *SelectorProc {
 	}
 	if cfg.TelemetryInterval <= 0 {
 		cfg.TelemetryInterval = 2 * time.Second
+	}
+	if cfg.SealRetryBudget <= 0 {
+		cfg.SealRetryBudget = 3 * time.Second
 	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
@@ -223,8 +237,10 @@ func (p *SelectorProc) onRoundConfig(m protocol.RoundConfig) {
 			ReportDeadline: m.ReportDeadline,
 			ReportTimeout:  m.ReportTimeout,
 			ClipNorm:       clipNorm,
+			Linger:         p.cfg.EdgeLinger,
 		}, p.selectors, p.ship)
 	p.rounds[m.Population] = &edgeHandle{taskID: m.TaskID, round: m.Round, ref: ref}
+	p.roundsOpened.Add(1)
 	p.mu.Unlock()
 }
 
@@ -270,9 +286,12 @@ func (p *SelectorProc) clearRound(population string, round int64) {
 
 // ship sends one sealed stripe upstream. It is called on the EdgeRound's
 // actor goroutine, so the marshal and the (possibly blocking) peer write
-// run on their own goroutine. A seal that cannot be delivered is dropped —
-// the coordinator's straggler timeout settles the round without it, and
-// this shard's devices count as lost.
+// run on their own goroutine. A transient link drop is retried with
+// jittered backoff within SealRetryBudget — the peer redials in the
+// background, and the coordinator dedups a seal that arrives twice. Only
+// when the budget runs dry is the round counted dropped; the coordinator's
+// straggler timeout then settles it without this shard, and its devices
+// count as lost.
 func (p *SelectorProc) ship(seal flserver.EdgeSeal) {
 	p.clearRound(seal.Population, seal.Round)
 	go func() {
@@ -291,10 +310,29 @@ func (p *SelectorProc) ship(seal flserver.EdgeSeal) {
 			Metrics:     seal.Seal.Metrics,
 			Phases:      seal.Phases,
 		}
-		if err := p.peer.Send(msg); err != nil {
-			p.roundsDropped.Add(1)
-			obsSealsDropped.Inc()
-			return
+		deadline := time.Now().Add(p.cfg.SealRetryBudget)
+		backoff := 25 * time.Millisecond
+		for {
+			err := p.peer.Send(msg)
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				p.roundsDropped.Add(1)
+				obsSealsDropped.Inc()
+				return
+			}
+			wait := backoff + time.Duration(rand.Int63n(int64(backoff)))
+			select {
+			case <-p.stopRate:
+				p.roundsDropped.Add(1)
+				obsSealsDropped.Inc()
+				return
+			case <-time.After(wait):
+			}
+			if backoff < 200*time.Millisecond {
+				backoff *= 2
+			}
 		}
 		p.sealsShipped.Add(1)
 		p.bytesShipped.Add(sealWireBytes(msg))
@@ -421,10 +459,12 @@ type SelectorProcStats struct {
 	PerSelector map[string]flserver.SelectorStats
 	// SealsShipped / BytesShipped count sealed stripes (and their wire
 	// bytes) delivered upstream; RoundsDropped counts rounds lost to a dead
-	// coordinator link.
+	// coordinator link; RoundsOpened counts fresh EdgeRound spawns (a
+	// re-sent RoundConfig after a reconnect does NOT re-open its round).
 	SealsShipped  int64
 	BytesShipped  int64
 	RoundsDropped int64
+	RoundsOpened  int64
 	// CoordinatorUp is the link's current liveness.
 	CoordinatorUp bool
 }
@@ -437,6 +477,7 @@ func (p *SelectorProc) Stats() (SelectorProcStats, error) {
 		SealsShipped:  p.sealsShipped.Load(),
 		BytesShipped:  p.bytesShipped.Load(),
 		RoundsDropped: p.roundsDropped.Load(),
+		RoundsOpened:  p.roundsOpened.Load(),
 		CoordinatorUp: p.peer.Alive(),
 	}
 	for _, sel := range p.selectors {
